@@ -1,0 +1,83 @@
+// Micro-bench: Berger-Rigoutsos clustering and load balancing — the
+// host-side regridding work that becomes the Amdahl bottleneck in the
+// paper's strong-scaling study (§V-B).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "amr/berger_rigoutsos.hpp"
+#include "amr/load_balancer.hpp"
+
+namespace {
+
+using ramr::amr::ClusterParams;
+using ramr::amr::TagBitmap;
+using ramr::mesh::Box;
+
+TagBitmap ring_tags(int n) {
+  // An annulus, like a radiating shock front.
+  TagBitmap tags(Box(0, 0, n - 1, n - 1));
+  const double c = n / 2.0;
+  const double r0 = n / 4.0;
+  const double r1 = n / 4.0 + n / 32.0 + 2.0;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const double r = std::hypot(i - c, j - c);
+      if (r >= r0 && r <= r1) {
+        tags.set(i, j);
+      }
+    }
+  }
+  return tags;
+}
+
+void BM_BergerRigoutsosRing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const TagBitmap tags = ring_tags(n);
+  ClusterParams params;
+  params.min_size = 8;
+  std::size_t boxes = 0;
+  for (auto _ : state) {
+    const auto out =
+        ramr::amr::berger_rigoutsos(tags, tags.region(), params);
+    boxes = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["boxes"] = static_cast<double>(boxes);
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BergerRigoutsosRing)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_TagBuffer(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    TagBitmap tags = ring_tags(n);
+    state.ResumeTiming();
+    tags.buffer(2);
+    benchmark::DoNotOptimize(tags.count_tags());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TagBuffer)->Arg(128)->Arg(512);
+
+void BM_LoadBalance(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int ranks = static_cast<int>(state.range(1));
+  const TagBitmap tags = ring_tags(n);
+  ClusterParams cp;
+  cp.min_size = 8;
+  const auto boxes = ramr::amr::berger_rigoutsos(tags, tags.region(), cp);
+  ramr::amr::BalanceParams bp;
+  bp.max_patch_cells = 64 * 64;
+  double imbalance = 0.0;
+  for (auto _ : state) {
+    const auto patches = ramr::amr::balance_boxes(boxes, ranks, bp);
+    imbalance = ramr::amr::load_imbalance(patches, ranks);
+    benchmark::DoNotOptimize(patches.data());
+  }
+  state.counters["imbalance"] = imbalance;
+}
+BENCHMARK(BM_LoadBalance)->Args({512, 4})->Args({512, 64})->Args({2048, 1024});
+
+}  // namespace

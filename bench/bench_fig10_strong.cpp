@@ -1,0 +1,104 @@
+// Figure 10: strong-scaling parallel performance on IPA. The 6.4M-zone
+// Sod problem, 1000 timesteps, on 1-8 nodes: the GPU code runs 2 MPI
+// ranks per node (one per K20x), the CPU code one rank per node (16
+// cores). Paper result: GPUs 4.87x faster on one node, dropping to
+// 1.92x on eight — boundary exchange and regridding become the serial
+// fraction (Amdahl) as per-GPU work shrinks.
+//
+// Method: real distributed runs (threaded ranks, modeled network wire
+// time) at a reduced number of steps, scaled to 1000. Set
+// RAMR_BENCH_FAST=1 for a smaller problem.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "app/simulation.hpp"
+#include "perf/machine.hpp"
+#include "perf/report.hpp"
+
+namespace {
+
+struct Run {
+  double seconds_1000 = 0.0;
+  double hydro_fraction = 0.0;
+};
+
+Run run_config(int n, int ranks, const ramr::vgpu::DeviceSpec& spec,
+               const ramr::simmpi::NetworkSpec& net) {
+  ramr::app::SimulationConfig cfg;
+  cfg.problem = ramr::app::ProblemKind::kSod;
+  cfg.nx = n;
+  cfg.ny = n;
+  cfg.max_levels = 3;
+  cfg.ratio = 2;
+  cfg.regrid_interval = 10;
+  cfg.max_patch_cells = 512 * 512;
+  cfg.min_patch_size = 16;
+  cfg.device = spec;
+  cfg.device.mem_bytes = 64ull << 30;
+
+  const int steps = 10;
+  std::mutex m;
+  double worst_total = 0.0;
+  double worst_hydro = 0.0;
+  ramr::simmpi::World world(ranks, net);
+  world.run([&](ramr::simmpi::Communicator& comm) {
+    ramr::app::Simulation sim(cfg, &comm);
+    sim.initialize();
+    sim.clock().reset();
+    sim.run(steps);
+    // The slowest rank sets the runtime.
+    const double total = sim.clock().total();
+    const double hydro = sim.clock().component("hydro");
+    std::lock_guard<std::mutex> lock(m);
+    if (total > worst_total) {
+      worst_total = total;
+      worst_hydro = hydro;
+    }
+  });
+  Run r;
+  r.seconds_1000 = worst_total / steps * 1000.0;
+  r.hydro_fraction = worst_total > 0.0 ? worst_hydro / worst_total : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = std::getenv("RAMR_BENCH_FAST") != nullptr;
+  const int n = fast ? 896 : 2530;  // 6.4M zones as in the paper
+  std::printf(
+      "Figure 10: strong scaling on IPA, Sod %dx%d (%.1fM zones), 1000 "
+      "steps\n"
+      "GPU code: 2 ranks/node (1 per K20x); CPU code: 1 rank/node (16 "
+      "cores)\n\n",
+      n, n, n * static_cast<double>(n) / 1e6);
+
+  const ramr::perf::Machine m = ramr::perf::ipa();
+  ramr::perf::Table t({8, 12, 14, 10, 18});
+  t.header({"nodes", "K20x (s)", "E5-2670 (s)", "GPU/CPU", "GPU hydro frac"});
+  double first_speedup = 0.0;
+  double last_speedup = 0.0;
+  for (int nodes : {1, 2, 4, 8}) {
+    const Run gpu = run_config(n, 2 * nodes, m.gpu_spec, m.network);
+    const Run cpu = run_config(n, nodes, m.cpu_node_spec, m.network);
+    const double speedup = cpu.seconds_1000 / gpu.seconds_1000;
+    if (nodes == 1) first_speedup = speedup;
+    last_speedup = speedup;
+    t.row({ramr::perf::Table::count(nodes),
+           ramr::perf::Table::seconds(gpu.seconds_1000),
+           ramr::perf::Table::seconds(cpu.seconds_1000),
+           ramr::perf::Table::ratio(speedup),
+           ramr::perf::Table::percent(gpu.hydro_fraction)});
+  }
+  std::printf(
+      "\nspeedup at 1 node: %.2fx (paper: 4.87x); at 8 nodes: %.2fx "
+      "(paper: 1.92x)\n",
+      first_speedup, last_speedup);
+  std::printf(
+      "The falloff is the paper's Amdahl effect: boundary exchange and\n"
+      "(host-side) regridding do not shrink with per-GPU work.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Micro-bench: the paper's data-parallel refine/coarsen operators
+// (§IV-B2, Figs. 5, 7, 8) — wall time of the real data-parallel
+// execution plus the modeled K20x kernel time as a counter.
+#include <benchmark/benchmark.h>
+
+#include "geom/coarsen_operators.hpp"
+#include "geom/refine_operators.hpp"
+#include "pdat/cuda/cuda_data.hpp"
+#include "vgpu/device_spec.hpp"
+
+namespace {
+
+using ramr::mesh::Box;
+using ramr::mesh::IntVector;
+using ramr::pdat::cuda::CudaCellData;
+using ramr::pdat::cuda::CudaNodeData;
+using ramr::pdat::cuda::CudaSideData;
+
+template <typename Data>
+struct RefinePair {
+  ramr::vgpu::Device device{ramr::vgpu::tesla_k20x()};
+  Box coarse_cells;
+  Box fine_cells;
+  Data coarse;
+  Data fine;
+
+  explicit RefinePair(int n, int r)
+      : coarse_cells(0, 0, n - 1, n - 1),
+        fine_cells(coarse_cells.refine(IntVector(r, r))),
+        coarse(device, coarse_cells, IntVector(2, 2)),
+        fine(device, fine_cells, IntVector(2, 2)) {
+    coarse.fill(1.0);
+    fine.fill(0.0);
+  }
+};
+
+void BM_NodeLinearRefine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  RefinePair<CudaNodeData> p(n, 2);
+  ramr::geom::NodeLinearRefine op;
+  for (auto _ : state) {
+    op.refine(p.fine, p.coarse, p.fine_cells, IntVector(2, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * p.fine_cells.size());
+  state.counters["modeled_us_per_call"] =
+      p.device.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_NodeLinearRefine)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CellConservativeLinearRefine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  RefinePair<CudaCellData> p(n, 2);
+  ramr::geom::CellConservativeLinearRefine op;
+  for (auto _ : state) {
+    op.refine(p.fine, p.coarse, p.fine_cells, IntVector(2, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * p.fine_cells.size());
+  state.counters["modeled_us_per_call"] =
+      p.device.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_CellConservativeLinearRefine)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SideConservativeLinearRefine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  RefinePair<CudaSideData> p(n, 2);
+  ramr::geom::SideConservativeLinearRefine op;
+  for (auto _ : state) {
+    op.refine(p.fine, p.coarse, p.fine_cells, IntVector(2, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * p.fine_cells.size() * 2);
+  state.counters["modeled_us_per_call"] =
+      p.device.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_SideConservativeLinearRefine)->Arg(64)->Arg(256);
+
+void BM_NodeInjectionCoarsen(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  RefinePair<CudaNodeData> p(n, 2);
+  ramr::geom::NodeInjectionCoarsen op;
+  for (auto _ : state) {
+    op.coarsen(p.coarse, p.fine, nullptr, p.coarse_cells, IntVector(2, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * p.coarse_cells.size());
+  state.counters["modeled_us_per_call"] =
+      p.device.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_NodeInjectionCoarsen)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_VolumeWeightedCoarsen(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  RefinePair<CudaCellData> p(n, r);
+  ramr::geom::VolumeWeightedCoarsen op;
+  for (auto _ : state) {
+    op.coarsen(p.coarse, p.fine, nullptr, p.coarse_cells, IntVector(r, r));
+  }
+  state.SetItemsProcessed(state.iterations() * p.fine_cells.size());
+  state.counters["modeled_us_per_call"] =
+      p.device.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_VolumeWeightedCoarsen)
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({1024, 2});
+
+void BM_MassWeightedCoarsen(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  RefinePair<CudaCellData> p(n, 2);
+  CudaCellData density(p.device, p.fine_cells, IntVector(2, 2));
+  density.fill(1.25);
+  ramr::geom::MassWeightedCoarsen op;
+  for (auto _ : state) {
+    op.coarsen(p.coarse, p.fine, &density, p.coarse_cells, IntVector(2, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * p.fine_cells.size());
+  state.counters["modeled_us_per_call"] =
+      p.device.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_MassWeightedCoarsen)->Arg(256)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Micro-bench + ablation: data-parallel buffer packing (paper Fig. 4).
+// The resident design gathers an overlap into one contiguous device
+// buffer (one thread per element) and crosses PCIe once; the naive
+// alternative transfers each overlap row separately. Counters report the
+// modeled PCIe cost of both.
+#include <benchmark/benchmark.h>
+
+#include "pdat/cuda/cuda_data.hpp"
+#include "vgpu/device_spec.hpp"
+
+namespace {
+
+using ramr::mesh::Box;
+using ramr::mesh::BoxList;
+using ramr::mesh::Centering;
+using ramr::mesh::IntVector;
+using ramr::pdat::BoxOverlap;
+using ramr::pdat::MessageStream;
+using ramr::pdat::cuda::CudaCellData;
+
+BoxOverlap halo_overlap(int n, int g) {
+  // The four ghost bands a neighbour exchange fills.
+  BoxList cells;
+  cells.push_back(Box(0, 0, n - 1, g - 1));          // bottom
+  cells.push_back(Box(0, n - g, n - 1, n - 1));      // top
+  cells.push_back(Box(0, g, g - 1, n - g - 1));      // left
+  cells.push_back(Box(n - g, g, n - 1, n - g - 1));  // right
+  return ramr::pdat::overlap_for_region(Centering::kCell, cells);
+}
+
+void BM_DataParallelPack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ramr::vgpu::Device dev(ramr::vgpu::tesla_k20x());
+  CudaCellData data(dev, Box(0, 0, n - 1, n - 1), IntVector(2, 2));
+  data.fill(1.0);
+  const BoxOverlap ov = halo_overlap(n, 2);
+  for (auto _ : state) {
+    MessageStream ms;
+    data.pack_stream(ms, ov);
+    benchmark::DoNotOptimize(ms.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ov.element_count()) * 8);
+  state.counters["pcie_transfers_per_pack"] =
+      static_cast<double>(dev.transfers().d2h_count) / state.iterations();
+  state.counters["modeled_us_per_pack"] =
+      dev.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_DataParallelPack)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_NaiveRowByRowPack(benchmark::State& state) {
+  // The contrast class: one PCIe transfer per overlap row (what a
+  // non-resident port does when it memcpy's subregions directly).
+  const int n = static_cast<int>(state.range(0));
+  ramr::vgpu::Device dev(ramr::vgpu::tesla_k20x());
+  CudaCellData data(dev, Box(0, 0, n - 1, n - 1), IntVector(2, 2));
+  data.fill(1.0);
+  const BoxOverlap ov = halo_overlap(n, 2);
+  for (auto _ : state) {
+    MessageStream ms;
+    for (const Box& b : ov.component(0).boxes()) {
+      for (int j = b.lower().j; j <= b.upper().j; ++j) {
+        // One transfer per row.
+        std::vector<double> row(static_cast<std::size_t>(b.width()));
+        const auto& arr = data.component(0);
+        const Box ib = arr.index_box();
+        const std::int64_t offset =
+            static_cast<std::int64_t>(j - ib.lower().j) * ib.width() +
+            (b.lower().i - ib.lower().i);
+        dev.memcpy_d2h(row.data(), arr.device_view().data() + offset,
+                       row.size() * sizeof(double));
+        ms.write_doubles(row.data(), row.size());
+      }
+    }
+    benchmark::DoNotOptimize(ms.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ov.element_count()) * 8);
+  state.counters["pcie_transfers_per_pack"] =
+      static_cast<double>(dev.transfers().d2h_count) / state.iterations();
+  state.counters["modeled_us_per_pack"] =
+      dev.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_NaiveRowByRowPack)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_UnpackRoundTrip(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ramr::vgpu::Device dev(ramr::vgpu::tesla_k20x());
+  CudaCellData src(dev, Box(0, 0, n - 1, n - 1), IntVector(2, 2));
+  CudaCellData dst(dev, Box(0, 0, n - 1, n - 1), IntVector(2, 2));
+  src.fill(3.0);
+  const BoxOverlap ov = halo_overlap(n, 2);
+  for (auto _ : state) {
+    MessageStream ms;
+    src.pack_stream(ms, ov);
+    dst.unpack_stream(ms, ov);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ov.element_count()) * 16);
+  state.counters["modeled_us_per_roundtrip"] =
+      dev.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_UnpackRoundTrip)->Arg(256)->Arg(1024);
+
+}  // namespace

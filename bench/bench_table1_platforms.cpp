@@ -1,0 +1,50 @@
+// Table I: hardware and software configurations of IPA and Titan. Every
+// other bench pulls its device and network models from these presets, so
+// this bench both reproduces the table and documents the model inputs.
+#include <cstdio>
+
+#include "perf/machine.hpp"
+#include "perf/report.hpp"
+
+int main() {
+  using ramr::perf::Machine;
+  const Machine a = ramr::perf::ipa();
+  const Machine b = ramr::perf::titan();
+
+  std::printf("Table I: IPA and Titan hardware and software configurations\n");
+  std::printf("(model presets used by all benches)\n\n");
+  ramr::perf::Table t({16, 28, 28});
+  t.header({"", a.name, b.name});
+  t.row({"Processor", a.processor, b.processor});
+  t.row({"Clock", a.clock, b.clock});
+  t.row({"Accelerator", a.accelerator, b.accelerator});
+  t.row({"PCI gen", a.pci_gen, b.pci_gen});
+  t.row({"Nodes", ramr::perf::Table::count(a.nodes),
+         ramr::perf::Table::count(b.nodes)});
+  t.row({"CPUs/node", a.cpus_per_node, b.cpus_per_node});
+  t.row({"GPUs/node", ramr::perf::Table::count(a.gpus_per_node),
+         ramr::perf::Table::count(b.gpus_per_node)});
+  t.row({"CPU RAM/node", a.cpu_ram, b.cpu_ram});
+  t.row({"GPU RAM/node", a.gpu_ram, b.gpu_ram});
+  t.row({"Interconnect", a.interconnect, b.interconnect});
+  t.row({"Compiler", a.compiler, b.compiler});
+  t.row({"MPI", a.mpi, b.mpi});
+  t.row({"CUDA Version", a.cuda_version, b.cuda_version});
+
+  std::printf("\nDerived model parameters:\n");
+  ramr::perf::Table m({26, 14, 14});
+  m.header({"", "K20x", "E5-2670 node"});
+  m.row({"sustained GFLOP/s", ramr::perf::Table::seconds(a.gpu_spec.peak_gflops),
+         ramr::perf::Table::seconds(a.cpu_node_spec.peak_gflops)});
+  m.row({"sustained GB/s", ramr::perf::Table::seconds(a.gpu_spec.mem_bw_gbs),
+         ramr::perf::Table::seconds(a.cpu_node_spec.mem_bw_gbs)});
+  m.row({"launch overhead (us)",
+         ramr::perf::Table::seconds(a.gpu_spec.launch_overhead_s * 1e6),
+         ramr::perf::Table::seconds(a.cpu_node_spec.launch_overhead_s * 1e6)});
+  m.row({"PCIe GB/s", ramr::perf::Table::seconds(a.gpu_spec.pcie_bw_gbs), "-"});
+  std::printf("\nNetworks: %s (%.1f us, %.1f GB/s); %s (%.1f us, %.1f GB/s)\n",
+              a.network.name.c_str(), a.network.latency_s * 1e6,
+              a.network.bw_gbs, b.network.name.c_str(),
+              b.network.latency_s * 1e6, b.network.bw_gbs);
+  return 0;
+}

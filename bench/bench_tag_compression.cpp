@@ -1,0 +1,78 @@
+// Ablation: bit-compressed tag transfer (paper §IV-C). Tags are
+// computed on the device as ints; the paper compresses them to bits
+// before the PCIe transfer (32x smaller) and skips untagged patches
+// entirely via a per-patch flag. Counters report the transferred bytes
+// and modeled time of each variant.
+#include <benchmark/benchmark.h>
+
+#include "amr/tag_buffer.hpp"
+#include "vgpu/device_spec.hpp"
+
+namespace {
+
+using ramr::amr::DeviceTagData;
+using ramr::mesh::Box;
+
+/// Tags a diagonal band (a shock-front-like pattern, ~10% of cells).
+void tag_band(ramr::vgpu::Device& dev, DeviceTagData& tags) {
+  auto view = tags.device_view();
+  const Box box = tags.box();
+  ramr::vgpu::Stream s(dev, "bench");
+  dev.launch2d(s, box.lower().i, box.lower().j, box.width(), box.height(),
+               ramr::vgpu::KernelCost{2.0, 4.0}, [=](int i, int j) {
+                 view(i, j) = (std::abs(i - j) < box.width() / 20) ? 1 : 0;
+               });
+}
+
+void BM_CompressedTagDownload(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ramr::vgpu::Device dev(ramr::vgpu::tesla_k20x());
+  DeviceTagData tags(dev, Box(0, 0, n - 1, n - 1));
+  tag_band(dev, tags);
+  dev.clock().reset();
+  dev.transfers().reset();
+  for (auto _ : state) {
+    auto words = tags.download_compressed();
+    benchmark::DoNotOptimize(words.data());
+  }
+  state.counters["bytes_per_transfer"] =
+      static_cast<double>(dev.transfers().d2h_bytes) / state.iterations();
+  state.counters["modeled_us"] = dev.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_CompressedTagDownload)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_RawTagDownload(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ramr::vgpu::Device dev(ramr::vgpu::tesla_k20x());
+  DeviceTagData tags(dev, Box(0, 0, n - 1, n - 1));
+  tag_band(dev, tags);
+  dev.clock().reset();
+  dev.transfers().reset();
+  for (auto _ : state) {
+    auto ints = tags.download_raw();
+    benchmark::DoNotOptimize(ints.data());
+  }
+  state.counters["bytes_per_transfer"] =
+      static_cast<double>(dev.transfers().d2h_bytes) / state.iterations();
+  state.counters["modeled_us"] = dev.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_RawTagDownload)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_UntaggedPatchShortCircuit(benchmark::State& state) {
+  // An untagged patch costs one flag readback, not a tag array transfer.
+  const int n = static_cast<int>(state.range(0));
+  ramr::vgpu::Device dev(ramr::vgpu::tesla_k20x());
+  DeviceTagData tags(dev, Box(0, 0, n - 1, n - 1));
+  dev.clock().reset();
+  dev.transfers().reset();
+  for (auto _ : state) {
+    const bool any = tags.any_tagged();
+    benchmark::DoNotOptimize(any);
+  }
+  state.counters["bytes_per_check"] =
+      static_cast<double>(dev.transfers().d2h_bytes) / state.iterations();
+  state.counters["modeled_us"] = dev.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_UntaggedPatchShortCircuit)->Arg(512)->Arg(2048);
+
+}  // namespace

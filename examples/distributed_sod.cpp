@@ -1,0 +1,85 @@
+// Distributed run: the same Sod problem on multiple (simulated) MPI
+// ranks, one K20x each, demonstrating the cross-node GPU data path of
+// the paper (device pack -> PCIe -> MPI -> PCIe -> device unpack) and
+// that the distributed answer matches the serial one.
+//
+//   ./distributed_sod [ranks]
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "app/simulation.hpp"
+#include "perf/machine.hpp"
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  ramr::app::SimulationConfig cfg;
+  cfg.problem = ramr::app::ProblemKind::kSod;
+  cfg.nx = 192;
+  cfg.ny = 192;
+  cfg.max_levels = 3;
+  cfg.regrid_interval = 5;
+  cfg.max_patch_cells = 48 * 48;
+  cfg.device = ramr::perf::ipa().gpu_spec;
+  const int steps = 25;
+
+  // Serial reference.
+  ramr::app::Simulation serial(cfg, nullptr);
+  serial.initialize();
+  serial.run(steps);
+  const auto ref = serial.composite_summary();
+
+  std::printf("Distributed Sod on %d ranks (one K20x each, FDR IB "
+              "model)\n\n", ranks);
+  struct RankReport {
+    std::int64_t cells = 0;
+    std::size_t patches = 0;
+    double hydro = 0.0;
+    double boundary = 0.0;
+    std::uint64_t pcie_bytes = 0;
+  };
+  std::vector<RankReport> reports(static_cast<std::size_t>(ranks));
+  ramr::hydro::FieldSummary dist;
+
+  std::mutex m;
+  ramr::simmpi::World world(ranks, ramr::perf::ipa().network);
+  world.run([&](ramr::simmpi::Communicator& comm) {
+    ramr::app::Simulation sim(cfg, &comm);
+    sim.initialize();
+    sim.run(steps);
+    const auto s = sim.composite_summary();
+    RankReport r;
+    for (int l = 0; l < sim.hierarchy().num_levels(); ++l) {
+      r.cells += sim.hierarchy().level(l).local_cells();
+      r.patches += sim.hierarchy().level(l).local_patches().size();
+    }
+    r.hydro = sim.clock().component("hydro");
+    r.boundary = sim.clock().component("boundary");
+    r.pcie_bytes = sim.device().transfers().total_bytes();
+    std::lock_guard<std::mutex> lock(m);
+    reports[static_cast<std::size_t>(comm.rank())] = r;
+    if (comm.rank() == 0) {
+      dist = s;
+    }
+  });
+
+  std::printf("rank   patches  local cells   hydro (s)  boundary (s)  PCIe "
+              "bytes\n");
+  for (int r = 0; r < ranks; ++r) {
+    const auto& rep = reports[static_cast<std::size_t>(r)];
+    std::printf("%4d   %7zu  %11lld   %9.4f  %12.4f  %10llu\n", r,
+                rep.patches, static_cast<long long>(rep.cells), rep.hydro,
+                rep.boundary,
+                static_cast<unsigned long long>(rep.pcie_bytes));
+  }
+  std::printf("\nconservation check (distributed vs serial):\n");
+  std::printf("  mass:   %.15f vs %.15f\n", dist.mass, ref.mass);
+  std::printf("  energy: %.15f vs %.15f\n",
+              dist.internal_energy + dist.kinetic_energy,
+              ref.internal_energy + ref.kinetic_energy);
+  std::printf("\nGhost data between ranks takes the paper's path: device "
+              "pack kernel ->\nPCIe -> MPI -> PCIe -> device unpack kernel "
+              "(Fig. 4).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Hierarchy visualisation (paper Fig. 1): prints the adaptive mesh as an
+// ASCII map — each position shows the finest level covering it — and the
+// G0/G1/G2 patch inventory, before and after the solution evolves.
+//
+//   ./hierarchy_viz [steps]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "app/simulation.hpp"
+
+namespace {
+
+void print_hierarchy(ramr::app::Simulation& sim) {
+  auto& h = sim.hierarchy();
+  const ramr::mesh::Box domain = h.level(0).domain_box();
+  const int w = 64;
+  const int rows = 24;
+  std::vector<std::string> canvas(rows, std::string(w, '.'));
+  for (int l = 1; l < h.num_levels(); ++l) {
+    const auto& level = h.level(l);
+    const auto r = level.ratio_to_level_zero();
+    const char mark = static_cast<char>('0' + l);
+    for (const auto& b : level.boxes().boxes()) {
+      const ramr::mesh::Box cb = b.coarsen(r);
+      for (int j = cb.lower().j; j <= cb.upper().j; ++j) {
+        for (int i = cb.lower().i; i <= cb.upper().i; ++i) {
+          const int cx = i * w / domain.width();
+          const int cy = (domain.upper().j - j) * rows / domain.height();
+          if (cx >= 0 && cx < w && cy >= 0 && cy < rows) {
+            char& c =
+                canvas[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)];
+            c = std::max(c, mark);
+          }
+        }
+      }
+    }
+  }
+  std::printf("+%s+\n", std::string(w, '-').c_str());
+  for (const auto& row : canvas) {
+    std::printf("|%s|\n", row.c_str());
+  }
+  std::printf("+%s+\n", std::string(w, '-').c_str());
+  std::printf("('.' = level 0 only; digit = finest level covering the "
+              "position)\n\n");
+  std::printf("%-7s %-9s %-10s %-12s %s\n", "level", "patches", "cells",
+              "dx", "coverage");
+  for (int l = 0; l < h.num_levels(); ++l) {
+    const auto& level = h.level(l);
+    std::printf("G%-6d %-9zu %-10lld %-12.6f %5.1f%%\n", l,
+                level.patch_count(),
+                static_cast<long long>(level.total_cells()), level.dx()[0],
+                100.0 * level.total_cells() / level.domain_box().size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 60;
+  ramr::app::SimulationConfig cfg;
+  cfg.problem = ramr::app::ProblemKind::kSod;
+  cfg.nx = 128;
+  cfg.ny = 128;
+  cfg.max_levels = 3;
+  cfg.regrid_interval = 5;
+  cfg.device = ramr::vgpu::tesla_k20x();
+
+  ramr::app::Simulation sim(cfg, nullptr);
+  sim.initialize();
+  std::printf("Initial hierarchy (the Sod interface at x = 0.5 is "
+              "refined):\n\n");
+  print_hierarchy(sim);
+
+  sim.run(steps);
+  std::printf("\nAfter %d steps (t = %.4f) — the patches have followed the "
+              "waves:\n\n",
+              sim.step_count(), sim.time());
+  print_hierarchy(sim);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: the smallest complete resident-AMR run.
+//
+// Builds a GPU-resident CleverLeaf simulation of the Sod shock tube on a
+// 3-level adaptive hierarchy, advances it, and prints the hierarchy
+// structure, conservation diagnostics and the modeled time breakdown.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "app/simulation.hpp"
+
+int main() {
+  // 1. Describe the run: problem, base grid, AMR depth, backend.
+  ramr::app::SimulationConfig config;
+  config.problem = ramr::app::ProblemKind::kSod;
+  config.nx = 128;
+  config.ny = 128;
+  config.max_levels = 3;       // as in the paper's experiments
+  config.ratio = 2;            // refinement ratio between levels
+  config.regrid_interval = 10; // steps between hierarchy rebuilds
+  config.device = ramr::vgpu::tesla_k20x();  // the resident GPU backend
+
+  // 2. Create and initialise (tags the shock interface, builds levels).
+  ramr::app::Simulation sim(config, /*comm=*/nullptr);
+  sim.initialize();
+
+  std::printf("initial hierarchy:\n");
+  for (int l = 0; l < sim.hierarchy().num_levels(); ++l) {
+    const auto& level = sim.hierarchy().level(l);
+    std::printf("  level %d: %3zu patches, %8lld cells, dx = %.5f\n", l,
+                level.patch_count(),
+                static_cast<long long>(level.total_cells()), level.dx()[0]);
+  }
+
+  // 3. Advance. All field data stays in (virtual) GPU memory; ghost
+  //    exchange, interpolation and coarsening run as device kernels.
+  const auto before = sim.composite_summary();
+  sim.run(/*max_steps=*/50);
+  const auto after = sim.composite_summary();
+
+  std::printf("\nafter %d steps (t = %.4f):\n", sim.step_count(), sim.time());
+  std::printf("  mass:            %.12f -> %.12f\n", before.mass, after.mass);
+  std::printf("  internal energy: %.12f -> %.12f\n", before.internal_energy,
+              after.internal_energy);
+  std::printf("  kinetic energy:  %.12f -> %.12f\n", before.kinetic_energy,
+              after.kinetic_energy);
+
+  // 4. Where did the (modeled) time go? These are the components the
+  //    paper's Figure 11 reports.
+  std::printf("\nmodeled K20x time by component:\n");
+  for (const auto& [name, seconds] : sim.clock().components()) {
+    std::printf("  %-10s %8.4f s\n", name.c_str(), seconds);
+  }
+  std::printf("\nPCIe crossings: %llu (%llu bytes) — the residency story:\n"
+              "only tags, dt scalars and sync staging ever leave the GPU.\n",
+              static_cast<unsigned long long>(sim.device().transfers().total_count()),
+              static_cast<unsigned long long>(sim.device().transfers().total_bytes()));
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Sod shock tube (paper §V-A workload) validated against the exact
+// Riemann solution.
+//
+// Runs the GPU-resident AMR simulation to t = 0.15, extracts the density
+// profile along the tube from the finest available level at each
+// position, and compares with the analytic solution: shock, contact and
+// rarefaction positions and levels.
+//
+//   ./sod_shock_tube [nx]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "app/simulation.hpp"
+#include "hydro/riemann.hpp"
+#include "pdat/cuda/cuda_data.hpp"
+
+namespace {
+
+/// Density along the horizontal midline, sampled from the finest level
+/// covering each x position.
+std::vector<double> midline_density(ramr::app::Simulation& sim, int samples) {
+  auto& h = sim.hierarchy();
+  std::vector<double> profile(static_cast<std::size_t>(samples), -1.0);
+  for (int l = h.num_levels() - 1; l >= 0; --l) {
+    auto& level = h.level(l);
+    const ramr::mesh::Box domain = level.domain_box();
+    const int jmid = (domain.lower().j + domain.upper().j) / 2;
+    for (const auto& patch : level.local_patches()) {
+      if (jmid < patch->box().lower().j || jmid > patch->box().upper().j) {
+        continue;
+      }
+      auto& rho = patch->typed_data<ramr::pdat::cuda::CudaData>(
+          sim.fields().density0);
+      const auto plane = rho.component(0).download_plane();
+      const ramr::mesh::Box ib = rho.component(0).index_box();
+      ramr::util::ConstView v(plane.data(), ib.lower().i, ib.lower().j,
+                              ib.width(), ib.height());
+      for (int i = patch->box().lower().i; i <= patch->box().upper().i; ++i) {
+        const double x = (i + 0.5) / domain.width();  // unit tube
+        const int s = std::min(samples - 1,
+                               static_cast<int>(x * samples));
+        profile[static_cast<std::size_t>(s)] = v(i, jmid);
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ramr::app::SimulationConfig cfg;
+  cfg.problem = ramr::app::ProblemKind::kSod;
+  cfg.nx = argc > 1 ? std::atoi(argv[1]) : 256;
+  cfg.ny = 64;
+  cfg.max_levels = 3;
+  cfg.regrid_interval = 5;
+  cfg.device = ramr::vgpu::tesla_k20x();
+
+  ramr::app::Simulation sim(cfg, nullptr);
+  sim.initialize();
+  const double t_end = 0.15;
+  sim.run(100000, t_end);
+  std::printf("Sod shock tube: %d x %d base grid, 3 levels, t = %.4f "
+              "(%d steps)\n\n",
+              cfg.nx, cfg.ny, sim.time(), sim.step_count());
+
+  const int samples = 64;
+  const auto profile = midline_density(sim, samples);
+  const ramr::hydro::RiemannSolution exact(ramr::hydro::sod_left(),
+                                           ramr::hydro::sod_right());
+
+  std::printf("    x      rho(AMR)   rho(exact)   |err|\n");
+  double max_err = 0.0;
+  double l1 = 0.0;
+  int counted = 0;
+  for (int s = 0; s < samples; ++s) {
+    const double x = (s + 0.5) / samples;
+    const double sim_rho = profile[static_cast<std::size_t>(s)];
+    const double exact_rho = exact.sample((x - 0.5) / sim.time()).rho;
+    if (sim_rho < 0.0) {
+      continue;
+    }
+    const double err = std::fabs(sim_rho - exact_rho);
+    max_err = std::max(max_err, err);
+    l1 += err;
+    ++counted;
+    if (s % 4 == 1) {
+      // ASCII bar of the simulated density.
+      const int bar = static_cast<int>(sim_rho * 40);
+      std::printf("  %.3f   %8.4f   %8.4f   %7.4f  |%s\n", x, sim_rho,
+                  exact_rho, err, std::string(bar, '#').c_str());
+    }
+  }
+  std::printf("\nL1 density error: %.4f   max pointwise error: %.4f\n",
+              l1 / counted, max_err);
+  std::printf("(pointwise error peaks at the discontinuities, where any\n"
+              "finite-volume scheme smears over a few finest-level cells)\n");
+  std::printf("\nexact star state: p* = %.5f, u* = %.5f (textbook: 0.30313, "
+              "0.92745)\n",
+              exact.star_pressure(), exact.star_velocity());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// The regridding procedure of Berger-Colella AMR (paper §II):
+//
+//   flagging    — the application heuristic marks level-l cells (device
+//                 kernel; bit-compressed transfer to the host, §IV-C);
+//   clustering  — Berger-Rigoutsos groups flagged cells into boxes;
+//   solution
+//   transfer    — data is copied from the old hierarchy and interpolated
+//                 from the coarser level into the new patches.
+//
+// Applied recursively from the second-finest to the coarsest level; new
+// level l+1 boxes are forced to nest properly inside level l, and tags
+// are injected under the already-rebuilt level l+2 so the whole hierarchy
+// stays properly nested.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "amr/berger_rigoutsos.hpp"
+#include "amr/load_balancer.hpp"
+#include "amr/tag_strategy.hpp"
+#include "hier/patch_hierarchy.hpp"
+#include "xfer/refine_schedule.hpp"
+
+namespace ramr::amr {
+
+struct GriddingParams {
+  ClusterParams cluster;
+  BalanceParams balance;
+  int tag_buffer = 2;      ///< cells grown around every tag
+  int nesting_buffer = 1;  ///< coarse cells between level l+1 and l edges
+};
+
+/// Builds and rebuilds the patch hierarchy.
+class GriddingAlgorithm {
+ public:
+  /// `transfer` lists the state variables (with refine operators) moved
+  /// onto new levels during regridding; `bc` fills physical boundaries.
+  GriddingAlgorithm(GriddingParams params, TagStrategy& strategy,
+                    xfer::RefineAlgorithm transfer,
+                    xfer::PhysicalBoundaryStrategy* bc,
+                    xfer::ParallelContext& ctx)
+      : params_(params),
+        strategy_(&strategy),
+        transfer_(std::move(transfer)),
+        bc_(bc),
+        ctx_(&ctx) {}
+
+  /// Creates level 0 (domain chopped and balanced) and applies initial
+  /// conditions; then repeatedly tags and creates finer levels until
+  /// max_levels is reached or nothing is flagged, initialising each new
+  /// level analytically (SAMRAI start-up behaviour).
+  void make_initial_hierarchy(hier::PatchHierarchy& hierarchy, double time);
+
+  /// Rebuilds levels 1..max-1 from fresh tags; data moves via solution
+  /// transfer (copy from the old level, interpolate from the coarser
+  /// level). Level ghosts on the *old* hierarchy must be valid.
+  void regrid(hier::PatchHierarchy& hierarchy, double time);
+
+  /// Tags on level l gathered to every rank as a host bitmap (exposed for
+  /// tests and the tag-compression bench).
+  TagBitmap collect_tags(hier::PatchHierarchy& hierarchy, int level_number,
+                         double time);
+
+  /// Charges host-side regridding work (tag merge, buffering, clustering,
+  /// balancing — all of which SAMRAI runs on the CPU) to this clock.
+  void set_host_clock(vgpu::SimClock* clock) { host_clock_ = clock; }
+
+ private:
+  /// Candidate boxes for new level l+1, in level-(l+1) index space.
+  std::vector<mesh::Box> build_candidate_boxes(hier::PatchHierarchy& hierarchy,
+                                               int tag_level, double time);
+
+  std::shared_ptr<hier::PatchLevel> make_level(hier::PatchHierarchy& hierarchy,
+                                               int level_number,
+                                               const std::vector<mesh::Box>& boxes);
+
+  /// Models the host-CPU cost of sweeping `cells` bitmap entries
+  /// `passes` times (the serial fraction the paper's Amdahl analysis in
+  /// §V-B attributes the strong-scaling falloff to).
+  void charge_host_work(std::int64_t cells, double passes);
+
+  GriddingParams params_;
+  TagStrategy* strategy_;
+  xfer::RefineAlgorithm transfer_;
+  xfer::PhysicalBoundaryStrategy* bc_;
+  xfer::ParallelContext* ctx_;
+  vgpu::SimClock* host_clock_ = nullptr;
+};
+
+}  // namespace ramr::amr

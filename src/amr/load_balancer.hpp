@@ -1,0 +1,45 @@
+// Load balancing: assigns clustered boxes to ranks.
+//
+// Patches are the unit of work (paper §II: "work can be easily shared
+// between multiple processes"). Boxes larger than max_patch_cells are
+// chopped first; assignment either follows a Morton (Z-order) curve with
+// prefix-sum partitioning (locality preserving, the default) or a greedy
+// largest-first heap (best balance).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hier/patch_level.hpp"
+#include "mesh/box.hpp"
+
+namespace ramr::amr {
+
+enum class BalanceMethod { kMorton, kGreedy };
+
+struct BalanceParams {
+  std::int64_t max_patch_cells = 64 * 64;
+  int min_size = 4;  ///< do not chop below this side length
+  BalanceMethod method = BalanceMethod::kMorton;
+};
+
+/// Splits oversized boxes into roughly equal halves until every piece is
+/// at most max_patch_cells (or cannot be split further).
+std::vector<mesh::Box> chop_boxes(const std::vector<mesh::Box>& boxes,
+                                  const BalanceParams& params);
+
+/// Morton code of a box centre (for locality ordering).
+std::uint64_t morton_code(const mesh::Box& box);
+
+/// Assigns boxes to `world_size` ranks; returns GlobalPatch descriptors
+/// with dense global ids (stable across ranks: the function is
+/// deterministic in its inputs).
+std::vector<hier::GlobalPatch> balance_boxes(const std::vector<mesh::Box>& boxes,
+                                             int world_size,
+                                             const BalanceParams& params);
+
+/// Max-over-ranks load divided by mean load (1.0 is perfect).
+double load_imbalance(const std::vector<hier::GlobalPatch>& patches,
+                      int world_size);
+
+}  // namespace ramr::amr

@@ -1,0 +1,149 @@
+#include "amr/tag_buffer.hpp"
+
+#include "util/error.hpp"
+
+namespace ramr::amr {
+
+using mesh::Box;
+using mesh::IntVector;
+
+DeviceTagData::DeviceTagData(vgpu::Device& device, const Box& cell_box)
+    : device_(&device),
+      box_(cell_box),
+      tags_(device, cell_box.size()),
+      stream_(device, "tags") {
+  RAMR_REQUIRE(!cell_box.empty(), "tag data over empty box");
+  clear();
+}
+
+util::ArrayView2D<int> DeviceTagData::device_view() {
+  return util::ArrayView2D<int>(tags_.device_ptr(), box_.lower().i,
+                                box_.lower().j, box_.width(), box_.height());
+}
+
+void DeviceTagData::clear() {
+  int* p = tags_.device_ptr();
+  device_->launch(stream_, box_.size(), vgpu::KernelCost{0.0, 4.0},
+                  [p](std::int64_t t) { p[t] = 0; });
+}
+
+bool DeviceTagData::any_tagged() {
+  // Device-side OR-reduction, then a single scalar readback.
+  vgpu::DeviceBuffer<int> flag(*device_, 1);
+  int* f = flag.device_ptr();
+  device_->launch(stream_, 1, vgpu::KernelCost{0.0, 4.0},
+                  [f](std::int64_t) { f[0] = 0; });
+  const int* p = tags_.device_ptr();
+  device_->charge_reduction(box_.size(), sizeof(int));
+  util::ThreadPool::global().parallel_for(
+      box_.size(), [&](std::int64_t b, std::int64_t e) {
+        int local = 0;
+        for (std::int64_t t = b; t < e; ++t) {
+          local |= p[t];
+        }
+        if (local != 0) {
+          __atomic_store_n(f, 1, __ATOMIC_RELAXED);
+        }
+      });
+  int result = 0;
+  flag.download(&result, 1);
+  return result != 0;
+}
+
+std::vector<std::uint32_t> DeviceTagData::download_compressed() {
+  const std::int64_t n = box_.size();
+  const std::int64_t words = (n + 31) / 32;
+  vgpu::DeviceBuffer<std::uint32_t> packed(*device_, words);
+  const int* p = tags_.device_ptr();
+  std::uint32_t* w = packed.device_ptr();
+  // One device thread per output word: reads 32 ints, writes one word.
+  device_->launch(stream_, words, vgpu::KernelCost{32.0, 32.0 * 4.0 + 4.0},
+                  [=](std::int64_t t) {
+                    std::uint32_t bits = 0;
+                    const std::int64_t base = t * 32;
+                    for (int b = 0; b < 32 && base + b < n; ++b) {
+                      if (p[base + b] != 0) {
+                        bits |= (1u << b);
+                      }
+                    }
+                    w[t] = bits;
+                  });
+  std::vector<std::uint32_t> host(static_cast<std::size_t>(words));
+  packed.download(host.data(), words);
+  return host;
+}
+
+std::vector<int> DeviceTagData::download_raw() {
+  std::vector<int> host(static_cast<std::size_t>(box_.size()));
+  tags_.download(host.data(), box_.size());
+  return host;
+}
+
+// ---------------------------------------------------------------------------
+
+TagBitmap::TagBitmap(const Box& region) : region_(region) {
+  RAMR_REQUIRE(!region.empty(), "tag bitmap over empty region");
+  bits_.assign(static_cast<std::size_t>((region.size() + 31) / 32), 0u);
+}
+
+void TagBitmap::set(int i, int j) {
+  RAMR_REQUIRE(region_.contains(IntVector(i, j)),
+               "tag (" << i << "," << j << ") outside " << region_);
+  bits_[bit_index(i, j) >> 5] |= (1u << (bit_index(i, j) & 31));
+}
+
+void TagBitmap::merge_compressed(const Box& patch_box,
+                                 const std::vector<std::uint32_t>& words) {
+  RAMR_REQUIRE(region_.contains(patch_box),
+               "patch " << patch_box << " outside tag region " << region_);
+  const std::int64_t n = patch_box.size();
+  RAMR_REQUIRE(static_cast<std::int64_t>(words.size()) == (n + 31) / 32,
+               "compressed tag size mismatch");
+  for (std::int64_t t = 0; t < n; ++t) {
+    if ((words[static_cast<std::size_t>(t >> 5)] >> (t & 31)) & 1u) {
+      const int i = patch_box.lower().i + static_cast<int>(t % patch_box.width());
+      const int j = patch_box.lower().j + static_cast<int>(t / patch_box.width());
+      set(i, j);
+    }
+  }
+}
+
+void TagBitmap::buffer(int b) {
+  if (b <= 0) {
+    return;
+  }
+  std::vector<std::uint32_t> grown = bits_;
+  const auto set_in = [&](int i, int j) {
+    if (region_.contains(IntVector(i, j))) {
+      grown[bit_index(i, j) >> 5] |= (1u << (bit_index(i, j) & 31));
+    }
+  };
+  for (int j = region_.lower().j; j <= region_.upper().j; ++j) {
+    for (int i = region_.lower().i; i <= region_.upper().i; ++i) {
+      if (!is_tagged(i, j)) {
+        continue;
+      }
+      for (int dj = -b; dj <= b; ++dj) {
+        for (int di = -b; di <= b; ++di) {
+          set_in(i + di, j + dj);
+        }
+      }
+    }
+  }
+  bits_ = std::move(grown);
+}
+
+std::int64_t TagBitmap::count_tags() const { return count_tags(region_); }
+
+std::int64_t TagBitmap::count_tags(const Box& within) const {
+  const Box r = region_.intersect(within);
+  std::int64_t count = 0;
+  for (int j = r.lower().j; j <= r.upper().j; ++j) {
+    for (int i = r.lower().i; i <= r.upper().i; ++i) {
+      count += is_tagged(i, j) ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+}  // namespace ramr::amr

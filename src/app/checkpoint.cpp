@@ -1,0 +1,111 @@
+// Checkpoint/restart for the whole simulation: hierarchy structure plus
+// every patch datum through the PatchData restart interface (paper
+// Fig. 2: putToRestart / getFromRestart).
+#include <cstring>
+#include <string>
+
+#include "app/simulation.hpp"
+#include "pdat/database.hpp"
+#include "util/logger.hpp"
+
+namespace ramr::app {
+
+using hier::GlobalPatch;
+using hier::PatchLevel;
+using pdat::Database;
+
+namespace {
+
+std::string rank_path(const std::string& path, int rank) {
+  return path + ".rank" + std::to_string(rank);
+}
+
+std::string patch_prefix(int level, int gid, int var) {
+  return "l" + std::to_string(level) + ".p" + std::to_string(gid) + ".v" +
+         std::to_string(var);
+}
+
+}  // namespace
+
+void Simulation::save_checkpoint(const std::string& path) {
+  Database db;
+  db.put_value<double>("meta.time", integrator_->time());
+  db.put_value<int>("meta.step", integrator_->step_count());
+  db.put_value<int>("meta.num_levels", hierarchy_->num_levels());
+  db.put_value<int>("meta.world_size", ctx_.world_size);
+  db.put_value<int>("meta.nx", config_.nx);
+  db.put_value<int>("meta.ny", config_.ny);
+
+  for (int l = 0; l < hierarchy_->num_levels(); ++l) {
+    const PatchLevel& level = hierarchy_->level(l);
+    const std::string lp = "l" + std::to_string(l);
+    // Replicated structure: box corners, owners, global ids.
+    std::vector<int> meta;
+    for (const GlobalPatch& gp : level.global_patches()) {
+      meta.push_back(gp.box.lower().i);
+      meta.push_back(gp.box.lower().j);
+      meta.push_back(gp.box.upper().i);
+      meta.push_back(gp.box.upper().j);
+      meta.push_back(gp.owner_rank);
+      meta.push_back(gp.global_id);
+    }
+    db.put_bytes(lp + ".patches", meta.data(), meta.size() * sizeof(int));
+    // Local data.
+    for (const auto& patch : level.local_patches()) {
+      for (int v = 0; v < hierarchy_->variables().count(); ++v) {
+        patch->data(v).put_to_restart(
+            db, patch_prefix(l, patch->global_id(), v));
+      }
+    }
+  }
+  db.write_file(rank_path(path, ctx_.my_rank));
+  RAMR_LOG_DEBUG("checkpoint written to " << rank_path(path, ctx_.my_rank));
+}
+
+void Simulation::restore_checkpoint(const std::string& path) {
+  const Database db = Database::read_file(rank_path(path, ctx_.my_rank));
+  RAMR_REQUIRE(db.get_value<int>("meta.world_size") == ctx_.world_size,
+               "checkpoint was written with a different world size");
+  RAMR_REQUIRE(db.get_value<int>("meta.nx") == config_.nx &&
+                   db.get_value<int>("meta.ny") == config_.ny,
+               "checkpoint was written with a different base grid");
+
+  const int num_levels = db.get_value<int>("meta.num_levels");
+  RAMR_REQUIRE(num_levels <= hierarchy_->max_levels(),
+               "checkpoint has more levels than max_levels");
+  for (int l = 0; l < num_levels; ++l) {
+    const std::string lp = "l" + std::to_string(l);
+    const auto& bytes = db.get_bytes(lp + ".patches");
+    RAMR_REQUIRE(bytes.size() % (6 * sizeof(int)) == 0,
+                 "corrupt level metadata in checkpoint");
+    std::vector<int> meta(bytes.size() / sizeof(int));
+    std::memcpy(meta.data(), bytes.data(), bytes.size());
+    std::vector<GlobalPatch> patches;
+    for (std::size_t n = 0; n + 5 < meta.size(); n += 6) {
+      GlobalPatch gp;
+      gp.box = mesh::Box(meta[n], meta[n + 1], meta[n + 2], meta[n + 3]);
+      gp.owner_rank = meta[n + 4];
+      gp.global_id = meta[n + 5];
+      patches.push_back(gp);
+    }
+    const mesh::IntVector ratio_to_coarser =
+        l == 0 ? mesh::IntVector(1, 1) : hierarchy_->ratio();
+    auto level = std::make_shared<PatchLevel>(
+        l, ratio_to_coarser, hierarchy_->ratio_to_zero(l), patches,
+        ctx_.my_rank, hierarchy_->geometry());
+    level->allocate_data(hierarchy_->variables());
+    for (const auto& patch : level->local_patches()) {
+      for (int v = 0; v < hierarchy_->variables().count(); ++v) {
+        patch->data(v).get_from_restart(
+            db, patch_prefix(l, patch->global_id(), v));
+      }
+    }
+    hierarchy_->set_level(l, level);
+  }
+  integrator_->restore_state(db.get_value<double>("meta.time"),
+                             db.get_value<int>("meta.step"));
+  integrator_->rebuild_schedules();
+  RAMR_LOG_DEBUG("checkpoint restored from " << rank_path(path, ctx_.my_rank));
+}
+
+}  // namespace ramr::app

@@ -1,0 +1,48 @@
+#include "app/fields.hpp"
+
+#include "pdat/cuda/cuda_data.hpp"
+
+namespace ramr::app {
+
+using mesh::Centering;
+using mesh::IntVector;
+
+namespace {
+
+int add(hier::VariableDatabase& db, vgpu::Device& device, const char* name,
+        Centering centering) {
+  const IntVector ghosts(2, 2);
+  hier::Variable v{name, centering, 1, ghosts};
+  return db.register_variable(
+      v, std::make_shared<pdat::cuda::CudaDataFactory>(device, centering,
+                                                       ghosts, 1));
+}
+
+}  // namespace
+
+Fields Fields::register_all(hier::VariableDatabase& db, vgpu::Device& device) {
+  Fields f;
+  f.density0 = add(db, device, "density0", Centering::kCell);
+  f.density1 = add(db, device, "density1", Centering::kCell);
+  f.energy0 = add(db, device, "energy0", Centering::kCell);
+  f.energy1 = add(db, device, "energy1", Centering::kCell);
+  f.pressure = add(db, device, "pressure", Centering::kCell);
+  f.viscosity = add(db, device, "viscosity", Centering::kCell);
+  f.soundspeed = add(db, device, "soundspeed", Centering::kCell);
+  f.xvel0 = add(db, device, "xvel0", Centering::kNode);
+  f.xvel1 = add(db, device, "xvel1", Centering::kNode);
+  f.yvel0 = add(db, device, "yvel0", Centering::kNode);
+  f.yvel1 = add(db, device, "yvel1", Centering::kNode);
+  f.vol_flux = add(db, device, "vol_flux", Centering::kSide);
+  f.mass_flux = add(db, device, "mass_flux", Centering::kSide);
+  f.pre_vol = add(db, device, "pre_vol", Centering::kCell);
+  f.post_vol = add(db, device, "post_vol", Centering::kCell);
+  f.ener_flux = add(db, device, "ener_flux", Centering::kSide);
+  f.node_flux = add(db, device, "node_flux", Centering::kNode);
+  f.node_mass_post = add(db, device, "node_mass_post", Centering::kNode);
+  f.node_mass_pre = add(db, device, "node_mass_pre", Centering::kNode);
+  f.mom_flux = add(db, device, "mom_flux", Centering::kNode);
+  return f;
+}
+
+}  // namespace ramr::app

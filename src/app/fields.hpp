@@ -1,0 +1,42 @@
+// The CleverLeaf field set: every CloverLeaf array registered as a
+// GPU-resident AMR variable. Ghost width 2 throughout (CloverLeaf's halo
+// depth).
+#pragma once
+
+#include "hier/variable_database.hpp"
+#include "vgpu/device.hpp"
+
+namespace ramr::app {
+
+/// Data ids of all simulation quantities on a rank.
+struct Fields {
+  // Cell-centred state (time level n and n+1).
+  int density0 = -1;
+  int density1 = -1;
+  int energy0 = -1;
+  int energy1 = -1;
+  int pressure = -1;
+  int viscosity = -1;
+  int soundspeed = -1;
+  // Node-centred velocities.
+  int xvel0 = -1;
+  int xvel1 = -1;
+  int yvel0 = -1;
+  int yvel1 = -1;
+  // Side-centred fluxes (x- and y-face components in one variable).
+  int vol_flux = -1;
+  int mass_flux = -1;
+  // Work arrays (never communicated across levels).
+  int pre_vol = -1;
+  int post_vol = -1;
+  int ener_flux = -1;   // side-centred
+  int node_flux = -1;   // node-centred
+  int node_mass_post = -1;
+  int node_mass_pre = -1;
+  int mom_flux = -1;
+
+  /// Registers every field with GPU-resident storage on `device`.
+  static Fields register_all(hier::VariableDatabase& db, vgpu::Device& device);
+};
+
+}  // namespace ramr::app

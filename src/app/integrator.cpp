@@ -1,0 +1,268 @@
+#include "app/integrator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/coarsen_operators.hpp"
+#include "geom/refine_operators.hpp"
+
+namespace ramr::app {
+
+using xfer::CoarsenItem;
+using xfer::FillMode;
+using xfer::RefineItem;
+
+LagrangianEulerianIntegrator::LagrangianEulerianIntegrator(
+    hier::PatchHierarchy& hierarchy,
+    LagrangianEulerianLevelIntegrator& level_integrator,
+    amr::GriddingAlgorithm& gridding, const Fields& fields,
+    xfer::ParallelContext& ctx, ReflectiveBoundary& bc, vgpu::SimClock& clock,
+    int regrid_interval)
+    : hierarchy_(&hierarchy),
+      li_(&level_integrator),
+      gridding_(&gridding),
+      fields_(fields),
+      ctx_(&ctx),
+      bc_(&bc),
+      clock_(&clock),
+      regrid_interval_(regrid_interval) {
+  auto cell_op = std::make_shared<geom::CellConservativeLinearRefine>();
+  auto node_op = std::make_shared<geom::NodeLinearRefine>();
+  auto side_op = std::make_shared<geom::SideConservativeLinearRefine>();
+
+  // Start-of-step state exchange.
+  alg_state_.add(RefineItem{fields_.density0, cell_op});
+  alg_state_.add(RefineItem{fields_.energy0, cell_op});
+  alg_state_.add(RefineItem{fields_.xvel0, node_op});
+  alg_state_.add(RefineItem{fields_.yvel0, node_op});
+  // Pressure after each EOS evaluation.
+  alg_pressure_.add(RefineItem{fields_.pressure, cell_op});
+  // Viscosity before the timestep calculation / acceleration.
+  alg_viscosity_.add(RefineItem{fields_.viscosity, cell_op});
+  // Before the first advection sweep.
+  alg_preadvec_.add(RefineItem{fields_.density1, cell_op});
+  alg_preadvec_.add(RefineItem{fields_.energy1, cell_op});
+  alg_preadvec_.add(RefineItem{fields_.vol_flux, side_op});
+  // Between sweeps (mass fluxes + advanced velocities for advec_mom).
+  alg_postcell_.add(RefineItem{fields_.density1, cell_op});
+  alg_postcell_.add(RefineItem{fields_.energy1, cell_op});
+  alg_postcell_.add(RefineItem{fields_.mass_flux, side_op});
+  alg_postcell_.add(RefineItem{fields_.xvel1, node_op});
+  alg_postcell_.add(RefineItem{fields_.yvel1, node_op});
+  // Fine-to-coarse synchronisation (paper §IV-C: volume-weighted density,
+  // mass-weighted energy, node injection for velocities).
+  alg_sync_.add(CoarsenItem{fields_.density0,
+                            std::make_shared<geom::VolumeWeightedCoarsen>(), -1});
+  alg_sync_.add(CoarsenItem{fields_.energy0,
+                            std::make_shared<geom::MassWeightedCoarsen>(),
+                            fields_.density0});
+  alg_sync_.add(CoarsenItem{fields_.xvel0,
+                            std::make_shared<geom::NodeInjectionCoarsen>(), -1});
+  alg_sync_.add(CoarsenItem{fields_.yvel0,
+                            std::make_shared<geom::NodeInjectionCoarsen>(), -1});
+}
+
+void LagrangianEulerianIntegrator::initialize(double time) {
+  time_ = time;
+  gridding_->make_initial_hierarchy(*hierarchy_, time);
+  rebuild_schedules();
+}
+
+void LagrangianEulerianIntegrator::rebuild_schedules() {
+  const auto build = [&](const xfer::RefineAlgorithm& alg,
+                         std::vector<std::unique_ptr<xfer::RefineSchedule>>& out) {
+    out.clear();
+    for (int l = 0; l < hierarchy_->num_levels(); ++l) {
+      auto dst = hierarchy_->level_ptr(l);
+      auto coarse = l > 0 ? hierarchy_->level_ptr(l - 1) : nullptr;
+      out.push_back(alg.create_schedule(dst, dst, coarse,
+                                        hierarchy_->variables(), *ctx_, bc_,
+                                        FillMode::kGhostsOnly));
+    }
+  };
+  build(alg_state_, sched_state_);
+  build(alg_pressure_, sched_pressure_);
+  build(alg_viscosity_, sched_viscosity_);
+  build(alg_preadvec_, sched_preadvec_);
+  build(alg_postcell_, sched_postcell_);
+
+  sched_sync_.clear();
+  for (int l = hierarchy_->num_levels() - 1; l >= 1; --l) {
+    sched_sync_.push_back(alg_sync_.create_schedule(
+        hierarchy_->level_ptr(l - 1), hierarchy_->level_ptr(l),
+        hierarchy_->variables(), *ctx_));
+  }
+}
+
+void LagrangianEulerianIntegrator::fill_all(
+    std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds) {
+  // Coarse-to-fine: coarse ghosts must be valid before a finer level's
+  // coarse-fill gathers from them.
+  for (auto& sched : scheds) {
+    sched->fill();
+  }
+}
+
+double LagrangianEulerianIntegrator::advance() {
+  hier::PatchHierarchy& h = *hierarchy_;
+  const int levels = h.num_levels();
+
+  // --- Boundary + EOS + viscosity + timestep --------------------------
+  {
+    vgpu::ComponentScope scope(*clock_, "boundary");
+    fill_all(sched_state_);
+  }
+  {
+    vgpu::ComponentScope scope(*clock_, "hydro");
+    for (int l = 0; l < levels; ++l) {
+      li_->stage_eos(h.level(l));
+    }
+  }
+  {
+    vgpu::ComponentScope scope(*clock_, "boundary");
+    fill_all(sched_pressure_);
+  }
+  {
+    vgpu::ComponentScope scope(*clock_, "hydro");
+    for (int l = 0; l < levels; ++l) {
+      li_->stage_viscosity(h.level(l));
+    }
+  }
+  {
+    vgpu::ComponentScope scope(*clock_, "boundary");
+    fill_all(sched_viscosity_);
+  }
+  double dt = std::numeric_limits<double>::infinity();
+  {
+    vgpu::ComponentScope scope(*clock_, "timestep");
+    for (int l = 0; l < levels; ++l) {
+      dt = std::min(dt, li_->compute_dt(h.level(l)));
+    }
+    if (ctx_->comm != nullptr) {
+      dt = ctx_->comm->allreduce(dt, simmpi::ReduceOp::kMin);
+    }
+  }
+
+  // --- Lagrangian step -------------------------------------------------
+  {
+    vgpu::ComponentScope scope(*clock_, "hydro");
+    for (int l = 0; l < levels; ++l) {
+      li_->stage_pdv_predict(h.level(l), dt);
+    }
+  }
+  {
+    vgpu::ComponentScope scope(*clock_, "boundary");
+    fill_all(sched_pressure_);
+  }
+  {
+    vgpu::ComponentScope scope(*clock_, "hydro");
+    for (int l = 0; l < levels; ++l) {
+      li_->stage_accelerate(h.level(l), dt);
+    }
+    for (int l = 0; l < levels; ++l) {
+      li_->stage_pdv_correct(h.level(l), dt);
+    }
+    for (int l = 0; l < levels; ++l) {
+      li_->stage_flux_calc(h.level(l), dt);
+    }
+  }
+
+  // --- Advection (directional split, alternating order) ----------------
+  const bool x_first = (step_count_ % 2) == 0;
+  {
+    vgpu::ComponentScope scope(*clock_, "boundary");
+    fill_all(sched_preadvec_);
+  }
+  {
+    vgpu::ComponentScope scope(*clock_, "hydro");
+    for (int l = 0; l < levels; ++l) {
+      li_->stage_advec_cell(h.level(l), x_first, 1);
+    }
+  }
+  {
+    vgpu::ComponentScope scope(*clock_, "boundary");
+    fill_all(sched_postcell_);
+  }
+  {
+    vgpu::ComponentScope scope(*clock_, "hydro");
+    for (int l = 0; l < levels; ++l) {
+      li_->stage_advec_mom(h.level(l), x_first, 1);
+    }
+    for (int l = 0; l < levels; ++l) {
+      li_->stage_advec_cell(h.level(l), !x_first, 2);
+    }
+  }
+  {
+    vgpu::ComponentScope scope(*clock_, "boundary");
+    fill_all(sched_postcell_);
+  }
+  {
+    vgpu::ComponentScope scope(*clock_, "hydro");
+    for (int l = 0; l < levels; ++l) {
+      li_->stage_advec_mom(h.level(l), !x_first, 2);
+    }
+    for (int l = 0; l < levels; ++l) {
+      li_->stage_reset(h.level(l));
+    }
+  }
+
+  // --- Synchronisation: fine solution replaces coarse -------------------
+  {
+    vgpu::ComponentScope scope(*clock_, "sync");
+    for (auto& sched : sched_sync_) {
+      sched->coarsen_data();
+    }
+  }
+
+  time_ += dt;
+  last_dt_ = dt;
+  ++step_count_;
+
+  // --- Regridding -------------------------------------------------------
+  if (regrid_interval_ > 0 && (step_count_ % regrid_interval_) == 0 &&
+      h.max_levels() > 1) {
+    vgpu::ComponentScope scope(*clock_, "regrid");
+    // Refresh halos so tagging and solution transfer see current data.
+    fill_all(sched_state_);
+    gridding_->regrid(h, time_);
+    rebuild_schedules();
+  }
+  return dt;
+}
+
+hydro::FieldSummary LagrangianEulerianIntegrator::composite_summary() {
+  hydro::FieldSummary total;
+  hier::PatchHierarchy& h = *hierarchy_;
+  for (int l = 0; l < h.num_levels(); ++l) {
+    hier::PatchLevel& level = h.level(l);
+    const hydro::CellGeom g = LagrangianEulerianLevelIntegrator::geom_of(level);
+    // Cells covered by the finer level don't count (their fine values do).
+    mesh::BoxList covered;
+    if (h.has_level(l + 1)) {
+      for (const mesh::Box& b : h.level(l + 1).boxes().boxes()) {
+        covered.push_back(b.coarsen(h.level(l + 1).ratio_to_coarser()));
+      }
+    }
+    for (const auto& patch : level.local_patches()) {
+      mesh::BoxList uncovered(patch->box());
+      uncovered.remove_intersections(covered);
+      for (const mesh::Box& piece : uncovered.boxes()) {
+        const hydro::FieldSummary s =
+            li_->patch_integrator().field_summary(*patch, g, piece);
+        total.mass += s.mass;
+        total.internal_energy += s.internal_energy;
+        total.kinetic_energy += s.kinetic_energy;
+      }
+    }
+  }
+  if (ctx_->comm != nullptr) {
+    total.mass = ctx_->comm->allreduce(total.mass, simmpi::ReduceOp::kSum);
+    total.internal_energy =
+        ctx_->comm->allreduce(total.internal_energy, simmpi::ReduceOp::kSum);
+    total.kinetic_energy =
+        ctx_->comm->allreduce(total.kinetic_energy, simmpi::ReduceOp::kSum);
+  }
+  return total;
+}
+
+}  // namespace ramr::app

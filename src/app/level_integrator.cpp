@@ -1,0 +1,91 @@
+#include "app/level_integrator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ramr::app {
+
+double LagrangianEulerianLevelIntegrator::compute_dt(hier::PatchLevel& level) {
+  const hydro::CellGeom g = geom_of(level);
+  double dt = std::numeric_limits<double>::infinity();
+  for (const auto& patch : level.local_patches()) {
+    dt = std::min(dt, pi_->calc_dt(*patch, g));
+  }
+  return dt;
+}
+
+void LagrangianEulerianLevelIntegrator::stage_eos(hier::PatchLevel& level) {
+  const hydro::CellGeom g = geom_of(level);
+  for (const auto& patch : level.local_patches()) {
+    pi_->ideal_gas(*patch, g, /*predict=*/false);
+  }
+}
+
+void LagrangianEulerianLevelIntegrator::stage_viscosity(
+    hier::PatchLevel& level) {
+  const hydro::CellGeom g = geom_of(level);
+  for (const auto& patch : level.local_patches()) {
+    pi_->viscosity(*patch, g);
+  }
+}
+
+void LagrangianEulerianLevelIntegrator::stage_pdv_predict(
+    hier::PatchLevel& level, double dt) {
+  const hydro::CellGeom g = geom_of(level);
+  for (const auto& patch : level.local_patches()) {
+    pi_->pdv(*patch, g, dt, /*predict=*/true);
+  }
+  for (const auto& patch : level.local_patches()) {
+    pi_->ideal_gas(*patch, g, /*predict=*/true);
+  }
+}
+
+void LagrangianEulerianLevelIntegrator::stage_accelerate(
+    hier::PatchLevel& level, double dt) {
+  const hydro::CellGeom g = geom_of(level);
+  for (const auto& patch : level.local_patches()) {
+    pi_->accelerate(*patch, g, dt);
+  }
+}
+
+void LagrangianEulerianLevelIntegrator::stage_pdv_correct(
+    hier::PatchLevel& level, double dt) {
+  const hydro::CellGeom g = geom_of(level);
+  for (const auto& patch : level.local_patches()) {
+    pi_->pdv(*patch, g, dt, /*predict=*/false);
+  }
+}
+
+void LagrangianEulerianLevelIntegrator::stage_flux_calc(hier::PatchLevel& level,
+                                                        double dt) {
+  const hydro::CellGeom g = geom_of(level);
+  for (const auto& patch : level.local_patches()) {
+    pi_->flux_calc(*patch, g, dt);
+  }
+}
+
+void LagrangianEulerianLevelIntegrator::stage_advec_cell(
+    hier::PatchLevel& level, bool x_direction, int sweep_number) {
+  const hydro::CellGeom g = geom_of(level);
+  for (const auto& patch : level.local_patches()) {
+    pi_->advec_cell(*patch, g, x_direction, sweep_number);
+  }
+}
+
+void LagrangianEulerianLevelIntegrator::stage_advec_mom(
+    hier::PatchLevel& level, bool x_direction, int sweep_number) {
+  const hydro::CellGeom g = geom_of(level);
+  for (const auto& patch : level.local_patches()) {
+    pi_->advec_mom(*patch, g, x_direction, sweep_number, /*x_velocity=*/true);
+    pi_->advec_mom(*patch, g, x_direction, sweep_number, /*x_velocity=*/false);
+  }
+}
+
+void LagrangianEulerianLevelIntegrator::stage_reset(hier::PatchLevel& level) {
+  const hydro::CellGeom g = geom_of(level);
+  for (const auto& patch : level.local_patches()) {
+    pi_->reset_field(*patch, g);
+  }
+}
+
+}  // namespace ramr::app

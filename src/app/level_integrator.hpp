@@ -1,0 +1,55 @@
+// LagrangianEulerianLevelIntegrator (paper Fig. 6): advances the
+// solution on a single level by driving the black-box patch integrator
+// over every local patch, one stage at a time. Halo exchanges between
+// stages are owned by the hierarchy integrator.
+#pragma once
+
+#include "app/patch_integrator.hpp"
+#include "hier/patch_level.hpp"
+
+namespace ramr::app {
+
+/// Stage-wise advancement of one PatchLevel.
+class LagrangianEulerianLevelIntegrator {
+ public:
+  explicit LagrangianEulerianLevelIntegrator(PatchIntegrator& integrator)
+      : pi_(&integrator) {}
+
+  /// Minimum stable dt over the level's local patches.
+  double compute_dt(hier::PatchLevel& level);
+
+  /// EOS + artificial viscosity from the level-n state.
+  void stage_eos(hier::PatchLevel& level);
+  void stage_viscosity(hier::PatchLevel& level);
+
+  /// Lagrangian predictor: half-step PdV, then EOS on the predicted
+  /// state (pressure at t + dt/2).
+  void stage_pdv_predict(hier::PatchLevel& level, double dt);
+
+  /// Nodal acceleration with the half-step pressure.
+  void stage_accelerate(hier::PatchLevel& level, double dt);
+
+  /// Lagrangian corrector: full-step PdV with time-centred velocities.
+  void stage_pdv_correct(hier::PatchLevel& level, double dt);
+
+  void stage_flux_calc(hier::PatchLevel& level, double dt);
+
+  /// One advection sweep: cells then both momentum components.
+  void stage_advec_cell(hier::PatchLevel& level, bool x_direction,
+                        int sweep_number);
+  void stage_advec_mom(hier::PatchLevel& level, bool x_direction,
+                       int sweep_number);
+
+  void stage_reset(hier::PatchLevel& level);
+
+  PatchIntegrator& patch_integrator() { return *pi_; }
+
+  static hydro::CellGeom geom_of(const hier::PatchLevel& level) {
+    return hydro::CellGeom{level.dx()[0], level.dx()[1]};
+  }
+
+ private:
+  PatchIntegrator* pi_;
+};
+
+}  // namespace ramr::app

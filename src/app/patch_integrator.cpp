@@ -1,0 +1,96 @@
+#include "app/patch_integrator.hpp"
+
+#include "pdat/cuda/cuda_data.hpp"
+
+namespace ramr::app {
+
+using pdat::cuda::CudaData;
+
+util::View CudaPatchIntegrator::view(hier::Patch& p, int id, int comp) const {
+  return p.typed_data<CudaData>(id).device_view(comp);
+}
+
+void CudaPatchIntegrator::ideal_gas(hier::Patch& p, const hydro::CellGeom&,
+                                    bool predict) {
+  const int density = predict ? f_.density1 : f_.density0;
+  const int energy = predict ? f_.energy1 : f_.energy0;
+  hydro::ideal_gas(*device_, stream_, p.box(), view(p, density),
+                   view(p, energy), view(p, f_.pressure),
+                   view(p, f_.soundspeed));
+}
+
+void CudaPatchIntegrator::viscosity(hier::Patch& p, const hydro::CellGeom& g) {
+  hydro::viscosity_kernel(*device_, stream_, p.box(), g, view(p, f_.density0),
+                          view(p, f_.pressure), view(p, f_.viscosity),
+                          view(p, f_.xvel0), view(p, f_.yvel0));
+}
+
+double CudaPatchIntegrator::calc_dt(hier::Patch& p, const hydro::CellGeom& g) {
+  return hydro::calc_dt(*device_, stream_, p.box(), g, view(p, f_.density0),
+                        view(p, f_.soundspeed), view(p, f_.viscosity),
+                        view(p, f_.xvel0), view(p, f_.yvel0));
+}
+
+void CudaPatchIntegrator::pdv(hier::Patch& p, const hydro::CellGeom& g,
+                              double dt, bool predict) {
+  hydro::pdv(*device_, stream_, p.box(), g, dt, predict, view(p, f_.xvel0),
+             view(p, f_.yvel0), view(p, f_.xvel1), view(p, f_.yvel1),
+             view(p, f_.density0), view(p, f_.density1), view(p, f_.energy0),
+             view(p, f_.energy1), view(p, f_.pressure), view(p, f_.viscosity));
+}
+
+void CudaPatchIntegrator::accelerate(hier::Patch& p, const hydro::CellGeom& g,
+                                     double dt) {
+  hydro::accelerate(*device_, stream_, p.box(), g, dt, view(p, f_.density0),
+                    view(p, f_.pressure), view(p, f_.viscosity),
+                    view(p, f_.xvel0), view(p, f_.yvel0), view(p, f_.xvel1),
+                    view(p, f_.yvel1));
+}
+
+void CudaPatchIntegrator::flux_calc(hier::Patch& p, const hydro::CellGeom& g,
+                                    double dt) {
+  hydro::flux_calc(*device_, stream_, p.box(), g, dt, view(p, f_.xvel0),
+                   view(p, f_.yvel0), view(p, f_.xvel1), view(p, f_.yvel1),
+                   view(p, f_.vol_flux, 0), view(p, f_.vol_flux, 1));
+}
+
+void CudaPatchIntegrator::advec_cell(hier::Patch& p, const hydro::CellGeom& g,
+                                     bool x_direction, int sweep_number) {
+  hydro::advec_cell(*device_, stream_, p.box(), g, x_direction, sweep_number,
+                    view(p, f_.density1), view(p, f_.energy1),
+                    view(p, f_.vol_flux, 0), view(p, f_.vol_flux, 1),
+                    view(p, f_.mass_flux, 0), view(p, f_.mass_flux, 1),
+                    view(p, f_.pre_vol), view(p, f_.post_vol),
+                    view(p, f_.ener_flux, x_direction ? 0 : 1));
+}
+
+void CudaPatchIntegrator::advec_mom(hier::Patch& p, const hydro::CellGeom& g,
+                                    bool x_direction, int sweep_number,
+                                    bool x_velocity) {
+  const int mom_sweep = (x_direction ? 1 : 2) + 2 * (sweep_number - 1);
+  hydro::advec_mom(*device_, stream_, p.box(), g, x_direction, mom_sweep,
+                   view(p, x_velocity ? f_.xvel1 : f_.yvel1),
+                   view(p, f_.density1), view(p, f_.vol_flux, 0),
+                   view(p, f_.vol_flux, 1), view(p, f_.mass_flux, 0),
+                   view(p, f_.mass_flux, 1), view(p, f_.node_flux),
+                   view(p, f_.node_mass_post), view(p, f_.node_mass_pre),
+                   view(p, f_.mom_flux), view(p, f_.pre_vol),
+                   view(p, f_.post_vol));
+}
+
+void CudaPatchIntegrator::reset_field(hier::Patch& p, const hydro::CellGeom&) {
+  hydro::reset_field(*device_, stream_, p.box(), view(p, f_.density0),
+                     view(p, f_.density1), view(p, f_.energy0),
+                     view(p, f_.energy1), view(p, f_.xvel0), view(p, f_.xvel1),
+                     view(p, f_.yvel0), view(p, f_.yvel1));
+}
+
+hydro::FieldSummary CudaPatchIntegrator::field_summary(hier::Patch& p,
+                                                       const hydro::CellGeom& g,
+                                                       const mesh::Box& region) {
+  return hydro::field_summary(*device_, stream_, region, g,
+                              view(p, f_.density0), view(p, f_.energy0),
+                              view(p, f_.xvel0), view(p, f_.yvel0));
+}
+
+}  // namespace ramr::app

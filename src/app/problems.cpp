@@ -1,0 +1,110 @@
+#include "app/problems.hpp"
+
+#include <cmath>
+
+#include "hydro/kernels.hpp"
+#include "pdat/cuda/cuda_data.hpp"
+
+namespace ramr::app {
+
+using mesh::Box;
+using pdat::cuda::CudaData;
+
+void HydroProblem::initialize_level_data(hier::Patch& patch,
+                                         const hier::PatchLevel& level,
+                                         const mesh::GridGeometry& geometry,
+                                         double /*time*/) {
+  auto& density0 = patch.typed_data<CudaData>(fields_.density0);
+  vgpu::Device& dev = density0.device();
+  vgpu::Stream stream(dev, "init");
+
+  const auto dx = level.dx();
+  const auto xlo = geometry.x_lo();
+  const InitialState state = initial_state();
+
+  // Cell-centred state over the full ghost box (analytic continuation
+  // outside the domain is harmless: boundary conditions overwrite it on
+  // the first halo fill).
+  const Box cells = density0.component(0).index_box();
+  util::View rho0 = density0.device_view();
+  util::View rho1 = patch.typed_data<CudaData>(fields_.density1).device_view();
+  util::View e0 = patch.typed_data<CudaData>(fields_.energy0).device_view();
+  util::View e1 = patch.typed_data<CudaData>(fields_.energy1).device_view();
+  util::View p = patch.typed_data<CudaData>(fields_.pressure).device_view();
+  util::View ss = patch.typed_data<CudaData>(fields_.soundspeed).device_view();
+  dev.launch2d(
+      stream, cells.lower().i, cells.lower().j, cells.width(), cells.height(),
+      vgpu::KernelCost{20.0, 6.0 * 8.0}, [=](int i, int j) {
+        const double x = xlo[0] + (i + 0.5) * dx[0];
+        const double y = xlo[1] + (j + 0.5) * dx[1];
+        const auto [rho, e] = state(x, y);
+        rho0(i, j) = rho;
+        rho1(i, j) = rho;
+        e0(i, j) = e;
+        e1(i, j) = e;
+        const double pressure = (hydro::Constants::gamma - 1.0) * rho * e;
+        p(i, j) = pressure;
+        ss(i, j) = std::sqrt(hydro::Constants::gamma * pressure / rho);
+      });
+
+  // Velocities and work arrays start at rest / zero.
+  for (int id : {fields_.xvel0, fields_.xvel1, fields_.yvel0, fields_.yvel1,
+                 fields_.vol_flux, fields_.mass_flux, fields_.pre_vol,
+                 fields_.post_vol, fields_.ener_flux, fields_.node_flux,
+                 fields_.node_mass_post, fields_.node_mass_pre,
+                 fields_.mom_flux}) {
+    patch.typed_data<CudaData>(id).fill(0.0);
+  }
+  // Avoid zero node masses in advec_mom before the first real step.
+  patch.typed_data<CudaData>(fields_.node_mass_pre).fill(1.0);
+  patch.typed_data<CudaData>(fields_.node_mass_post).fill(1.0);
+}
+
+void HydroProblem::tag_cells(hier::Patch& patch, const hier::PatchLevel&,
+                             const mesh::GridGeometry&,
+                             amr::DeviceTagData& tags, double /*time*/) {
+  auto& density0 = patch.typed_data<CudaData>(fields_.density0);
+  vgpu::Device& dev = density0.device();
+  vgpu::Stream stream(dev, "tag");
+
+  util::View rho = density0.device_view();
+  util::View e = patch.typed_data<CudaData>(fields_.energy0).device_view();
+  util::ArrayView2D<int> tag = tags.device_view();
+  const Box box = tags.box();
+  const double threshold = tag_threshold_;
+  dev.launch2d(
+      stream, box.lower().i, box.lower().j, box.width(), box.height(),
+      vgpu::KernelCost{16.0, 10.0 * 8.0 + 4.0}, [=](int i, int j) {
+        const double drho =
+            (std::fabs(rho(i + 1, j) - rho(i - 1, j)) +
+             std::fabs(rho(i, j + 1) - rho(i, j - 1))) /
+            (2.0 * std::fabs(rho(i, j)) + 1.0e-100);
+        const double de = (std::fabs(e(i + 1, j) - e(i - 1, j)) +
+                           std::fabs(e(i, j + 1) - e(i, j - 1))) /
+                          (2.0 * std::fabs(e(i, j)) + 1.0e-100);
+        tag(i, j) = (drho > threshold || de > threshold) ? 1 : 0;
+      });
+}
+
+InitialState SodProblem::initial_state() const {
+  return [](double x, double /*y*/) -> std::array<double, 2> {
+    if (x < 0.5) {
+      return {1.0, 2.5};  // rho = 1,     p = 1   -> e = 2.5
+    }
+    return {0.125, 2.0};  // rho = 0.125, p = 0.1 -> e = 2.0
+  };
+}
+
+InitialState TriplePointProblem::initial_state() const {
+  return [](double x, double y) -> std::array<double, 2> {
+    if (x < 1.0) {
+      return {1.0, 2.5};  // driver: rho = 1, p = 1
+    }
+    if (y < 1.5) {
+      return {1.0, 0.25};  // dense low-pressure region: rho = 1, p = 0.1
+    }
+    return {0.125, 2.0};  // light low-pressure region: rho = 0.125, p = 0.1
+  };
+}
+
+}  // namespace ramr::app

@@ -1,0 +1,198 @@
+#include "app/reflective_boundary.hpp"
+
+#include "pdat/cuda/cuda_data.hpp"
+#include "util/error.hpp"
+
+namespace ramr::app {
+
+using mesh::Box;
+using mesh::Centering;
+using mesh::IntVector;
+using pdat::cuda::CudaArrayData;
+using pdat::cuda::CudaData;
+
+ReflectiveBoundary::ReflectiveBoundary(const Fields& f) {
+  const auto set = [&](int id, Parity p0,
+                       Parity p1 = Parity{}) {
+    std::vector<Parity> ps{p0};
+    if (id == f.vol_flux || id == f.mass_flux) {
+      ps.push_back(p1);
+    }
+    parity_[id] = std::move(ps);
+  };
+  const Parity sym{1.0, 1.0};
+  for (int id : {f.density0, f.density1, f.energy0, f.energy1, f.pressure,
+                 f.viscosity, f.soundspeed, f.pre_vol, f.post_vol}) {
+    set(id, sym);
+  }
+  for (int id : {f.xvel0, f.xvel1}) {
+    set(id, Parity{-1.0, 1.0});
+  }
+  for (int id : {f.yvel0, f.yvel1}) {
+    set(id, Parity{1.0, -1.0});
+  }
+  // Side data: x-face component flips across x, y-face across y.
+  for (int id : {f.vol_flux, f.mass_flux, f.ener_flux}) {
+    if (id == f.ener_flux) {
+      set(id, Parity{-1.0, 1.0}, Parity{1.0, -1.0});
+      parity_[id] = {Parity{-1.0, 1.0}, Parity{1.0, -1.0}};
+      continue;
+    }
+    set(id, Parity{-1.0, 1.0}, Parity{1.0, -1.0});
+  }
+  for (int id : {f.node_flux, f.node_mass_post, f.node_mass_pre, f.mom_flux}) {
+    set(id, sym);
+  }
+}
+
+namespace {
+
+/// Mirrors ghost entries of `array` across one domain edge.
+///
+/// `axis` 0 = x, 1 = y; `low_side` selects the domain edge. `node_like`
+/// marks index spaces with an entry *on* the boundary plane (nodes and
+/// normal faces): ghosts then mirror around the plane index b as
+/// a(b-k) = parity * a(b+k); cell-like spaces mirror around the plane as
+/// a(b-1-k+1)... i.e. a(blo-k) = parity * a(blo+k-1).
+/// `rows` restricts the orthogonal extent processed.
+void mirror(vgpu::Device& dev, vgpu::Stream& s, CudaArrayData& array, int axis,
+            bool low_side, bool node_like, int boundary_index, int ghosts,
+            const Box& rows_box, double parity) {
+  const Box ib = array.index_box();
+  const Box region = ib.intersect(rows_box);
+  if (region.empty() || ghosts <= 0) {
+    return;
+  }
+  util::View v = array.device_view();
+  const vgpu::KernelCost cost{1.0, 16.0};
+  if (axis == 0) {
+    const int jlo = region.lower().j;
+    const int h = region.height();
+    dev.launch2d(s, 1, jlo, ghosts, h, cost, [=](int k, int j) {
+      // k = 1..ghosts
+      int ghost_i, src_i;
+      if (low_side) {
+        if (node_like) {
+          ghost_i = boundary_index - k;
+          src_i = boundary_index + k;
+        } else {
+          ghost_i = boundary_index - k;          // boundary_index = first cell
+          src_i = boundary_index + k - 1;
+        }
+      } else {
+        if (node_like) {
+          ghost_i = boundary_index + k;
+          src_i = boundary_index - k;
+        } else {
+          ghost_i = boundary_index + k;          // boundary_index = last cell
+          src_i = boundary_index - k + 1;
+        }
+      }
+      if (v.contains(ghost_i, j) && v.contains(src_i, j)) {
+        v(ghost_i, j) = parity * v(src_i, j);
+      }
+    });
+  } else {
+    const int ilo = region.lower().i;
+    const int w = region.width();
+    dev.launch2d(s, ilo, 1, w, ghosts, cost, [=](int i, int k) {
+      int ghost_j, src_j;
+      if (low_side) {
+        if (node_like) {
+          ghost_j = boundary_index - k;
+          src_j = boundary_index + k;
+        } else {
+          ghost_j = boundary_index - k;
+          src_j = boundary_index + k - 1;
+        }
+      } else {
+        if (node_like) {
+          ghost_j = boundary_index + k;
+          src_j = boundary_index - k;
+        } else {
+          ghost_j = boundary_index + k;
+          src_j = boundary_index - k + 1;
+        }
+      }
+      if (v.contains(i, ghost_j) && v.contains(i, src_j)) {
+        v(i, ghost_j) = parity * v(i, src_j);
+      }
+    });
+  }
+}
+
+/// True when the component index space has an entry on the boundary
+/// plane normal to `axis`.
+bool is_node_like(Centering comp, int axis) {
+  switch (comp) {
+    case Centering::kNode:
+      return true;
+    case Centering::kXSide:
+      return axis == 0;
+    case Centering::kYSide:
+      return axis == 1;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void ReflectiveBoundary::fill_physical_boundaries(
+    hier::Patch& patch, const Box& domain, const std::vector<int>& var_ids) {
+  auto* first = dynamic_cast<CudaData*>(&patch.data(var_ids.front()));
+  RAMR_REQUIRE(first != nullptr, "reflective BC requires device data");
+  vgpu::Device& dev = first->device();
+  vgpu::Stream stream(dev, "bc");
+
+  const Box& pbox = patch.box();
+  const bool at_xlo = pbox.lower().i == domain.lower().i;
+  const bool at_xhi = pbox.upper().i == domain.upper().i;
+  const bool at_ylo = pbox.lower().j == domain.lower().j;
+  const bool at_yhi = pbox.upper().j == domain.upper().j;
+  if (!(at_xlo || at_xhi || at_ylo || at_yhi)) {
+    return;
+  }
+
+  for (int id : var_ids) {
+    const auto it = parity_.find(id);
+    RAMR_REQUIRE(it != parity_.end(), "no parity registered for variable " << id);
+    auto& data = patch.typed_data<CudaData>(id);
+    const int g = data.ghost_cell_width().i;
+    for (int k = 0; k < data.components(); ++k) {
+      const Centering comp =
+          mesh::component_centering(data.centering(), k);
+      CudaArrayData& array = data.component(k);
+      const Parity par = it->second[static_cast<std::size_t>(k)];
+      const Box all = array.index_box();
+
+      // CloverLeaf's two-pass order: bottom/top over the full width
+      // first, then left/right over the full height — the second pass
+      // mirrors corner ghosts from columns the first pass made valid.
+      if (at_ylo) {
+        const bool nl = is_node_like(comp, 1);
+        mirror(dev, stream, array, 1, true, nl, domain.lower().j, g, all,
+               par.across_y);
+      }
+      if (at_yhi) {
+        const bool nl = is_node_like(comp, 1);
+        const int b = nl ? mesh::to_centering(domain, comp).upper().j
+                         : domain.upper().j;
+        mirror(dev, stream, array, 1, false, nl, b, g, all, par.across_y);
+      }
+      if (at_xlo) {
+        const bool nl = is_node_like(comp, 0);
+        mirror(dev, stream, array, 0, true, nl, domain.lower().i, g, all,
+               par.across_x);
+      }
+      if (at_xhi) {
+        const bool nl = is_node_like(comp, 0);
+        const int b = nl ? mesh::to_centering(domain, comp).upper().i
+                         : domain.upper().i;
+        mirror(dev, stream, array, 0, false, nl, b, g, all, par.across_x);
+      }
+    }
+  }
+}
+
+}  // namespace ramr::app

@@ -1,0 +1,95 @@
+#include "app/simulation.hpp"
+
+#include "geom/refine_operators.hpp"
+#include "util/logger.hpp"
+
+namespace ramr::app {
+
+namespace {
+
+std::unique_ptr<HydroProblem> make_problem(const SimulationConfig& cfg,
+                                           const Fields& fields) {
+  switch (cfg.problem) {
+    case ProblemKind::kSod:
+      return std::make_unique<SodProblem>(fields, cfg.tag_threshold);
+    case ProblemKind::kTriplePoint:
+      return std::make_unique<TriplePointProblem>(fields, cfg.tag_threshold);
+  }
+  RAMR_FAIL("unknown problem kind");
+}
+
+}  // namespace
+
+Simulation::Simulation(const SimulationConfig& config,
+                       simmpi::Communicator* comm)
+    : config_(config), device_(config.device, &clock_) {
+  ctx_.comm = comm;
+  ctx_.my_rank = comm != nullptr ? comm->rank() : 0;
+  ctx_.clock = &clock_;
+  ctx_.world_size = comm != nullptr ? comm->size() : 1;
+  if (comm != nullptr) {
+    comm->set_clock(&clock_);
+  }
+
+  const auto make_geometry = [&]() {
+    // A throwaway problem instance supplies the physical extents; its
+    // field ids are irrelevant for that query.
+    std::unique_ptr<HydroProblem> p = make_problem(config_, Fields{});
+    return mesh::GridGeometry(
+        mesh::Box(0, 0, config_.nx - 1, config_.ny - 1), p->domain_lower(),
+        p->domain_upper());
+  };
+
+  hierarchy_ = std::make_unique<hier::PatchHierarchy>(
+      make_geometry(), config_.max_levels,
+      mesh::IntVector(config_.ratio, config_.ratio), ctx_.my_rank,
+      ctx_.world_size);
+  fields_ = Fields::register_all(hierarchy_->variables(), device_);
+  problem_ = make_problem(config_, fields_);
+  bc_ = std::make_unique<ReflectiveBoundary>(fields_);
+  patch_integrator_ =
+      std::make_unique<CudaPatchIntegrator>(device_, fields_);
+  level_integrator_ =
+      std::make_unique<LagrangianEulerianLevelIntegrator>(*patch_integrator_);
+
+  amr::GriddingParams gp;
+  gp.cluster.efficiency = config_.cluster_efficiency;
+  gp.cluster.min_size = config_.min_patch_size;
+  gp.cluster.max_box_cells = config_.max_patch_cells * 16;
+  gp.balance.max_patch_cells = config_.max_patch_cells;
+  gp.balance.min_size = config_.min_patch_size;
+  gp.tag_buffer = config_.tag_buffer;
+
+  // Variables moved onto newly created patches during regridding.
+  xfer::RefineAlgorithm transfer;
+  auto cell_op = std::make_shared<geom::CellConservativeLinearRefine>();
+  auto node_op = std::make_shared<geom::NodeLinearRefine>();
+  transfer.add(xfer::RefineItem{fields_.density0, cell_op});
+  transfer.add(xfer::RefineItem{fields_.energy0, cell_op});
+  transfer.add(xfer::RefineItem{fields_.xvel0, node_op});
+  transfer.add(xfer::RefineItem{fields_.yvel0, node_op});
+
+  gridding_ = std::make_unique<amr::GriddingAlgorithm>(
+      gp, *problem_, std::move(transfer), bc_.get(), ctx_);
+  gridding_->set_host_clock(&clock_);
+  integrator_ = std::make_unique<LagrangianEulerianIntegrator>(
+      *hierarchy_, *level_integrator_, *gridding_, fields_, ctx_, *bc_,
+      clock_, config_.regrid_interval);
+}
+
+void Simulation::initialize() {
+  vgpu::ComponentScope scope(clock_, "regrid");
+  integrator_->initialize(0.0);
+  RAMR_LOG_DEBUG("initialized hierarchy: " << hierarchy_->num_levels()
+                 << " levels, " << hierarchy_->total_cells() << " cells");
+}
+
+double Simulation::step() { return integrator_->advance(); }
+
+void Simulation::run(int max_steps, double end_time) {
+  for (int s = 0; s < max_steps && time() < end_time; ++s) {
+    step();
+  }
+}
+
+}  // namespace ramr::app

@@ -1,0 +1,78 @@
+#include "app/vtk_writer.hpp"
+
+#include <fstream>
+
+#include "pdat/cuda/cuda_data.hpp"
+#include "util/error.hpp"
+
+namespace ramr::app {
+
+using mesh::Box;
+using pdat::cuda::CudaData;
+
+namespace {
+
+/// One patch's cell-centred fields as legacy VTK STRUCTURED_POINTS.
+void write_patch(const std::string& path, hier::Patch& patch,
+                 const hier::PatchLevel& level,
+                 const mesh::GridGeometry& geometry,
+                 const std::vector<std::pair<std::string, int>>& fields) {
+  std::ofstream os(path, std::ios::trunc);
+  RAMR_REQUIRE(os.good(), "cannot open " << path);
+  const Box& box = patch.box();
+  const auto dx = level.dx();
+  const auto origin = geometry.cell_lower(box.lower(),
+                                          level.ratio_to_level_zero());
+  os << "# vtk DataFile Version 3.0\n"
+     << "ramr level " << level.number() << " patch " << patch.global_id()
+     << "\nASCII\nDATASET STRUCTURED_POINTS\n"
+     << "DIMENSIONS " << box.width() + 1 << " " << box.height() + 1 << " 1\n"
+     << "ORIGIN " << origin[0] << " " << origin[1] << " 0\n"
+     << "SPACING " << dx[0] << " " << dx[1] << " 1\n"
+     << "CELL_DATA " << box.size() << "\n";
+  for (const auto& [name, id] : fields) {
+    auto& data = patch.typed_data<CudaData>(id);
+    RAMR_REQUIRE(data.centering() == mesh::Centering::kCell,
+                 "write_vtk supports cell-centred fields; " << name
+                 << " is not");
+    os << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+    const auto plane = data.component(0).download_plane();
+    const Box ib = data.component(0).index_box();
+    util::ConstView v(plane.data(), ib.lower().i, ib.lower().j, ib.width(),
+                      ib.height());
+    for (int j = box.lower().j; j <= box.upper().j; ++j) {
+      for (int i = box.lower().i; i <= box.upper().i; ++i) {
+        os << v(i, j) << "\n";
+      }
+    }
+  }
+  RAMR_REQUIRE(os.good(), "write to " << path << " failed");
+}
+
+}  // namespace
+
+std::vector<std::string> write_vtk(
+    Simulation& sim, const std::string& basename,
+    const std::vector<std::pair<std::string, int>>& fields) {
+  std::vector<std::string> written;
+  auto& h = sim.hierarchy();
+  for (int l = 0; l < h.num_levels(); ++l) {
+    auto& level = h.level(l);
+    for (const auto& patch : level.local_patches()) {
+      const std::string path = basename + "_l" + std::to_string(l) + "_p" +
+                               std::to_string(patch->global_id()) + ".vtk";
+      write_patch(path, *patch, level, h.geometry(), fields);
+      written.push_back(path);
+    }
+  }
+  // Master index (VisIt-style list of blocks; rank 0 of a distributed run
+  // appends its own files only — callers merge per-rank lists).
+  std::ofstream master(basename + ".visit", std::ios::trunc);
+  master << "!NBLOCKS " << written.size() << "\n";
+  for (const std::string& path : written) {
+    master << path << "\n";
+  }
+  return written;
+}
+
+}  // namespace ramr::app

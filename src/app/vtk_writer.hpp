@@ -1,0 +1,22 @@
+// Visualisation output: writes the AMR hierarchy as legacy-VTK
+// structured-points files (one per patch) plus a plain-text master index
+// — the role SAMRAI's VisIt writer plays for CleverLeaf ("using SAMRAI
+// for mesh management, communication, and visualisation", paper §IV-B).
+// Device-resident fields cross PCIe once per write, charged and logged
+// like every other crossing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/simulation.hpp"
+
+namespace ramr::app {
+
+/// Writes `fields` (name, variable id) of every local patch to
+/// `<basename>_l<level>_p<gid>.vtk` plus `<basename>.visit` listing all
+/// files. Returns the file names written.
+std::vector<std::string> write_vtk(Simulation& sim, const std::string& basename,
+                                   const std::vector<std::pair<std::string, int>>& fields);
+
+}  // namespace ramr::app

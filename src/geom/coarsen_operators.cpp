@@ -1,0 +1,208 @@
+#include "geom/coarsen_operators.hpp"
+
+#include "geom/operator_support.hpp"
+
+namespace ramr::geom {
+
+using mesh::Box;
+using mesh::Centering;
+using mesh::IntVector;
+using pdat::cuda::CudaData;
+
+namespace {
+
+/// r x r gather per coarse element: reads r^2 doubles, writes one.
+vgpu::KernelCost gather_cost(const IntVector& ratio) {
+  const double n = static_cast<double>(ratio.i) * ratio.j;
+  return vgpu::KernelCost{2.0 * n, 8.0 * (n + 1.0)};
+}
+
+/// Clips a requested coarse region so all fine reads stay in bounds.
+Box clip_coarse_region(const CudaData& dst, const CudaData& src,
+                       const Box& coarse_cells, const IntVector& ratio,
+                       Centering comp, int k, bool node_like) {
+  Box region = mesh::to_centering(coarse_cells, comp)
+                   .intersect(dst.component(k).index_box());
+  const Box fbox = src.component(k).index_box();
+  Box coarse_ok;
+  if (node_like) {
+    // Injection reads the single coincident fine index I*r.
+    coarse_ok = Box(IntVector(mesh::floor_div(fbox.lower().i + ratio.i - 1, ratio.i),
+                              mesh::floor_div(fbox.lower().j + ratio.j - 1, ratio.j)),
+                    IntVector(mesh::floor_div(fbox.upper().i, ratio.i),
+                              mesh::floor_div(fbox.upper().j, ratio.j)));
+  } else {
+    // Cell gather reads [I*r, I*r + r - 1].
+    coarse_ok = Box(IntVector(mesh::floor_div(fbox.lower().i + ratio.i - 1, ratio.i),
+                              mesh::floor_div(fbox.lower().j + ratio.j - 1, ratio.j)),
+                    IntVector(mesh::floor_div(fbox.upper().i - ratio.i + 1, ratio.i),
+                              mesh::floor_div(fbox.upper().j - ratio.j + 1, ratio.j)));
+  }
+  return region.intersect(coarse_ok);
+}
+
+}  // namespace
+
+void NodeInjectionCoarsen::coarsen(pdat::PatchData& dst_pd,
+                                   const pdat::PatchData& src_pd,
+                                   const pdat::PatchData* /*src_aux*/,
+                                   const Box& coarse_cells,
+                                   const IntVector& ratio) const {
+  CudaData& dst = as_cuda(dst_pd);
+  const CudaData& src = as_cuda(src_pd);
+  vgpu::Device& device = dst.device();
+  vgpu::Stream stream(device, "coarsen");
+
+  for (int k = 0; k < dst.components(); ++k) {
+    const Box r = clip_coarse_region(dst, src, coarse_cells, ratio,
+                                     Centering::kNode, k, /*node_like=*/true);
+    if (r.empty()) {
+      continue;
+    }
+    util::View c = dst.device_view(k);
+    util::View f = src.device_view(k);
+    const int ri = ratio.i;
+    const int rj = ratio.j;
+    device.launch2d(stream, r.lower().i, r.lower().j, r.width(), r.height(),
+                    vgpu::KernelCost{0.0, 16.0},
+                    [=](int i, int j) { c(i, j) = f(i * ri, j * rj); });
+  }
+}
+
+void VolumeWeightedCoarsen::coarsen(pdat::PatchData& dst_pd,
+                                    const pdat::PatchData& src_pd,
+                                    const pdat::PatchData* /*src_aux*/,
+                                    const Box& coarse_cells,
+                                    const IntVector& ratio) const {
+  CudaData& dst = as_cuda(dst_pd);
+  const CudaData& src = as_cuda(src_pd);
+  vgpu::Device& device = dst.device();
+  vgpu::Stream stream(device, "coarsen");
+
+  for (int k = 0; k < dst.components(); ++k) {
+    const Box r = clip_coarse_region(dst, src, coarse_cells, ratio,
+                                     Centering::kCell, k, /*node_like=*/false);
+    if (r.empty()) {
+      continue;
+    }
+    util::View c = dst.device_view(k);
+    util::View f = src.device_view(k);
+    const int ri = ratio.i;
+    const int rj = ratio.j;
+    // Uniform mesh: vol(fine)/vol(coarse) = 1 / (ri * rj). The kernel
+    // follows the paper's Fig. 8 listing.
+    const double inv_vc = 1.0 / (static_cast<double>(ri) * rj);
+    device.launch2d(stream, r.lower().i, r.lower().j, r.width(), r.height(),
+                    gather_cost(ratio), [=](int i, int j) {
+                      double spv = 0.0;
+                      for (int jj = 0; jj < rj; ++jj) {
+                        for (int ii = 0; ii < ri; ++ii) {
+                          spv += f(i * ri + ii, j * rj + jj);
+                        }
+                      }
+                      c(i, j) = spv * inv_vc;
+                    });
+  }
+}
+
+void MassWeightedCoarsen::coarsen(pdat::PatchData& dst_pd,
+                                  const pdat::PatchData& src_pd,
+                                  const pdat::PatchData* src_aux,
+                                  const Box& coarse_cells,
+                                  const IntVector& ratio) const {
+  RAMR_REQUIRE(src_aux != nullptr,
+               "mass-weighted coarsen requires the fine density as aux");
+  CudaData& dst = as_cuda(dst_pd);
+  const CudaData& src = as_cuda(src_pd);
+  const CudaData& rho = as_cuda(*src_aux);
+  vgpu::Device& device = dst.device();
+  vgpu::Stream stream(device, "coarsen");
+
+  for (int k = 0; k < dst.components(); ++k) {
+    const Box r = clip_coarse_region(dst, src, coarse_cells, ratio,
+                                     Centering::kCell, k, /*node_like=*/false);
+    if (r.empty()) {
+      continue;
+    }
+    util::View c = dst.device_view(k);
+    util::View f = src.device_view(k);
+    util::View w = rho.device_view(k);
+    const int ri = ratio.i;
+    const int rj = ratio.j;
+    vgpu::KernelCost cost = gather_cost(ratio);
+    cost.bytes_per_thread *= 2.0;  // reads density too
+    device.launch2d(stream, r.lower().i, r.lower().j, r.width(), r.height(),
+                    cost, [=](int i, int j) {
+                      double mass_energy = 0.0;
+                      double mass = 0.0;
+                      for (int jj = 0; jj < rj; ++jj) {
+                        for (int ii = 0; ii < ri; ++ii) {
+                          const double m = w(i * ri + ii, j * rj + jj);
+                          mass_energy += m * f(i * ri + ii, j * rj + jj);
+                          mass += m;
+                        }
+                      }
+                      c(i, j) = mass > 0.0 ? mass_energy / mass : 0.0;
+                    });
+  }
+}
+
+void SideSumCoarsen::coarsen(pdat::PatchData& dst_pd,
+                             const pdat::PatchData& src_pd,
+                             const pdat::PatchData* /*src_aux*/,
+                             const Box& coarse_cells,
+                             const IntVector& ratio) const {
+  CudaData& dst = as_cuda(dst_pd);
+  const CudaData& src = as_cuda(src_pd);
+  vgpu::Device& device = dst.device();
+  vgpu::Stream stream(device, "coarsen");
+  RAMR_REQUIRE(dst.components() == 2, "side coarsen requires side data");
+
+  for (int k = 0; k < 2; ++k) {
+    const Centering comp = (k == 0) ? Centering::kXSide : Centering::kYSide;
+    Box region = mesh::to_centering(coarse_cells, comp)
+                     .intersect(dst.component(k).index_box());
+    const Box fbox = src.component(k).index_box();
+    // A coarse x-face (I,J) averages fine faces (I*r, J*r + jj).
+    Box coarse_ok;
+    if (k == 0) {
+      coarse_ok =
+          Box(IntVector(mesh::floor_div(fbox.lower().i + ratio.i - 1, ratio.i),
+                        mesh::floor_div(fbox.lower().j + ratio.j - 1, ratio.j)),
+              IntVector(mesh::floor_div(fbox.upper().i, ratio.i),
+                        mesh::floor_div(fbox.upper().j - ratio.j + 1, ratio.j)));
+    } else {
+      coarse_ok =
+          Box(IntVector(mesh::floor_div(fbox.lower().i + ratio.i - 1, ratio.i),
+                        mesh::floor_div(fbox.lower().j + ratio.j - 1, ratio.j)),
+              IntVector(mesh::floor_div(fbox.upper().i - ratio.i + 1, ratio.i),
+                        mesh::floor_div(fbox.upper().j, ratio.j)));
+    }
+    const Box r = region.intersect(coarse_ok);
+    if (r.empty()) {
+      continue;
+    }
+    util::View c = dst.device_view(k);
+    util::View f = src.device_view(k);
+    const int ri = ratio.i;
+    const int rj = ratio.j;
+    const bool x_normal = (k == 0);
+    device.launch2d(stream, r.lower().i, r.lower().j, r.width(), r.height(),
+                    gather_cost(ratio), [=](int i, int j) {
+                      double sum = 0.0;
+                      if (x_normal) {
+                        for (int jj = 0; jj < rj; ++jj) {
+                          sum += f(i * ri, j * rj + jj);
+                        }
+                        c(i, j) = sum / rj;
+                      } else {
+                        for (int ii = 0; ii < ri; ++ii) {
+                          sum += f(i * ri + ii, j * rj);
+                        }
+                        c(i, j) = sum / ri;
+                      }
+                    });
+  }
+}
+
+}  // namespace ramr::geom

@@ -1,0 +1,66 @@
+// Shared helpers for the data-parallel refine/coarsen kernels.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "mesh/box.hpp"
+#include "pdat/cuda/cuda_data.hpp"
+#include "util/error.hpp"
+
+namespace ramr::geom {
+
+/// Casts PatchData to the device-resident type the operators require.
+inline const pdat::cuda::CudaData& as_cuda(const pdat::PatchData& pd) {
+  const auto* p = dynamic_cast<const pdat::cuda::CudaData*>(&pd);
+  RAMR_REQUIRE(p != nullptr,
+               "inter-level operators require device-resident CudaData");
+  return *p;
+}
+
+inline pdat::cuda::CudaData& as_cuda(pdat::PatchData& pd) {
+  auto* p = dynamic_cast<pdat::cuda::CudaData*>(&pd);
+  RAMR_REQUIRE(p != nullptr,
+               "inter-level operators require device-resident CudaData");
+  return *p;
+}
+
+/// The fine-index region of component centring `comp` that the operator
+/// may write: the requested fine cell region mapped to the component
+/// index space, clipped to both arrays.
+inline mesh::Box writable_fine_region(const pdat::cuda::CudaData& dst,
+                                      const pdat::cuda::CudaData& src,
+                                      const mesh::Box& fine_cells,
+                                      const mesh::IntVector& ratio,
+                                      mesh::Centering comp, int k,
+                                      const mesh::IntVector& stencil) {
+  mesh::Box region =
+      mesh::to_centering(fine_cells, comp).intersect(dst.component(k).index_box());
+  // The coarse stencil must be available: clip to the coarse array grown
+  // inward by the stencil width, mapped up to fine space.
+  const mesh::Box src_usable =
+      src.component(k).index_box().grow(-stencil);
+  // A fine index f reads coarse indices around floor(f / ratio); keep f
+  // only when floor(f / ratio) lies in src_usable.
+  const mesh::Box fine_ok(src_usable.lower() * ratio,
+                          (src_usable.upper() + mesh::IntVector(1, 1)) * ratio -
+                              mesh::IntVector(1, 1));
+  return region.intersect(fine_ok);
+}
+
+/// MC-limited slope (van Leer): monotonised central difference. This is
+/// the slope SAMRAI's conservative linear refine uses; it guarantees no
+/// new extrema while keeping second-order accuracy in smooth regions.
+inline double mc_slope(double um, double u0, double up) {
+  const double dc = 0.5 * (up - um);
+  const double dl = u0 - um;
+  const double dr = up - u0;
+  if (dl * dr <= 0.0) {
+    return 0.0;
+  }
+  const double lim = 2.0 * std::min(std::fabs(dl), std::fabs(dr));
+  const double mag = std::min(std::fabs(dc), lim);
+  return dc >= 0.0 ? mag : -mag;
+}
+
+}  // namespace ramr::geom

@@ -1,0 +1,76 @@
+// A Patch is the container for all data living in a particular mesh
+// region (paper §IV-B): an index box plus one PatchData object per
+// registered variable. Patches are the basic unit of work: once ghost
+// values are supplied, a patch advances independently.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hier/variable_database.hpp"
+#include "mesh/box.hpp"
+#include "util/error.hpp"
+
+namespace ramr::hier {
+
+/// One rectangular mesh region and its data.
+class Patch {
+ public:
+  Patch(const mesh::Box& box, int level_number, int global_id, int owner_rank)
+      : box_(box),
+        level_number_(level_number),
+        global_id_(global_id),
+        owner_rank_(owner_rank) {}
+
+  const mesh::Box& box() const { return box_; }
+  int level_number() const { return level_number_; }
+  int global_id() const { return global_id_; }
+  int owner_rank() const { return owner_rank_; }
+
+  /// Allocates storage for every variable in the database.
+  void allocate(const VariableDatabase& db) {
+    data_.clear();
+    data_.reserve(static_cast<std::size_t>(db.count()));
+    for (int id = 0; id < db.count(); ++id) {
+      data_.push_back(db.factory(id).allocate(box_));
+    }
+  }
+
+  bool allocated() const { return !data_.empty(); }
+
+  /// Number of PatchData slots (== VariableDatabase::count() used to
+  /// allocate).
+  int data_count() const { return static_cast<int>(data_.size()); }
+
+  pdat::PatchData& data(int id) {
+    RAMR_DEBUG_ASSERT(id >= 0 && id < static_cast<int>(data_.size()));
+    return *data_[static_cast<std::size_t>(id)];
+  }
+  const pdat::PatchData& data(int id) const {
+    RAMR_DEBUG_ASSERT(id >= 0 && id < static_cast<int>(data_.size()));
+    return *data_[static_cast<std::size_t>(id)];
+  }
+
+  /// Typed accessor, e.g. patch.typed_data<pdat::cuda::CudaCellData>(id).
+  template <typename T>
+  T& typed_data(int id) {
+    T* p = dynamic_cast<T*>(&data(id));
+    RAMR_REQUIRE(p != nullptr, "patch data " << id << " has wrong type");
+    return *p;
+  }
+  template <typename T>
+  const T& typed_data(int id) const {
+    const T* p = dynamic_cast<const T*>(&data(id));
+    RAMR_REQUIRE(p != nullptr, "patch data " << id << " has wrong type");
+    return *p;
+  }
+
+ private:
+  mesh::Box box_;
+  int level_number_;
+  int global_id_;
+  int owner_rank_;
+  std::vector<std::unique_ptr<pdat::PatchData>> data_;
+};
+
+}  // namespace ramr::hier

@@ -1,0 +1,100 @@
+// The patch hierarchy: levels G_0 .. G_{L-1} (paper §II, Fig. 1), plus
+// the parallel context (my rank / world size) and the variable database.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hier/patch_level.hpp"
+#include "hier/variable_database.hpp"
+#include "mesh/grid_geometry.hpp"
+
+namespace ramr::hier {
+
+/// Mutable AMR hierarchy. Levels are replaced wholesale by regridding.
+class PatchHierarchy {
+ public:
+  /// `ratio` is the (uniform) refinement ratio r between adjacent levels;
+  /// `max_levels` bounds the depth (3 in the paper's experiments).
+  PatchHierarchy(mesh::GridGeometry geometry, int max_levels,
+                 mesh::IntVector ratio, int my_rank = 0, int world_size = 1)
+      : geometry_(std::move(geometry)),
+        max_levels_(max_levels),
+        ratio_(ratio),
+        my_rank_(my_rank),
+        world_size_(world_size) {
+    RAMR_REQUIRE(max_levels >= 1, "need at least one level");
+    levels_.reserve(static_cast<std::size_t>(max_levels));
+  }
+
+  const mesh::GridGeometry& geometry() const { return geometry_; }
+  int max_levels() const { return max_levels_; }
+  mesh::IntVector ratio() const { return ratio_; }
+  int my_rank() const { return my_rank_; }
+  int world_size() const { return world_size_; }
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  bool has_level(int l) const { return l >= 0 && l < num_levels(); }
+  int finest_level_number() const { return num_levels() - 1; }
+
+  PatchLevel& level(int l) { return *levels_[index(l)]; }
+  const PatchLevel& level(int l) const { return *levels_[index(l)]; }
+  std::shared_ptr<PatchLevel> level_ptr(int l) const { return levels_[index(l)]; }
+
+  /// Cumulative index-space ratio of level l to level 0.
+  mesh::IntVector ratio_to_zero(int l) const {
+    mesh::IntVector r(1, 1);
+    for (int k = 1; k <= l; ++k) {
+      r = r * ratio_;
+    }
+    return r;
+  }
+
+  /// Appends or replaces level l (which must be <= num_levels()).
+  void set_level(int l, std::shared_ptr<PatchLevel> level) {
+    RAMR_REQUIRE(l >= 0 && l <= num_levels() && l < max_levels_,
+                 "bad level number " << l);
+    if (l == num_levels()) {
+      levels_.push_back(std::move(level));
+    } else {
+      levels_[static_cast<std::size_t>(l)] = std::move(level);
+    }
+  }
+
+  /// Drops level l and everything finer.
+  void remove_levels_from(int l) {
+    RAMR_REQUIRE(l >= 1, "cannot remove the base level");
+    if (l < num_levels()) {
+      levels_.resize(static_cast<std::size_t>(l));
+    }
+  }
+
+  VariableDatabase& variables() { return variables_; }
+  const VariableDatabase& variables() const { return variables_; }
+
+  /// Total cells across all levels (the paper's "effective" workload is
+  /// per-level cells since all levels advance every step).
+  std::int64_t total_cells() const {
+    std::int64_t n = 0;
+    for (const auto& l : levels_) {
+      n += l->total_cells();
+    }
+    return n;
+  }
+
+ private:
+  std::size_t index(int l) const {
+    RAMR_REQUIRE(has_level(l), "no level " << l);
+    return static_cast<std::size_t>(l);
+  }
+
+  mesh::GridGeometry geometry_;
+  int max_levels_;
+  mesh::IntVector ratio_;
+  int my_rank_;
+  int world_size_;
+  std::vector<std::shared_ptr<PatchLevel>> levels_;
+  VariableDatabase variables_;
+};
+
+}  // namespace ramr::hier

@@ -1,0 +1,42 @@
+#include "hier/variable_database.hpp"
+
+#include "util/error.hpp"
+
+namespace ramr::hier {
+
+int VariableDatabase::register_variable(
+    Variable variable, std::shared_ptr<pdat::PatchDataFactory> factory) {
+  RAMR_REQUIRE(factory != nullptr, "null factory for " << variable.name);
+  RAMR_REQUIRE(by_name_.find(variable.name) == by_name_.end(),
+               "variable registered twice: " << variable.name);
+  RAMR_REQUIRE(factory->centering() == variable.centering &&
+                   factory->depth() == variable.depth &&
+                   factory->ghosts() == variable.ghosts,
+               "factory does not match variable " << variable.name);
+  const int id = static_cast<int>(records_.size());
+  by_name_.emplace(variable.name, id);
+  records_.push_back(Record{std::move(variable), std::move(factory)});
+  return id;
+}
+
+int VariableDatabase::id(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  RAMR_REQUIRE(it != by_name_.end(), "unknown variable: " << name);
+  return it->second;
+}
+
+bool VariableDatabase::has(const std::string& name) const {
+  return by_name_.find(name) != by_name_.end();
+}
+
+const Variable& VariableDatabase::variable(int id) const {
+  RAMR_REQUIRE(id >= 0 && id < count(), "bad variable id " << id);
+  return records_[static_cast<std::size_t>(id)].variable;
+}
+
+const pdat::PatchDataFactory& VariableDatabase::factory(int id) const {
+  RAMR_REQUIRE(id >= 0 && id < count(), "bad variable id " << id);
+  return *records_[static_cast<std::size_t>(id)].factory;
+}
+
+}  // namespace ramr::hier

@@ -1,0 +1,53 @@
+// Variable registry: maps simulation quantities (density, energy,
+// velocity, fluxes, ...) to integer data ids and the PatchDataFactory
+// that allocates their storage on each patch.
+//
+// One VariableDatabase exists per rank (ranks are threads here, so no
+// singletons); the factories it holds are bound to that rank's device,
+// which is how a whole application switches between the CPU and the
+// GPU-resident backend (paper Fig. 6).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pdat/patch_data.hpp"
+
+namespace ramr::hier {
+
+/// A named simulation quantity.
+struct Variable {
+  std::string name;
+  mesh::Centering centering = mesh::Centering::kCell;
+  int depth = 1;
+  mesh::IntVector ghosts;
+};
+
+/// Registry of variables and their storage factories.
+class VariableDatabase {
+ public:
+  /// Registers a variable; returns its data id (dense, starting at 0).
+  int register_variable(Variable variable,
+                        std::shared_ptr<pdat::PatchDataFactory> factory);
+
+  int count() const { return static_cast<int>(records_.size()); }
+
+  /// Id of a registered name; throws if unknown.
+  int id(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  const Variable& variable(int id) const;
+  const pdat::PatchDataFactory& factory(int id) const;
+
+ private:
+  struct Record {
+    Variable variable;
+    std::shared_ptr<pdat::PatchDataFactory> factory;
+  };
+  std::vector<Record> records_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace ramr::hier

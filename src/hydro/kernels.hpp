@@ -1,0 +1,118 @@
+// The CloverLeaf explicit hydrodynamics kernels (2-D compressible Euler
+// on a staggered grid), written as data-parallel device kernels: one
+// thread per output element, exactly as CleverLeaf's CUDA port launches
+// them (paper §IV-C).
+//
+// Scheme summary (Lagrangian step + directional-split advection):
+//   ideal_gas   : p = (gamma-1) rho e,  c^2 = gamma p / rho
+//   viscosity   : Wilkins-style artificial viscous pressure q
+//   calc_dt     : CFL / velocity / divergence timestep limits
+//   pdv         : compression work (predictor dt/2, corrector dt)
+//   accelerate  : nodal velocity update from pressure + q gradients
+//   flux_calc   : face volume fluxes from time-centred velocities
+//   advec_cell  : van Leer second-order donor-cell advection (rho, e)
+//   advec_mom   : momentum advection on the staggered nodes
+//   reset_field : copy the time-advanced fields back to level n
+//
+// All kernels index in global (level) coordinates through ArrayView2D;
+// `box` is the patch interior cell region unless noted. Ghost width 2 is
+// assumed (CloverLeaf's halo depth).
+#pragma once
+
+#include "mesh/box.hpp"
+#include "util/array_view.hpp"
+#include "vgpu/device.hpp"
+
+namespace ramr::hydro {
+
+/// Ideal-gas constants and numerical fuzz, as in CloverLeaf.
+struct Constants {
+  static constexpr double gamma = 1.4;
+  static constexpr double g_small = 1.0e-16;
+  static constexpr double g_big = 1.0e+21;
+  static constexpr double dtc_safe = 0.7;  ///< CFL safety factor
+  static constexpr double dtu_safe = 0.5;
+  static constexpr double dtv_safe = 0.5;
+  static constexpr double dtdiv_safe = 0.7;
+};
+
+/// Uniform-cell geometry of one patch's level.
+struct CellGeom {
+  double dx = 0.0;
+  double dy = 0.0;
+  double volume() const { return dx * dy; }
+  double xarea() const { return dy; }
+  double yarea() const { return dx; }
+};
+
+using View = util::View;
+
+/// Equation of state over `box` (+ any ghost region included by caller).
+void ideal_gas(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,
+               View density, View energy, View pressure, View soundspeed);
+
+/// Artificial viscosity over the interior `box` (reads velocity and
+/// pressure in a 1-cell halo).
+void viscosity_kernel(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,
+                      const CellGeom& g, View density0, View pressure,
+                      View viscosity, View xvel0, View yvel0);
+
+/// Minimum stable timestep over the interior `box`.
+double calc_dt(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,
+               const CellGeom& g, View density0, View soundspeed,
+               View viscosity, View xvel0, View yvel0);
+
+/// PdV compression work. `predict` uses dt/2 and level-n velocities only.
+void pdv(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,
+         const CellGeom& g, double dt, bool predict, View xvel0, View yvel0,
+         View xvel1, View yvel1, View density0, View density1, View energy0,
+         View energy1, View pressure, View viscosity);
+
+/// Nodal acceleration over the node box of `box`.
+void accelerate(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,
+                const CellGeom& g, double dt, View density0, View pressure,
+                View viscosity, View xvel0, View yvel0, View xvel1, View yvel1);
+
+/// Face volume fluxes over the side boxes of `box`.
+void flux_calc(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,
+               const CellGeom& g, double dt, View xvel0, View yvel0, View xvel1,
+               View yvel1, View vol_flux_x, View vol_flux_y);
+
+/// One directional sweep of cell-centred advection (density1, energy1).
+/// `sweep_number` is 1 for the first sweep of the step, 2 for the second;
+/// `x_direction` selects the sweep axis. Requires density1/energy1 and
+/// vol_flux in a 2-cell halo; writes mass_flux and (work) ener_flux,
+/// pre_vol, post_vol.
+void advec_cell(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,
+                const CellGeom& g, bool x_direction, int sweep_number,
+                View density1, View energy1, View vol_flux_x, View vol_flux_y,
+                View mass_flux_x, View mass_flux_y, View pre_vol, View post_vol,
+                View ener_flux);
+
+/// One directional sweep of momentum advection for one velocity
+/// component `vel1`. `mom_sweep` = direction + 2*(sweep_number-1) as in
+/// CloverLeaf. Work arrays are node-centred.
+void advec_mom(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,
+               const CellGeom& g, bool x_direction, int mom_sweep, View vel1,
+               View density1, View vol_flux_x, View vol_flux_y,
+               View mass_flux_x, View mass_flux_y, View node_flux,
+               View node_mass_post, View node_mass_pre, View mom_flux,
+               View pre_vol, View post_vol);
+
+/// density0 <- density1 etc. over `box` (+ghosts handled by caller box).
+void reset_field(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,
+                 View density0, View density1, View energy0, View energy1,
+                 View xvel0, View xvel1, View yvel0, View yvel1);
+
+/// Total mass / internal energy / kinetic energy over `box` (device
+/// reduction; diagnostics and conservation tests).
+struct FieldSummary {
+  double mass = 0.0;
+  double internal_energy = 0.0;
+  double kinetic_energy = 0.0;
+};
+FieldSummary field_summary(vgpu::Device& dev, vgpu::Stream& s,
+                           const mesh::Box& box, const CellGeom& g,
+                           View density0, View energy0, View xvel0, View yvel0);
+
+}  // namespace ramr::hydro

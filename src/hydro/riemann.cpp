@@ -1,0 +1,145 @@
+#include "hydro/riemann.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ramr::hydro {
+
+RiemannSolution::RiemannSolution(const PrimitiveState& l,
+                                 const PrimitiveState& r, double gamma)
+    : left_(l), right_(r), gamma_(gamma) {
+  RAMR_REQUIRE(l.rho > 0.0 && r.rho > 0.0 && l.p > 0.0 && r.p > 0.0,
+               "Riemann states must have positive density and pressure");
+  // Newton iteration for the star pressure (Toro ch. 4), starting from
+  // the two-rarefaction approximation.
+  const double cl = std::sqrt(gamma_ * l.p / l.rho);
+  const double cr = std::sqrt(gamma_ * r.p / r.rho);
+  const double g1 = (gamma_ - 1.0) / (2.0 * gamma_);
+  double p = std::pow((cl + cr - 0.5 * (gamma_ - 1.0) * (r.u - l.u)) /
+                          (cl / std::pow(l.p, g1) + cr / std::pow(r.p, g1)),
+                      1.0 / g1);
+  p = std::max(p, 1.0e-12);
+  for (int it = 0; it < 60; ++it) {
+    const double f = f_k(p, left_) + f_k(p, right_) + (right_.u - left_.u);
+    const double df = df_k(p, left_) + df_k(p, right_);
+    const double next = std::max(p - f / df, 1.0e-14);
+    if (std::fabs(next - p) < 1.0e-14 * (next + p)) {
+      p = next;
+      break;
+    }
+    p = next;
+  }
+  p_star_ = p;
+  u_star_ = 0.5 * (left_.u + right_.u) +
+            0.5 * (f_k(p, right_) - f_k(p, left_));
+}
+
+double RiemannSolution::f_k(double p, const PrimitiveState& s) const {
+  const double c = std::sqrt(gamma_ * s.p / s.rho);
+  if (p > s.p) {
+    // Shock.
+    const double a = 2.0 / ((gamma_ + 1.0) * s.rho);
+    const double b = (gamma_ - 1.0) / (gamma_ + 1.0) * s.p;
+    return (p - s.p) * std::sqrt(a / (p + b));
+  }
+  // Rarefaction.
+  return 2.0 * c / (gamma_ - 1.0) *
+         (std::pow(p / s.p, (gamma_ - 1.0) / (2.0 * gamma_)) - 1.0);
+}
+
+double RiemannSolution::df_k(double p, const PrimitiveState& s) const {
+  const double c = std::sqrt(gamma_ * s.p / s.rho);
+  if (p > s.p) {
+    const double a = 2.0 / ((gamma_ + 1.0) * s.rho);
+    const double b = (gamma_ - 1.0) / (gamma_ + 1.0) * s.p;
+    return std::sqrt(a / (b + p)) * (1.0 - 0.5 * (p - s.p) / (b + p));
+  }
+  return 1.0 / (s.rho * c) * std::pow(p / s.p, -(gamma_ + 1.0) / (2.0 * gamma_));
+}
+
+PrimitiveState RiemannSolution::sample(double xt) const {
+  const double g = gamma_;
+  // Left of the contact.
+  if (xt <= u_star_) {
+    const PrimitiveState& s = left_;
+    const double c = std::sqrt(g * s.p / s.rho);
+    if (p_star_ > s.p) {
+      // Left shock.
+      const double ratio = p_star_ / s.p;
+      const double shock_speed =
+          s.u - c * std::sqrt((g + 1.0) / (2.0 * g) * ratio +
+                              (g - 1.0) / (2.0 * g));
+      if (xt < shock_speed) {
+        return s;
+      }
+      PrimitiveState out;
+      out.rho = s.rho * (ratio + (g - 1.0) / (g + 1.0)) /
+                ((g - 1.0) / (g + 1.0) * ratio + 1.0);
+      out.u = u_star_;
+      out.p = p_star_;
+      return out;
+    }
+    // Left rarefaction.
+    const double c_star = c * std::pow(p_star_ / s.p, (g - 1.0) / (2.0 * g));
+    if (xt < s.u - c) {
+      return s;
+    }
+    if (xt > u_star_ - c_star) {
+      PrimitiveState out;
+      out.rho = s.rho * std::pow(p_star_ / s.p, 1.0 / g);
+      out.u = u_star_;
+      out.p = p_star_;
+      return out;
+    }
+    // Inside the fan.
+    PrimitiveState out;
+    const double v = 2.0 / (g + 1.0) * (c + (g - 1.0) / 2.0 * s.u + xt);
+    const double cf = v - xt;
+    out.rho = s.rho * std::pow(cf / c, 2.0 / (g - 1.0));
+    out.u = v;
+    out.p = s.p * std::pow(cf / c, 2.0 * g / (g - 1.0));
+    return out;
+  }
+  // Right of the contact (mirrored logic).
+  const PrimitiveState& s = right_;
+  const double c = std::sqrt(g * s.p / s.rho);
+  if (p_star_ > s.p) {
+    // Right shock.
+    const double ratio = p_star_ / s.p;
+    const double shock_speed =
+        s.u + c * std::sqrt((g + 1.0) / (2.0 * g) * ratio +
+                            (g - 1.0) / (2.0 * g));
+    if (xt > shock_speed) {
+      return s;
+    }
+    PrimitiveState out;
+    out.rho = s.rho * (ratio + (g - 1.0) / (g + 1.0)) /
+              ((g - 1.0) / (g + 1.0) * ratio + 1.0);
+    out.u = u_star_;
+    out.p = p_star_;
+    return out;
+  }
+  // Right rarefaction.
+  const double c_star = c * std::pow(p_star_ / s.p, (g - 1.0) / (2.0 * g));
+  if (xt > s.u + c) {
+    return s;
+  }
+  if (xt < u_star_ + c_star) {
+    PrimitiveState out;
+    out.rho = s.rho * std::pow(p_star_ / s.p, 1.0 / g);
+    out.u = u_star_;
+    out.p = p_star_;
+    return out;
+  }
+  PrimitiveState out;
+  const double v = 2.0 / (g + 1.0) * (-c + (g - 1.0) / 2.0 * s.u + xt);
+  const double cf = xt - v;
+  out.rho = s.rho * std::pow(cf / c, 2.0 / (g - 1.0));
+  out.u = v;
+  out.p = s.p * std::pow(cf / c, 2.0 * g / (g - 1.0));
+  return out;
+}
+
+}  // namespace ramr::hydro

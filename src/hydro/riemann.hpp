@@ -1,0 +1,44 @@
+// Exact Riemann solver for the 1-D Euler equations (Toro's algorithm):
+// used to validate the hydrodynamics scheme against the analytic Sod
+// shock tube solution in tests and the sod_shock_tube example.
+#pragma once
+
+namespace ramr::hydro {
+
+/// Primitive state (density, velocity, pressure).
+struct PrimitiveState {
+  double rho = 0.0;
+  double u = 0.0;
+  double p = 0.0;
+};
+
+/// Exact solution of the Riemann problem with left/right states `l`, `r`
+/// (ideal gas, ratio of specific heats `gamma`).
+class RiemannSolution {
+ public:
+  RiemannSolution(const PrimitiveState& l, const PrimitiveState& r,
+                  double gamma = 1.4);
+
+  /// State at similarity coordinate x/t (x measured from the initial
+  /// discontinuity).
+  PrimitiveState sample(double x_over_t) const;
+
+  double star_pressure() const { return p_star_; }
+  double star_velocity() const { return u_star_; }
+
+ private:
+  double f_k(double p, const PrimitiveState& s) const;
+  double df_k(double p, const PrimitiveState& s) const;
+
+  PrimitiveState left_;
+  PrimitiveState right_;
+  double gamma_;
+  double p_star_ = 0.0;
+  double u_star_ = 0.0;
+};
+
+/// The classic Sod states: (1, 0, 1) | (0.125, 0, 0.1).
+inline PrimitiveState sod_left() { return {1.0, 0.0, 1.0}; }
+inline PrimitiveState sod_right() { return {0.125, 0.0, 0.1}; }
+
+}  // namespace ramr::hydro

@@ -1,0 +1,53 @@
+#include "mesh/box.hpp"
+
+namespace ramr::mesh {
+
+const char* centering_name(Centering c) {
+  switch (c) {
+    case Centering::kCell:
+      return "cell";
+    case Centering::kNode:
+      return "node";
+    case Centering::kXSide:
+      return "xside";
+    case Centering::kYSide:
+      return "yside";
+    case Centering::kSide:
+      return "side";
+  }
+  return "?";
+}
+
+Box to_centering(const Box& cells, Centering c) {
+  if (cells.empty()) {
+    return {};
+  }
+  switch (c) {
+    case Centering::kCell:
+      return cells;
+    case Centering::kNode:
+      return Box(cells.lower(), cells.upper() + IntVector(1, 1));
+    case Centering::kXSide:
+      return Box(cells.lower(), cells.upper() + IntVector(1, 0));
+    case Centering::kYSide:
+      return Box(cells.lower(), cells.upper() + IntVector(0, 1));
+    case Centering::kSide:
+      break;  // kSide has two component index spaces; callers must use
+              // component_centering() first.
+  }
+  RAMR_FAIL("to_centering requires a component centering, got "
+            << centering_name(c));
+}
+
+std::int64_t centering_size(const Box& cells, Centering c) {
+  return to_centering(cells, c).size();
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+  if (b.empty()) {
+    return os << "[empty]";
+  }
+  return os << "[" << b.lower() << ".." << b.upper() << "]";
+}
+
+}  // namespace ramr::mesh

@@ -1,0 +1,114 @@
+// Axis-aligned index boxes (the "logically rectangular grids" of
+// Berger-Colella AMR) and the centring index-space maps.
+//
+// A Box holds inclusive lower/upper cell indices. Node- and side-centred
+// quantities live in index spaces one element wider along the relevant
+// axes; to_centering() maps a cell box to the covering index box of a
+// given centring, exactly as SAMRAI's pdat geometry classes do.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "mesh/int_vector.hpp"
+#include "util/error.hpp"
+
+namespace ramr::mesh {
+
+/// Data centrings needed by the hydrodynamics scheme (paper §IV-B2).
+/// kSide is a variable-level centring with two components (x-faces and
+/// y-faces, as SAMRAI's SideData); kXSide / kYSide name the component
+/// index spaces.
+enum class Centering { kCell, kNode, kXSide, kYSide, kSide };
+
+const char* centering_name(Centering c);
+
+/// Number of component arrays of a variable with centring c.
+inline int centering_components(Centering c) {
+  return c == Centering::kSide ? 2 : 1;
+}
+
+/// Index space of component k of a variable with centring c.
+inline Centering component_centering(Centering c, int k) {
+  if (c == Centering::kSide) {
+    return k == 0 ? Centering::kXSide : Centering::kYSide;
+  }
+  return c;
+}
+
+/// Inclusive index box [lo, hi]. Empty when any component of hi < lo.
+class Box {
+ public:
+  Box() : lo_(0, 0), hi_(-1, -1) {}  // canonical empty box
+  Box(IntVector lo, IntVector hi) : lo_(lo), hi_(hi) {}
+  Box(int ilo, int jlo, int ihi, int jhi) : lo_(ilo, jlo), hi_(ihi, jhi) {}
+
+  const IntVector& lower() const { return lo_; }
+  const IntVector& upper() const { return hi_; }
+
+  bool empty() const { return hi_.i < lo_.i || hi_.j < lo_.j; }
+
+  int width() const { return empty() ? 0 : hi_.i - lo_.i + 1; }
+  int height() const { return empty() ? 0 : hi_.j - lo_.j + 1; }
+
+  /// Number of index points in the box.
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(width()) * height();
+  }
+
+  bool contains(const IntVector& p) const {
+    return p.all_ge(lo_) && p.all_le(hi_);
+  }
+
+  bool contains(const Box& other) const {
+    return other.empty() || (other.lo_.all_ge(lo_) && other.hi_.all_le(hi_));
+  }
+
+  bool intersects(const Box& other) const {
+    return !intersect(other).empty();
+  }
+
+  /// Intersection (empty box when disjoint).
+  Box intersect(const Box& other) const {
+    return Box(componentwise_max(lo_, other.lo_),
+               componentwise_min(hi_, other.hi_));
+  }
+
+  Box grow(const IntVector& g) const { return Box(lo_ - g, hi_ + g); }
+  Box grow(int g) const { return grow(IntVector::uniform(g)); }
+
+  Box shift(const IntVector& s) const { return Box(lo_ + s, hi_ + s); }
+
+  /// Fine-index box covering the same region at `ratio` times the
+  /// resolution: [lo*r, (hi+1)*r - 1].
+  Box refine(const IntVector& ratio) const {
+    if (empty()) return {};
+    return Box(lo_ * ratio, (hi_ + IntVector(1, 1)) * ratio - IntVector(1, 1));
+  }
+
+  /// Coarse-index box covering this region (flooring division).
+  Box coarsen(const IntVector& ratio) const {
+    if (empty()) return {};
+    return Box(floor_div(lo_, ratio), floor_div(hi_, ratio));
+  }
+
+  bool operator==(const Box& o) const {
+    return (empty() && o.empty()) || (lo_ == o.lo_ && hi_ == o.hi_);
+  }
+  bool operator!=(const Box& o) const { return !(*this == o); }
+
+ private:
+  IntVector lo_;
+  IntVector hi_;
+};
+
+/// Index box of centring `c` covering cell box `cells`: nodes extend one
+/// index past the upper cell along both axes, sides along their axis.
+Box to_centering(const Box& cells, Centering c);
+
+/// Number of data elements of centring `c` covering cell box `cells`.
+std::int64_t centering_size(const Box& cells, Centering c);
+
+std::ostream& operator<<(std::ostream& os, const Box& b);
+
+}  // namespace ramr::mesh

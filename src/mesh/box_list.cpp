@@ -1,0 +1,171 @@
+#include "mesh/box_list.hpp"
+
+#include <algorithm>
+
+namespace ramr::mesh {
+
+BoxList::BoxList(std::vector<Box> boxes) {
+  boxes_.reserve(boxes.size());
+  for (const Box& b : boxes) {
+    push_back(b);
+  }
+}
+
+std::int64_t BoxList::size() const {
+  std::int64_t total = 0;
+  for (const Box& b : boxes_) {
+    total += b.size();
+  }
+  return total;
+}
+
+std::vector<Box> box_difference(const Box& from, const Box& takeaway) {
+  std::vector<Box> result;
+  const Box overlap = from.intersect(takeaway);
+  if (overlap.empty()) {
+    result.push_back(from);
+    return result;
+  }
+  if (overlap == from) {
+    return result;  // fully covered
+  }
+  // Slice the four bands around the overlap (left, right, below, above of
+  // the middle band), producing disjoint boxes.
+  const IntVector lo = from.lower();
+  const IntVector hi = from.upper();
+  const IntVector olo = overlap.lower();
+  const IntVector ohi = overlap.upper();
+
+  // Bottom band (full width).
+  if (olo.j > lo.j) {
+    result.emplace_back(IntVector(lo.i, lo.j), IntVector(hi.i, olo.j - 1));
+  }
+  // Top band (full width).
+  if (ohi.j < hi.j) {
+    result.emplace_back(IntVector(lo.i, ohi.j + 1), IntVector(hi.i, hi.j));
+  }
+  // Left band (middle rows only).
+  if (olo.i > lo.i) {
+    result.emplace_back(IntVector(lo.i, olo.j), IntVector(olo.i - 1, ohi.j));
+  }
+  // Right band (middle rows only).
+  if (ohi.i < hi.i) {
+    result.emplace_back(IntVector(ohi.i + 1, olo.j), IntVector(hi.i, ohi.j));
+  }
+  return result;
+}
+
+void BoxList::remove_intersections(const Box& takeaway) {
+  if (takeaway.empty()) {
+    return;
+  }
+  std::vector<Box> next;
+  next.reserve(boxes_.size());
+  for (const Box& b : boxes_) {
+    for (const Box& piece : box_difference(b, takeaway)) {
+      next.push_back(piece);
+    }
+  }
+  boxes_ = std::move(next);
+}
+
+void BoxList::remove_intersections(const BoxList& takeaway) {
+  for (const Box& t : takeaway.boxes()) {
+    remove_intersections(t);
+    if (boxes_.empty()) {
+      return;
+    }
+  }
+}
+
+void BoxList::intersect(const Box& region) {
+  std::vector<Box> next;
+  next.reserve(boxes_.size());
+  for (const Box& b : boxes_) {
+    const Box piece = b.intersect(region);
+    if (!piece.empty()) {
+      next.push_back(piece);
+    }
+  }
+  boxes_ = std::move(next);
+}
+
+void BoxList::intersect(const BoxList& region) {
+  std::vector<Box> next;
+  for (const Box& b : boxes_) {
+    // Disjoint decomposition: subtract the already-kept pieces of this box
+    // from each intersection so overlapping region boxes do not duplicate
+    // points.
+    std::vector<Box> kept_for_b;
+    for (const Box& r : region.boxes()) {
+      BoxList cut(b.intersect(r));
+      for (const Box& prev : kept_for_b) {
+        cut.remove_intersections(prev);
+      }
+      for (const Box& piece : cut.boxes()) {
+        kept_for_b.push_back(piece);
+      }
+    }
+    next.insert(next.end(), kept_for_b.begin(), kept_for_b.end());
+  }
+  boxes_ = std::move(next);
+}
+
+bool BoxList::contains_point(const IntVector& p) const {
+  return std::any_of(boxes_.begin(), boxes_.end(),
+                     [&](const Box& b) { return b.contains(p); });
+}
+
+bool BoxList::contains_box(const Box& b) const {
+  BoxList remainder(b);
+  remainder.remove_intersections(*this);
+  return remainder.empty();
+}
+
+void BoxList::coalesce() {
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (std::size_t a = 0; a < boxes_.size() && !merged; ++a) {
+      for (std::size_t b = a + 1; b < boxes_.size() && !merged; ++b) {
+        const Box& x = boxes_[a];
+        const Box& y = boxes_[b];
+        // Horizontally adjacent with equal vertical extent.
+        const bool same_rows =
+            x.lower().j == y.lower().j && x.upper().j == y.upper().j;
+        const bool same_cols =
+            x.lower().i == y.lower().i && x.upper().i == y.upper().i;
+        Box combined;
+        if (same_rows && (x.upper().i + 1 == y.lower().i)) {
+          combined = Box(x.lower(), y.upper());
+        } else if (same_rows && (y.upper().i + 1 == x.lower().i)) {
+          combined = Box(y.lower(), x.upper());
+        } else if (same_cols && (x.upper().j + 1 == y.lower().j)) {
+          combined = Box(x.lower(), y.upper());
+        } else if (same_cols && (y.upper().j + 1 == x.lower().j)) {
+          combined = Box(y.lower(), x.upper());
+        } else {
+          continue;
+        }
+        boxes_[a] = combined;
+        boxes_.erase(boxes_.begin() + static_cast<std::ptrdiff_t>(b));
+        merged = true;
+      }
+    }
+  }
+}
+
+Box BoxList::bounding_box() const {
+  if (boxes_.empty()) {
+    return {};
+  }
+  IntVector lo = boxes_.front().lower();
+  IntVector hi = boxes_.front().upper();
+  for (const Box& b : boxes_) {
+    lo = componentwise_min(lo, b.lower());
+    hi = componentwise_max(hi, b.upper());
+  }
+  return Box(lo, hi);
+}
+
+}  // namespace ramr::mesh

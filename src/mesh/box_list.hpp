@@ -1,0 +1,64 @@
+// Box-list calculus: unions of boxes with removal (set difference),
+// intersection and coalescing. These operations drive ghost-region fill
+// planning (which parts of a patch boundary come from siblings, from the
+// coarser level, or from physical boundary conditions) and the proper
+// nesting enforcement in the gridding algorithm.
+#pragma once
+
+#include <vector>
+
+#include "mesh/box.hpp"
+
+namespace ramr::mesh {
+
+/// An (unordered, possibly overlapping) union of boxes.
+class BoxList {
+ public:
+  BoxList() = default;
+  explicit BoxList(const Box& b) {
+    if (!b.empty()) boxes_.push_back(b);
+  }
+  explicit BoxList(std::vector<Box> boxes);
+
+  const std::vector<Box>& boxes() const { return boxes_; }
+  bool empty() const { return boxes_.empty(); }
+  std::size_t count() const { return boxes_.size(); }
+
+  /// Total index points (exact only when boxes are disjoint, which all
+  /// BoxList operations here maintain).
+  std::int64_t size() const;
+
+  void push_back(const Box& b) {
+    if (!b.empty()) boxes_.push_back(b);
+  }
+
+  /// Removes `takeaway` from every box: afterwards no box intersects it.
+  /// Splits boxes into at most 4 disjoint pieces each (2-D).
+  void remove_intersections(const Box& takeaway);
+  void remove_intersections(const BoxList& takeaway);
+
+  /// Keeps only the parts inside `region` / inside the union `region`.
+  void intersect(const Box& region);
+  void intersect(const BoxList& region);
+
+  /// True when p lies inside some box of the list.
+  bool contains_point(const IntVector& p) const;
+
+  /// True when every point of b is covered by the union of the list.
+  bool contains_box(const Box& b) const;
+
+  /// Merges axis-adjacent boxes with identical extent on the other axis;
+  /// reduces fragmentation after removal operations.
+  void coalesce();
+
+  /// Smallest box containing the whole list.
+  Box bounding_box() const;
+
+ private:
+  std::vector<Box> boxes_;
+};
+
+/// The (up to 4) disjoint pieces of `from` not covered by `takeaway`.
+std::vector<Box> box_difference(const Box& from, const Box& takeaway);
+
+}  // namespace ramr::mesh

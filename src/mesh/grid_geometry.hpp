@@ -1,0 +1,64 @@
+// Physical geometry of the computational domain.
+//
+// The base grid G0 covers `domain_box` in level-0 index space and the
+// physical rectangle [x_lo, x_hi] x [y_lo, y_hi]. Finer levels refine the
+// index space by the cumulative refinement ratio; mesh spacing follows
+// h_l = h_{l-1} / r_l (paper §II).
+#pragma once
+
+#include <array>
+
+#include "mesh/box.hpp"
+#include "util/error.hpp"
+
+namespace ramr::mesh {
+
+/// Immutable description of the problem domain.
+class GridGeometry {
+ public:
+  GridGeometry(Box domain_box, std::array<double, 2> x_lo,
+               std::array<double, 2> x_hi)
+      : domain_box_(domain_box), x_lo_(x_lo), x_hi_(x_hi) {
+    RAMR_REQUIRE(!domain_box.empty(), "domain box must be non-empty");
+    RAMR_REQUIRE(x_hi[0] > x_lo[0] && x_hi[1] > x_lo[1],
+                 "domain extents must be positive");
+  }
+
+  const Box& domain_box() const { return domain_box_; }
+  const std::array<double, 2>& x_lo() const { return x_lo_; }
+  const std::array<double, 2>& x_hi() const { return x_hi_; }
+
+  /// Level-0 mesh spacing along `axis`.
+  double dx0(int axis) const {
+    const double extent = x_hi_[static_cast<std::size_t>(axis)] -
+                          x_lo_[static_cast<std::size_t>(axis)];
+    const int cells = axis == 0 ? domain_box_.width() : domain_box_.height();
+    return extent / cells;
+  }
+
+  /// Domain box in the index space of a level with cumulative refinement
+  /// ratio `ratio_to_level_zero`.
+  Box domain_box_at(const IntVector& ratio_to_level_zero) const {
+    return domain_box_.refine(ratio_to_level_zero);
+  }
+
+  /// Mesh spacing at a level with the given cumulative ratio.
+  std::array<double, 2> dx_at(const IntVector& ratio_to_level_zero) const {
+    return {dx0(0) / ratio_to_level_zero.i, dx0(1) / ratio_to_level_zero.j};
+  }
+
+  /// Physical coordinate of the lower-left corner of cell (i, j) at a
+  /// level with the given cumulative ratio.
+  std::array<double, 2> cell_lower(const IntVector& cell,
+                                   const IntVector& ratio) const {
+    const std::array<double, 2> dx = dx_at(ratio);
+    return {x_lo_[0] + cell.i * dx[0], x_lo_[1] + cell.j * dx[1]};
+  }
+
+ private:
+  Box domain_box_;
+  std::array<double, 2> x_lo_;
+  std::array<double, 2> x_hi_;
+};
+
+}  // namespace ramr::mesh

@@ -1,0 +1,65 @@
+// 2-D integer vector used for cell indices, ghost widths and refinement
+// ratios. The paper's scheme is 2-D (CloverLeaf/CleverLeaf), so the mesh
+// library is specialised for two dimensions.
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+
+namespace ramr::mesh {
+
+/// 2-D integer vector with componentwise arithmetic.
+struct IntVector {
+  int i = 0;
+  int j = 0;
+
+  constexpr IntVector() = default;
+  constexpr IntVector(int ii, int jj) : i(ii), j(jj) {}
+
+  /// Uniform vector (v, v): convenient for isotropic ghost widths and
+  /// refinement ratios.
+  static constexpr IntVector uniform(int v) { return IntVector(v, v); }
+  static constexpr IntVector zero() { return IntVector(0, 0); }
+
+  constexpr int operator[](int axis) const { return axis == 0 ? i : j; }
+
+  constexpr IntVector operator+(const IntVector& o) const { return {i + o.i, j + o.j}; }
+  constexpr IntVector operator-(const IntVector& o) const { return {i - o.i, j - o.j}; }
+  constexpr IntVector operator*(const IntVector& o) const { return {i * o.i, j * o.j}; }
+  constexpr IntVector operator*(int s) const { return {i * s, j * s}; }
+  constexpr IntVector operator-() const { return {-i, -j}; }
+
+  constexpr bool operator==(const IntVector& o) const { return i == o.i && j == o.j; }
+  constexpr bool operator!=(const IntVector& o) const { return !(*this == o); }
+
+  /// True when both components satisfy the comparison (partial order).
+  constexpr bool all_ge(const IntVector& o) const { return i >= o.i && j >= o.j; }
+  constexpr bool all_le(const IntVector& o) const { return i <= o.i && j <= o.j; }
+  constexpr bool all_gt(const IntVector& o) const { return i > o.i && j > o.j; }
+
+  constexpr int min_component() const { return std::min(i, j); }
+  constexpr int max_component() const { return std::max(i, j); }
+};
+
+constexpr IntVector componentwise_min(const IntVector& a, const IntVector& b) {
+  return {std::min(a.i, b.i), std::min(a.j, b.j)};
+}
+
+constexpr IntVector componentwise_max(const IntVector& a, const IntVector& b) {
+  return {std::max(a.i, b.i), std::max(a.j, b.j)};
+}
+
+/// Flooring division, correct for negative indices; used by coarsening.
+constexpr int floor_div(int a, int b) {
+  return (a >= 0) ? a / b : -((-a + b - 1) / b);
+}
+
+constexpr IntVector floor_div(const IntVector& a, const IntVector& b) {
+  return {floor_div(a.i, b.i), floor_div(a.j, b.j)};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const IntVector& v) {
+  return os << "(" << v.i << "," << v.j << ")";
+}
+
+}  // namespace ramr::mesh

@@ -1,0 +1,108 @@
+#include "pdat/array_data.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ramr::pdat {
+
+using mesh::Box;
+using mesh::BoxList;
+using mesh::IntVector;
+
+ArrayData::ArrayData(const Box& index_box, int depth)
+    : box_(index_box), depth_(depth) {
+  RAMR_REQUIRE(!index_box.empty(), "ArrayData over empty box");
+  RAMR_REQUIRE(depth >= 1, "ArrayData depth must be >= 1, got " << depth);
+  data_.assign(static_cast<std::size_t>(total_elements()), 0.0);
+}
+
+util::View ArrayData::view(int d) {
+  RAMR_DEBUG_ASSERT(d >= 0 && d < depth_);
+  return util::View(plane(d), box_.lower().i, box_.lower().j, box_.width(),
+                    box_.height());
+}
+
+util::ConstView ArrayData::view(int d) const {
+  RAMR_DEBUG_ASSERT(d >= 0 && d < depth_);
+  return util::ConstView(plane(d), box_.lower().i, box_.lower().j,
+                         box_.width(), box_.height());
+}
+
+double* ArrayData::plane(int d) {
+  return data_.data() + static_cast<std::size_t>(d) *
+                            static_cast<std::size_t>(elements_per_depth());
+}
+
+const double* ArrayData::plane(int d) const {
+  return data_.data() + static_cast<std::size_t>(d) *
+                            static_cast<std::size_t>(elements_per_depth());
+}
+
+void ArrayData::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void ArrayData::fill(double value, const Box& region) {
+  const Box r = box_.intersect(region);
+  if (r.empty()) {
+    return;
+  }
+  for (int d = 0; d < depth_; ++d) {
+    util::View v = view(d);
+    for (int j = r.lower().j; j <= r.upper().j; ++j) {
+      for (int i = r.lower().i; i <= r.upper().i; ++i) {
+        v(i, j) = value;
+      }
+    }
+  }
+}
+
+void ArrayData::copy_from(const ArrayData& src, const Box& region,
+                          const IntVector& shift) {
+  RAMR_REQUIRE(src.depth_ == depth_, "depth mismatch in ArrayData copy");
+  const Box dst_valid = box_.intersect(region);
+  const Box src_valid = src.box_.shift(shift).intersect(dst_valid);
+  if (src_valid.empty()) {
+    return;
+  }
+  for (int d = 0; d < depth_; ++d) {
+    util::View dst = view(d);
+    util::ConstView s = src.view(d);
+    for (int j = src_valid.lower().j; j <= src_valid.upper().j; ++j) {
+      for (int i = src_valid.lower().i; i <= src_valid.upper().i; ++i) {
+        dst(i, j) = s(i - shift.i, j - shift.j);
+      }
+    }
+  }
+}
+
+void ArrayData::pack(MessageStream& stream, const BoxList& regions) const {
+  for (int d = 0; d < depth_; ++d) {
+    util::ConstView v = view(d);
+    for (const Box& b : regions.boxes()) {
+      RAMR_REQUIRE(box_.contains(b),
+                   "pack region " << b << " outside array box " << box_);
+      for (int j = b.lower().j; j <= b.upper().j; ++j) {
+        stream.write_doubles(&v(b.lower().i, j),
+                             static_cast<std::size_t>(b.width()));
+      }
+    }
+  }
+}
+
+void ArrayData::unpack(MessageStream& stream, const BoxList& regions) {
+  for (int d = 0; d < depth_; ++d) {
+    util::View v = view(d);
+    for (const Box& b : regions.boxes()) {
+      RAMR_REQUIRE(box_.contains(b),
+                   "unpack region " << b << " outside array box " << box_);
+      for (int j = b.lower().j; j <= b.upper().j; ++j) {
+        stream.read_doubles(&v(b.lower().i, j),
+                            static_cast<std::size_t>(b.width()));
+      }
+    }
+  }
+}
+
+}  // namespace ramr::pdat

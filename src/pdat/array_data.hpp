@@ -1,0 +1,55 @@
+// Host-side contiguous array over an index box (SAMRAI's ArrayData).
+// The CPU analogue of pdat::cuda::CudaArrayData (paper Fig. 3).
+#pragma once
+
+#include <vector>
+
+#include "mesh/box.hpp"
+#include "mesh/box_list.hpp"
+#include "pdat/message_stream.hpp"
+#include "util/array_view.hpp"
+
+namespace ramr::pdat {
+
+/// Row-major array of doubles covering `index_box` with `depth` planes.
+class ArrayData {
+ public:
+  ArrayData(const mesh::Box& index_box, int depth = 1);
+
+  const mesh::Box& index_box() const { return box_; }
+  int depth() const { return depth_; }
+  std::int64_t elements_per_depth() const { return box_.size(); }
+  std::int64_t total_elements() const { return box_.size() * depth_; }
+
+  util::View view(int d = 0);
+  util::ConstView view(int d = 0) const;
+
+  double* plane(int d);
+  const double* plane(int d) const;
+
+  double& at(int i, int j, int d = 0) { return view(d)(i, j); }
+  double at(int i, int j, int d = 0) const { return view(d)(i, j); }
+
+  void fill(double value);
+  void fill(double value, const mesh::Box& region);
+
+  /// dst(p) = src(p - shift) over `region` (dst index space), all depths.
+  void copy_from(const ArrayData& src, const mesh::Box& region,
+                 const mesh::IntVector& shift = mesh::IntVector::zero());
+
+  /// Appends the listed regions (row-major per box, depth-major outer).
+  void pack(MessageStream& stream, const mesh::BoxList& regions) const;
+  void unpack(MessageStream& stream, const mesh::BoxList& regions);
+
+  static std::size_t stream_size(const mesh::BoxList& regions, int depth) {
+    return static_cast<std::size_t>(regions.size()) *
+           static_cast<std::size_t>(depth) * sizeof(double);
+  }
+
+ private:
+  mesh::Box box_;
+  int depth_;
+  std::vector<double> data_;
+};
+
+}  // namespace ramr::pdat

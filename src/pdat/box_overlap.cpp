@@ -1,0 +1,51 @@
+#include "pdat/box_overlap.hpp"
+
+namespace ramr::pdat {
+
+using mesh::Box;
+using mesh::BoxList;
+using mesh::Centering;
+
+BoxOverlap overlap_for_copy(Centering centering, const Box& src_cells,
+                            const Box& dst_cells,
+                            const mesh::IntVector& dst_ghosts) {
+  std::vector<BoxList> lists;
+  const int ncomp = mesh::centering_components(centering);
+  lists.reserve(static_cast<std::size_t>(ncomp));
+  const Box dst_grown = dst_cells.grow(dst_ghosts);
+  for (int k = 0; k < ncomp; ++k) {
+    const Centering comp = mesh::component_centering(centering, k);
+    const Box src_idx = mesh::to_centering(src_cells, comp);
+    const Box dst_idx = mesh::to_centering(dst_grown, comp);
+    lists.emplace_back(src_idx.intersect(dst_idx));
+  }
+  return BoxOverlap(centering, std::move(lists));
+}
+
+BoxOverlap overlap_for_region(Centering centering, const BoxList& fill_cells) {
+  std::vector<BoxList> lists;
+  const int ncomp = mesh::centering_components(centering);
+  lists.reserve(static_cast<std::size_t>(ncomp));
+  for (int k = 0; k < ncomp; ++k) {
+    const Centering comp = mesh::component_centering(centering, k);
+    BoxList list;
+    for (const Box& b : fill_cells.boxes()) {
+      list.push_back(mesh::to_centering(b, comp));
+    }
+    // Cell boxes that were disjoint can produce overlapping node/side
+    // boxes along shared edges; make the decomposition disjoint again so
+    // pack/unpack sizes stay exact.
+    BoxList disjoint;
+    for (const Box& b : list.boxes()) {
+      BoxList piece(b);
+      piece.remove_intersections(disjoint);
+      for (const Box& p : piece.boxes()) {
+        disjoint.push_back(p);
+      }
+    }
+    lists.push_back(std::move(disjoint));
+  }
+  return BoxOverlap(centering, std::move(lists));
+}
+
+}  // namespace ramr::pdat

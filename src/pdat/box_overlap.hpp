@@ -1,0 +1,72 @@
+// Overlap descriptions for patch-to-patch data transfer.
+//
+// A BoxOverlap records, per data component, the destination-index-space
+// boxes that must be filled, plus the shift applied to map a destination
+// index back to the source index space (zero except for future periodic
+// support). SAMRAI passes these to every copy/pack/unpack in the
+// PatchData interface (Fig. 2); we do the same.
+#pragma once
+
+#include <vector>
+
+#include "mesh/box.hpp"
+#include "mesh/box_list.hpp"
+
+namespace ramr::pdat {
+
+/// Per-component fill boxes for one transfer.
+class BoxOverlap {
+ public:
+  BoxOverlap(mesh::Centering centering, std::vector<mesh::BoxList> component_boxes,
+             mesh::IntVector src_shift = mesh::IntVector::zero())
+      : centering_(centering),
+        component_boxes_(std::move(component_boxes)),
+        src_shift_(src_shift) {}
+
+  mesh::Centering centering() const { return centering_; }
+  int components() const { return static_cast<int>(component_boxes_.size()); }
+  const mesh::BoxList& component(int k) const {
+    return component_boxes_[static_cast<std::size_t>(k)];
+  }
+
+  /// Maps a destination index to the source index space.
+  mesh::IntVector src_shift() const { return src_shift_; }
+
+  bool empty() const {
+    for (const auto& list : component_boxes_) {
+      if (!list.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Total data elements described (all components).
+  std::int64_t element_count() const {
+    std::int64_t n = 0;
+    for (const auto& list : component_boxes_) {
+      n += list.size();
+    }
+    return n;
+  }
+
+ private:
+  mesh::Centering centering_;
+  std::vector<mesh::BoxList> component_boxes_;
+  mesh::IntVector src_shift_;
+};
+
+/// Overlap for copying the *interior* of a source patch (cell box
+/// `src_cells`) into the interior+ghost region of a destination patch
+/// (cell box `dst_cells` grown by `dst_ghosts`), in the index spaces of
+/// variable centring `centering`.
+BoxOverlap overlap_for_copy(mesh::Centering centering, const mesh::Box& src_cells,
+                            const mesh::Box& dst_cells,
+                            const mesh::IntVector& dst_ghosts);
+
+/// Overlap restricted to an explicit cell-space fill region (used when a
+/// schedule has computed exactly which ghost pieces a source provides).
+BoxOverlap overlap_for_region(mesh::Centering centering,
+                              const mesh::BoxList& fill_cells);
+
+}  // namespace ramr::pdat

@@ -1,0 +1,93 @@
+// GPU-resident contiguous array over an index box — the common data
+// store of the paper's CudaPatchData library (Fig. 3).
+//
+// CudaArrayData allocates one contiguous array in (virtual) device memory
+// for a given box, and provides the data-parallel routines the paper
+// describes: copy between device arrays, pack a region of the array into
+// a contiguous device buffer, and unpack a buffer into a region — each
+// executed with one device thread per element (Fig. 4). The packed
+// buffer is then copied across the (modeled) PCIe bus into the host
+// MessageStream, which SAMRAI hands to MPI.
+#pragma once
+
+#include "mesh/box.hpp"
+#include "mesh/box_list.hpp"
+#include "pdat/message_stream.hpp"
+#include "util/array_view.hpp"
+#include "vgpu/device_buffer.hpp"
+
+namespace ramr::pdat::cuda {
+
+/// Device-resident row-major array of doubles covering `index_box`.
+class CudaArrayData {
+ public:
+  CudaArrayData(vgpu::Device& device, const mesh::Box& index_box, int depth = 1);
+
+  const mesh::Box& index_box() const { return box_; }
+  int depth() const { return depth_; }
+  std::int64_t elements_per_depth() const { return box_.size(); }
+  std::int64_t total_elements() const { return box_.size() * depth_; }
+  vgpu::Device& device() const { return *device_; }
+
+  /// Device-space view for kernels (host code must not dereference).
+  util::View device_view(int d = 0) const;
+
+  /// Fills `region` (clipped to the array box) with a constant, one
+  /// thread per element.
+  void fill(double value);
+  void fill(double value, const mesh::Box& region);
+
+  /// dst(p) = src(p - shift) over `region` in dst index space; a
+  /// device-to-device data-parallel copy (both arrays must live on the
+  /// same device, as patches within one rank do).
+  void copy_from(const CudaArrayData& src, const mesh::Box& region,
+                 const mesh::IntVector& shift = mesh::IntVector::zero());
+
+  /// Batched form: copies every region in one kernel launch (overlaps in
+  /// halo exchange often have several small boxes; one launch per box
+  /// would be launch-overhead-bound on the device).
+  void copy_from_multi(const CudaArrayData& src,
+                       const std::vector<mesh::Box>& regions,
+                       const mesh::IntVector& shift = mesh::IntVector::zero());
+
+  /// Data-parallel pack: gathers the listed regions into a contiguous
+  /// device buffer (one thread per element), then copies that buffer over
+  /// PCIe into the stream (paper Fig. 4).
+  void pack(MessageStream& stream, const mesh::BoxList& regions) const;
+
+  /// Reverse of pack: PCIe upload into a contiguous device buffer, then a
+  /// data-parallel scatter kernel.
+  void unpack(MessageStream& stream, const mesh::BoxList& regions);
+
+  /// Downloads one depth plane to host memory (examples/diagnostics only;
+  /// charges PCIe like any other crossing).
+  std::vector<double> download_plane(int d = 0) const;
+
+  /// Uploads a full host plane (initialisation).
+  void upload_plane(const std::vector<double>& host, int d = 0);
+
+  // -- Spilling (paper §VI future work: patches "spilled" into CPU
+  //    memory and transferred back to the device when necessary) -------
+
+  /// True while the array occupies device memory.
+  bool resident() const { return !spilled_; }
+
+  /// Downloads the array to a host backing store and frees the device
+  /// allocation (one PCIe crossing; the modeled capacity is released).
+  void spill_to_host();
+
+  /// Re-allocates device memory and uploads the backing store (throws
+  /// like any allocation when the device is full).
+  void make_resident();
+
+ private:
+  vgpu::Device* device_;
+  mesh::Box box_;
+  int depth_;
+  vgpu::DeviceBuffer<double> buffer_;
+  mutable vgpu::Stream stream_;
+  bool spilled_ = false;
+  std::vector<double> host_backing_;
+};
+
+}  // namespace ramr::pdat::cuda

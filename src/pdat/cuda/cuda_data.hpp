@@ -1,0 +1,122 @@
+// GPU-resident PatchData implementations: CudaCellData, CudaNodeData and
+// CudaSideData (paper Fig. 3), plus their factory.
+//
+// Each data-centring owns CudaArrayData objects sized by passing "a
+// slightly different Box" (the centring index-space map) to the common
+// store, exactly as the paper describes. Because these classes implement
+// the PatchData interface (Fig. 2), the unmodified mesh-management and
+// communication machinery works on GPU-resident data: this is the
+// resident-AMR contribution.
+#pragma once
+
+#include <vector>
+
+#include "pdat/cuda/cuda_array_data.hpp"
+#include "pdat/patch_data.hpp"
+
+namespace ramr::pdat::cuda {
+
+/// Common implementation for device-resident array PatchData.
+class CudaData : public PatchData {
+ public:
+  CudaData(vgpu::Device& device, const mesh::Box& cell_box,
+           const mesh::IntVector& ghosts, mesh::Centering centering, int depth);
+
+  vgpu::Device& device() const { return *device_; }
+
+  int components() const { return static_cast<int>(arrays_.size()); }
+  CudaArrayData& component(int k) { return arrays_[static_cast<std::size_t>(k)]; }
+  const CudaArrayData& component(int k) const {
+    return arrays_[static_cast<std::size_t>(k)];
+  }
+
+  /// Device-space view of component k, plane d, for kernel arguments.
+  util::View device_view(int k = 0, int d = 0) const {
+    return component(k).device_view(d);
+  }
+
+  void fill(double value);
+
+  /// Spill / restore all component arrays (paper §VI future work).
+  void spill_to_host() {
+    for (auto& a : arrays_) a.spill_to_host();
+  }
+  void make_resident() {
+    for (auto& a : arrays_) a.make_resident();
+  }
+  bool resident() const {
+    for (const auto& a : arrays_) {
+      if (!a.resident()) return false;
+    }
+    return true;
+  }
+
+  void copy(const PatchData& src) override;
+  void copy(const PatchData& src, const BoxOverlap& overlap) override;
+  std::size_t data_stream_size(const BoxOverlap& overlap) const override;
+  void pack_stream(MessageStream& stream, const BoxOverlap& overlap) const override;
+  void unpack_stream(MessageStream& stream, const BoxOverlap& overlap) override;
+
+  /// Checkpointing crosses PCIe by design (a full-field download/upload,
+  /// charged and logged like any other crossing).
+  void put_to_restart(Database& db, const std::string& prefix) const override;
+  void get_from_restart(const Database& db, const std::string& prefix) override;
+
+ private:
+  vgpu::Device* device_;
+  std::vector<CudaArrayData> arrays_;
+};
+
+/// Cell-centred device data (density, energy, pressure, viscosity, ...).
+class CudaCellData : public CudaData {
+ public:
+  CudaCellData(vgpu::Device& device, const mesh::Box& cell_box,
+               const mesh::IntVector& ghosts, int depth = 1)
+      : CudaData(device, cell_box, ghosts, mesh::Centering::kCell, depth) {}
+};
+
+/// Node-centred device data (velocities).
+class CudaNodeData : public CudaData {
+ public:
+  CudaNodeData(vgpu::Device& device, const mesh::Box& cell_box,
+               const mesh::IntVector& ghosts, int depth = 1)
+      : CudaData(device, cell_box, ghosts, mesh::Centering::kNode, depth) {}
+};
+
+/// Side-centred device data (volume / mass fluxes), x- and y-face
+/// components.
+class CudaSideData : public CudaData {
+ public:
+  CudaSideData(vgpu::Device& device, const mesh::Box& cell_box,
+               const mesh::IntVector& ghosts, int depth = 1)
+      : CudaData(device, cell_box, ghosts, mesh::Centering::kSide, depth) {}
+};
+
+/// Factory producing device-resident data on a fixed device.
+class CudaDataFactory : public PatchDataFactory {
+ public:
+  CudaDataFactory(vgpu::Device& device, mesh::Centering centering,
+                  mesh::IntVector ghosts, int depth = 1)
+      : device_(&device), centering_(centering), ghosts_(ghosts), depth_(depth) {}
+
+  std::unique_ptr<PatchData> allocate(const mesh::Box& cell_box) const override {
+    return std::make_unique<CudaData>(*device_, cell_box, ghosts_, centering_,
+                                      depth_);
+  }
+  std::unique_ptr<PatchData> allocate_with_ghosts(
+      const mesh::Box& cell_box, const mesh::IntVector& ghosts) const override {
+    return std::make_unique<CudaData>(*device_, cell_box, ghosts, centering_,
+                                      depth_);
+  }
+  mesh::Centering centering() const override { return centering_; }
+  mesh::IntVector ghosts() const override { return ghosts_; }
+  int depth() const override { return depth_; }
+
+ private:
+  vgpu::Device* device_;
+  mesh::Centering centering_;
+  mesh::IntVector ghosts_;
+  int depth_;
+};
+
+}  // namespace ramr::pdat::cuda

@@ -1,0 +1,105 @@
+#include "pdat/cuda/spill_manager.hpp"
+
+#include "util/error.hpp"
+
+namespace ramr::pdat::cuda {
+
+std::uint64_t PatchSpillManager::patch_bytes(hier::Patch& patch) {
+  std::uint64_t bytes = 0;
+  RAMR_REQUIRE(patch.allocated(), "cannot manage an unallocated patch");
+  for (int id = 0; id < patch.data_count(); ++id) {
+    auto& cd = patch.typed_data<CudaData>(id);
+    for (int k = 0; k < cd.components(); ++k) {
+      bytes += static_cast<std::uint64_t>(cd.component(k).total_elements()) *
+               sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+void PatchSpillManager::register_patch(hier::Patch& patch) {
+  const std::uint64_t key = key_of(patch);
+  RAMR_REQUIRE(entries_.find(key) == entries_.end(),
+               "patch registered twice with the spill manager");
+  Entry e;
+  e.patch = &patch;
+  e.bytes = patch_bytes(patch);
+  RAMR_REQUIRE(e.bytes <= budget_,
+               "patch (" << e.bytes << " bytes) exceeds the spill budget "
+               << budget_);
+  e.resident = true;
+  lru_.push_back(key);
+  e.lru_pos = std::prev(lru_.end());
+  resident_bytes_ += e.bytes;
+  entries_.emplace(key, e);
+  // Registration itself may overflow the budget: evict older patches.
+  auto it = lru_.begin();
+  while (resident_bytes_ > budget_ && it != lru_.end()) {
+    const std::uint64_t victim_key = *it;
+    ++it;
+    if (victim_key == key) {
+      continue;
+    }
+    spill_entry(entries_.at(victim_key));
+  }
+  RAMR_REQUIRE(resident_bytes_ <= budget_, "spill budget unsatisfiable");
+}
+
+void PatchSpillManager::forget_patch(const hier::Patch& patch) {
+  const auto it = entries_.find(key_of(patch));
+  if (it == entries_.end()) {
+    return;
+  }
+  if (it->second.resident) {
+    resident_bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_pos);
+  }
+  entries_.erase(it);
+}
+
+void PatchSpillManager::spill_entry(Entry& e) {
+  RAMR_REQUIRE(e.resident, "spilling a non-resident entry");
+  for (int id = 0; id < e.patch->data_count(); ++id) {
+    e.patch->typed_data<CudaData>(id).spill_to_host();
+  }
+  e.resident = false;
+  resident_bytes_ -= e.bytes;
+  lru_.erase(e.lru_pos);
+  ++spill_events_;
+}
+
+void PatchSpillManager::ensure_resident(hier::Patch& patch) {
+  const auto it = entries_.find(key_of(patch));
+  RAMR_REQUIRE(it != entries_.end(), "patch not registered for spilling");
+  Entry& e = it->second;
+  if (e.resident) {
+    // Refresh LRU position.
+    lru_.erase(e.lru_pos);
+    lru_.push_back(it->first);
+    e.lru_pos = std::prev(lru_.end());
+    return;
+  }
+  // Evict until it fits.
+  while (resident_bytes_ + e.bytes > budget_) {
+    RAMR_REQUIRE(!lru_.empty(), "spill budget too small for the working set");
+    spill_entry(entries_.at(lru_.front()));
+  }
+  for (int id = 0; id < e.patch->data_count(); ++id) {
+    e.patch->typed_data<CudaData>(id).make_resident();
+  }
+  e.resident = true;
+  resident_bytes_ += e.bytes;
+  lru_.push_back(it->first);
+  e.lru_pos = std::prev(lru_.end());
+  ++reload_events_;
+}
+
+void PatchSpillManager::spill_all() {
+  while (!lru_.empty()) {
+    spill_entry(entries_.at(lru_.front()));
+  }
+}
+
+std::size_t PatchSpillManager::resident_count() const { return lru_.size(); }
+
+}  // namespace ramr::pdat::cuda

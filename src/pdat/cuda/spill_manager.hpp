@@ -1,0 +1,79 @@
+// Patch spilling (paper §VI future work): "allowing patches to be
+// 'spilled' into CPU memory and then be transferred back to the device
+// when necessary. Using both CPU and GPU resources will allow larger
+// problems to be solved."
+//
+// The manager keeps the working set of patches resident on the device
+// under a byte budget, evicting least-recently-used patches to host
+// memory. Before operating on a patch the integrator calls
+// ensure_resident(); eviction and reload each cost one PCIe crossing per
+// array, charged and logged like every other crossing.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "hier/patch.hpp"
+#include "pdat/cuda/cuda_data.hpp"
+
+namespace ramr::pdat::cuda {
+
+/// LRU residency manager for GPU patch data.
+class PatchSpillManager {
+ public:
+  /// `budget_bytes` caps the device bytes the managed patches may hold
+  /// (the rest of the card — scratch, staging — is not managed here).
+  PatchSpillManager(vgpu::Device& device, std::uint64_t budget_bytes)
+      : device_(&device), budget_(budget_bytes) {}
+
+  /// Registers a patch (all its CudaData) under the budget; the patch is
+  /// currently resident. Keyed by (level, global id).
+  void register_patch(hier::Patch& patch);
+
+  /// Drops a patch from management (e.g. its level was regridded away).
+  void forget_patch(const hier::Patch& patch);
+
+  /// Makes `patch` resident, evicting LRU patches if the budget would be
+  /// exceeded, and marks it most recently used. Throws util::Error when
+  /// the patch alone exceeds the budget.
+  void ensure_resident(hier::Patch& patch);
+
+  /// Spills every managed patch (e.g. before a big temporary allocation).
+  void spill_all();
+
+  std::uint64_t resident_bytes() const { return resident_bytes_; }
+  std::uint64_t budget_bytes() const { return budget_; }
+  std::size_t managed_count() const { return entries_.size(); }
+  std::size_t resident_count() const;
+
+  /// Eviction / reload traffic so far (diagnostics for the ablation).
+  std::uint64_t spill_events() const { return spill_events_; }
+  std::uint64_t reload_events() const { return reload_events_; }
+
+ private:
+  struct Entry {
+    hier::Patch* patch = nullptr;
+    std::uint64_t bytes = 0;
+    bool resident = true;
+    std::list<std::uint64_t>::iterator lru_pos;  // valid when resident
+  };
+
+  static std::uint64_t key_of(const hier::Patch& patch) {
+    return (static_cast<std::uint64_t>(patch.level_number()) << 32) |
+           static_cast<std::uint32_t>(patch.global_id());
+  }
+
+  static std::uint64_t patch_bytes(hier::Patch& patch);
+  void spill_entry(Entry& e);
+
+  vgpu::Device* device_;
+  std::uint64_t budget_;
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t spill_events_ = 0;
+  std::uint64_t reload_events_ = 0;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  // front = least recently used
+};
+
+}  // namespace ramr::pdat::cuda

@@ -1,0 +1,99 @@
+#include "pdat/database.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace ramr::pdat {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x52414d5244423031ull;  // "RAMRDB01"
+}  // namespace
+
+void Database::put_bytes(const std::string& key, const void* data,
+                         std::size_t bytes) {
+  auto& entry = entries_[key];
+  entry.resize(bytes);
+  if (bytes > 0) {
+    std::memcpy(entry.data(), data, bytes);
+  }
+}
+
+const std::vector<std::byte>& Database::get_bytes(const std::string& key) const {
+  const auto it = entries_.find(key);
+  RAMR_REQUIRE(it != entries_.end(), "missing restart key: " << key);
+  return it->second;
+}
+
+std::vector<double> Database::get_doubles(const std::string& key) const {
+  const auto& bytes = get_bytes(key);
+  RAMR_REQUIRE(bytes.size() % sizeof(double) == 0,
+               "restart key " << key << " is not a double array");
+  std::vector<double> out(bytes.size() / sizeof(double));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+std::string Database::get_string(const std::string& key) const {
+  const auto& bytes = get_bytes(key);
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+void Database::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  RAMR_REQUIRE(os.good(), "cannot open " << path << " for writing");
+  const std::uint64_t magic = kMagic;
+  const std::uint64_t count = entries_.size();
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [key, payload] : entries_) {
+    const std::uint64_t klen = key.size();
+    const std::uint64_t plen = payload.size();
+    os.write(reinterpret_cast<const char*>(&klen), sizeof(klen));
+    os.write(key.data(), static_cast<std::streamsize>(klen));
+    os.write(reinterpret_cast<const char*>(&plen), sizeof(plen));
+    os.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(plen));
+  }
+  RAMR_REQUIRE(os.good(), "write to " << path << " failed");
+}
+
+Database Database::read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  RAMR_REQUIRE(is.good(), "cannot open " << path << " for reading");
+  std::uint64_t magic = 0;
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  RAMR_REQUIRE(magic == kMagic, path << " is not a ramr restart file");
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  Database db;
+  for (std::uint64_t n = 0; n < count; ++n) {
+    std::uint64_t klen = 0;
+    is.read(reinterpret_cast<char*>(&klen), sizeof(klen));
+    std::string key(klen, '\0');
+    is.read(key.data(), static_cast<std::streamsize>(klen));
+    std::uint64_t plen = 0;
+    is.read(reinterpret_cast<char*>(&plen), sizeof(plen));
+    std::vector<std::byte> payload(plen);
+    is.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(plen));
+    RAMR_REQUIRE(is.good(), "truncated restart file " << path);
+    db.entries_.emplace(std::move(key), std::move(payload));
+  }
+  return db;
+}
+
+std::vector<std::string> Database::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [key, payload] : entries_) {
+    (void)payload;
+    if (key.rfind(prefix, 0) == 0) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+}  // namespace ramr::pdat

@@ -1,0 +1,67 @@
+// Restart database (SAMRAI's Database in the PatchData interface,
+// Fig. 2: getFromRestart / putToRestart). A flat key -> byte-array store
+// with typed helpers and a simple binary file format, sufficient for
+// checkpoint/restart of a whole hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ramr::pdat {
+
+/// Flat key/value store with binary (de)serialisation.
+class Database {
+ public:
+  bool has(const std::string& key) const {
+    return entries_.find(key) != entries_.end();
+  }
+  std::size_t size() const { return entries_.size(); }
+
+  void put_bytes(const std::string& key, const void* data, std::size_t bytes);
+  const std::vector<std::byte>& get_bytes(const std::string& key) const;
+
+  template <typename T>
+  void put_value(const std::string& key, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_bytes(key, &value, sizeof(T));
+  }
+
+  template <typename T>
+  T get_value(const std::string& key) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto& bytes = get_bytes(key);
+    T value{};
+    RAMR_REQUIRE(bytes.size() == sizeof(T),
+                 "restart key " << key << " has wrong size");
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    return value;
+  }
+
+  void put_doubles(const std::string& key, const double* data, std::size_t n) {
+    put_bytes(key, data, n * sizeof(double));
+  }
+  std::vector<double> get_doubles(const std::string& key) const;
+
+  void put_string(const std::string& key, const std::string& s) {
+    put_bytes(key, s.data(), s.size());
+  }
+  std::string get_string(const std::string& key) const;
+
+  /// Binary round trip: magic, count, then (key, payload) records.
+  void write_file(const std::string& path) const;
+  static Database read_file(const std::string& path);
+
+  /// Keys beginning with `prefix` (checkpoint introspection/tests).
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+ private:
+  std::map<std::string, std::vector<std::byte>> entries_;
+};
+
+}  // namespace ramr::pdat

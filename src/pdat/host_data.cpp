@@ -1,0 +1,112 @@
+#include "pdat/host_data.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ramr::pdat {
+
+using mesh::Box;
+using mesh::Centering;
+using mesh::IntVector;
+
+HostData::HostData(const Box& cell_box, const IntVector& ghosts,
+                   Centering centering, int depth)
+    : PatchData(cell_box, ghosts, centering, depth) {
+  const int ncomp = mesh::centering_components(centering);
+  arrays_.reserve(static_cast<std::size_t>(ncomp));
+  for (int k = 0; k < ncomp; ++k) {
+    const Centering comp = mesh::component_centering(centering, k);
+    arrays_.emplace_back(mesh::to_centering(ghost_box(), comp), depth);
+  }
+}
+
+void HostData::fill(double value) {
+  for (ArrayData& a : arrays_) {
+    a.fill(value);
+  }
+}
+
+void HostData::copy(const PatchData& src) {
+  const auto& s = dynamic_cast<const HostData&>(src);
+  RAMR_REQUIRE(s.centering() == centering() && s.depth() == depth(),
+               "incompatible PatchData copy");
+  for (int k = 0; k < components(); ++k) {
+    const Box region =
+        component(k).index_box().intersect(s.component(k).index_box());
+    component(k).copy_from(s.component(k), region);
+  }
+}
+
+void HostData::copy(const PatchData& src, const BoxOverlap& overlap) {
+  const auto& s = dynamic_cast<const HostData&>(src);
+  RAMR_REQUIRE(overlap.components() == components(),
+               "overlap component count mismatch");
+  for (int k = 0; k < components(); ++k) {
+    for (const Box& b : overlap.component(k).boxes()) {
+      component(k).copy_from(s.component(k), b, overlap.src_shift());
+    }
+  }
+}
+
+std::size_t HostData::data_stream_size(const BoxOverlap& overlap) const {
+  return static_cast<std::size_t>(overlap.element_count()) *
+         static_cast<std::size_t>(depth()) * sizeof(double);
+}
+
+void HostData::pack_stream(MessageStream& stream, const BoxOverlap& overlap) const {
+  RAMR_REQUIRE(overlap.components() == components(),
+               "overlap component count mismatch");
+  for (int k = 0; k < components(); ++k) {
+    // Pack in source index space: shift destination boxes back.
+    mesh::BoxList src_regions;
+    for (const Box& b : overlap.component(k).boxes()) {
+      src_regions.push_back(b.shift(-overlap.src_shift()));
+    }
+    component(k).pack(stream, src_regions);
+  }
+}
+
+void HostData::unpack_stream(MessageStream& stream, const BoxOverlap& overlap) {
+  RAMR_REQUIRE(overlap.components() == components(),
+               "overlap component count mismatch");
+  for (int k = 0; k < components(); ++k) {
+    component(k).unpack(stream, overlap.component(k));
+  }
+}
+
+void HostData::put_to_restart(Database& db, const std::string& prefix) const {
+  db.put_value<double>(prefix + ".time", time());
+  for (int k = 0; k < components(); ++k) {
+    for (int d = 0; d < depth(); ++d) {
+      db.put_doubles(prefix + ".c" + std::to_string(k) + ".d" + std::to_string(d),
+                     component(k).plane(d),
+                     static_cast<std::size_t>(component(k).elements_per_depth()));
+    }
+  }
+}
+
+void HostData::get_from_restart(const Database& db, const std::string& prefix) {
+  set_time(db.get_value<double>(prefix + ".time"));
+  for (int k = 0; k < components(); ++k) {
+    for (int d = 0; d < depth(); ++d) {
+      const auto values = db.get_doubles(prefix + ".c" + std::to_string(k) +
+                                         ".d" + std::to_string(d));
+      RAMR_REQUIRE(values.size() ==
+                       static_cast<std::size_t>(component(k).elements_per_depth()),
+                   "restart size mismatch for " << prefix);
+      std::copy(values.begin(), values.end(), component(k).plane(d));
+    }
+  }
+}
+
+std::unique_ptr<PatchData> HostDataFactory::allocate(const Box& cell_box) const {
+  return std::make_unique<HostData>(cell_box, ghosts_, centering_, depth_);
+}
+
+std::unique_ptr<PatchData> HostDataFactory::allocate_with_ghosts(
+    const Box& cell_box, const IntVector& ghosts) const {
+  return std::make_unique<HostData>(cell_box, ghosts, centering_, depth_);
+}
+
+}  // namespace ramr::pdat

@@ -1,0 +1,87 @@
+// Host-memory PatchData implementations: CellData, NodeData, SideData.
+//
+// These are the CPU-resident counterparts of the paper's CudaCellData /
+// CudaNodeData / CudaSideData (Fig. 3) and are what the CPU-based
+// CleverLeaf integrator uses. One ArrayData per component: cell and node
+// data have one component; side data has x-face and y-face components.
+#pragma once
+
+#include <vector>
+
+#include "pdat/array_data.hpp"
+#include "pdat/patch_data.hpp"
+
+namespace ramr::pdat {
+
+/// Common implementation for host-resident array PatchData.
+class HostData : public PatchData {
+ public:
+  HostData(const mesh::Box& cell_box, const mesh::IntVector& ghosts,
+           mesh::Centering centering, int depth);
+
+  int components() const { return static_cast<int>(arrays_.size()); }
+  ArrayData& component(int k) { return arrays_[static_cast<std::size_t>(k)]; }
+  const ArrayData& component(int k) const {
+    return arrays_[static_cast<std::size_t>(k)];
+  }
+
+  /// View of component k, depth plane d (indexed in global index space).
+  util::View view(int k = 0, int d = 0) { return component(k).view(d); }
+  util::ConstView view(int k = 0, int d = 0) const { return component(k).view(d); }
+
+  void fill(double value);
+
+  void copy(const PatchData& src) override;
+  void copy(const PatchData& src, const BoxOverlap& overlap) override;
+  std::size_t data_stream_size(const BoxOverlap& overlap) const override;
+  void pack_stream(MessageStream& stream, const BoxOverlap& overlap) const override;
+  void unpack_stream(MessageStream& stream, const BoxOverlap& overlap) override;
+  void put_to_restart(Database& db, const std::string& prefix) const override;
+  void get_from_restart(const Database& db, const std::string& prefix) override;
+
+ private:
+  std::vector<ArrayData> arrays_;
+};
+
+/// Cell-centred host data (density, energy, pressure, ...).
+class CellData : public HostData {
+ public:
+  CellData(const mesh::Box& cell_box, const mesh::IntVector& ghosts, int depth = 1)
+      : HostData(cell_box, ghosts, mesh::Centering::kCell, depth) {}
+};
+
+/// Node-centred host data (velocities).
+class NodeData : public HostData {
+ public:
+  NodeData(const mesh::Box& cell_box, const mesh::IntVector& ghosts, int depth = 1)
+      : HostData(cell_box, ghosts, mesh::Centering::kNode, depth) {}
+};
+
+/// Side-centred host data with x-face (component 0) and y-face
+/// (component 1) arrays (volume and mass fluxes).
+class SideData : public HostData {
+ public:
+  SideData(const mesh::Box& cell_box, const mesh::IntVector& ghosts, int depth = 1)
+      : HostData(cell_box, ghosts, mesh::Centering::kSide, depth) {}
+};
+
+/// Factory producing host data of a fixed centring/ghost width/depth.
+class HostDataFactory : public PatchDataFactory {
+ public:
+  HostDataFactory(mesh::Centering centering, mesh::IntVector ghosts, int depth = 1)
+      : centering_(centering), ghosts_(ghosts), depth_(depth) {}
+
+  std::unique_ptr<PatchData> allocate(const mesh::Box& cell_box) const override;
+  std::unique_ptr<PatchData> allocate_with_ghosts(
+      const mesh::Box& cell_box, const mesh::IntVector& ghosts) const override;
+  mesh::Centering centering() const override { return centering_; }
+  mesh::IntVector ghosts() const override { return ghosts_; }
+  int depth() const override { return depth_; }
+
+ private:
+  mesh::Centering centering_;
+  mesh::IntVector ghosts_;
+  int depth_;
+};
+
+}  // namespace ramr::pdat

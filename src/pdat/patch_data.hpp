@@ -1,0 +1,102 @@
+// The PatchData strategy interface (paper Fig. 2).
+//
+// Every simulation quantity on a patch is a PatchData object. The
+// interface defines exactly the operations SAMRAI's data management and
+// communication need: copy between objects, estimate stream sizes, and
+// pack/unpack overlap regions to a MessageStream. Implementing this
+// interface is what lets GPU-resident data (pdat::cuda) plug into the
+// unmodified mesh-management machinery — the paper's key design point.
+#pragma once
+
+#include <memory>
+
+#include <string>
+
+#include "mesh/box.hpp"
+#include "pdat/box_overlap.hpp"
+#include "pdat/database.hpp"
+#include "pdat/message_stream.hpp"
+
+namespace ramr::pdat {
+
+/// Abstract base for all patch-resident data.
+class PatchData {
+ public:
+  PatchData(const mesh::Box& cell_box, const mesh::IntVector& ghosts,
+            mesh::Centering centering, int depth)
+      : box_(cell_box),
+        ghosts_(ghosts),
+        ghost_box_(cell_box.grow(ghosts)),
+        centering_(centering),
+        depth_(depth) {}
+
+  virtual ~PatchData() = default;
+
+  PatchData(const PatchData&) = delete;
+  PatchData& operator=(const PatchData&) = delete;
+
+  /// Interior cell box of the owning patch.
+  const mesh::Box& box() const { return box_; }
+
+  /// Interior cell box grown by the ghost width.
+  const mesh::Box& ghost_box() const { return ghost_box_; }
+
+  const mesh::IntVector& ghost_cell_width() const { return ghosts_; }
+
+  mesh::Centering centering() const { return centering_; }
+  int depth() const { return depth_; }
+
+  double time() const { return time_; }
+  void set_time(double t) { time_ = t; }
+
+  /// Copies from `src` on the intersection of the two ghost index boxes
+  /// (component-wise for side data).
+  virtual void copy(const PatchData& src) = 0;
+
+  /// Copies the overlap regions from `src` (which must be of the same
+  /// concrete kind and centring).
+  virtual void copy(const PatchData& src, const BoxOverlap& overlap) = 0;
+
+  /// True when the stream size depends only on the overlap boxes (always
+  /// true for the fixed-depth double arrays used here).
+  virtual bool can_estimate_stream_size_from_box() const { return true; }
+
+  /// Bytes pack_stream will append for this overlap.
+  virtual std::size_t data_stream_size(const BoxOverlap& overlap) const = 0;
+
+  virtual void pack_stream(MessageStream& stream, const BoxOverlap& overlap) const = 0;
+  virtual void unpack_stream(MessageStream& stream, const BoxOverlap& overlap) = 0;
+
+  /// Checkpoint support (Fig. 2: putToRestart / getFromRestart): writes
+  /// or reads all component arrays under `prefix` in the database.
+  virtual void put_to_restart(class Database& db, const std::string& prefix) const = 0;
+  virtual void get_from_restart(const class Database& db, const std::string& prefix) = 0;
+
+ private:
+  mesh::Box box_;
+  mesh::IntVector ghosts_;
+  mesh::Box ghost_box_;
+  mesh::Centering centering_;
+  int depth_;
+  double time_ = 0.0;
+};
+
+/// Abstract factory: a variable registers one of these so levels can
+/// allocate the matching concrete PatchData for each patch (host or
+/// GPU-resident).
+class PatchDataFactory {
+ public:
+  virtual ~PatchDataFactory() = default;
+  virtual std::unique_ptr<PatchData> allocate(const mesh::Box& cell_box) const = 0;
+
+  /// Allocates scratch storage with an explicit ghost width (used by the
+  /// communication schedules for temporary gather regions).
+  virtual std::unique_ptr<PatchData> allocate_with_ghosts(
+      const mesh::Box& cell_box, const mesh::IntVector& ghosts) const = 0;
+
+  virtual mesh::Centering centering() const = 0;
+  virtual mesh::IntVector ghosts() const = 0;
+  virtual int depth() const = 0;
+};
+
+}  // namespace ramr::pdat

@@ -1,0 +1,83 @@
+// Machine descriptions for the paper's two platforms (Table I) and
+// helpers to build per-rank simulation configs for each.
+#pragma once
+
+#include <string>
+
+#include "simmpi/network_spec.hpp"
+#include "vgpu/device_spec.hpp"
+
+namespace ramr::perf {
+
+/// One platform from Table I.
+struct Machine {
+  std::string name;
+  std::string processor;
+  std::string clock;
+  std::string accelerator;
+  std::string pci_gen;
+  int nodes = 0;
+  std::string cpus_per_node;
+  int gpus_per_node = 0;
+  std::string cpu_ram;
+  std::string gpu_ram;
+  std::string interconnect;
+  std::string compiler;
+  std::string mpi;
+  std::string cuda_version;
+
+  vgpu::DeviceSpec gpu_spec;       ///< one GPU
+  vgpu::DeviceSpec cpu_node_spec;  ///< all cores of one node
+  vgpu::DeviceSpec cpu_rank_spec;  ///< share of a node backing one GPU rank
+  simmpi::NetworkSpec network;
+};
+
+/// The IPA testbed at LLNL: 8 nodes, dual E5-2670 + 2x K20x, FDR IB.
+inline Machine ipa() {
+  Machine m;
+  m.name = "IPA";
+  m.processor = "Intel Xeon E5-2670";
+  m.clock = "2.6 GHz";
+  m.accelerator = "NVIDIA Tesla K20x";
+  m.pci_gen = "2.0";
+  m.nodes = 8;
+  m.cpus_per_node = "2x 8 cores";
+  m.gpus_per_node = 2;
+  m.cpu_ram = "128 Gb";
+  m.gpu_ram = "6 Gb";
+  m.interconnect = "Mellanox FDR Infiniband";
+  m.compiler = "Intel 13.1.163";
+  m.mpi = "MVAPICH 1.9";
+  m.cuda_version = "5.5";
+  m.gpu_spec = vgpu::tesla_k20x();
+  m.cpu_node_spec = vgpu::xeon_e5_2670_node();
+  m.cpu_rank_spec = vgpu::xeon_e5_2670_socket();
+  m.network = simmpi::fdr_infiniband();
+  return m;
+}
+
+/// Titan at ORNL: 18,688 nodes, Opteron 6274 + K20x, Cray Gemini.
+inline Machine titan() {
+  Machine m;
+  m.name = "Titan";
+  m.processor = "AMD Opteron 6274";
+  m.clock = "2.2 GHz";
+  m.accelerator = "NVIDIA Tesla K20x";
+  m.pci_gen = "2.0";
+  m.nodes = 18688;
+  m.cpus_per_node = "1x 16 cores";
+  m.gpus_per_node = 1;
+  m.cpu_ram = "32 Gb";
+  m.gpu_ram = "6 Gb";
+  m.interconnect = "Cray Gemini";
+  m.compiler = "Intel 13.1.3.192";
+  m.mpi = "Cray MPT";
+  m.cuda_version = "5.5";
+  m.gpu_spec = vgpu::tesla_k20x();
+  m.cpu_node_spec = vgpu::opteron_6274_node();
+  m.cpu_rank_spec = vgpu::opteron_6274_node();
+  m.network = simmpi::cray_gemini();
+  return m;
+}
+
+}  // namespace ramr::perf

@@ -1,0 +1,79 @@
+// Small fixed-width table formatting for the bench harness output.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ramr::perf {
+
+/// Prints a row of columns with the given widths (right-aligned numbers,
+/// left-aligned first column).
+class Table {
+ public:
+  explicit Table(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void header(const std::vector<std::string>& names) const {
+    print_row(names, /*is_header=*/true);
+    std::string rule;
+    for (int w : widths_) {
+      rule += std::string(static_cast<std::size_t>(w), '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+  }
+
+  void row(const std::vector<std::string>& cells) const {
+    print_row(cells, /*is_header=*/false);
+  }
+
+  static std::string seconds(double s) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", s);
+    return buf;
+  }
+
+  static std::string sci(double s) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3e", s);
+    return buf;
+  }
+
+  static std::string ratio(double r) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.2fx", r);
+    return buf;
+  }
+
+  static std::string count(std::int64_t n) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+    return buf;
+  }
+
+  static std::string percent(double f) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.0f%%", 100.0 * f);
+    return buf;
+  }
+
+ private:
+  void print_row(const std::vector<std::string>& cells, bool is_header) const {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size() && c < widths_.size(); ++c) {
+      const int w = widths_[c];
+      char buf[256];
+      if (c == 0 || is_header) {
+        std::snprintf(buf, sizeof(buf), "%-*s  ", w, cells[c].c_str());
+      } else {
+        std::snprintf(buf, sizeof(buf), "%*s  ", w, cells[c].c_str());
+      }
+      line += buf;
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<int> widths_;
+};
+
+}  // namespace ramr::perf

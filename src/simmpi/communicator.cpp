@@ -1,0 +1,205 @@
+#include "simmpi/communicator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace ramr::simmpi {
+
+namespace {
+
+/// Tree depth of a P-rank collective (0 for a single rank).
+double tree_depth(int size) {
+  return size > 1 ? std::ceil(std::log2(static_cast<double>(size))) : 0.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Communicator
+
+Communicator::Communicator(World& world, int rank)
+    : world_(&world), rank_(rank), clock_(&owned_clock_) {}
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) {
+  RAMR_REQUIRE(dest >= 0 && dest < size(), "send to invalid rank " << dest);
+  clock_->charge(world_->network().message_time(bytes));
+  world_->deliver(dest, rank_, tag, data, bytes);
+}
+
+std::vector<std::byte> Communicator::recv(int src, int tag) {
+  RAMR_REQUIRE(src >= 0 && src < size(), "recv from invalid rank " << src);
+  World::Mailbox& box = *world_->mailboxes_[rank_];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const auto key = std::make_pair(src, tag);
+  box.cv.wait(lock, [&] {
+    const auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto it = box.queues.find(key);
+  std::vector<std::byte> payload = std::move(it->second.front().payload);
+  it->second.pop_front();
+  // The receiver also pays the wire time (no overlap modeled).
+  clock_->charge(world_->network().message_time(payload.size()));
+  return payload;
+}
+
+double Communicator::allreduce(double value, ReduceOp op) {
+  World::CollectiveState& c = world_->collective_;
+  // Recursive-doubling allreduce: 2*log2(P) message latencies.
+  clock_->charge(2.0 * tree_depth(size()) *
+                 world_->network().message_time(sizeof(double)));
+  std::unique_lock<std::mutex> lock(c.mutex);
+  const std::uint64_t generation = c.generation;
+  if (c.arrived == 0) {
+    c.dvalue = value;
+  } else {
+    switch (op) {
+      case ReduceOp::kMin: c.dvalue = std::min(c.dvalue, value); break;
+      case ReduceOp::kMax: c.dvalue = std::max(c.dvalue, value); break;
+      case ReduceOp::kSum: c.dvalue += value; break;
+    }
+  }
+  if (++c.arrived == size()) {
+    c.dresult = c.dvalue;
+    c.arrived = 0;
+    ++c.generation;
+    c.cv.notify_all();
+    return c.dresult;
+  }
+  c.cv.wait(lock, [&] { return c.generation != generation; });
+  return c.dresult;
+}
+
+std::int64_t Communicator::allreduce(std::int64_t value, ReduceOp op) {
+  World::CollectiveState& c = world_->collective_;
+  clock_->charge(2.0 * tree_depth(size()) *
+                 world_->network().message_time(sizeof(std::int64_t)));
+  std::unique_lock<std::mutex> lock(c.mutex);
+  const std::uint64_t generation = c.generation;
+  if (c.arrived == 0) {
+    c.ivalue = value;
+  } else {
+    switch (op) {
+      case ReduceOp::kMin: c.ivalue = std::min(c.ivalue, value); break;
+      case ReduceOp::kMax: c.ivalue = std::max(c.ivalue, value); break;
+      case ReduceOp::kSum: c.ivalue += value; break;
+    }
+  }
+  if (++c.arrived == size()) {
+    c.iresult = c.ivalue;
+    c.arrived = 0;
+    ++c.generation;
+    c.cv.notify_all();
+    return c.iresult;
+  }
+  c.cv.wait(lock, [&] { return c.generation != generation; });
+  return c.iresult;
+}
+
+std::vector<std::vector<std::byte>> Communicator::allgather(const void* data,
+                                                            std::size_t bytes) {
+  World::CollectiveState& c = world_->collective_;
+  // Ring allgather: (P-1) steps, each moving this rank's contribution.
+  if (size() > 1) {
+    clock_->charge(static_cast<double>(size() - 1) *
+                   world_->network().message_time(bytes));
+  }
+  std::unique_lock<std::mutex> lock(c.mutex);
+  const std::uint64_t generation = c.generation;
+  if (c.arrived == 0) {
+    c.gather_in.assign(static_cast<std::size_t>(size()), {});
+  }
+  const auto* p = static_cast<const std::byte*>(data);
+  c.gather_in[static_cast<std::size_t>(rank_)].assign(p, p + bytes);
+  if (++c.arrived == size()) {
+    c.gather_out = std::make_shared<std::vector<std::vector<std::byte>>>(
+        std::move(c.gather_in));
+    c.arrived = 0;
+    ++c.generation;
+    c.cv.notify_all();
+    return *c.gather_out;
+  }
+  auto result_holder = [&] {
+    c.cv.wait(lock, [&] { return c.generation != generation; });
+    return c.gather_out;
+  }();
+  return *result_holder;
+}
+
+void Communicator::barrier() {
+  World::CollectiveState& c = world_->collective_;
+  clock_->charge(2.0 * tree_depth(size()) *
+                 world_->network().message_time(0));
+  std::unique_lock<std::mutex> lock(c.mutex);
+  const std::uint64_t generation = c.generation;
+  if (++c.arrived == size()) {
+    c.arrived = 0;
+    ++c.generation;
+    c.cv.notify_all();
+    return;
+  }
+  c.cv.wait(lock, [&] { return c.generation != generation; });
+}
+
+// ---------------------------------------------------------------------------
+// World
+
+World::World(int size, NetworkSpec network)
+    : size_(size), network_(std::move(network)) {
+  RAMR_REQUIRE(size >= 1, "world size must be positive, got " << size);
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+World::~World() = default;
+
+void World::deliver(int dest, int src, int tag, const void* data,
+                    std::size_t bytes) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  Message msg;
+  const auto* p = static_cast<const std::byte*>(data);
+  msg.payload.assign(p, p + bytes);
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queues[std::make_pair(src, tag)].push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+void World::run(const std::function<void(Communicator&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Communicator comm(*this, r);
+        body(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace ramr::simmpi

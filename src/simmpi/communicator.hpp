@@ -1,0 +1,132 @@
+// Simulated MPI: ranks are threads in one process.
+//
+// The communication *structure* of the AMR algorithm (who sends what to
+// whom, message counts and sizes, global reductions) is executed for
+// real through tagged mailboxes; only the wire time is modeled, using a
+// NetworkSpec, and charged to each rank's SimClock. The API is the small
+// subset of MPI the paper's code needs (see the LLNL MPI tutorial: most
+// MPI programs use a dozen routines or fewer).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "simmpi/network_spec.hpp"
+#include "vgpu/sim_clock.hpp"
+
+namespace ramr::simmpi {
+
+class World;
+
+/// Reduction operators for allreduce.
+enum class ReduceOp { kMin, kMax, kSum };
+
+/// Per-rank handle used inside World::run callbacks. All members may be
+/// called concurrently from different ranks (each rank owns one Comm).
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Charges communication time into `clock` (defaults to an internal
+  /// clock; the application points this at its per-rank clock so network
+  /// time lands in the current component scope).
+  void set_clock(vgpu::SimClock* clock) { clock_ = clock; }
+  vgpu::SimClock& clock() { return *clock_; }
+
+  /// Blocking buffered send (never deadlocks: delivery is asynchronous).
+  void send(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Blocking receive of the matching (src, tag) message.
+  std::vector<std::byte> recv(int src, int tag);
+
+  /// Convenience overloads for trivially copyable values.
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    send(dest, tag, &value, sizeof(T));
+  }
+  template <typename T>
+  T recv_value(int src, int tag) {
+    const std::vector<std::byte> buf = recv(src, tag);
+    T value{};
+    std::memcpy(&value, buf.data(), sizeof(T));
+    return value;
+  }
+
+  double allreduce(double value, ReduceOp op);
+  std::int64_t allreduce(std::int64_t value, ReduceOp op);
+
+  /// Gathers each rank's buffer to all ranks (returned indexed by rank).
+  std::vector<std::vector<std::byte>> allgather(const void* data,
+                                                std::size_t bytes);
+
+  void barrier();
+
+ private:
+  friend class World;
+  Communicator(World& world, int rank);
+
+  World* world_;
+  int rank_;
+  vgpu::SimClock owned_clock_;
+  vgpu::SimClock* clock_;
+};
+
+/// A set of simulated ranks sharing a network. Create a World, then call
+/// run() with the per-rank body; after run() returns the per-rank comm
+/// clocks can be inspected via comm_time(rank).
+class World {
+ public:
+  World(int size, NetworkSpec network);
+  ~World();
+
+  int size() const { return size_; }
+  const NetworkSpec& network() const { return network_; }
+
+  /// Executes body(comm) on `size` threads, one per rank. Blocks until
+  /// all ranks return. Rethrows the first rank exception (after joining).
+  void run(const std::function<void(Communicator&)>& body);
+
+ private:
+  friend class Communicator;
+
+  struct Message {
+    std::vector<std::byte> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<Message>> queues;  // (src,tag)
+  };
+
+  struct CollectiveState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+    double dvalue = 0.0;
+    std::int64_t ivalue = 0;
+    double dresult = 0.0;
+    std::int64_t iresult = 0;
+    std::vector<std::vector<std::byte>> gather_in;
+    std::shared_ptr<std::vector<std::vector<std::byte>>> gather_out;
+  };
+
+  void deliver(int dest, int src, int tag, const void* data, std::size_t bytes);
+
+  int size_;
+  NetworkSpec network_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  CollectiveState collective_;
+};
+
+}  // namespace ramr::simmpi

@@ -1,0 +1,42 @@
+// Interconnect models for the two platforms in Table I of the paper.
+//
+// Point-to-point messages are charged latency + bytes/bandwidth on both
+// endpoints; collectives use the standard log2(P) tree terms. These are
+// first-order LogP-style parameters for FDR InfiniBand (IPA) and the Cray
+// Gemini torus (Titan).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ramr::simmpi {
+
+/// Latency/bandwidth description of the network between ranks.
+struct NetworkSpec {
+  std::string name;
+  double latency_s = 0.0;   ///< one-way small-message latency
+  double bw_gbs = 0.0;      ///< per-link sustained bandwidth, GB/s
+
+  /// Modeled wire time of a single point-to-point message.
+  double message_time(std::uint64_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / (bw_gbs * 1.0e9);
+  }
+};
+
+/// Mellanox FDR InfiniBand (IPA testbed): ~1.3 us latency, ~6 GB/s/port.
+inline NetworkSpec fdr_infiniband() {
+  return NetworkSpec{"Mellanox FDR InfiniBand", 1.3e-6, 6.0};
+}
+
+/// Cray Gemini (Titan): ~1.5 us latency, ~5 GB/s sustained per direction.
+inline NetworkSpec cray_gemini() {
+  return NetworkSpec{"Cray Gemini", 1.5e-6, 5.0};
+}
+
+/// Zero-cost network for single-process runs and unit tests that do not
+/// exercise the performance model.
+inline NetworkSpec ideal_network() {
+  return NetworkSpec{"ideal", 0.0, 1.0e12};
+}
+
+}  // namespace ramr::simmpi

@@ -1,0 +1,61 @@
+// Non-owning 2-D views over contiguous field storage.
+//
+// All mesh data in ramr (host or virtual-GPU resident) is stored as a
+// contiguous row-major array covering an index box [lo, hi] (inclusive).
+// ArrayView2D provides (i, j) indexing in *global* index space, so kernel
+// code reads like the paper's CUDA listings (Figs. 5 and 8) but without
+// manual offset arithmetic scattered through every kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace ramr::util {
+
+/// Non-owning view of a row-major 2-D array indexed in global coordinates.
+/// The view covers columns [ilo, ilo+width) and rows [jlo, jlo+height).
+template <typename T>
+class ArrayView2D {
+ public:
+  ArrayView2D() = default;
+
+  ArrayView2D(T* data, int ilo, int jlo, int width, int height)
+      : data_(data), ilo_(ilo), jlo_(jlo), width_(width), height_(height) {}
+
+  /// Element access in global index space.
+  T& operator()(int i, int j) const {
+    RAMR_DEBUG_ASSERT(contains(i, j));
+    return data_[static_cast<std::int64_t>(j - jlo_) * width_ + (i - ilo_)];
+  }
+
+  bool contains(int i, int j) const {
+    return i >= ilo_ && i < ilo_ + width_ && j >= jlo_ && j < jlo_ + height_;
+  }
+
+  T* data() const { return data_; }
+  int ilo() const { return ilo_; }
+  int jlo() const { return jlo_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(width_) * height_;
+  }
+
+  /// Reinterpret as a view of const elements.
+  ArrayView2D<const T> as_const() const {
+    return ArrayView2D<const T>(data_, ilo_, jlo_, width_, height_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  int ilo_ = 0;
+  int jlo_ = 0;
+  int width_ = 0;
+  int height_ = 0;
+};
+
+using View = ArrayView2D<double>;
+using ConstView = ArrayView2D<const double>;
+
+}  // namespace ramr::util

@@ -1,0 +1,16 @@
+#include "util/error.hpp"
+
+namespace ramr::util::detail {
+
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << "ramr " << kind << " violated: " << expr;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  oss << " [" << file << ":" << line << "]";
+  throw Error(oss.str());
+}
+
+}  // namespace ramr::util::detail

@@ -1,0 +1,32 @@
+#include "util/logger.hpp"
+
+namespace ramr::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::cout;
+  os << "[" << detail::level_name(level) << "] " << message << "\n";
+}
+
+namespace detail {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info ";
+    case LogLevel::kWarn:
+      return "warn ";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+}  // namespace detail
+
+}  // namespace ramr::util

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Rank-aware output is handled by the caller
+// (simmpi prefixes messages with the rank when running distributed).
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ramr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide logger. Thread safe; messages below the configured level
+/// are discarded.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  std::mutex mutex_;
+  LogLevel level_ = LogLevel::kInfo;
+};
+
+namespace detail {
+const char* level_name(LogLevel level);
+}  // namespace detail
+
+}  // namespace ramr::util
+
+#define RAMR_LOG(lvl, msg)                                              \
+  do {                                                                  \
+    if (static_cast<int>(lvl) >=                                        \
+        static_cast<int>(::ramr::util::Logger::instance().level())) {   \
+      std::ostringstream ramr_log_oss_;                                 \
+      ramr_log_oss_ << msg;                                             \
+      ::ramr::util::Logger::instance().write(lvl, ramr_log_oss_.str()); \
+    }                                                                   \
+  } while (false)
+
+#define RAMR_LOG_DEBUG(msg) RAMR_LOG(::ramr::util::LogLevel::kDebug, msg)
+#define RAMR_LOG_INFO(msg) RAMR_LOG(::ramr::util::LogLevel::kInfo, msg)
+#define RAMR_LOG_WARN(msg) RAMR_LOG(::ramr::util::LogLevel::kWarn, msg)
+#define RAMR_LOG_ERROR(msg) RAMR_LOG(::ramr::util::LogLevel::kError, msg)

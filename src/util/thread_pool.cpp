@@ -1,0 +1,116 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ramr::util {
+
+thread_local bool ThreadPool::inside_pool_ = false;
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t n,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (n <= 0) {
+    return;
+  }
+  // Nested parallel_for (e.g. a kernel launching a kernel, which the real
+  // CUDA model also serialises without dynamic parallelism) and tiny trip
+  // counts run inline.
+  const std::int64_t workers = static_cast<std::int64_t>(threads_.size());
+  if (inside_pool_ || n < 2 || workers <= 1) {
+    body(0, n);
+    return;
+  }
+
+  // Chunks are sized for ~4 chunks per worker so stragglers rebalance.
+  const std::int64_t chunk =
+      std::max<std::int64_t>(1, n / (4 * workers) + ((n % (4 * workers)) != 0));
+  const std::int64_t nchunks = (n + chunk - 1) / chunk;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return !has_task_; });
+  task_.body = &body;
+  task_.n = n;
+  task_.chunk = chunk;
+  task_.next = 0;
+  task_.remaining = nchunks;
+  task_.id = next_task_id_++;
+  has_task_ = true;
+  work_cv_.notify_all();
+
+  // The caller participates too, claiming chunks like any worker. While
+  // executing chunks it is "inside the pool": a nested parallel_for from
+  // within the body must run inline rather than wait for the pool slot
+  // it itself occupies.
+  inside_pool_ = true;
+  while (task_.next < task_.n) {
+    const std::int64_t begin = task_.next;
+    const std::int64_t end = std::min<std::int64_t>(begin + task_.chunk, task_.n);
+    task_.next = end;
+    lock.unlock();
+    (*task_.body)(begin, end);
+    lock.lock();
+    --task_.remaining;
+  }
+  inside_pool_ = false;
+  done_cv_.wait(lock, [this] { return task_.remaining == 0; });
+  has_task_ = false;
+  done_cv_.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  inside_pool_ = true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t last_seen = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (has_task_ && task_.id != last_seen && task_.next < task_.n);
+    });
+    if (stop_) {
+      return;
+    }
+    const std::uint64_t id = task_.id;
+    while (has_task_ && task_.id == id && task_.next < task_.n) {
+      const std::int64_t begin = task_.next;
+      const std::int64_t end =
+          std::min<std::int64_t>(begin + task_.chunk, task_.n);
+      task_.next = end;
+      lock.unlock();
+      (*task_.body)(begin, end);
+      lock.lock();
+      if (--task_.remaining == 0) {
+        done_cv_.notify_all();
+      }
+    }
+    last_seen = id;
+  }
+}
+
+}  // namespace ramr::util

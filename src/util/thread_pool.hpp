@@ -1,0 +1,64 @@
+// A process-wide worker pool used to execute virtual-GPU kernels and
+// host-side parallel loops for real (the timing of those operations is
+// modeled separately; see vgpu/device.hpp).
+//
+// The pool follows CP.23/CP.25 of the C++ Core Guidelines in spirit:
+// parallel_for is a fully joining (structured) operation — no detached
+// work ever escapes a call.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ramr::util {
+
+/// Fixed-size worker pool executing blocking parallel-for loops.
+class ThreadPool {
+ public:
+  /// Creates `workers` threads (defaults to hardware concurrency).
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned worker_count() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Executes body(begin, end) over [0, n) split into contiguous chunks,
+  /// one or more per worker. Blocks until every chunk completed. Reentrant
+  /// calls from inside a body are executed serially on the caller.
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  /// The process-wide pool shared by every virtual device and host
+  /// executor. Created on first use.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+    std::int64_t n = 0;
+    std::int64_t chunk = 0;
+    std::int64_t next = 0;       // next chunk start to claim
+    std::int64_t remaining = 0;  // chunks not yet finished
+    std::uint64_t id = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Task task_;
+  std::uint64_t next_task_id_ = 1;
+  bool has_task_ = false;
+  bool stop_ = false;
+  thread_local static bool inside_pool_;
+};
+
+}  // namespace ramr::util

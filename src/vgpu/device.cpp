@@ -1,0 +1,59 @@
+#include "vgpu/device.hpp"
+
+#include <cstring>
+
+namespace ramr::vgpu {
+
+void Device::memcpy_h2d(void* dst, const void* src, std::uint64_t bytes) {
+  std::memcpy(dst, src, bytes);
+  if (spec_.is_accelerator && bytes > 0) {
+    ++transfers_.h2d_count;
+    transfers_.h2d_bytes += bytes;
+    clock_->charge(spec_.pcie_lat_s +
+                  static_cast<double>(bytes) / (spec_.pcie_bw_gbs * 1.0e9));
+  }
+}
+
+void Device::memcpy_d2h(void* dst, const void* src, std::uint64_t bytes) {
+  std::memcpy(dst, src, bytes);
+  if (spec_.is_accelerator && bytes > 0) {
+    ++transfers_.d2h_count;
+    transfers_.d2h_bytes += bytes;
+    clock_->charge(spec_.pcie_lat_s +
+                  static_cast<double>(bytes) / (spec_.pcie_bw_gbs * 1.0e9));
+  }
+}
+
+void Device::charge_kernel(std::int64_t n, const KernelCost& cost) {
+  const double flops = cost.flops_per_thread * static_cast<double>(n);
+  const double bytes = cost.bytes_per_thread * static_cast<double>(n);
+  // Occupancy ramp: small grids cannot saturate a throughput-oriented
+  // device (see DeviceSpec::half_saturation_threads).
+  const double utilization =
+      static_cast<double>(n) /
+      (static_cast<double>(n) + spec_.half_saturation_threads);
+  const double t_compute = flops / (spec_.peak_gflops * 1.0e9 * utilization);
+  const double t_memory = bytes / (spec_.mem_bw_gbs * 1.0e9 * utilization);
+  clock_->charge(spec_.launch_overhead_s + std::max(t_compute, t_memory));
+}
+
+void Device::charge_scalar_readback() {
+  if (spec_.is_accelerator) {
+    ++transfers_.d2h_count;
+    transfers_.d2h_bytes += sizeof(double);
+    clock_->charge(spec_.pcie_lat_s +
+                   sizeof(double) / (spec_.pcie_bw_gbs * 1.0e9));
+  }
+}
+
+void Device::charge_reduction(std::int64_t n, double bytes_per_item) {
+  KernelCost cost;
+  cost.flops_per_thread = 1.0;
+  cost.bytes_per_thread = bytes_per_item;
+  charge_kernel(n, cost);
+  // Final partial-block reduction and result readback for accelerators is
+  // a scalar D2H transfer; charged by the caller via memcpy_d2h when it
+  // actually reads the value.
+}
+
+}  // namespace ramr::vgpu

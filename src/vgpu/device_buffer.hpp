@@ -1,0 +1,78 @@
+// RAII buffer in a virtual device's memory space.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "util/error.hpp"
+#include "vgpu/device.hpp"
+
+namespace ramr::vgpu {
+
+/// Typed, move-only allocation in device memory. Host code must not
+/// dereference device_ptr() directly; use Device::memcpy_{h2d,d2h} (or a
+/// kernel) so that every PCIe crossing is charged and logged.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(Device& device, std::int64_t n)
+      : device_(&device), n_(n), data_(device.allocate<T>(n)) {}
+
+  ~DeviceBuffer() { release(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { swap(other); }
+
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+
+  /// Device-space pointer for kernel arguments.
+  T* device_ptr() const { return data_; }
+  std::int64_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  Device* device() const { return device_; }
+
+  /// Uploads n elements from host memory (charges PCIe).
+  void upload(const T* host_src, std::int64_t n, std::int64_t dst_offset = 0) {
+    RAMR_REQUIRE(dst_offset + n <= n_, "upload overflows device buffer");
+    device_->memcpy_h2d(data_ + dst_offset, host_src,
+                        static_cast<std::uint64_t>(n) * sizeof(T));
+  }
+
+  /// Downloads n elements to host memory (charges PCIe).
+  void download(T* host_dst, std::int64_t n, std::int64_t src_offset = 0) const {
+    RAMR_REQUIRE(src_offset + n <= n_, "download overflows device buffer");
+    device_->memcpy_d2h(host_dst, data_ + src_offset,
+                        static_cast<std::uint64_t>(n) * sizeof(T));
+  }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr) {
+      device_->deallocate(data_, n_);
+      data_ = nullptr;
+      n_ = 0;
+    }
+  }
+
+  void swap(DeviceBuffer& other) noexcept {
+    std::swap(device_, other.device_);
+    std::swap(n_, other.n_);
+    std::swap(data_, other.data_);
+  }
+
+  Device* device_ = nullptr;
+  std::int64_t n_ = 0;
+  T* data_ = nullptr;
+};
+
+}  // namespace ramr::vgpu

@@ -1,0 +1,61 @@
+// Per-rank simulated clock with named components.
+//
+// Every modeled cost (kernel launches, PCIe copies, network messages)
+// is charged to the component currently on top of the clock's scope
+// stack, so the benches can report the same breakdown as Figure 11 of
+// the paper (hydrodynamics / synchronisation / regridding / timestep).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ramr::vgpu {
+
+/// Accumulates modeled seconds per named component.
+class SimClock {
+ public:
+  /// Charges `seconds` to the current component (and the total).
+  void charge(double seconds);
+
+  /// Charges to an explicit component regardless of the current scope.
+  void charge_to(const std::string& component, double seconds);
+
+  double total() const { return total_; }
+  double component(const std::string& name) const;
+  const std::map<std::string, double>& components() const { return by_component_; }
+
+  /// Name of the component currently on top of the scope stack.
+  const std::string& current_component() const;
+
+  void reset();
+
+  /// Adds another clock's accumulations into this one.
+  void merge(const SimClock& other);
+
+  // Scope management (used via ComponentScope).
+  void push_component(std::string name);
+  void pop_component();
+
+ private:
+  std::map<std::string, double> by_component_;
+  std::vector<std::string> scope_stack_;
+  double total_ = 0.0;
+};
+
+/// RAII helper: all charges within the scope go to `component`.
+class ComponentScope {
+ public:
+  ComponentScope(SimClock& clock, std::string component) : clock_(clock) {
+    clock_.push_component(std::move(component));
+  }
+  ~ComponentScope() { clock_.pop_component(); }
+
+  ComponentScope(const ComponentScope&) = delete;
+  ComponentScope& operator=(const ComponentScope&) = delete;
+
+ private:
+  SimClock& clock_;
+};
+
+}  // namespace ramr::vgpu

@@ -1,0 +1,35 @@
+// Accounting of every host<->device crossing.
+//
+// The paper's central claim is residency: simulation data stays in GPU
+// memory and crosses the PCIe bus only for regridding tags, MPI halo
+// buffers, and level synchronisation. The TransferLog makes this claim
+// testable — unit tests assert exact byte counts for each phase.
+#pragma once
+
+#include <cstdint>
+
+namespace ramr::vgpu {
+
+/// Counters for host-to-device (H2D) and device-to-host (D2H) traffic.
+struct TransferLog {
+  std::uint64_t h2d_count = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_count = 0;
+  std::uint64_t d2h_bytes = 0;
+
+  std::uint64_t total_bytes() const { return h2d_bytes + d2h_bytes; }
+  std::uint64_t total_count() const { return h2d_count + d2h_count; }
+
+  void reset() { *this = TransferLog{}; }
+
+  TransferLog operator-(const TransferLog& rhs) const {
+    TransferLog d;
+    d.h2d_count = h2d_count - rhs.h2d_count;
+    d.h2d_bytes = h2d_bytes - rhs.h2d_bytes;
+    d.d2h_count = d2h_count - rhs.d2h_count;
+    d.d2h_bytes = d2h_bytes - rhs.d2h_bytes;
+    return d;
+  }
+};
+
+}  // namespace ramr::vgpu

@@ -1,0 +1,33 @@
+// CoarsenOperator: restricts fine data onto the next coarser index space
+// (SAMRAI's CoarsenOperator strategy; paper §IV-B2 and §IV-C). The
+// volume- and mass-weighted implementations in src/geom ensure the
+// hydrodynamic quantities remain conserved when fine patches overwrite
+// the coarse solution.
+#pragma once
+
+#include "mesh/box.hpp"
+#include "pdat/patch_data.hpp"
+
+namespace ramr::xfer {
+
+/// Strategy interface for fine-to-coarse restriction.
+class CoarsenOperator {
+ public:
+  virtual ~CoarsenOperator() = default;
+
+  /// Fills `dst` over `coarse_cells` (coarse cell space) from `src`,
+  /// whose index space is finer by `ratio`. `src_aux` supplies an
+  /// auxiliary fine field when needs_aux() is true (the fine density for
+  /// mass weighting).
+  virtual void coarsen(pdat::PatchData& dst, const pdat::PatchData& src,
+                       const pdat::PatchData* src_aux,
+                       const mesh::Box& coarse_cells,
+                       const mesh::IntVector& ratio) const = 0;
+
+  /// True when the operator requires an auxiliary source field.
+  virtual bool needs_aux() const { return false; }
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace ramr::xfer

@@ -1,0 +1,145 @@
+#include "xfer/coarsen_schedule.hpp"
+
+#include <map>
+
+#include "pdat/box_overlap.hpp"
+#include "util/error.hpp"
+
+namespace ramr::xfer {
+
+using hier::GlobalPatch;
+using mesh::Box;
+using mesh::BoxList;
+using mesh::IntVector;
+
+std::unique_ptr<CoarsenSchedule> CoarsenAlgorithm::create_schedule(
+    std::shared_ptr<hier::PatchLevel> coarse_level,
+    std::shared_ptr<hier::PatchLevel> fine_level,
+    const hier::VariableDatabase& db, ParallelContext& ctx) const {
+  RAMR_REQUIRE(coarse_level != nullptr && fine_level != nullptr,
+               "coarsen schedule needs both levels");
+  RAMR_REQUIRE(!items_.empty(), "coarsen schedule with no items");
+
+  auto sched = std::unique_ptr<CoarsenSchedule>(new CoarsenSchedule());
+  sched->items_ = items_;
+  sched->coarse_level_ = coarse_level;
+  sched->fine_level_ = fine_level;
+  sched->db_ = &db;
+  sched->ctx_ = &ctx;
+  sched->tag_ = ctx.allocate_tag();
+
+  const IntVector ratio = fine_level->ratio_to_coarser();
+  for (const GlobalPatch& f : fine_level->global_patches()) {
+    const Box covered = f.box.coarsen(ratio);
+    for (const GlobalPatch& c : coarse_level->global_patches()) {
+      const Box region = covered.intersect(c.box);
+      if (region.empty()) {
+        continue;
+      }
+      CoarsenSchedule::SyncEdge edge;
+      edge.fine_gid = f.global_id;
+      edge.coarse_gid = c.global_id;
+      edge.fine_owner = f.owner_rank;
+      edge.coarse_owner = c.owner_rank;
+      edge.coarse_cells = region;
+      sched->edges_.push_back(edge);
+    }
+  }
+  ctx.charge_host_ops(4.0 * static_cast<double>(fine_level->patch_count()) *
+                          coarse_level->patch_count() +
+                      16.0 * sched->edges_.size());
+  return sched;
+}
+
+void CoarsenSchedule::coarsen_data() {
+  const int me = ctx_->my_rank;
+  const IntVector ratio = fine_level_->ratio_to_coarser();
+
+  // Pass 1 (fine owners): coarsen into scratch; ship remote edges, stash
+  // local ones so pass 2 can apply every contribution in plan order
+  // (overlapping node-seam writes must land identically on every rank
+  // layout).
+  std::map<std::size_t, std::vector<std::unique_ptr<pdat::PatchData>>> stashed;
+  for (std::size_t idx = 0; idx < edges_.size(); ++idx) {
+    const SyncEdge& e = edges_[idx];
+    if (e.fine_owner != me) {
+      continue;
+    }
+    const auto fine = fine_level_->local_patch(e.fine_gid);
+    RAMR_REQUIRE(fine != nullptr, "missing local fine patch");
+
+    // Scratch at coarse resolution covering exactly the synced region.
+    std::vector<std::unique_ptr<pdat::PatchData>> scratch(items_.size());
+    for (std::size_t n = 0; n < items_.size(); ++n) {
+      const CoarsenItem& item = items_[n];
+      scratch[n] = db_->factory(item.var_id)
+                       .allocate_with_ghosts(e.coarse_cells, IntVector::zero());
+      const pdat::PatchData* aux =
+          item.aux_var_id >= 0 ? &fine->data(item.aux_var_id) : nullptr;
+      RAMR_REQUIRE(!item.op->needs_aux() || aux != nullptr,
+                   "operator " << item.op->name() << " needs an aux field");
+      item.op->coarsen(*scratch[n], fine->data(item.var_id), aux,
+                       e.coarse_cells, ratio);
+    }
+
+    if (e.coarse_owner == me) {
+      stashed.emplace(idx, std::move(scratch));
+    } else {
+      pdat::MessageStream ms;
+      for (std::size_t n = 0; n < items_.size(); ++n) {
+        const pdat::BoxOverlap ov = pdat::overlap_for_region(
+            db_->variable(items_[n].var_id).centering, BoxList(e.coarse_cells));
+        scratch[n]->pack_stream(ms, ov);
+      }
+      ctx_->comm->send(e.coarse_owner, tag_, ms.data(), ms.size());
+    }
+  }
+
+  // Pass 2 (coarse owners): apply all contributions in plan order.
+  for (std::size_t idx = 0; idx < edges_.size(); ++idx) {
+    const SyncEdge& e = edges_[idx];
+    if (e.coarse_owner != me) {
+      continue;
+    }
+    const auto coarse = coarse_level_->local_patch(e.coarse_gid);
+    RAMR_REQUIRE(coarse != nullptr, "missing local coarse patch");
+    if (e.fine_owner == me) {
+      const auto it = stashed.find(idx);
+      RAMR_REQUIRE(it != stashed.end(), "missing stashed sync scratch");
+      for (std::size_t n = 0; n < items_.size(); ++n) {
+        const pdat::BoxOverlap ov = pdat::overlap_for_region(
+            db_->variable(items_[n].var_id).centering, BoxList(e.coarse_cells));
+        coarse->data(items_[n].var_id).copy(*it->second[n], ov);
+      }
+      stashed.erase(it);
+    } else {
+      pdat::MessageStream ms(ctx_->comm->recv(e.fine_owner, tag_));
+      for (std::size_t n = 0; n < items_.size(); ++n) {
+        const pdat::BoxOverlap ov = pdat::overlap_for_region(
+            db_->variable(items_[n].var_id).centering, BoxList(e.coarse_cells));
+        coarse->data(items_[n].var_id).unpack_stream(ms, ov);
+      }
+      RAMR_REQUIRE(ms.fully_consumed(), "sync message size mismatch");
+    }
+  }
+}
+
+std::uint64_t CoarsenSchedule::bytes_sent_per_sync() const {
+  const int me = ctx_->my_rank;
+  std::uint64_t bytes = 0;
+  for (const SyncEdge& e : edges_) {
+    if (e.fine_owner != me || e.coarse_owner == me) {
+      continue;
+    }
+    for (const CoarsenItem& item : items_) {
+      const pdat::BoxOverlap ov = pdat::overlap_for_region(
+          db_->variable(item.var_id).centering, BoxList(e.coarse_cells));
+      bytes += static_cast<std::uint64_t>(ov.element_count()) *
+               static_cast<std::uint64_t>(db_->variable(item.var_id).depth) *
+               sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace ramr::xfer

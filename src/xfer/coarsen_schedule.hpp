@@ -1,0 +1,70 @@
+// CoarsenAlgorithm / CoarsenSchedule: level synchronisation. After each
+// step the fine solution conservatively replaces the coarse solution in
+// covered cells (paper §II): the fine owner runs the data-parallel
+// coarsen operator into device scratch, packs it (Fig. 4) and ships it
+// to the coarse patch owner, who unpacks directly into the coarse data.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hier/patch_hierarchy.hpp"
+#include "xfer/coarsen_operator.hpp"
+#include "xfer/parallel_context.hpp"
+
+namespace ramr::xfer {
+
+/// One quantity handled by a coarsen schedule.
+struct CoarsenItem {
+  int var_id = -1;
+  std::shared_ptr<CoarsenOperator> op;
+  /// Auxiliary source variable for operators with needs_aux() (the fine
+  /// density id for mass-weighted energy coarsening); -1 otherwise.
+  int aux_var_id = -1;
+};
+
+/// Builder for coarsen schedules.
+class CoarsenAlgorithm {
+ public:
+  void add(CoarsenItem item) { items_.push_back(std::move(item)); }
+  const std::vector<CoarsenItem>& items() const { return items_; }
+
+  std::unique_ptr<class CoarsenSchedule> create_schedule(
+      std::shared_ptr<hier::PatchLevel> coarse_level,
+      std::shared_ptr<hier::PatchLevel> fine_level,
+      const hier::VariableDatabase& db, ParallelContext& ctx) const;
+
+ private:
+  std::vector<CoarsenItem> items_;
+};
+
+/// Executable synchronisation plan.
+class CoarsenSchedule {
+ public:
+  /// Restricts fine data onto the coarse level.
+  void coarsen_data();
+
+  std::uint64_t bytes_sent_per_sync() const;
+
+ private:
+  friend class CoarsenAlgorithm;
+  CoarsenSchedule() = default;
+
+  struct SyncEdge {
+    int fine_gid = -1;
+    int coarse_gid = -1;
+    int fine_owner = -1;
+    int coarse_owner = -1;
+    mesh::Box coarse_cells;  ///< coarse cell region covered by the fine patch
+  };
+
+  std::vector<CoarsenItem> items_;
+  std::shared_ptr<hier::PatchLevel> coarse_level_;
+  std::shared_ptr<hier::PatchLevel> fine_level_;
+  const hier::VariableDatabase* db_ = nullptr;
+  ParallelContext* ctx_ = nullptr;
+  int tag_ = 0;
+  std::vector<SyncEdge> edges_;
+};
+
+}  // namespace ramr::xfer

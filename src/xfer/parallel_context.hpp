@@ -1,0 +1,39 @@
+// Parallel execution context shared by all communication schedules on a
+// rank. Serial runs use a default-constructed context (null communicator).
+//
+// Tags are allocated from a monotonically increasing counter at schedule
+// construction; every rank constructs schedules in the same order (the
+// metadata is replicated), so tags agree without negotiation.
+#pragma once
+
+#include "simmpi/communicator.hpp"
+#include "vgpu/sim_clock.hpp"
+
+namespace ramr::xfer {
+
+/// Rank-local handle to the (simulated) MPI world.
+struct ParallelContext {
+  int my_rank = 0;
+  int world_size = 1;
+  simmpi::Communicator* comm = nullptr;  ///< null when world_size == 1
+  /// Clock charged for host-side mesh-management work (schedule
+  /// construction, box calculus); may be null in unit tests.
+  vgpu::SimClock* clock = nullptr;
+  int next_tag = 1 << 10;
+
+  int allocate_tag() { return next_tag++; }
+
+  bool is_serial() const { return world_size <= 1; }
+
+  /// Charges `ops` box-calculus operations at a sustained host rate
+  /// (~50 ns per box intersection/removal on one core). This is the
+  /// SAMRAI mesh-management time the paper's §V-B identifies as the
+  /// serial fraction behind the strong-scaling falloff.
+  void charge_host_ops(double ops) {
+    if (clock != nullptr) {
+      clock->charge(ops * 50.0e-9);
+    }
+  }
+};
+
+}  // namespace ramr::xfer

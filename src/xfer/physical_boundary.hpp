@@ -1,0 +1,27 @@
+// Strategy interface for filling ghost cells that lie outside the
+// physical domain. As in the paper (§IV-B2), physical boundary
+// conditions are supplied by the application (CleverLeaf uses the
+// reflective CloverLeaf boundaries); the schedules call this after all
+// same-level and coarse-to-fine fills complete.
+#pragma once
+
+#include <vector>
+
+#include "hier/patch.hpp"
+#include "mesh/box.hpp"
+
+namespace ramr::xfer {
+
+/// Application-supplied physical boundary condition filler.
+class PhysicalBoundaryStrategy {
+ public:
+  virtual ~PhysicalBoundaryStrategy() = default;
+
+  /// Fills all ghost regions of `patch` outside `level_domain_box` for
+  /// the listed variables. Interior-adjacent values are already valid.
+  virtual void fill_physical_boundaries(hier::Patch& patch,
+                                        const mesh::Box& level_domain_box,
+                                        const std::vector<int>& var_ids) = 0;
+};
+
+}  // namespace ramr::xfer

@@ -1,0 +1,31 @@
+// RefineOperator: interpolates data from a coarse patch into the finer
+// index space (SAMRAI's RefineOperator strategy; paper §IV-B2). The
+// implementations in src/geom are fully data-parallel device kernels —
+// one thread per fine element — which the paper presents as the first of
+// their kind.
+#pragma once
+
+#include "mesh/box.hpp"
+#include "pdat/patch_data.hpp"
+
+namespace ramr::xfer {
+
+/// Strategy interface for coarse-to-fine interpolation.
+class RefineOperator {
+ public:
+  virtual ~RefineOperator() = default;
+
+  /// Coarse cells needed around the coarsened fine region.
+  virtual mesh::IntVector stencil_width() const = 0;
+
+  /// Fills `dst` over `fine_cells` (fine cell space, clipped internally
+  /// to both arrays) by interpolating `src`, whose index space is coarser
+  /// by `ratio`.
+  virtual void refine(pdat::PatchData& dst, const pdat::PatchData& src,
+                      const mesh::Box& fine_cells,
+                      const mesh::IntVector& ratio) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace ramr::xfer

@@ -1,0 +1,402 @@
+#include "xfer/refine_schedule.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/logger.hpp"
+
+namespace ramr::xfer {
+
+using hier::GlobalPatch;
+using hier::Patch;
+using hier::PatchLevel;
+using mesh::Box;
+using mesh::BoxList;
+using mesh::IntVector;
+
+namespace {
+
+/// Largest ghost width over the scheduled items.
+IntVector max_ghosts(const std::vector<RefineItem>& items,
+                     const hier::VariableDatabase& db) {
+  IntVector g(0, 0);
+  for (const RefineItem& item : items) {
+    g = mesh::componentwise_max(g, db.variable(item.var_id).ghosts);
+  }
+  return g;
+}
+
+/// Smallest ghost width over items that interpolate (coarse sources must
+/// provide at least this much BC-filled halo).
+IntVector min_op_ghosts(const std::vector<RefineItem>& items,
+                        const hier::VariableDatabase& db) {
+  IntVector g(1 << 20, 1 << 20);
+  bool any = false;
+  for (const RefineItem& item : items) {
+    if (item.op != nullptr) {
+      g = mesh::componentwise_min(g, db.variable(item.var_id).ghosts);
+      any = true;
+    }
+  }
+  return any ? g : IntVector(0, 0);
+}
+
+/// Largest interpolation stencil over items.
+IntVector max_stencil(const std::vector<RefineItem>& items) {
+  IntVector s(0, 0);
+  for (const RefineItem& item : items) {
+    if (item.op != nullptr) {
+      s = mesh::componentwise_max(s, item.op->stencil_width());
+    }
+  }
+  return s;
+}
+
+/// Clips edge fill cells to the destination's per-variable ghost box and
+/// converts to index-space overlap (identical on sender and receiver).
+pdat::BoxOverlap item_overlap(const BoxList& fill_cells, const Box& dst_cell_box,
+                              const hier::Variable& var) {
+  BoxList cells = fill_cells;
+  cells.intersect(dst_cell_box.grow(var.ghosts));
+  return pdat::overlap_for_region(var.centering, cells);
+}
+
+}  // namespace
+
+std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
+    std::shared_ptr<PatchLevel> dst_level, std::shared_ptr<PatchLevel> src_level,
+    std::shared_ptr<PatchLevel> coarse_level, const hier::VariableDatabase& db,
+    ParallelContext& ctx, PhysicalBoundaryStrategy* bc, FillMode mode) const {
+  RAMR_REQUIRE(dst_level != nullptr, "refine schedule needs a destination");
+  RAMR_REQUIRE(!items_.empty(), "refine schedule with no items");
+
+  auto sched = std::unique_ptr<RefineSchedule>(new RefineSchedule());
+  sched->items_ = items_;
+  for (const RefineItem& item : items_) {
+    sched->var_ids_.push_back(item.var_id);
+  }
+  sched->dst_level_ = dst_level;
+  sched->src_level_ = src_level;
+  sched->coarse_level_ = coarse_level;
+  sched->db_ = &db;
+  sched->ctx_ = &ctx;
+  sched->bc_ = bc;
+  sched->mode_ = mode;
+  sched->tag_same_ = ctx.allocate_tag();
+  sched->tag_coarse_ = ctx.allocate_tag();
+
+  const IntVector ghosts = max_ghosts(items_, db);
+  const IntVector stencil = max_stencil(items_);
+  const IntVector coarse_avail = min_op_ghosts(items_, db);
+  const bool any_op =
+      std::any_of(items_.begin(), items_.end(),
+                  [](const RefineItem& i) { return i.op != nullptr; });
+  const Box dst_domain = dst_level->domain_box();
+
+  for (const GlobalPatch& d : dst_level->global_patches()) {
+    const Box fill_box = d.box.grow(ghosts);
+    BoxList remaining(fill_box);
+    if (mode == FillMode::kGhostsOnly) {
+      remaining.remove_intersections(d.box);
+    }
+
+    // (i) same-level sources, assigned disjointly in metadata order.
+    if (src_level != nullptr) {
+      const bool same_object = (src_level == dst_level);
+      for (const GlobalPatch& s : src_level->global_patches()) {
+        if (same_object && s.global_id == d.global_id) {
+          continue;
+        }
+        if (remaining.empty()) {
+          break;
+        }
+        BoxList provided = remaining;
+        provided.intersect(s.box);
+        if (provided.empty()) {
+          continue;
+        }
+        provided.coalesce();
+        RefineSchedule::CopyEdge edge;
+        edge.src_gid = s.global_id;
+        edge.dst_gid = d.global_id;
+        edge.src_owner = s.owner_rank;
+        edge.dst_owner = d.owner_rank;
+        edge.dst_cell_box = d.box;
+        edge.fill_cells = provided;
+        sched->same_level_edges_.push_back(std::move(edge));
+        remaining.remove_intersections(s.box);
+      }
+    }
+
+    // (ii) coarse interpolation for what is still unfilled inside the
+    // domain.
+    BoxList in_domain = remaining;
+    in_domain.intersect(dst_domain);
+    if (coarse_level != nullptr && any_op && !in_domain.empty()) {
+      in_domain.coalesce();
+      const IntVector ratio = dst_level->ratio_to_coarser();
+      RefineSchedule::CoarseFill cf;
+      cf.dst_gid = d.global_id;
+      cf.dst_owner = d.owner_rank;
+      cf.fine_fill_cells = in_domain;
+      cf.scratch_cells =
+          fill_box.coarsen(ratio).grow(stencil).intersect(
+              coarse_level->domain_box().grow(coarse_avail));
+
+      BoxList scratch_remaining(cf.scratch_cells);
+      // Pass 1: coarse patch interiors.
+      for (const GlobalPatch& c : coarse_level->global_patches()) {
+        if (scratch_remaining.empty()) {
+          break;
+        }
+        BoxList provided = scratch_remaining;
+        provided.intersect(c.box);
+        if (provided.empty()) {
+          continue;
+        }
+        provided.coalesce();
+        RefineSchedule::CopyEdge edge;
+        edge.src_gid = c.global_id;
+        edge.dst_gid = d.global_id;
+        edge.src_owner = c.owner_rank;
+        edge.dst_owner = d.owner_rank;
+        edge.dst_cell_box = cf.scratch_cells;
+        edge.fill_cells = provided;
+        cf.gather.push_back(std::move(edge));
+        scratch_remaining.remove_intersections(c.box);
+      }
+      // Pass 2: coarse patch ghost regions (carry BC-filled values needed
+      // for stencils that poke past the domain or patch edges).
+      for (const GlobalPatch& c : coarse_level->global_patches()) {
+        if (scratch_remaining.empty()) {
+          break;
+        }
+        const Box gbox = c.box.grow(coarse_avail);
+        BoxList provided = scratch_remaining;
+        provided.intersect(gbox);
+        if (provided.empty()) {
+          continue;
+        }
+        provided.coalesce();
+        RefineSchedule::CopyEdge edge;
+        edge.src_gid = c.global_id;
+        edge.dst_gid = d.global_id;
+        edge.src_owner = c.owner_rank;
+        edge.dst_owner = d.owner_rank;
+        edge.dst_cell_box = cf.scratch_cells;
+        edge.fill_cells = provided;
+        cf.gather.push_back(std::move(edge));
+        scratch_remaining.remove_intersections(gbox);
+      }
+      if (!scratch_remaining.empty()) {
+        RAMR_LOG_DEBUG("refine schedule: " << scratch_remaining.count()
+                       << " scratch pieces uncovered for patch "
+                       << d.global_id << " (outside coarse coverage)");
+      }
+      sched->coarse_fills_.push_back(std::move(cf));
+    }
+  }
+  // Host cost of building the plan: the pairwise box calculus over the
+  // replicated metadata (dst x src patch enumeration plus per-edge box
+  // difference work).
+  double ops = static_cast<double>(dst_level->patch_count()) *
+               (src_level != nullptr ? src_level->patch_count() : 0);
+  if (coarse_level != nullptr) {
+    ops += static_cast<double>(dst_level->patch_count()) *
+           coarse_level->patch_count();
+  }
+  for (const auto& e : sched->same_level_edges_) {
+    ops += 8.0 * e.fill_cells.count();
+  }
+  for (const auto& cf : sched->coarse_fills_) {
+    ops += 16.0 * cf.gather.size();
+  }
+  ctx.charge_host_ops(4.0 * ops);
+  return sched;
+}
+
+void RefineSchedule::fill() {
+  execute_same_level();
+  execute_coarse_fill();
+  execute_physical_boundaries();
+}
+
+void RefineSchedule::execute_same_level() {
+  const int me = ctx_->my_rank;
+  // Send pass (buffered, never blocks).
+  for (const CopyEdge& e : same_level_edges_) {
+    if (e.src_owner != me || e.dst_owner == me) {
+      continue;
+    }
+    const auto src = src_level_->local_patch(e.src_gid);
+    RAMR_REQUIRE(src != nullptr, "missing local source patch");
+    pdat::MessageStream ms;
+    for (const RefineItem& item : items_) {
+      const pdat::BoxOverlap ov =
+          item_overlap(e.fill_cells, e.dst_cell_box, db_->variable(item.var_id));
+      src->data(item.var_id).pack_stream(ms, ov);
+    }
+    ctx_->comm->send(e.dst_owner, tag_same_, ms.data(), ms.size());
+  }
+  // Local copies and receives, in plan order (per-sender FIFO matches).
+  for (const CopyEdge& e : same_level_edges_) {
+    if (e.dst_owner != me) {
+      continue;
+    }
+    const auto dst = dst_level_->local_patch(e.dst_gid);
+    RAMR_REQUIRE(dst != nullptr, "missing local destination patch");
+    if (e.src_owner == me) {
+      const auto src = src_level_->local_patch(e.src_gid);
+      RAMR_REQUIRE(src != nullptr, "missing local source patch");
+      for (const RefineItem& item : items_) {
+        const pdat::BoxOverlap ov = item_overlap(e.fill_cells, e.dst_cell_box,
+                                                 db_->variable(item.var_id));
+        dst->data(item.var_id).copy(src->data(item.var_id), ov);
+      }
+    } else {
+      pdat::MessageStream ms(ctx_->comm->recv(e.src_owner, tag_same_));
+      for (const RefineItem& item : items_) {
+        const pdat::BoxOverlap ov = item_overlap(e.fill_cells, e.dst_cell_box,
+                                                 db_->variable(item.var_id));
+        dst->data(item.var_id).unpack_stream(ms, ov);
+      }
+      RAMR_REQUIRE(ms.fully_consumed(), "halo message size mismatch");
+    }
+  }
+}
+
+void RefineSchedule::execute_coarse_fill() {
+  if (coarse_fills_.empty()) {
+    return;
+  }
+  const int me = ctx_->my_rank;
+  const IntVector ratio = dst_level_->ratio_to_coarser();
+
+  // Send pass: contributions to remote scratch regions.
+  for (const CoarseFill& cf : coarse_fills_) {
+    if (cf.dst_owner == me) {
+      continue;
+    }
+    for (const CopyEdge& e : cf.gather) {
+      if (e.src_owner != me) {
+        continue;
+      }
+      const auto src = coarse_level_->local_patch(e.src_gid);
+      RAMR_REQUIRE(src != nullptr, "missing local coarse patch");
+      pdat::MessageStream ms;
+      for (const RefineItem& item : items_) {
+        if (item.op == nullptr) {
+          continue;
+        }
+        const pdat::BoxOverlap ov = pdat::overlap_for_region(
+            db_->variable(item.var_id).centering, e.fill_cells);
+        src->data(item.var_id).pack_stream(ms, ov);
+      }
+      ctx_->comm->send(cf.dst_owner, tag_coarse_, ms.data(), ms.size());
+    }
+  }
+
+  // Fill pass on destination owners.
+  for (const CoarseFill& cf : coarse_fills_) {
+    if (cf.dst_owner != me) {
+      continue;
+    }
+    const auto dst = dst_level_->local_patch(cf.dst_gid);
+    RAMR_REQUIRE(dst != nullptr, "missing local destination patch");
+
+    // Scratch storage per interpolated item.
+    std::vector<std::unique_ptr<pdat::PatchData>> scratch(items_.size());
+    for (std::size_t n = 0; n < items_.size(); ++n) {
+      if (items_[n].op != nullptr) {
+        scratch[n] = db_->factory(items_[n].var_id)
+                         .allocate_with_ghosts(cf.scratch_cells,
+                                               IntVector::zero());
+      }
+    }
+    // Gather coarse data into the scratch.
+    for (const CopyEdge& e : cf.gather) {
+      if (e.src_owner == me) {
+        const auto src = coarse_level_->local_patch(e.src_gid);
+        RAMR_REQUIRE(src != nullptr, "missing local coarse patch");
+        for (std::size_t n = 0; n < items_.size(); ++n) {
+          if (items_[n].op == nullptr) {
+            continue;
+          }
+          const pdat::BoxOverlap ov = pdat::overlap_for_region(
+              db_->variable(items_[n].var_id).centering, e.fill_cells);
+          scratch[n]->copy(src->data(items_[n].var_id), ov);
+        }
+      } else {
+        pdat::MessageStream ms(ctx_->comm->recv(e.src_owner, tag_coarse_));
+        for (std::size_t n = 0; n < items_.size(); ++n) {
+          if (items_[n].op == nullptr) {
+            continue;
+          }
+          const pdat::BoxOverlap ov = pdat::overlap_for_region(
+              db_->variable(items_[n].var_id).centering, e.fill_cells);
+          scratch[n]->unpack_stream(ms, ov);
+        }
+        RAMR_REQUIRE(ms.fully_consumed(), "coarse gather size mismatch");
+      }
+    }
+    // Interpolate into the destination patch.
+    for (std::size_t n = 0; n < items_.size(); ++n) {
+      if (items_[n].op == nullptr) {
+        continue;
+      }
+      for (const Box& piece : cf.fine_fill_cells.boxes()) {
+        items_[n].op->refine(dst->data(items_[n].var_id), *scratch[n], piece,
+                             ratio);
+      }
+    }
+  }
+}
+
+void RefineSchedule::execute_physical_boundaries() {
+  if (bc_ == nullptr) {
+    return;
+  }
+  for (const auto& patch : dst_level_->local_patches()) {
+    bc_->fill_physical_boundaries(*patch, dst_level_->domain_box(), var_ids_);
+  }
+}
+
+std::uint64_t RefineSchedule::bytes_sent_per_fill() const {
+  const int me = ctx_->my_rank;
+  std::uint64_t bytes = 0;
+  for (const CopyEdge& e : same_level_edges_) {
+    if (e.src_owner != me || e.dst_owner == me) {
+      continue;
+    }
+    for (const RefineItem& item : items_) {
+      const pdat::BoxOverlap ov =
+          item_overlap(e.fill_cells, e.dst_cell_box, db_->variable(item.var_id));
+      bytes += static_cast<std::uint64_t>(ov.element_count()) *
+               static_cast<std::uint64_t>(db_->variable(item.var_id).depth) *
+               sizeof(double);
+    }
+  }
+  for (const CoarseFill& cf : coarse_fills_) {
+    if (cf.dst_owner == me) {
+      continue;
+    }
+    for (const CopyEdge& e : cf.gather) {
+      if (e.src_owner != me) {
+        continue;
+      }
+      for (const RefineItem& item : items_) {
+        if (item.op == nullptr) {
+          continue;
+        }
+        const pdat::BoxOverlap ov = pdat::overlap_for_region(
+            db_->variable(item.var_id).centering, e.fill_cells);
+        bytes += static_cast<std::uint64_t>(ov.element_count()) *
+                 static_cast<std::uint64_t>(db_->variable(item.var_id).depth) *
+                 sizeof(double);
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace ramr::xfer

@@ -1,0 +1,114 @@
+// RefineAlgorithm / RefineSchedule: fill patch data (ghost regions, or
+// whole new patches during regridding) from three sources, in the order
+// the paper describes (§II):
+//   (i)   same-level neighbours (copy, or device-pack -> MPI -> unpack
+//         when the neighbour lives on another rank, Fig. 4),
+//   (ii)  the next coarser level (gather coarse data into a device
+//         scratch region, then apply a data-parallel RefineOperator),
+//   (iii) physical boundary conditions (application strategy).
+//
+// The schedule is the precomputed communication plan; executing it moves
+// data. All ranks compute identical plans from the replicated level
+// metadata, so matching sends/receives need no negotiation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hier/patch_hierarchy.hpp"
+#include "xfer/parallel_context.hpp"
+#include "xfer/physical_boundary.hpp"
+#include "xfer/refine_operator.hpp"
+
+namespace ramr::xfer {
+
+/// One quantity handled by a refine schedule.
+struct RefineItem {
+  int var_id = -1;
+  /// Interpolator for coarse->fine fill; when null the variable is only
+  /// copied from same-level sources (work arrays, fluxes).
+  std::shared_ptr<RefineOperator> op;
+};
+
+/// What the schedule fills on each destination patch.
+enum class FillMode {
+  kGhostsOnly,        ///< halo exchange during time integration
+  kInteriorAndGhosts  ///< populating a freshly created level (regrid)
+};
+
+/// Builder: register items, then create schedules for levels.
+class RefineAlgorithm {
+ public:
+  void add(RefineItem item) { items_.push_back(std::move(item)); }
+  const std::vector<RefineItem>& items() const { return items_; }
+
+  /// Creates a schedule that fills `dst_level` from `src_level` (same
+  /// index space; usually dst_level itself, or the old level during
+  /// regridding; may be null), from `coarse_level` (next coarser index
+  /// space; may be null), and from physical boundary conditions.
+  std::unique_ptr<class RefineSchedule> create_schedule(
+      std::shared_ptr<hier::PatchLevel> dst_level,
+      std::shared_ptr<hier::PatchLevel> src_level,
+      std::shared_ptr<hier::PatchLevel> coarse_level,
+      const hier::VariableDatabase& db, ParallelContext& ctx,
+      PhysicalBoundaryStrategy* bc, FillMode mode) const;
+
+ private:
+  std::vector<RefineItem> items_;
+};
+
+/// Executable communication plan. Rebuild after any regrid that changes
+/// the participating levels.
+class RefineSchedule {
+ public:
+  /// Moves the data. May be executed repeatedly (every timestep).
+  void fill();
+
+  /// Bytes this rank sends per execution (diagnostics / tests).
+  std::uint64_t bytes_sent_per_fill() const;
+
+ private:
+  friend class RefineAlgorithm;
+  RefineSchedule() = default;
+
+  /// A planned transfer between two patches (same index space).
+  struct CopyEdge {
+    int src_gid = -1;
+    int dst_gid = -1;
+    int src_owner = -1;
+    int dst_owner = -1;
+    mesh::Box dst_cell_box;    ///< destination patch box (for clipping)
+    mesh::BoxList fill_cells;  ///< cell-space regions to move
+  };
+
+  /// Scratch region on the coarse level feeding one destination patch.
+  struct CoarseFill {
+    int dst_gid = -1;
+    int dst_owner = -1;
+    mesh::Box scratch_cells;            ///< coarse cell box of the scratch
+    std::vector<CopyEdge> gather;       ///< coarse patches -> scratch
+    mesh::BoxList fine_fill_cells;      ///< fine cell regions to interpolate
+  };
+
+  void execute_same_level();
+  void execute_coarse_fill();
+  void execute_physical_boundaries();
+
+  std::vector<RefineItem> items_;
+  std::vector<int> var_ids_;
+  std::shared_ptr<hier::PatchLevel> dst_level_;
+  std::shared_ptr<hier::PatchLevel> src_level_;
+  std::shared_ptr<hier::PatchLevel> coarse_level_;
+  const hier::VariableDatabase* db_ = nullptr;
+  ParallelContext* ctx_ = nullptr;
+  PhysicalBoundaryStrategy* bc_ = nullptr;
+  FillMode mode_ = FillMode::kGhostsOnly;
+  int tag_same_ = 0;
+  int tag_coarse_ = 0;
+
+  std::vector<CopyEdge> same_level_edges_;
+  std::vector<CoarseFill> coarse_fills_;
+};
+
+}  // namespace ramr::xfer

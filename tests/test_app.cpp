@@ -1,0 +1,195 @@
+// Application-layer unit tests: the field registry, reflective boundary
+// parities (CloverLeaf's free-slip walls), the black-box patch
+// integrator dispatch, and the VTK writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "app/fields.hpp"
+#include "app/reflective_boundary.hpp"
+#include "app/simulation.hpp"
+#include "app/vtk_writer.hpp"
+#include "pdat/cuda/cuda_data.hpp"
+
+namespace ramr::app {
+namespace {
+
+using mesh::Box;
+using mesh::Centering;
+using mesh::IntVector;
+using pdat::cuda::CudaData;
+
+TEST(Fields, RegistersTwentyVariablesWithGhostWidthTwo) {
+  vgpu::Device dev(vgpu::tesla_k20x());
+  hier::VariableDatabase db;
+  const Fields f = Fields::register_all(db, dev);
+  EXPECT_EQ(db.count(), 20);
+  EXPECT_EQ(db.variable(f.density0).centering, Centering::kCell);
+  EXPECT_EQ(db.variable(f.xvel0).centering, Centering::kNode);
+  EXPECT_EQ(db.variable(f.vol_flux).centering, Centering::kSide);
+  for (int id = 0; id < db.count(); ++id) {
+    EXPECT_EQ(db.variable(id).ghosts, IntVector(2, 2));
+  }
+  EXPECT_EQ(db.id("density0"), f.density0);
+  EXPECT_EQ(db.id("mass_flux"), f.mass_flux);
+}
+
+class BoundaryTest : public ::testing::Test {
+ protected:
+  BoundaryTest() : fields_(Fields::register_all(db_, dev_)), bc_(fields_) {}
+
+  /// A patch covering the whole (tiny) domain so all 4 walls are
+  /// physical.
+  std::unique_ptr<hier::Patch> make_patch() {
+    auto patch = std::make_unique<hier::Patch>(domain_, 0, 0, 0);
+    patch->allocate(db_);
+    return patch;
+  }
+
+  void fill(hier::Patch& p, int id, int comp,
+            const std::function<double(int, int)>& f) {
+    auto& cd = p.typed_data<CudaData>(id);
+    const Box ib = cd.component(comp).index_box();
+    std::vector<double> plane;
+    for (int j = ib.lower().j; j <= ib.upper().j; ++j) {
+      for (int i = ib.lower().i; i <= ib.upper().i; ++i) {
+        plane.push_back(f(i, j));
+      }
+    }
+    cd.component(comp).upload_plane(plane);
+  }
+
+  double at(hier::Patch& p, int id, int comp, int i, int j) {
+    auto& cd = p.typed_data<CudaData>(id);
+    const Box ib = cd.component(comp).index_box();
+    const auto plane = cd.component(comp).download_plane();
+    return plane[static_cast<std::size_t>((j - ib.lower().j) * ib.width() +
+                                          (i - ib.lower().i))];
+  }
+
+  vgpu::Device dev_{vgpu::tesla_k20x()};
+  hier::VariableDatabase db_;
+  Fields fields_;
+  ReflectiveBoundary bc_;
+  Box domain_{0, 0, 7, 7};
+};
+
+TEST_F(BoundaryTest, CellFieldsMirrorSymmetrically) {
+  auto patch = make_patch();
+  fill(*patch, fields_.density0, 0, [](int i, int j) {
+    return 1.0 + i + 100.0 * j;
+  });
+  bc_.fill_physical_boundaries(*patch, domain_, {fields_.density0});
+  // x-lo: ghost cell -1 mirrors interior cell 0; -2 mirrors 1.
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.density0, 0, -1, 3),
+                   at(*patch, fields_.density0, 0, 0, 3));
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.density0, 0, -2, 3),
+                   at(*patch, fields_.density0, 0, 1, 3));
+  // x-hi: ghost 8 mirrors 7, ghost 9 mirrors 6.
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.density0, 0, 8, 5),
+                   at(*patch, fields_.density0, 0, 7, 5));
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.density0, 0, 9, 5),
+                   at(*patch, fields_.density0, 0, 6, 5));
+  // y edges likewise.
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.density0, 0, 4, -1),
+                   at(*patch, fields_.density0, 0, 4, 0));
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.density0, 0, 4, 9),
+                   at(*patch, fields_.density0, 0, 4, 6));
+}
+
+TEST_F(BoundaryTest, NormalVelocityFlipsSign) {
+  auto patch = make_patch();
+  fill(*patch, fields_.xvel0, 0, [](int i, int j) {
+    return 0.5 + 0.1 * i + 0.01 * j;
+  });
+  bc_.fill_physical_boundaries(*patch, domain_, {fields_.xvel0});
+  // x-lo wall at node 0: ghost node -k = -interior node +k.
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.xvel0, 0, -1, 4),
+                   -at(*patch, fields_.xvel0, 0, 1, 4));
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.xvel0, 0, -2, 4),
+                   -at(*patch, fields_.xvel0, 0, 2, 4));
+  // x-hi wall at node 8.
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.xvel0, 0, 9, 4),
+                   -at(*patch, fields_.xvel0, 0, 7, 4));
+  // Across y, xvel mirrors symmetrically (tangential component).
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.xvel0, 0, 4, -1),
+                   at(*patch, fields_.xvel0, 0, 4, 1));
+}
+
+TEST_F(BoundaryTest, SideFluxComponentsUseNormalParity) {
+  auto patch = make_patch();
+  fill(*patch, fields_.vol_flux, 0, [](int i, int j) {
+    return 1.0 + i + 0.1 * j;
+  });
+  fill(*patch, fields_.vol_flux, 1, [](int i, int j) {
+    return -2.0 + 0.2 * i + j;
+  });
+  bc_.fill_physical_boundaries(*patch, domain_, {fields_.vol_flux});
+  // x-faces flip across the x wall (normal flux reverses)...
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.vol_flux, 0, -1, 3),
+                   -at(*patch, fields_.vol_flux, 0, 1, 3));
+  // ...and mirror symmetrically across y (cell-like in y).
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.vol_flux, 0, 3, -1),
+                   at(*patch, fields_.vol_flux, 0, 3, 0));
+  // y-faces flip across the y wall.
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.vol_flux, 1, 3, -1),
+                   -at(*patch, fields_.vol_flux, 1, 3, 1));
+}
+
+TEST_F(BoundaryTest, CornersAreConsistent) {
+  auto patch = make_patch();
+  fill(*patch, fields_.energy0, 0, [](int i, int j) {
+    return 1.0 + 3.0 * i + 17.0 * j;
+  });
+  bc_.fill_physical_boundaries(*patch, domain_, {fields_.energy0});
+  // Corner ghost (-1, -1) = double mirror of interior (0, 0).
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.energy0, 0, -1, -1),
+                   at(*patch, fields_.energy0, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.energy0, 0, 9, 9),
+                   at(*patch, fields_.energy0, 0, 6, 6));
+}
+
+TEST_F(BoundaryTest, InteriorPatchIsUntouched) {
+  // A patch away from all domain edges must not be modified.
+  auto patch = std::make_unique<hier::Patch>(Box(2, 2, 5, 5), 0, 0, 0);
+  patch->allocate(db_);
+  fill(*patch, fields_.density0, 0, [](int, int) { return 4.0; });
+  const Box big_domain(0, 0, 63, 63);
+  bc_.fill_physical_boundaries(*patch, big_domain, {fields_.density0});
+  EXPECT_DOUBLE_EQ(at(*patch, fields_.density0, 0, 1, 1), 4.0);
+}
+
+TEST(VtkWriter, WritesValidFilesForEveryPatch) {
+  SimulationConfig cfg;
+  cfg.problem = ProblemKind::kSod;
+  cfg.nx = 32;
+  cfg.ny = 32;
+  cfg.max_levels = 2;
+  Simulation sim(cfg, nullptr);
+  sim.initialize();
+  const std::string base = "/tmp/ramr_vtk_" + std::to_string(::getpid());
+  const auto files = write_vtk(
+      sim, base, {{"density", sim.fields().density0},
+                  {"energy", sim.fields().energy0}});
+  std::size_t expected = 0;
+  for (int l = 0; l < sim.hierarchy().num_levels(); ++l) {
+    expected += sim.hierarchy().level(l).local_patches().size();
+  }
+  EXPECT_EQ(files.size(), expected);
+  // Header + both fields present in the first file.
+  std::ifstream is(files.front());
+  std::string contents((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("# vtk DataFile"), std::string::npos);
+  EXPECT_NE(contents.find("SCALARS density double 1"), std::string::npos);
+  EXPECT_NE(contents.find("SCALARS energy double 1"), std::string::npos);
+  EXPECT_NE(contents.find("CELL_DATA"), std::string::npos);
+  for (const auto& f : files) {
+    std::remove(f.c_str());
+  }
+  std::remove((base + ".visit").c_str());
+}
+
+}  // namespace
+}  // namespace ramr::app

@@ -1,0 +1,254 @@
+// Unit and property tests for the mesh module: IntVector arithmetic, Box
+// calculus (refine/coarsen/grow/intersect), centring maps, BoxList set
+// operations and GridGeometry.
+#include <gtest/gtest.h>
+
+#include "mesh/box.hpp"
+#include "mesh/box_list.hpp"
+#include "mesh/grid_geometry.hpp"
+#include "mesh/int_vector.hpp"
+
+namespace ramr::mesh {
+namespace {
+
+TEST(IntVector, Arithmetic) {
+  const IntVector a(2, -3);
+  const IntVector b(5, 7);
+  EXPECT_EQ(a + b, IntVector(7, 4));
+  EXPECT_EQ(b - a, IntVector(3, 10));
+  EXPECT_EQ(a * b, IntVector(10, -21));
+  EXPECT_EQ(a * 3, IntVector(6, -9));
+  EXPECT_EQ(-a, IntVector(-2, 3));
+  EXPECT_EQ(componentwise_min(a, b), IntVector(2, -3));
+  EXPECT_EQ(componentwise_max(a, b), IntVector(5, 7));
+}
+
+TEST(IntVector, FloorDivHandlesNegatives) {
+  EXPECT_EQ(floor_div(5, 2), 2);
+  EXPECT_EQ(floor_div(4, 2), 2);
+  EXPECT_EQ(floor_div(-1, 2), -1);
+  EXPECT_EQ(floor_div(-2, 2), -1);
+  EXPECT_EQ(floor_div(-3, 2), -2);
+  EXPECT_EQ(floor_div(-4, 4), -1);
+  EXPECT_EQ(floor_div(-5, 4), -2);
+}
+
+TEST(Box, BasicGeometry) {
+  const Box b(0, 0, 9, 4);
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.width(), 10);
+  EXPECT_EQ(b.height(), 5);
+  EXPECT_EQ(b.size(), 50);
+  EXPECT_TRUE(b.contains(IntVector(0, 0)));
+  EXPECT_TRUE(b.contains(IntVector(9, 4)));
+  EXPECT_FALSE(b.contains(IntVector(10, 4)));
+}
+
+TEST(Box, EmptyBoxBehaviour) {
+  const Box e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.size(), 0);
+  EXPECT_TRUE(Box(0, 0, 5, 5).contains(e));
+  EXPECT_TRUE(e.intersect(Box(0, 0, 5, 5)).empty());
+  EXPECT_TRUE(e.refine(IntVector(2, 2)).empty());
+  EXPECT_TRUE(e.coarsen(IntVector(2, 2)).empty());
+}
+
+TEST(Box, Intersection) {
+  const Box a(0, 0, 9, 9);
+  const Box b(5, 5, 14, 14);
+  EXPECT_EQ(a.intersect(b), Box(5, 5, 9, 9));
+  EXPECT_EQ(b.intersect(a), Box(5, 5, 9, 9));
+  EXPECT_TRUE(a.intersect(Box(10, 0, 12, 9)).empty());
+  EXPECT_EQ(a.intersect(a), a);
+}
+
+TEST(Box, GrowAndShift) {
+  const Box b(2, 3, 5, 6);
+  EXPECT_EQ(b.grow(2), Box(0, 1, 7, 8));
+  EXPECT_EQ(b.grow(IntVector(1, 0)), Box(1, 3, 6, 6));
+  EXPECT_EQ(b.grow(2).grow(-2), b);
+  EXPECT_EQ(b.shift(IntVector(-2, 4)), Box(0, 7, 3, 10));
+}
+
+TEST(Box, RefineCoarsenRoundTrip) {
+  const IntVector r2(2, 2);
+  const Box b(1, 2, 4, 6);
+  const Box fine = b.refine(r2);
+  EXPECT_EQ(fine, Box(2, 4, 9, 13));
+  EXPECT_EQ(fine.size(), b.size() * 4);
+  EXPECT_EQ(fine.coarsen(r2), b);
+}
+
+TEST(Box, CoarsenWithNegativeIndices) {
+  // Cells -4..-1 at ratio 4 coarsen to cell -1.
+  EXPECT_EQ(Box(-4, -4, -1, -1).coarsen(IntVector(4, 4)), Box(-1, -1, -1, -1));
+  // Cell -5 coarsens to -2.
+  EXPECT_EQ(Box(-5, 0, -5, 0).coarsen(IntVector(4, 4)).lower().i, -2);
+}
+
+class BoxRefineCoarsenProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(BoxRefineCoarsenProperty, CoarsenOfRefineIsIdentity) {
+  const auto [ilo, jlo, w, h, r] = GetParam();
+  const Box b(ilo, jlo, ilo + w - 1, jlo + h - 1);
+  const IntVector ratio(r, r);
+  EXPECT_EQ(b.refine(ratio).coarsen(ratio), b);
+  EXPECT_EQ(b.refine(ratio).size(), b.size() * r * r);
+  // Refinement preserves containment.
+  const Box g = b.grow(1);
+  EXPECT_TRUE(g.refine(ratio).contains(b.refine(ratio)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoxRefineCoarsenProperty,
+    ::testing::Combine(::testing::Values(-7, 0, 3), ::testing::Values(-2, 5),
+                       ::testing::Values(1, 4, 9), ::testing::Values(2, 6),
+                       ::testing::Values(2, 3, 4)));
+
+TEST(Centering, IndexSpaceMaps) {
+  const Box cells(0, 0, 3, 2);
+  EXPECT_EQ(to_centering(cells, Centering::kCell), cells);
+  EXPECT_EQ(to_centering(cells, Centering::kNode), Box(0, 0, 4, 3));
+  EXPECT_EQ(to_centering(cells, Centering::kXSide), Box(0, 0, 4, 2));
+  EXPECT_EQ(to_centering(cells, Centering::kYSide), Box(0, 0, 3, 3));
+  EXPECT_EQ(centering_size(cells, Centering::kNode), 20);
+  EXPECT_THROW(to_centering(cells, Centering::kSide), util::Error);
+}
+
+TEST(Centering, Components) {
+  EXPECT_EQ(centering_components(Centering::kCell), 1);
+  EXPECT_EQ(centering_components(Centering::kSide), 2);
+  EXPECT_EQ(component_centering(Centering::kSide, 0), Centering::kXSide);
+  EXPECT_EQ(component_centering(Centering::kSide, 1), Centering::kYSide);
+  EXPECT_EQ(component_centering(Centering::kNode, 0), Centering::kNode);
+}
+
+TEST(BoxDifference, FullyCoveredIsEmpty) {
+  EXPECT_TRUE(box_difference(Box(0, 0, 3, 3), Box(-1, -1, 4, 4)).empty());
+}
+
+TEST(BoxDifference, DisjointReturnsOriginal) {
+  const auto pieces = box_difference(Box(0, 0, 3, 3), Box(10, 10, 12, 12));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces.front(), Box(0, 0, 3, 3));
+}
+
+TEST(BoxDifference, CentreHolePreservesAreaAndDisjointness) {
+  const Box from(0, 0, 9, 9);
+  const Box hole(3, 3, 6, 6);
+  const auto pieces = box_difference(from, hole);
+  ASSERT_EQ(pieces.size(), 4u);
+  std::int64_t area = 0;
+  for (std::size_t a = 0; a < pieces.size(); ++a) {
+    area += pieces[a].size();
+    EXPECT_TRUE(pieces[a].intersect(hole).empty());
+    for (std::size_t b = a + 1; b < pieces.size(); ++b) {
+      EXPECT_TRUE(pieces[a].intersect(pieces[b]).empty());
+    }
+  }
+  EXPECT_EQ(area, from.size() - hole.size());
+}
+
+class BoxDifferenceProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(BoxDifferenceProperty, AreaAndCoverage) {
+  const auto [ox, oy, w, h] = GetParam();
+  const Box from(0, 0, 7, 7);
+  const Box takeaway(ox, oy, ox + w - 1, oy + h - 1);
+  const auto pieces = box_difference(from, takeaway);
+  std::int64_t area = 0;
+  for (const Box& p : pieces) {
+    area += p.size();
+    EXPECT_TRUE(from.contains(p));
+    EXPECT_TRUE(p.intersect(takeaway).empty());
+  }
+  EXPECT_EQ(area, from.size() - from.intersect(takeaway).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoxDifferenceProperty,
+    ::testing::Combine(::testing::Values(-3, 0, 2, 6), ::testing::Values(-2, 0, 4),
+                       ::testing::Values(1, 3, 12), ::testing::Values(2, 5, 10)));
+
+TEST(BoxList, RemoveIntersectionsAgainstList) {
+  BoxList list(Box(0, 0, 9, 9));
+  BoxList takeaway;
+  takeaway.push_back(Box(0, 0, 4, 9));
+  takeaway.push_back(Box(5, 0, 9, 4));
+  list.remove_intersections(takeaway);
+  EXPECT_EQ(list.size(), 25);
+  EXPECT_TRUE(list.contains_point(IntVector(7, 7)));
+  EXPECT_FALSE(list.contains_point(IntVector(2, 2)));
+}
+
+TEST(BoxList, ContainsBox) {
+  BoxList list;
+  list.push_back(Box(0, 0, 4, 9));
+  list.push_back(Box(5, 0, 9, 9));
+  EXPECT_TRUE(list.contains_box(Box(3, 2, 7, 8)));   // spans the seam
+  EXPECT_FALSE(list.contains_box(Box(8, 8, 10, 9))); // pokes outside
+}
+
+TEST(BoxList, IntersectWithOverlappingRegionStaysDisjoint) {
+  BoxList list(Box(0, 0, 9, 9));
+  BoxList region;
+  region.push_back(Box(0, 0, 5, 5));
+  region.push_back(Box(3, 3, 8, 8));  // overlaps the first region box
+  list.intersect(region);
+  // Disjointness: total size must equal the true union area 36 + 36 - 9.
+  EXPECT_EQ(list.size(), 63);
+  for (std::size_t a = 0; a < list.boxes().size(); ++a) {
+    for (std::size_t b = a + 1; b < list.boxes().size(); ++b) {
+      EXPECT_TRUE(list.boxes()[a].intersect(list.boxes()[b]).empty());
+    }
+  }
+}
+
+TEST(BoxList, CoalesceMergesAdjacentBoxes) {
+  BoxList list;
+  list.push_back(Box(0, 0, 4, 9));
+  list.push_back(Box(5, 0, 9, 9));
+  list.coalesce();
+  ASSERT_EQ(list.count(), 1u);
+  EXPECT_EQ(list.boxes().front(), Box(0, 0, 9, 9));
+}
+
+TEST(BoxList, CoalesceLeavesNonMergeableAlone) {
+  BoxList list;
+  list.push_back(Box(0, 0, 4, 4));
+  list.push_back(Box(5, 0, 9, 3));  // different height: no merge
+  list.coalesce();
+  EXPECT_EQ(list.count(), 2u);
+}
+
+TEST(BoxList, BoundingBox) {
+  BoxList list;
+  list.push_back(Box(2, 3, 4, 5));
+  list.push_back(Box(-1, 7, 0, 9));
+  EXPECT_EQ(list.bounding_box(), Box(-1, 3, 4, 9));
+  EXPECT_TRUE(BoxList().bounding_box().empty());
+}
+
+TEST(GridGeometry, SpacingAndLevels) {
+  const GridGeometry geom(Box(0, 0, 99, 49), {0.0, 0.0}, {10.0, 5.0});
+  EXPECT_DOUBLE_EQ(geom.dx0(0), 0.1);
+  EXPECT_DOUBLE_EQ(geom.dx0(1), 0.1);
+  const IntVector r4(4, 4);
+  EXPECT_EQ(geom.domain_box_at(r4), Box(0, 0, 399, 199));
+  EXPECT_DOUBLE_EQ(geom.dx_at(r4)[0], 0.025);
+  const auto corner = geom.cell_lower(IntVector(8, 4), r4);
+  EXPECT_DOUBLE_EQ(corner[0], 0.2);
+  EXPECT_DOUBLE_EQ(corner[1], 0.1);
+}
+
+TEST(GridGeometry, RejectsDegenerateDomains) {
+  EXPECT_THROW(GridGeometry(Box(), {0.0, 0.0}, {1.0, 1.0}), util::Error);
+  EXPECT_THROW(GridGeometry(Box(0, 0, 9, 9), {0.0, 0.0}, {0.0, 1.0}),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace ramr::mesh

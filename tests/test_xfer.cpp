@@ -1,0 +1,280 @@
+// Tests for the communication schedules: same-level ghost fill,
+// coarse-to-fine interpolation through device scratch, solution transfer
+// for regridding, fine-to-coarse synchronisation, and the physical
+// boundary hook — serial and distributed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/coarsen_operators.hpp"
+#include "geom/refine_operators.hpp"
+#include "hier/patch_hierarchy.hpp"
+#include "pdat/cuda/cuda_data.hpp"
+#include "simmpi/communicator.hpp"
+#include "xfer/coarsen_schedule.hpp"
+#include "xfer/refine_schedule.hpp"
+
+namespace ramr::xfer {
+namespace {
+
+using hier::GlobalPatch;
+using hier::PatchHierarchy;
+using hier::PatchLevel;
+using mesh::Box;
+using mesh::Centering;
+using mesh::IntVector;
+using pdat::cuda::CudaData;
+
+/// Two-level hierarchy: level 0 has two side-by-side patches covering a
+/// 16x8 domain; level 1 refines the middle 8x4 region (ratio 2).
+struct Fixture {
+  vgpu::Device device{vgpu::tesla_k20x()};
+  PatchHierarchy hierarchy;
+  int var = -1;
+  ParallelContext ctx;
+
+  explicit Fixture(Centering centering = Centering::kCell, int rank = 0,
+                   int world = 1, simmpi::Communicator* comm = nullptr)
+      : hierarchy(mesh::GridGeometry(Box(0, 0, 15, 7), {0.0, 0.0}, {2.0, 1.0}),
+                  2, IntVector(2, 2), rank, world) {
+    ctx.my_rank = rank;
+    ctx.world_size = world;
+    ctx.comm = comm;
+    var = hierarchy.variables().register_variable(
+        hier::Variable{"u", centering, 1, IntVector(2, 2)},
+        std::make_shared<pdat::cuda::CudaDataFactory>(device, centering,
+                                                      IntVector(2, 2), 1));
+    std::vector<GlobalPatch> l0 = {{Box(0, 0, 7, 7), 0, 0},
+                                   {Box(8, 0, 15, 7), world > 1 ? 1 : 0, 1}};
+    auto level0 = std::make_shared<PatchLevel>(0, IntVector(1, 1),
+                                               IntVector(1, 1), l0, rank,
+                                               hierarchy.geometry());
+    level0->allocate_data(hierarchy.variables());
+    hierarchy.set_level(0, level0);
+    std::vector<GlobalPatch> l1 = {{Box(8, 4, 23, 11), 0, 0}};
+    auto level1 = std::make_shared<PatchLevel>(1, IntVector(2, 2),
+                                               IntVector(2, 2), l1, rank,
+                                               hierarchy.geometry());
+    level1->allocate_data(hierarchy.variables());
+    hierarchy.set_level(1, level1);
+  }
+
+  /// Fills a patch's component 0 with f(i, j) over its whole index box.
+  void fill(hier::Patch& p, const std::function<double(int, int)>& f) {
+    auto& cd = p.typed_data<CudaData>(var);
+    for (int k = 0; k < cd.components(); ++k) {
+      const Box ib = cd.component(k).index_box();
+      std::vector<double> plane(static_cast<std::size_t>(ib.size()));
+      std::size_t n = 0;
+      for (int j = ib.lower().j; j <= ib.upper().j; ++j) {
+        for (int i = ib.lower().i; i <= ib.upper().i; ++i) {
+          plane[n++] = f(i, j) + 1000.0 * k;
+        }
+      }
+      cd.component(k).upload_plane(plane);
+    }
+  }
+
+  double at(hier::Patch& p, int i, int j, int k = 0) {
+    auto& cd = p.typed_data<CudaData>(var);
+    const Box ib = cd.component(k).index_box();
+    const auto plane = cd.component(k).download_plane();
+    return plane[static_cast<std::size_t>((j - ib.lower().j) * ib.width() +
+                                          (i - ib.lower().i))];
+  }
+};
+
+TEST(RefineSchedule, SameLevelGhostFill) {
+  Fixture f;
+  auto level0 = f.hierarchy.level_ptr(0);
+  auto left = level0->local_patch(0);
+  auto right = level0->local_patch(1);
+  f.fill(*left, [](int i, int j) { return 100.0 * i + j; });
+  f.fill(*right, [](int i, int j) { return -(100.0 * i + j); });
+
+  RefineAlgorithm alg;
+  alg.add(RefineItem{f.var, nullptr});
+  auto sched = alg.create_schedule(level0, level0, nullptr,
+                                   f.hierarchy.variables(), f.ctx, nullptr,
+                                   FillMode::kGhostsOnly);
+  sched->fill();
+  // Left patch's right ghosts now hold right's interior values.
+  EXPECT_DOUBLE_EQ(f.at(*left, 8, 3), -(100.0 * 8 + 3));
+  EXPECT_DOUBLE_EQ(f.at(*left, 9, 0), -(100.0 * 9 + 0));
+  // Right patch's left ghosts hold left's interior values.
+  EXPECT_DOUBLE_EQ(f.at(*right, 7, 5), 100.0 * 7 + 5);
+  EXPECT_DOUBLE_EQ(f.at(*right, 6, 7), 100.0 * 6 + 7);
+  // Interiors untouched.
+  EXPECT_DOUBLE_EQ(f.at(*left, 3, 3), 100.0 * 3 + 3);
+  EXPECT_EQ(sched->bytes_sent_per_fill(), 0u);  // serial: all local
+}
+
+TEST(RefineSchedule, CoarseFillInterpolatesWhereNoSibling) {
+  Fixture f;
+  auto level0 = f.hierarchy.level_ptr(0);
+  auto level1 = f.hierarchy.level_ptr(1);
+  // Linear field on the coarse level (cell centres): exactly reproduced
+  // by the conservative linear refine.
+  for (int gid : {0, 1}) {
+    f.fill(*level0->local_patch(gid),
+           [](int i, int j) { return 3.0 * (i + 0.5) + 7.0 * (j + 0.5); });
+  }
+  auto fine = level1->local_patch(0);
+  f.fill(*fine, [](int, int) { return -1.0; });
+
+  RefineAlgorithm alg;
+  alg.add(RefineItem{f.var, std::make_shared<geom::CellConservativeLinearRefine>()});
+  auto sched = alg.create_schedule(level1, level1, level0,
+                                   f.hierarchy.variables(), f.ctx, nullptr,
+                                   FillMode::kGhostsOnly);
+  sched->fill();
+  // Fine ghost cell (7, 6): inside the domain, no sibling: interpolated.
+  // Fine cell centre in coarse units: ((i+0.5)/2, (j+0.5)/2).
+  const double expect = 3.0 * (7 + 0.5) / 2.0 + 7.0 * (6 + 0.5) / 2.0;
+  EXPECT_NEAR(f.at(*fine, 7, 6), expect, 1e-12);
+  // Interior stays untouched.
+  EXPECT_DOUBLE_EQ(f.at(*fine, 10, 6), -1.0);
+}
+
+TEST(RefineSchedule, SolutionTransferFillsInterior) {
+  Fixture f;
+  auto level0 = f.hierarchy.level_ptr(0);
+  auto level1 = f.hierarchy.level_ptr(1);
+  for (int gid : {0, 1}) {
+    f.fill(*level0->local_patch(gid),
+           [](int i, int j) { return 2.0 * (i + 0.5) + (j + 0.5); });
+  }
+  // A "new" level-1 region partially overlapping the old level 1.
+  std::vector<GlobalPatch> l1new = {{Box(12, 4, 27, 11), 0, 7}};
+  auto new_level = std::make_shared<PatchLevel>(
+      1, IntVector(2, 2), IntVector(2, 2), l1new, 0, f.hierarchy.geometry());
+  new_level->allocate_data(f.hierarchy.variables());
+
+  auto old_fine = level1->local_patch(0);
+  f.fill(*old_fine, [](int i, int j) { return 5000.0 + i + 0.001 * j; });
+
+  RefineAlgorithm alg;
+  alg.add(RefineItem{f.var, std::make_shared<geom::CellConservativeLinearRefine>()});
+  auto sched = alg.create_schedule(new_level, level1, level0,
+                                   f.hierarchy.variables(), f.ctx, nullptr,
+                                   FillMode::kInteriorAndGhosts);
+  sched->fill();
+  auto np = new_level->local_patch(7);
+  // Where the old level overlapped (i <= 23): copied from the old data.
+  EXPECT_DOUBLE_EQ(f.at(*np, 14, 6), 5000.0 + 14 + 0.001 * 6);
+  EXPECT_DOUBLE_EQ(f.at(*np, 23, 11), 5000.0 + 23 + 0.001 * 11);
+  // Beyond (i >= 24): interpolated from the linear coarse field.
+  const double expect = 2.0 * (25 + 0.5) / 2.0 + (8 + 0.5) / 2.0;
+  EXPECT_NEAR(f.at(*np, 25, 8), expect, 1e-12);
+}
+
+TEST(RefineSchedule, PhysicalBoundaryHookRuns) {
+  struct MarkerBc : PhysicalBoundaryStrategy {
+    int calls = 0;
+    void fill_physical_boundaries(hier::Patch&, const Box&,
+                                  const std::vector<int>& ids) override {
+      ++calls;
+      EXPECT_EQ(ids.size(), 1u);
+    }
+  };
+  Fixture f;
+  MarkerBc bc;
+  auto level0 = f.hierarchy.level_ptr(0);
+  RefineAlgorithm alg;
+  alg.add(RefineItem{f.var, nullptr});
+  auto sched = alg.create_schedule(level0, level0, nullptr,
+                                   f.hierarchy.variables(), f.ctx, &bc,
+                                   FillMode::kGhostsOnly);
+  sched->fill();
+  EXPECT_EQ(bc.calls, 2);  // both local patches
+}
+
+TEST(CoarsenSchedule, VolumeWeightedSyncReplacesCoveredCells) {
+  Fixture f;
+  auto level0 = f.hierarchy.level_ptr(0);
+  auto level1 = f.hierarchy.level_ptr(1);
+  for (int gid : {0, 1}) {
+    f.fill(*level0->local_patch(gid), [](int, int) { return 1.0; });
+  }
+  f.fill(*level1->local_patch(0), [](int, int) { return 8.0; });
+
+  CoarsenAlgorithm alg;
+  alg.add(CoarsenItem{f.var, std::make_shared<geom::VolumeWeightedCoarsen>(), -1});
+  auto sched = alg.create_schedule(level0, level1, f.hierarchy.variables(),
+                                   f.ctx);
+  sched->coarsen_data();
+  // The fine level covers coarse cells (4..11, 2..5): now 8.
+  EXPECT_DOUBLE_EQ(f.at(*level0->local_patch(0), 5, 3), 8.0);
+  EXPECT_DOUBLE_EQ(f.at(*level0->local_patch(1), 11, 5), 8.0);
+  // Uncovered coarse cells unchanged.
+  EXPECT_DOUBLE_EQ(f.at(*level0->local_patch(0), 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(f.at(*level0->local_patch(1), 14, 7), 1.0);
+}
+
+TEST(CoarsenSchedule, NodeCentredSync) {
+  Fixture f(Centering::kNode);
+  auto level0 = f.hierarchy.level_ptr(0);
+  auto level1 = f.hierarchy.level_ptr(1);
+  for (int gid : {0, 1}) {
+    f.fill(*level0->local_patch(gid), [](int, int) { return 0.0; });
+  }
+  f.fill(*level1->local_patch(0), [](int i, int j) { return 10.0 * i + j; });
+
+  CoarsenAlgorithm alg;
+  alg.add(CoarsenItem{f.var, std::make_shared<geom::NodeInjectionCoarsen>(), -1});
+  auto sched = alg.create_schedule(level0, level1, f.hierarchy.variables(),
+                                   f.ctx);
+  sched->coarsen_data();
+  // Coarse node (5, 3) <- fine node (10, 6).
+  EXPECT_DOUBLE_EQ(f.at(*level0->local_patch(0), 5, 3), 10.0 * 10 + 6);
+}
+
+TEST(Schedules, DistributedMatchesSerialOnFixture) {
+  // Serial reference of the same-level + coarse fill.
+  auto run = [](int world, simmpi::Communicator* comm, int rank) {
+    Fixture f(Centering::kCell, rank, world, comm);
+    auto level0 = f.hierarchy.level_ptr(0);
+    auto level1 = f.hierarchy.level_ptr(1);
+    for (int gid : {0, 1}) {
+      if (auto p = level0->local_patch(gid)) {
+        f.fill(*p, [gid](int i, int j) { return gid * 77.0 + i + 0.01 * j; });
+      }
+    }
+    if (auto p = level1->local_patch(0)) {
+      f.fill(*p, [](int, int) { return -3.0; });
+    }
+    RefineAlgorithm alg;
+    alg.add(RefineItem{f.var,
+                       std::make_shared<geom::CellConservativeLinearRefine>()});
+    auto s0 = alg.create_schedule(level0, level0, nullptr,
+                                  f.hierarchy.variables(), f.ctx, nullptr,
+                                  FillMode::kGhostsOnly);
+    auto s1 = alg.create_schedule(level1, level1, level0,
+                                  f.hierarchy.variables(), f.ctx, nullptr,
+                                  FillMode::kGhostsOnly);
+    s0->fill();
+    s1->fill();
+    double checksum = 0.0;
+    if (auto p = level1->local_patch(0)) {
+      for (int j = 2; j <= 13; ++j) {
+        for (int i = 6; i <= 25; ++i) {
+          checksum += f.at(*p, i, j) * std::sin(i + 2.0 * j);
+        }
+      }
+    }
+    return checksum;
+  };
+  const double serial = run(1, nullptr, 0);
+  simmpi::World world(2, simmpi::ideal_network());
+  double distributed = 0.0;
+  world.run([&](simmpi::Communicator& comm) {
+    const double c = run(2, &comm, comm.rank());
+    if (comm.rank() == 0) {
+      distributed = c;
+    }
+  });
+  EXPECT_DOUBLE_EQ(serial, distributed);
+}
+
+}  // namespace
+}  // namespace ramr::xfer
