@@ -24,6 +24,7 @@ namespace {
 struct Result {
   double seconds_1000 = 0.0;
   std::int64_t cells = 0;
+  double pcie_per_step = 0.0;  ///< modeled PCIe crossings / timestep
 };
 
 Result run_backend(int n, const ramr::vgpu::DeviceSpec& spec) {
@@ -48,11 +49,15 @@ Result run_backend(int n, const ramr::vgpu::DeviceSpec& spec) {
   // Measure whole steps, including one regrid per 5 steps (the paper's
   // runtime includes regridding).
   sim.clock().reset();
+  const ramr::vgpu::TransferLog transfers0 = sim.device().transfers();
   const int steps = 10;
   sim.run(steps);
   Result r;
   r.seconds_1000 = sim.clock().total() / steps * 1000.0;
   r.cells = static_cast<std::int64_t>(cfg.nx) * cfg.ny;
+  r.pcie_per_step =
+      static_cast<double>((sim.device().transfers() - transfers0).total_count()) /
+      steps;
   return r;
 }
 
@@ -74,8 +79,9 @@ int main() {
     sizes.resize(5);
   }
 
-  ramr::perf::Table t({10, 12, 14, 14, 10});
-  t.header({"n", "zones", "K20x (s)", "E5-2670 (s)", "GPU/CPU"});
+  ramr::perf::Table t({10, 12, 14, 14, 10, 13});
+  t.header({"n", "zones", "K20x (s)", "E5-2670 (s)", "GPU/CPU",
+            "PCIe x/step"});
   ramr::util::RunningStats small_speedup;
   ramr::util::RunningStats large_speedup;
   for (int n : sizes) {
@@ -85,7 +91,8 @@ int main() {
     t.row({ramr::perf::Table::count(n), ramr::perf::Table::count(gpu.cells),
            ramr::perf::Table::seconds(gpu.seconds_1000),
            ramr::perf::Table::seconds(cpu.seconds_1000),
-           ramr::perf::Table::ratio(speedup)});
+           ramr::perf::Table::ratio(speedup),
+           ramr::perf::Table::seconds(gpu.pcie_per_step)});
     (gpu.cells < 200000 ? small_speedup : large_speedup).add(speedup);
   }
   std::printf("\n");

@@ -5,6 +5,9 @@
 // modeled PCIe cost of both.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "pdat/cuda/cuda_data.hpp"
 #include "vgpu/device_spec.hpp"
 
@@ -82,6 +85,77 @@ void BM_NaiveRowByRowPack(benchmark::State& state) {
       dev.clock().total() / state.iterations() * 1e6;
 }
 BENCHMARK(BM_NaiveRowByRowPack)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FusedMultiVariablePack(benchmark::State& state) {
+  // The aggregated transfer path: every variable of a peer message packs
+  // into ONE exact-size-reserved stream inside a transfer batch, so the
+  // whole aggregated buffer crosses PCIe once (the per-variable staging
+  // copies fuse). Contrast with BM_PerVariablePack below.
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kVars = 5;
+  ramr::vgpu::Device dev(ramr::vgpu::tesla_k20x());
+  std::vector<std::unique_ptr<CudaCellData>> vars;
+  for (int v = 0; v < kVars; ++v) {
+    vars.push_back(std::make_unique<CudaCellData>(
+        dev, Box(0, 0, n - 1, n - 1), IntVector(2, 2)));
+    vars.back()->fill(1.0 + v);
+  }
+  const BoxOverlap ov = halo_overlap(n, 2);
+  const std::size_t bytes_per_var = vars.front()->data_stream_size(ov);
+  for (auto _ : state) {
+    MessageStream ms;
+    ms.reserve(kVars * bytes_per_var);
+    {
+      ramr::vgpu::TransferBatch batch(&dev);
+      for (const auto& v : vars) {
+        v->pack_stream(ms, ov);
+      }
+    }
+    benchmark::DoNotOptimize(ms.size());
+  }
+  state.SetBytesProcessed(state.iterations() * kVars *
+                          static_cast<std::int64_t>(ov.element_count()) * 8);
+  state.counters["variables_per_message"] = kVars;
+  state.counters["messages_per_fill"] = 1.0;  // one aggregated peer message
+  state.counters["pcie_crossings_per_fill"] =
+      static_cast<double>(dev.transfers().d2h_count) / state.iterations();
+  state.counters["modeled_us_per_fill"] =
+      dev.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_FusedMultiVariablePack)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PerVariablePack(benchmark::State& state) {
+  // The pre-aggregation contrast: one stream, one message and one PCIe
+  // crossing per (edge, variable), as the old schedule execute loops did.
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kVars = 5;
+  ramr::vgpu::Device dev(ramr::vgpu::tesla_k20x());
+  std::vector<std::unique_ptr<CudaCellData>> vars;
+  for (int v = 0; v < kVars; ++v) {
+    vars.push_back(std::make_unique<CudaCellData>(
+        dev, Box(0, 0, n - 1, n - 1), IntVector(2, 2)));
+    vars.back()->fill(1.0 + v);
+  }
+  const BoxOverlap ov = halo_overlap(n, 2);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const auto& v : vars) {
+      MessageStream ms;
+      v->pack_stream(ms, ov);
+      total += ms.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(state.iterations() * kVars *
+                          static_cast<std::int64_t>(ov.element_count()) * 8);
+  state.counters["variables_per_message"] = 1.0;
+  state.counters["messages_per_fill"] = kVars;
+  state.counters["pcie_crossings_per_fill"] =
+      static_cast<double>(dev.transfers().d2h_count) / state.iterations();
+  state.counters["modeled_us_per_fill"] =
+      dev.clock().total() / state.iterations() * 1e6;
+}
+BENCHMARK(BM_PerVariablePack)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_UnpackRoundTrip(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

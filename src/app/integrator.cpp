@@ -100,6 +100,9 @@ void LagrangianEulerianIntegrator::fill_all(
   // coarse-fill gathers from them.
   for (auto& sched : scheds) {
     sched->fill();
+    ++xfer_counters_.halo_fills;
+    xfer_counters_.messages_sent += sched->messages_sent_per_fill();
+    xfer_counters_.bytes_sent += sched->bytes_sent_per_fill();
   }
 }
 
@@ -211,6 +214,9 @@ double LagrangianEulerianIntegrator::advance() {
     vgpu::ComponentScope scope(*clock_, "sync");
     for (auto& sched : sched_sync_) {
       sched->coarsen_data();
+      ++xfer_counters_.halo_fills;
+      xfer_counters_.messages_sent += sched->messages_sent_per_sync();
+      xfer_counters_.bytes_sent += sched->bytes_sent_per_sync();
     }
   }
 

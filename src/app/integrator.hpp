@@ -19,6 +19,15 @@
 
 namespace ramr::app {
 
+/// Cumulative transfer-layer traffic of one rank's integration, counted
+/// by the aggregated-message engine (diagnostics for the paper's Fig. 10
+/// communication analysis: messages shrink to one per peer per fill).
+struct TransferCounters {
+  std::uint64_t halo_fills = 0;     ///< schedule executions (fill + sync)
+  std::uint64_t messages_sent = 0;  ///< aggregated peer messages sent
+  std::uint64_t bytes_sent = 0;     ///< wire bytes sent
+};
+
 /// Hierarchy-wide time integration.
 class LagrangianEulerianIntegrator {
  public:
@@ -43,6 +52,9 @@ class LagrangianEulerianIntegrator {
   /// Conservation diagnostics over the composite mesh: cells covered by
   /// a finer level are excluded, so totals are physical.
   hydro::FieldSummary composite_summary();
+
+  /// Cumulative aggregated-message traffic since construction.
+  const TransferCounters& transfer_counters() const { return xfer_counters_; }
 
   /// Rebuilds every communication schedule (after any regrid).
   void rebuild_schedules();
@@ -82,6 +94,7 @@ class LagrangianEulerianIntegrator {
   double time_ = 0.0;
   double last_dt_ = 0.0;
   int step_count_ = 0;
+  TransferCounters xfer_counters_;
 };
 
 }  // namespace ramr::app

@@ -26,6 +26,9 @@ Simulation::Simulation(const SimulationConfig& config,
   ctx_.comm = comm;
   ctx_.my_rank = comm != nullptr ? comm->rank() : 0;
   ctx_.clock = &clock_;
+  // The transfer engine fuses each aggregated message's staging copies
+  // into one modeled PCIe crossing on this device.
+  ctx_.device = &device_;
   ctx_.world_size = comm != nullptr ? comm->size() : 1;
   if (comm != nullptr) {
     comm->set_clock(&clock_);

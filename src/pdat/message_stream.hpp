@@ -22,16 +22,33 @@ class MessageStream {
 
   const std::byte* data() const { return buffer_.data(); }
   std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return buffer_.capacity(); }
   std::size_t read_position() const { return read_pos_; }
   bool fully_consumed() const { return read_pos_ == buffer_.size(); }
 
-  std::vector<std::byte> release() { return std::move(buffer_); }
+  /// Moves the buffer out and resets the stream to a fresh, empty state.
+  std::vector<std::byte> release() {
+    read_pos_ = 0;
+    reserved_ = false;
+    return std::move(buffer_);
+  }
+
+  /// Preallocates room for `bytes` more bytes. Pack paths that hold
+  /// pointers returned by grow() across further growth MUST reserve the
+  /// exact total first (from PatchData::data_stream_size): a reallocation
+  /// would invalidate every previously returned pointer. After reserve(),
+  /// growing past the reservation is a debug-checked contract violation.
+  void reserve(std::size_t bytes) {
+    buffer_.reserve(buffer_.size() + bytes);
+    reserved_ = true;
+  }
 
   /// Pre-extends the buffer and returns a pointer to the new region; used
   /// by device pack kernels that write directly into the stream after the
   /// PCIe copy.
   std::byte* grow(std::size_t bytes) {
     const std::size_t offset = buffer_.size();
+    RAMR_DEBUG_ASSERT(!reserved_ || offset + bytes <= buffer_.capacity());
     buffer_.resize(offset + bytes);
     return buffer_.data() + offset;
   }
@@ -82,6 +99,7 @@ class MessageStream {
  private:
   std::vector<std::byte> buffer_;
   std::size_t read_pos_ = 0;
+  bool reserved_ = false;
 };
 
 }  // namespace ramr::pdat

@@ -30,6 +30,8 @@ int Communicator::size() const { return world_->size(); }
 void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) {
   RAMR_REQUIRE(dest >= 0 && dest < size(), "send to invalid rank " << dest);
   clock_->charge(world_->network().message_time(bytes));
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
   world_->deliver(dest, rank_, tag, data, bytes);
 }
 
@@ -47,7 +49,48 @@ std::vector<std::byte> Communicator::recv(int src, int tag) {
   it->second.pop_front();
   // The receiver also pays the wire time (no overlap modeled).
   clock_->charge(world_->network().message_time(payload.size()));
+  ++stats_.messages_received;
+  stats_.bytes_received += payload.size();
   return payload;
+}
+
+Request Communicator::isend(int dest, int tag, const void* data,
+                            std::size_t bytes) {
+  Request r;
+  r.kind_ = Request::Kind::kSend;
+  r.peer_ = dest;
+  r.tag_ = tag;
+  // The mailbox copies the payload, so the caller's buffer is reusable on
+  // return and the request completes immediately (MPI buffered-send
+  // semantics; wire time is still charged here).
+  send(dest, tag, data, bytes);
+  r.done_ = true;
+  return r;
+}
+
+Request Communicator::irecv(int src, int tag) {
+  RAMR_REQUIRE(src >= 0 && src < size(), "irecv from invalid rank " << src);
+  Request r;
+  r.kind_ = Request::Kind::kRecv;
+  r.peer_ = src;
+  r.tag_ = tag;
+  return r;
+}
+
+void Communicator::wait(Request& request) {
+  if (request.done_ || request.kind_ == Request::Kind::kNone) {
+    return;
+  }
+  if (request.kind_ == Request::Kind::kRecv) {
+    request.payload_ = recv(request.peer_, request.tag_);
+  }
+  request.done_ = true;
+}
+
+void Communicator::wait_all(std::vector<Request>& requests) {
+  for (Request& r : requests) {
+    wait(r);
+  }
 }
 
 double Communicator::allreduce(double value, ReduceOp op) {

@@ -29,6 +29,46 @@ class World;
 /// Reduction operators for allreduce.
 enum class ReduceOp { kMin, kMax, kSum };
 
+/// Point-to-point traffic counters for one rank. Collectives are not
+/// counted: these exist so tests and benches can assert how many
+/// aggregated messages a communication schedule really exchanges.
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+
+  CommStats operator-(const CommStats& rhs) const {
+    return CommStats{messages_sent - rhs.messages_sent,
+                     bytes_sent - rhs.bytes_sent,
+                     messages_received - rhs.messages_received,
+                     bytes_received - rhs.bytes_received};
+  }
+};
+
+/// Handle for a nonblocking operation. Sends complete immediately (the
+/// mailbox buffers them); receives complete inside wait(), which blocks
+/// until the matching message arrives and stores its payload here.
+class Request {
+ public:
+  Request() = default;
+
+  bool done() const { return done_; }
+
+  /// Moves the received payload out (recv requests, after wait()).
+  std::vector<std::byte> take_payload() { return std::move(payload_); }
+
+ private:
+  friend class Communicator;
+  enum class Kind { kNone, kSend, kRecv };
+
+  Kind kind_ = Kind::kNone;
+  int peer_ = -1;
+  int tag_ = 0;
+  bool done_ = false;
+  std::vector<std::byte> payload_;
+};
+
 /// Per-rank handle used inside World::run callbacks. All members may be
 /// called concurrently from different ranks (each rank owns one Comm).
 class Communicator {
@@ -47,6 +87,26 @@ class Communicator {
 
   /// Blocking receive of the matching (src, tag) message.
   std::vector<std::byte> recv(int src, int tag);
+
+  /// Nonblocking send. The mailbox buffers the payload, so the request is
+  /// complete on return; wait() is a no-op kept for MPI shape.
+  Request isend(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Posts a receive for (src, tag). Completion happens in wait(), which
+  /// stores the payload in the request. Posting all receives of an
+  /// exchange up front before packing/sending is the aggregated transfer
+  /// path's pattern.
+  Request irecv(int src, int tag);
+
+  /// Completes one request (blocking for receives).
+  void wait(Request& request);
+
+  /// Completes every request in the span.
+  void wait_all(std::vector<Request>& requests);
+
+  /// Cumulative point-to-point counters for this rank.
+  const CommStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CommStats{}; }
 
   /// Convenience overloads for trivially copyable values.
   template <typename T>
@@ -78,6 +138,7 @@ class Communicator {
   int rank_;
   vgpu::SimClock owned_clock_;
   vgpu::SimClock* clock_;
+  CommStats stats_;
 };
 
 /// A set of simulated ranks sharing a network. Create a World, then call

@@ -4,24 +4,68 @@
 
 namespace ramr::vgpu {
 
+void Device::charge_crossing(bool h2d, std::uint64_t bytes) {
+  if (h2d) {
+    ++transfers_.h2d_count;
+    transfers_.h2d_bytes += bytes;
+  } else {
+    ++transfers_.d2h_count;
+    transfers_.d2h_bytes += bytes;
+  }
+  clock_->charge(spec_.pcie_lat_s +
+                 static_cast<double>(bytes) / (spec_.pcie_bw_gbs * 1.0e9));
+}
+
 void Device::memcpy_h2d(void* dst, const void* src, std::uint64_t bytes) {
   std::memcpy(dst, src, bytes);
   if (spec_.is_accelerator && bytes > 0) {
-    ++transfers_.h2d_count;
-    transfers_.h2d_bytes += bytes;
-    clock_->charge(spec_.pcie_lat_s +
-                  static_cast<double>(bytes) / (spec_.pcie_bw_gbs * 1.0e9));
+    if (batch_depth_ > 0) {
+      batch_h2d_bytes_ += bytes;
+      return;
+    }
+    charge_crossing(/*h2d=*/true, bytes);
   }
 }
 
 void Device::memcpy_d2h(void* dst, const void* src, std::uint64_t bytes) {
   std::memcpy(dst, src, bytes);
   if (spec_.is_accelerator && bytes > 0) {
-    ++transfers_.d2h_count;
-    transfers_.d2h_bytes += bytes;
-    clock_->charge(spec_.pcie_lat_s +
-                  static_cast<double>(bytes) / (spec_.pcie_bw_gbs * 1.0e9));
+    if (batch_depth_ > 0) {
+      batch_d2h_bytes_ += bytes;
+      return;
+    }
+    charge_crossing(/*h2d=*/false, bytes);
   }
+}
+
+void Device::charge_h2d_crossing(std::uint64_t bytes) {
+  if (spec_.is_accelerator && bytes > 0) {
+    charge_crossing(/*h2d=*/true, bytes);
+  }
+}
+
+void Device::charge_d2h_crossing(std::uint64_t bytes) {
+  if (spec_.is_accelerator && bytes > 0) {
+    charge_crossing(/*h2d=*/false, bytes);
+  }
+}
+
+void Device::end_transfer_batch() {
+  RAMR_DEBUG_ASSERT(batch_depth_ > 0);
+  if (--batch_depth_ > 0) {
+    return;
+  }
+  if (!batch_absorb_) {
+    if (batch_h2d_bytes_ > 0) {
+      charge_crossing(/*h2d=*/true, batch_h2d_bytes_);
+    }
+    if (batch_d2h_bytes_ > 0) {
+      charge_crossing(/*h2d=*/false, batch_d2h_bytes_);
+    }
+  }
+  batch_absorb_ = false;
+  batch_h2d_bytes_ = 0;
+  batch_d2h_bytes_ = 0;
 }
 
 void Device::charge_kernel(std::int64_t n, const KernelCost& cost) {
@@ -39,10 +83,7 @@ void Device::charge_kernel(std::int64_t n, const KernelCost& cost) {
 
 void Device::charge_scalar_readback() {
   if (spec_.is_accelerator) {
-    ++transfers_.d2h_count;
-    transfers_.d2h_bytes += sizeof(double);
-    clock_->charge(spec_.pcie_lat_s +
-                   sizeof(double) / (spec_.pcie_bw_gbs * 1.0e9));
+    charge_crossing(/*h2d=*/false, sizeof(double));
   }
 }
 

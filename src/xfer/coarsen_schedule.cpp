@@ -1,7 +1,5 @@
 #include "xfer/coarsen_schedule.hpp"
 
-#include <map>
-
 #include "pdat/box_overlap.hpp"
 #include "util/error.hpp"
 
@@ -26,9 +24,16 @@ std::unique_ptr<CoarsenSchedule> CoarsenAlgorithm::create_schedule(
   sched->fine_level_ = fine_level;
   sched->db_ = &db;
   sched->ctx_ = &ctx;
-  sched->tag_ = ctx.allocate_tag();
+  sched->engine_.initialize(ctx);
 
+  // Overlapping node-seam contributions must land identically on every
+  // rank layout, so the plan order (fine x coarse metadata order, items
+  // within) is the apply order on every rank — the engine guarantees it.
+  // Edges between two other ranks are skipped: the retained subset keeps
+  // its relative order, which is all a peer message depends on.
+  const int me = ctx.my_rank;
   const IntVector ratio = fine_level->ratio_to_coarser();
+  std::int64_t global_edges = 0;
   for (const GlobalPatch& f : fine_level->global_patches()) {
     const Box covered = f.box.coarsen(ratio);
     for (const GlobalPatch& c : coarse_level->global_patches()) {
@@ -36,110 +41,73 @@ std::unique_ptr<CoarsenSchedule> CoarsenAlgorithm::create_schedule(
       if (region.empty()) {
         continue;
       }
-      CoarsenSchedule::SyncEdge edge;
-      edge.fine_gid = f.global_id;
-      edge.coarse_gid = c.global_id;
-      edge.fine_owner = f.owner_rank;
-      edge.coarse_owner = c.owner_rank;
-      edge.coarse_cells = region;
-      sched->edges_.push_back(edge);
+      ++global_edges;
+      if (f.owner_rank != me && c.owner_rank != me) {
+        continue;
+      }
+      for (std::size_t n = 0; n < items_.size(); ++n) {
+        pdat::BoxOverlap ov = pdat::overlap_for_region(
+            db.variable(items_[n].var_id).centering, BoxList(region));
+        if (ov.empty()) {
+          continue;
+        }
+        sched->xacts_.push_back(CoarsenSchedule::Xact{f.global_id, c.global_id, n, region,
+                                     std::move(ov)});
+        sched->engine_.add(Transaction{f.owner_rank, c.owner_rank,
+                                       sched->xacts_.size() - 1});
+      }
     }
   }
+  sched->engine_.finalize(*sched);
+  // The box-calculus cost of the replicated plan is identical on every
+  // rank (global_edges, not the locally retained transaction count).
   ctx.charge_host_ops(4.0 * static_cast<double>(fine_level->patch_count()) *
                           coarse_level->patch_count() +
-                      16.0 * sched->edges_.size());
+                      16.0 * static_cast<double>(global_edges));
   return sched;
 }
 
-void CoarsenSchedule::coarsen_data() {
-  const int me = ctx_->my_rank;
-  const IntVector ratio = fine_level_->ratio_to_coarser();
+void CoarsenSchedule::coarsen_data() { engine_.execute(*this); }
 
-  // Pass 1 (fine owners): coarsen into scratch; ship remote edges, stash
-  // local ones so pass 2 can apply every contribution in plan order
-  // (overlapping node-seam writes must land identically on every rank
-  // layout).
-  std::map<std::size_t, std::vector<std::unique_ptr<pdat::PatchData>>> stashed;
-  for (std::size_t idx = 0; idx < edges_.size(); ++idx) {
-    const SyncEdge& e = edges_[idx];
-    if (e.fine_owner != me) {
-      continue;
-    }
-    const auto fine = fine_level_->local_patch(e.fine_gid);
-    RAMR_REQUIRE(fine != nullptr, "missing local fine patch");
-
-    // Scratch at coarse resolution covering exactly the synced region.
-    std::vector<std::unique_ptr<pdat::PatchData>> scratch(items_.size());
-    for (std::size_t n = 0; n < items_.size(); ++n) {
-      const CoarsenItem& item = items_[n];
-      scratch[n] = db_->factory(item.var_id)
-                       .allocate_with_ghosts(e.coarse_cells, IntVector::zero());
-      const pdat::PatchData* aux =
-          item.aux_var_id >= 0 ? &fine->data(item.aux_var_id) : nullptr;
-      RAMR_REQUIRE(!item.op->needs_aux() || aux != nullptr,
-                   "operator " << item.op->name() << " needs an aux field");
-      item.op->coarsen(*scratch[n], fine->data(item.var_id), aux,
-                       e.coarse_cells, ratio);
-    }
-
-    if (e.coarse_owner == me) {
-      stashed.emplace(idx, std::move(scratch));
-    } else {
-      pdat::MessageStream ms;
-      for (std::size_t n = 0; n < items_.size(); ++n) {
-        const pdat::BoxOverlap ov = pdat::overlap_for_region(
-            db_->variable(items_[n].var_id).centering, BoxList(e.coarse_cells));
-        scratch[n]->pack_stream(ms, ov);
-      }
-      ctx_->comm->send(e.coarse_owner, tag_, ms.data(), ms.size());
-    }
-  }
-
-  // Pass 2 (coarse owners): apply all contributions in plan order.
-  for (std::size_t idx = 0; idx < edges_.size(); ++idx) {
-    const SyncEdge& e = edges_[idx];
-    if (e.coarse_owner != me) {
-      continue;
-    }
-    const auto coarse = coarse_level_->local_patch(e.coarse_gid);
-    RAMR_REQUIRE(coarse != nullptr, "missing local coarse patch");
-    if (e.fine_owner == me) {
-      const auto it = stashed.find(idx);
-      RAMR_REQUIRE(it != stashed.end(), "missing stashed sync scratch");
-      for (std::size_t n = 0; n < items_.size(); ++n) {
-        const pdat::BoxOverlap ov = pdat::overlap_for_region(
-            db_->variable(items_[n].var_id).centering, BoxList(e.coarse_cells));
-        coarse->data(items_[n].var_id).copy(*it->second[n], ov);
-      }
-      stashed.erase(it);
-    } else {
-      pdat::MessageStream ms(ctx_->comm->recv(e.fine_owner, tag_));
-      for (std::size_t n = 0; n < items_.size(); ++n) {
-        const pdat::BoxOverlap ov = pdat::overlap_for_region(
-            db_->variable(items_[n].var_id).centering, BoxList(e.coarse_cells));
-        coarse->data(items_[n].var_id).unpack_stream(ms, ov);
-      }
-      RAMR_REQUIRE(ms.fully_consumed(), "sync message size mismatch");
-    }
-  }
+std::unique_ptr<pdat::PatchData> CoarsenSchedule::coarsen_into_scratch(
+    const Xact& x) const {
+  const auto fine = fine_level_->local_patch(x.fine_gid);
+  RAMR_REQUIRE(fine != nullptr, "missing local fine patch");
+  const CoarsenItem& item = items_[x.item];
+  auto scratch = db_->factory(item.var_id)
+                     .allocate_with_ghosts(x.coarse_cells, IntVector::zero());
+  const pdat::PatchData* aux =
+      item.aux_var_id >= 0 ? &fine->data(item.aux_var_id) : nullptr;
+  RAMR_REQUIRE(!item.op->needs_aux() || aux != nullptr,
+               "operator " << item.op->name() << " needs an aux field");
+  item.op->coarsen(*scratch, fine->data(item.var_id), aux, x.coarse_cells,
+                   fine_level_->ratio_to_coarser());
+  return scratch;
 }
 
-std::uint64_t CoarsenSchedule::bytes_sent_per_sync() const {
-  const int me = ctx_->my_rank;
-  std::uint64_t bytes = 0;
-  for (const SyncEdge& e : edges_) {
-    if (e.fine_owner != me || e.coarse_owner == me) {
-      continue;
-    }
-    for (const CoarsenItem& item : items_) {
-      const pdat::BoxOverlap ov = pdat::overlap_for_region(
-          db_->variable(item.var_id).centering, BoxList(e.coarse_cells));
-      bytes += static_cast<std::uint64_t>(ov.element_count()) *
-               static_cast<std::uint64_t>(db_->variable(item.var_id).depth) *
-               sizeof(double);
-    }
-  }
-  return bytes;
+std::size_t CoarsenSchedule::stream_size(std::size_t handle) const {
+  const Xact& x = xacts_[handle];
+  return overlap_stream_size(x.overlap,
+                             db_->variable(items_[x.item].var_id).depth);
+}
+
+void CoarsenSchedule::pack(pdat::MessageStream& stream, std::size_t handle) {
+  const Xact& x = xacts_[handle];
+  coarsen_into_scratch(x)->pack_stream(stream, x.overlap);
+}
+
+void CoarsenSchedule::unpack(pdat::MessageStream& stream, std::size_t handle) {
+  const Xact& x = xacts_[handle];
+  const auto coarse = coarse_level_->local_patch(x.coarse_gid);
+  RAMR_REQUIRE(coarse != nullptr, "missing local coarse patch");
+  coarse->data(items_[x.item].var_id).unpack_stream(stream, x.overlap);
+}
+
+void CoarsenSchedule::copy_local(std::size_t handle) {
+  const Xact& x = xacts_[handle];
+  const auto coarse = coarse_level_->local_patch(x.coarse_gid);
+  RAMR_REQUIRE(coarse != nullptr, "missing local coarse patch");
+  coarse->data(items_[x.item].var_id).copy(*coarsen_into_scratch(x), x.overlap);
 }
 
 }  // namespace ramr::xfer

@@ -3,6 +3,9 @@
 // covered cells (paper §II): the fine owner runs the data-parallel
 // coarsen operator into device scratch, packs it (Fig. 4) and ships it
 // to the coarse patch owner, who unpacks directly into the coarse data.
+// Execution rides the shared TransferSchedule engine, so one sync sends
+// ONE aggregated message per coarse-owner peer covering every (edge,
+// variable) contribution.
 #pragma once
 
 #include <memory>
@@ -11,6 +14,7 @@
 #include "hier/patch_hierarchy.hpp"
 #include "xfer/coarsen_operator.hpp"
 #include "xfer/parallel_context.hpp"
+#include "xfer/transfer_schedule.hpp"
 
 namespace ramr::xfer {
 
@@ -39,32 +43,51 @@ class CoarsenAlgorithm {
 };
 
 /// Executable synchronisation plan.
-class CoarsenSchedule {
+class CoarsenSchedule : private TransactionDelegate {
  public:
   /// Restricts fine data onto the coarse level.
   void coarsen_data();
 
-  std::uint64_t bytes_sent_per_sync() const;
+  std::uint64_t bytes_sent_per_sync() const {
+    return engine_.bytes_sent_per_exchange();
+  }
+  std::uint64_t messages_sent_per_sync() const {
+    return engine_.messages_sent_per_exchange();
+  }
+  std::uint64_t messages_received_per_sync() const {
+    return engine_.messages_received_per_exchange();
+  }
 
  private:
   friend class CoarsenAlgorithm;
   CoarsenSchedule() = default;
 
-  struct SyncEdge {
-    int fine_gid = -1;
-    int coarse_gid = -1;
-    int fine_owner = -1;
-    int coarse_owner = -1;
-    mesh::Box coarse_cells;  ///< coarse cell region covered by the fine patch
+  /// One (fine patch -> coarse patch, variable) contribution.
+  struct Xact {
+    int fine_gid;
+    int coarse_gid;
+    std::size_t item;         ///< index into items_
+    mesh::Box coarse_cells;   ///< coarse cell region covered by the fine patch
+    pdat::BoxOverlap overlap;
   };
+
+  // TransactionDelegate (shared engine callbacks).
+  std::size_t stream_size(std::size_t handle) const override;
+  void pack(pdat::MessageStream& stream, std::size_t handle) override;
+  void unpack(pdat::MessageStream& stream, std::size_t handle) override;
+  void copy_local(std::size_t handle) override;
+
+  /// Runs the item's coarsen operator over the edge's covered region into
+  /// freshly allocated coarse-resolution scratch.
+  std::unique_ptr<pdat::PatchData> coarsen_into_scratch(const Xact& x) const;
 
   std::vector<CoarsenItem> items_;
   std::shared_ptr<hier::PatchLevel> coarse_level_;
   std::shared_ptr<hier::PatchLevel> fine_level_;
   const hier::VariableDatabase* db_ = nullptr;
   ParallelContext* ctx_ = nullptr;
-  int tag_ = 0;
-  std::vector<SyncEdge> edges_;
+  std::vector<Xact> xacts_;
+  TransferSchedule engine_;
 };
 
 }  // namespace ramr::xfer

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "simmpi/communicator.hpp"
+#include "vgpu/device.hpp"
 #include "vgpu/sim_clock.hpp"
 
 namespace ramr::xfer {
@@ -19,6 +20,11 @@ struct ParallelContext {
   /// Clock charged for host-side mesh-management work (schedule
   /// construction, box calculus); may be null in unit tests.
   vgpu::SimClock* clock = nullptr;
+  /// The rank's compute device, when data is device-resident: the
+  /// transfer engine fuses all staging copies of one aggregated message
+  /// into a single modeled PCIe crossing on it. Null disables fusing
+  /// (host-resident data, or tests that count raw crossings).
+  vgpu::Device* device = nullptr;
   int next_tag = 1 << 10;
 
   int allocate_tag() { return next_tag++; }

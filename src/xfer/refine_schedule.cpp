@@ -82,8 +82,8 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
   sched->ctx_ = &ctx;
   sched->bc_ = bc;
   sched->mode_ = mode;
-  sched->tag_same_ = ctx.allocate_tag();
-  sched->tag_coarse_ = ctx.allocate_tag();
+  sched->same_engine_.initialize(ctx);
+  sched->coarse_engine_.initialize(ctx);
 
   const IntVector ghosts = max_ghosts(items_, db);
   const IntVector stencil = max_stencil(items_);
@@ -92,6 +92,57 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
       std::any_of(items_.begin(), items_.end(),
                   [](const RefineItem& i) { return i.op != nullptr; });
   const Box dst_domain = dst_level->domain_box();
+
+  // Expands one planned patch edge into per-variable transactions, all
+  // carried by the same aggregated peer message. Only edges touching
+  // this rank are recorded: the box calculus must walk the full
+  // replicated metadata (the disjoint source assignment depends on every
+  // earlier source), but a transaction between two other ranks is never
+  // packed, applied or counted here, so storing it would make plan
+  // memory and the per-fill scan scale with the global mesh instead of
+  // this rank's partition. Relative plan order of the retained subset is
+  // preserved, which is all both endpoints of a message rely on.
+  const int me = ctx.my_rank;
+  std::int64_t overlap_pieces = 0;
+  const auto add_same_level = [&](const GlobalPatch& s, const GlobalPatch& d,
+                                  const BoxList& provided) {
+    overlap_pieces += 8 * provided.count();
+    if (s.owner_rank != me && d.owner_rank != me) {
+      return;
+    }
+    for (std::size_t n = 0; n < items_.size(); ++n) {
+      pdat::BoxOverlap ov =
+          item_overlap(provided, d.box, db.variable(items_[n].var_id));
+      if (ov.empty()) {
+        continue;
+      }
+      sched->xacts_.push_back(RefineSchedule::Xact{RefineSchedule::Xact::Kind::kSameLevel, s.global_id,
+                                   d.global_id, n, 0, std::move(ov)});
+      sched->same_engine_.add(Transaction{s.owner_rank, d.owner_rank,
+                                          sched->xacts_.size() - 1});
+    }
+  };
+  const auto add_gather = [&](const GlobalPatch& c, const GlobalPatch& d,
+                              const BoxList& provided, std::size_t fill) {
+    overlap_pieces += 16;
+    if (c.owner_rank != me && d.owner_rank != me) {
+      return;
+    }
+    for (std::size_t n = 0; n < items_.size(); ++n) {
+      if (items_[n].op == nullptr) {
+        continue;
+      }
+      pdat::BoxOverlap ov = pdat::overlap_for_region(
+          db.variable(items_[n].var_id).centering, provided);
+      if (ov.empty()) {
+        continue;
+      }
+      sched->xacts_.push_back(RefineSchedule::Xact{RefineSchedule::Xact::Kind::kCoarseGather, c.global_id,
+                                   d.global_id, n, fill, std::move(ov)});
+      sched->coarse_engine_.add(Transaction{c.owner_rank, d.owner_rank,
+                                            sched->xacts_.size() - 1});
+    }
+  };
 
   for (const GlobalPatch& d : dst_level->global_patches()) {
     const Box fill_box = d.box.grow(ghosts);
@@ -116,14 +167,7 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
           continue;
         }
         provided.coalesce();
-        RefineSchedule::CopyEdge edge;
-        edge.src_gid = s.global_id;
-        edge.dst_gid = d.global_id;
-        edge.src_owner = s.owner_rank;
-        edge.dst_owner = d.owner_rank;
-        edge.dst_cell_box = d.box;
-        edge.fill_cells = provided;
-        sched->same_level_edges_.push_back(std::move(edge));
+        add_same_level(s, d, provided);
         remaining.remove_intersections(s.box);
       }
     }
@@ -134,14 +178,14 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
     in_domain.intersect(dst_domain);
     if (coarse_level != nullptr && any_op && !in_domain.empty()) {
       in_domain.coalesce();
-      const IntVector ratio = dst_level->ratio_to_coarser();
       RefineSchedule::CoarseFill cf;
       cf.dst_gid = d.global_id;
       cf.dst_owner = d.owner_rank;
       cf.fine_fill_cells = in_domain;
       cf.scratch_cells =
-          fill_box.coarsen(ratio).grow(stencil).intersect(
-              coarse_level->domain_box().grow(coarse_avail));
+          fill_box.coarsen(dst_level->ratio_to_coarser()).grow(stencil)
+              .intersect(coarse_level->domain_box().grow(coarse_avail));
+      const std::size_t fill = sched->coarse_fills_.size();
 
       BoxList scratch_remaining(cf.scratch_cells);
       // Pass 1: coarse patch interiors.
@@ -155,14 +199,7 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
           continue;
         }
         provided.coalesce();
-        RefineSchedule::CopyEdge edge;
-        edge.src_gid = c.global_id;
-        edge.dst_gid = d.global_id;
-        edge.src_owner = c.owner_rank;
-        edge.dst_owner = d.owner_rank;
-        edge.dst_cell_box = cf.scratch_cells;
-        edge.fill_cells = provided;
-        cf.gather.push_back(std::move(edge));
+        add_gather(c, d, provided, fill);
         scratch_remaining.remove_intersections(c.box);
       }
       // Pass 2: coarse patch ghost regions (carry BC-filled values needed
@@ -178,14 +215,7 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
           continue;
         }
         provided.coalesce();
-        RefineSchedule::CopyEdge edge;
-        edge.src_gid = c.global_id;
-        edge.dst_gid = d.global_id;
-        edge.src_owner = c.owner_rank;
-        edge.dst_owner = d.owner_rank;
-        edge.dst_cell_box = cf.scratch_cells;
-        edge.fill_cells = provided;
-        cf.gather.push_back(std::move(edge));
+        add_gather(c, d, provided, fill);
         scratch_remaining.remove_intersections(gbox);
       }
       if (!scratch_remaining.empty()) {
@@ -196,6 +226,9 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
       sched->coarse_fills_.push_back(std::move(cf));
     }
   }
+  sched->same_engine_.finalize(*sched);
+  sched->coarse_engine_.finalize(*sched);
+
   // Host cost of building the plan: the pairwise box calculus over the
   // replicated metadata (dst x src patch enumeration plus per-edge box
   // difference work).
@@ -205,148 +238,101 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
     ops += static_cast<double>(dst_level->patch_count()) *
            coarse_level->patch_count();
   }
-  for (const auto& e : sched->same_level_edges_) {
-    ops += 8.0 * e.fill_cells.count();
-  }
-  for (const auto& cf : sched->coarse_fills_) {
-    ops += 16.0 * cf.gather.size();
-  }
+  ops += static_cast<double>(overlap_pieces);
   ctx.charge_host_ops(4.0 * ops);
   return sched;
 }
 
 void RefineSchedule::fill() {
-  execute_same_level();
-  execute_coarse_fill();
+  same_engine_.execute(*this);
+  if (!coarse_fills_.empty()) {
+    allocate_scratch();
+    coarse_engine_.execute(*this);
+    interpolate_coarse_fills();
+    scratch_.clear();
+  }
   execute_physical_boundaries();
 }
 
-void RefineSchedule::execute_same_level() {
-  const int me = ctx_->my_rank;
-  // Send pass (buffered, never blocks).
-  for (const CopyEdge& e : same_level_edges_) {
-    if (e.src_owner != me || e.dst_owner == me) {
-      continue;
-    }
-    const auto src = src_level_->local_patch(e.src_gid);
-    RAMR_REQUIRE(src != nullptr, "missing local source patch");
-    pdat::MessageStream ms;
-    for (const RefineItem& item : items_) {
-      const pdat::BoxOverlap ov =
-          item_overlap(e.fill_cells, e.dst_cell_box, db_->variable(item.var_id));
-      src->data(item.var_id).pack_stream(ms, ov);
-    }
-    ctx_->comm->send(e.dst_owner, tag_same_, ms.data(), ms.size());
-  }
-  // Local copies and receives, in plan order (per-sender FIFO matches).
-  for (const CopyEdge& e : same_level_edges_) {
-    if (e.dst_owner != me) {
-      continue;
-    }
-    const auto dst = dst_level_->local_patch(e.dst_gid);
+std::size_t RefineSchedule::stream_size(std::size_t handle) const {
+  const Xact& x = xacts_[handle];
+  return overlap_stream_size(x.overlap,
+                             db_->variable(items_[x.item].var_id).depth);
+}
+
+void RefineSchedule::pack(pdat::MessageStream& stream, std::size_t handle) {
+  const Xact& x = xacts_[handle];
+  const PatchLevel& src_level =
+      x.kind == Xact::Kind::kSameLevel ? *src_level_ : *coarse_level_;
+  const auto src = src_level.local_patch(x.src_gid);
+  RAMR_REQUIRE(src != nullptr, "missing local source patch");
+  src->data(items_[x.item].var_id).pack_stream(stream, x.overlap);
+}
+
+void RefineSchedule::unpack(pdat::MessageStream& stream, std::size_t handle) {
+  const Xact& x = xacts_[handle];
+  if (x.kind == Xact::Kind::kSameLevel) {
+    const auto dst = dst_level_->local_patch(x.dst_gid);
     RAMR_REQUIRE(dst != nullptr, "missing local destination patch");
-    if (e.src_owner == me) {
-      const auto src = src_level_->local_patch(e.src_gid);
-      RAMR_REQUIRE(src != nullptr, "missing local source patch");
-      for (const RefineItem& item : items_) {
-        const pdat::BoxOverlap ov = item_overlap(e.fill_cells, e.dst_cell_box,
-                                                 db_->variable(item.var_id));
-        dst->data(item.var_id).copy(src->data(item.var_id), ov);
+    dst->data(items_[x.item].var_id).unpack_stream(stream, x.overlap);
+  } else {
+    scratch_[x.fill][x.item]->unpack_stream(stream, x.overlap);
+  }
+}
+
+void RefineSchedule::copy_local(std::size_t handle) {
+  const Xact& x = xacts_[handle];
+  if (x.kind == Xact::Kind::kSameLevel) {
+    const auto src = src_level_->local_patch(x.src_gid);
+    const auto dst = dst_level_->local_patch(x.dst_gid);
+    RAMR_REQUIRE(src != nullptr && dst != nullptr,
+                 "missing local patch for same-level copy");
+    dst->data(items_[x.item].var_id)
+        .copy(src->data(items_[x.item].var_id), x.overlap);
+  } else {
+    const auto src = coarse_level_->local_patch(x.src_gid);
+    RAMR_REQUIRE(src != nullptr, "missing local coarse patch");
+    scratch_[x.fill][x.item]->copy(src->data(items_[x.item].var_id), x.overlap);
+  }
+}
+
+void RefineSchedule::allocate_scratch() {
+  const int me = ctx_->my_rank;
+  scratch_.clear();
+  scratch_.resize(coarse_fills_.size());
+  for (std::size_t f = 0; f < coarse_fills_.size(); ++f) {
+    const CoarseFill& cf = coarse_fills_[f];
+    if (cf.dst_owner != me) {
+      continue;
+    }
+    scratch_[f].resize(items_.size());
+    for (std::size_t n = 0; n < items_.size(); ++n) {
+      if (items_[n].op != nullptr) {
+        scratch_[f][n] = db_->factory(items_[n].var_id)
+                             .allocate_with_ghosts(cf.scratch_cells,
+                                                   IntVector::zero());
       }
-    } else {
-      pdat::MessageStream ms(ctx_->comm->recv(e.src_owner, tag_same_));
-      for (const RefineItem& item : items_) {
-        const pdat::BoxOverlap ov = item_overlap(e.fill_cells, e.dst_cell_box,
-                                                 db_->variable(item.var_id));
-        dst->data(item.var_id).unpack_stream(ms, ov);
-      }
-      RAMR_REQUIRE(ms.fully_consumed(), "halo message size mismatch");
     }
   }
 }
 
-void RefineSchedule::execute_coarse_fill() {
-  if (coarse_fills_.empty()) {
-    return;
-  }
+void RefineSchedule::interpolate_coarse_fills() {
   const int me = ctx_->my_rank;
   const IntVector ratio = dst_level_->ratio_to_coarser();
-
-  // Send pass: contributions to remote scratch regions.
-  for (const CoarseFill& cf : coarse_fills_) {
-    if (cf.dst_owner == me) {
-      continue;
-    }
-    for (const CopyEdge& e : cf.gather) {
-      if (e.src_owner != me) {
-        continue;
-      }
-      const auto src = coarse_level_->local_patch(e.src_gid);
-      RAMR_REQUIRE(src != nullptr, "missing local coarse patch");
-      pdat::MessageStream ms;
-      for (const RefineItem& item : items_) {
-        if (item.op == nullptr) {
-          continue;
-        }
-        const pdat::BoxOverlap ov = pdat::overlap_for_region(
-            db_->variable(item.var_id).centering, e.fill_cells);
-        src->data(item.var_id).pack_stream(ms, ov);
-      }
-      ctx_->comm->send(cf.dst_owner, tag_coarse_, ms.data(), ms.size());
-    }
-  }
-
-  // Fill pass on destination owners.
-  for (const CoarseFill& cf : coarse_fills_) {
+  for (std::size_t f = 0; f < coarse_fills_.size(); ++f) {
+    const CoarseFill& cf = coarse_fills_[f];
     if (cf.dst_owner != me) {
       continue;
     }
     const auto dst = dst_level_->local_patch(cf.dst_gid);
     RAMR_REQUIRE(dst != nullptr, "missing local destination patch");
-
-    // Scratch storage per interpolated item.
-    std::vector<std::unique_ptr<pdat::PatchData>> scratch(items_.size());
-    for (std::size_t n = 0; n < items_.size(); ++n) {
-      if (items_[n].op != nullptr) {
-        scratch[n] = db_->factory(items_[n].var_id)
-                         .allocate_with_ghosts(cf.scratch_cells,
-                                               IntVector::zero());
-      }
-    }
-    // Gather coarse data into the scratch.
-    for (const CopyEdge& e : cf.gather) {
-      if (e.src_owner == me) {
-        const auto src = coarse_level_->local_patch(e.src_gid);
-        RAMR_REQUIRE(src != nullptr, "missing local coarse patch");
-        for (std::size_t n = 0; n < items_.size(); ++n) {
-          if (items_[n].op == nullptr) {
-            continue;
-          }
-          const pdat::BoxOverlap ov = pdat::overlap_for_region(
-              db_->variable(items_[n].var_id).centering, e.fill_cells);
-          scratch[n]->copy(src->data(items_[n].var_id), ov);
-        }
-      } else {
-        pdat::MessageStream ms(ctx_->comm->recv(e.src_owner, tag_coarse_));
-        for (std::size_t n = 0; n < items_.size(); ++n) {
-          if (items_[n].op == nullptr) {
-            continue;
-          }
-          const pdat::BoxOverlap ov = pdat::overlap_for_region(
-              db_->variable(items_[n].var_id).centering, e.fill_cells);
-          scratch[n]->unpack_stream(ms, ov);
-        }
-        RAMR_REQUIRE(ms.fully_consumed(), "coarse gather size mismatch");
-      }
-    }
-    // Interpolate into the destination patch.
     for (std::size_t n = 0; n < items_.size(); ++n) {
       if (items_[n].op == nullptr) {
         continue;
       }
       for (const Box& piece : cf.fine_fill_cells.boxes()) {
-        items_[n].op->refine(dst->data(items_[n].var_id), *scratch[n], piece,
-                             ratio);
+        items_[n].op->refine(dst->data(items_[n].var_id), *scratch_[f][n],
+                             piece, ratio);
       }
     }
   }
@@ -359,44 +345,6 @@ void RefineSchedule::execute_physical_boundaries() {
   for (const auto& patch : dst_level_->local_patches()) {
     bc_->fill_physical_boundaries(*patch, dst_level_->domain_box(), var_ids_);
   }
-}
-
-std::uint64_t RefineSchedule::bytes_sent_per_fill() const {
-  const int me = ctx_->my_rank;
-  std::uint64_t bytes = 0;
-  for (const CopyEdge& e : same_level_edges_) {
-    if (e.src_owner != me || e.dst_owner == me) {
-      continue;
-    }
-    for (const RefineItem& item : items_) {
-      const pdat::BoxOverlap ov =
-          item_overlap(e.fill_cells, e.dst_cell_box, db_->variable(item.var_id));
-      bytes += static_cast<std::uint64_t>(ov.element_count()) *
-               static_cast<std::uint64_t>(db_->variable(item.var_id).depth) *
-               sizeof(double);
-    }
-  }
-  for (const CoarseFill& cf : coarse_fills_) {
-    if (cf.dst_owner == me) {
-      continue;
-    }
-    for (const CopyEdge& e : cf.gather) {
-      if (e.src_owner != me) {
-        continue;
-      }
-      for (const RefineItem& item : items_) {
-        if (item.op == nullptr) {
-          continue;
-        }
-        const pdat::BoxOverlap ov = pdat::overlap_for_region(
-            db_->variable(item.var_id).centering, e.fill_cells);
-        bytes += static_cast<std::uint64_t>(ov.element_count()) *
-                 static_cast<std::uint64_t>(db_->variable(item.var_id).depth) *
-                 sizeof(double);
-      }
-    }
-  }
-  return bytes;
 }
 
 }  // namespace ramr::xfer

@@ -9,7 +9,10 @@
 //
 // The schedule is the precomputed communication plan; executing it moves
 // data. All ranks compute identical plans from the replicated level
-// metadata, so matching sends/receives need no negotiation.
+// metadata, so matching sends/receives need no negotiation. Execution is
+// delegated to the shared TransferSchedule engine: planning expands every
+// (edge, variable) pair into a Transaction with a precomputed overlap,
+// and each fill() exchanges ONE aggregated message per peer rank.
 #pragma once
 
 #include <map>
@@ -20,6 +23,7 @@
 #include "xfer/parallel_context.hpp"
 #include "xfer/physical_boundary.hpp"
 #include "xfer/refine_operator.hpp"
+#include "xfer/transfer_schedule.hpp"
 
 namespace ramr::xfer {
 
@@ -60,39 +64,63 @@ class RefineAlgorithm {
 
 /// Executable communication plan. Rebuild after any regrid that changes
 /// the participating levels.
-class RefineSchedule {
+class RefineSchedule : private TransactionDelegate {
  public:
   /// Moves the data. May be executed repeatedly (every timestep).
   void fill();
 
-  /// Bytes this rank sends per execution (diagnostics / tests).
-  std::uint64_t bytes_sent_per_fill() const;
+  /// Wire bytes this rank sends per execution (diagnostics / tests).
+  std::uint64_t bytes_sent_per_fill() const {
+    return same_engine_.bytes_sent_per_exchange() +
+           coarse_engine_.bytes_sent_per_exchange();
+  }
+
+  /// Aggregated messages this rank sends / receives per execution: at
+  /// most one per (peer, exchange phase) regardless of how many patch
+  /// edges and variables the fill covers.
+  std::uint64_t messages_sent_per_fill() const {
+    return same_engine_.messages_sent_per_exchange() +
+           coarse_engine_.messages_sent_per_exchange();
+  }
+  std::uint64_t messages_received_per_fill() const {
+    return same_engine_.messages_received_per_exchange() +
+           coarse_engine_.messages_received_per_exchange();
+  }
 
  private:
   friend class RefineAlgorithm;
   RefineSchedule() = default;
 
-  /// A planned transfer between two patches (same index space).
-  struct CopyEdge {
-    int src_gid = -1;
-    int dst_gid = -1;
-    int src_owner = -1;
-    int dst_owner = -1;
-    mesh::Box dst_cell_box;    ///< destination patch box (for clipping)
-    mesh::BoxList fill_cells;  ///< cell-space regions to move
+  /// One planned (edge, variable) movement with its precomputed overlap.
+  struct Xact {
+    enum class Kind {
+      kSameLevel,    ///< source patch -> destination patch, same level
+      kCoarseGather  ///< coarse patch -> interpolation scratch region
+    };
+    Kind kind;
+    int src_gid;
+    int dst_gid;
+    std::size_t item;  ///< index into items_
+    std::size_t fill;  ///< index into coarse_fills_ (kCoarseGather only)
+    pdat::BoxOverlap overlap;
   };
 
   /// Scratch region on the coarse level feeding one destination patch.
   struct CoarseFill {
     int dst_gid = -1;
     int dst_owner = -1;
-    mesh::Box scratch_cells;            ///< coarse cell box of the scratch
-    std::vector<CopyEdge> gather;       ///< coarse patches -> scratch
-    mesh::BoxList fine_fill_cells;      ///< fine cell regions to interpolate
+    mesh::Box scratch_cells;        ///< coarse cell box of the scratch
+    mesh::BoxList fine_fill_cells;  ///< fine cell regions to interpolate
   };
 
-  void execute_same_level();
-  void execute_coarse_fill();
+  // TransactionDelegate (shared engine callbacks).
+  std::size_t stream_size(std::size_t handle) const override;
+  void pack(pdat::MessageStream& stream, std::size_t handle) override;
+  void unpack(pdat::MessageStream& stream, std::size_t handle) override;
+  void copy_local(std::size_t handle) override;
+
+  void allocate_scratch();
+  void interpolate_coarse_fills();
   void execute_physical_boundaries();
 
   std::vector<RefineItem> items_;
@@ -104,11 +132,15 @@ class RefineSchedule {
   ParallelContext* ctx_ = nullptr;
   PhysicalBoundaryStrategy* bc_ = nullptr;
   FillMode mode_ = FillMode::kGhostsOnly;
-  int tag_same_ = 0;
-  int tag_coarse_ = 0;
 
-  std::vector<CopyEdge> same_level_edges_;
+  std::vector<Xact> xacts_;
   std::vector<CoarseFill> coarse_fills_;
+  TransferSchedule same_engine_;
+  TransferSchedule coarse_engine_;
+
+  /// Per-CoarseFill, per-item interpolation scratch; alive only while
+  /// fill() runs the coarse exchange.
+  std::vector<std::vector<std::unique_ptr<pdat::PatchData>>> scratch_;
 };
 
 }  // namespace ramr::xfer

@@ -300,5 +300,62 @@ TEST(MessageStream, TypedReadWrite) {
   EXPECT_THROW(ms.read<int>(), util::Error);
 }
 
+TEST(MessageStream, UnderflowThrowsWithoutAdvancing) {
+  MessageStream ms;
+  const double values[3] = {1.0, 2.0, 3.0};
+  ms.write_doubles(values, 3);
+  EXPECT_FALSE(ms.fully_consumed());
+
+  double out[2] = {0.0, 0.0};
+  ms.read_doubles(out, 2);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_FALSE(ms.fully_consumed());
+
+  // One double left: a two-double read must throw and leave the read
+  // position untouched, so the remaining payload is still consumable.
+  EXPECT_THROW(ms.read_doubles(out, 2), util::Error);
+  EXPECT_EQ(ms.read_position(), 2 * sizeof(double));
+  EXPECT_DOUBLE_EQ(ms.read<double>(), 3.0);
+  EXPECT_TRUE(ms.fully_consumed());
+  EXPECT_THROW(ms.view_and_skip(1), util::Error);
+}
+
+TEST(MessageStream, WrappedBufferTracksConsumption) {
+  MessageStream src;
+  src.write<std::int64_t>(-9);
+  src.write<std::int64_t>(11);
+  MessageStream ms(src.release());
+  EXPECT_FALSE(ms.fully_consumed());
+  EXPECT_EQ(ms.read<std::int64_t>(), -9);
+  EXPECT_FALSE(ms.fully_consumed());
+  EXPECT_EQ(ms.read<std::int64_t>(), 11);
+  EXPECT_TRUE(ms.fully_consumed());
+}
+
+TEST(MessageStream, ReserveKeepsGrowPointersStable) {
+  // The aggregated pack path holds pointers returned by grow() while the
+  // stream keeps growing; an exact reserve() guarantees no reallocation
+  // invalidates them.
+  MessageStream ms;
+  ms.reserve(64 * sizeof(double));
+  EXPECT_GE(ms.capacity(), 64 * sizeof(double));
+  std::byte* first = ms.grow(8 * sizeof(double));
+  std::byte* second = ms.grow(56 * sizeof(double));
+  // Write through the FIRST pointer after the later growth.
+  for (int i = 0; i < 8; ++i) {
+    const double v = 0.5 * i;
+    std::memcpy(first + i * sizeof(double), &v, sizeof(double));
+  }
+  const double tail = 99.0;
+  std::memcpy(second + 55 * sizeof(double), &tail, sizeof(double));
+
+  double out[64];
+  ms.read_doubles(out, 64);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[7], 3.5);
+  EXPECT_DOUBLE_EQ(out[63], 99.0);
+  EXPECT_TRUE(ms.fully_consumed());
+}
+
 }  // namespace
 }  // namespace ramr::pdat

@@ -86,6 +86,54 @@ TEST(Communicator, VariableSizedPayloads) {
   });
 }
 
+TEST(Communicator, NonblockingExchangeCompletesPostedReceives) {
+  // The aggregated-transfer pattern: post the receive first, pack and
+  // isend afterwards, wait for both.
+  World world(2, ideal_network());
+  world.run([](Communicator& comm) {
+    const int peer = 1 - comm.rank();
+    Request recv = comm.irecv(peer, 11);
+    EXPECT_FALSE(recv.done());
+
+    std::vector<double> payload(16, comm.rank() + 0.5);
+    std::vector<Request> sends;
+    sends.push_back(
+        comm.isend(peer, 11, payload.data(), payload.size() * sizeof(double)));
+    EXPECT_TRUE(sends.front().done());
+
+    comm.wait(recv);
+    EXPECT_TRUE(recv.done());
+    const std::vector<std::byte> bytes = recv.take_payload();
+    ASSERT_EQ(bytes.size(), 16 * sizeof(double));
+    double got = 0.0;
+    std::memcpy(&got, bytes.data(), sizeof(double));
+    EXPECT_DOUBLE_EQ(got, peer + 0.5);
+    comm.wait_all(sends);
+  });
+}
+
+TEST(Communicator, StatsCountPointToPointTraffic) {
+  World world(2, ideal_network());
+  world.run([](Communicator& comm) {
+    const int peer = 1 - comm.rank();
+    EXPECT_EQ(comm.stats().messages_sent, 0u);
+    Request recv = comm.irecv(peer, 4);
+    const double v = 3.25;
+    comm.isend(peer, 4, &v, sizeof(v));
+    comm.wait(recv);
+
+    const CommStats s = comm.stats();
+    EXPECT_EQ(s.messages_sent, 1u);
+    EXPECT_EQ(s.bytes_sent, sizeof(double));
+    EXPECT_EQ(s.messages_received, 1u);
+    EXPECT_EQ(s.bytes_received, sizeof(double));
+
+    comm.reset_stats();
+    EXPECT_EQ(comm.stats().messages_sent, 0u);
+    EXPECT_EQ(comm.stats().bytes_received, 0u);
+  });
+}
+
 TEST(Communicator, AllreduceMinMaxSum) {
   World world(7, ideal_network());
   world.run([](Communicator& comm) {

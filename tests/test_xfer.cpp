@@ -31,6 +31,7 @@ struct Fixture {
   vgpu::Device device{vgpu::tesla_k20x()};
   PatchHierarchy hierarchy;
   int var = -1;
+  int var2 = -1;
   ParallelContext ctx;
 
   explicit Fixture(Centering centering = Centering::kCell, int rank = 0,
@@ -42,6 +43,10 @@ struct Fixture {
     ctx.comm = comm;
     var = hierarchy.variables().register_variable(
         hier::Variable{"u", centering, 1, IntVector(2, 2)},
+        std::make_shared<pdat::cuda::CudaDataFactory>(device, centering,
+                                                      IntVector(2, 2), 1));
+    var2 = hierarchy.variables().register_variable(
+        hier::Variable{"v", centering, 1, IntVector(2, 2)},
         std::make_shared<pdat::cuda::CudaDataFactory>(device, centering,
                                                       IntVector(2, 2), 1));
     std::vector<GlobalPatch> l0 = {{Box(0, 0, 7, 7), 0, 0},
@@ -60,8 +65,9 @@ struct Fixture {
   }
 
   /// Fills a patch's component 0 with f(i, j) over its whole index box.
-  void fill(hier::Patch& p, const std::function<double(int, int)>& f) {
-    auto& cd = p.typed_data<CudaData>(var);
+  void fill(hier::Patch& p, const std::function<double(int, int)>& f,
+            int which = -1) {
+    auto& cd = p.typed_data<CudaData>(which < 0 ? var : which);
     for (int k = 0; k < cd.components(); ++k) {
       const Box ib = cd.component(k).index_box();
       std::vector<double> plane(static_cast<std::size_t>(ib.size()));
@@ -75,8 +81,8 @@ struct Fixture {
     }
   }
 
-  double at(hier::Patch& p, int i, int j, int k = 0) {
-    auto& cd = p.typed_data<CudaData>(var);
+  double at(hier::Patch& p, int i, int j, int k = 0, int which = -1) {
+    auto& cd = p.typed_data<CudaData>(which < 0 ? var : which);
     const Box ib = cd.component(k).index_box();
     const auto plane = cd.component(k).download_plane();
     return plane[static_cast<std::size_t>((j - ib.lower().j) * ib.width() +
@@ -107,6 +113,8 @@ TEST(RefineSchedule, SameLevelGhostFill) {
   // Interiors untouched.
   EXPECT_DOUBLE_EQ(f.at(*left, 3, 3), 100.0 * 3 + 3);
   EXPECT_EQ(sched->bytes_sent_per_fill(), 0u);  // serial: all local
+  EXPECT_EQ(sched->messages_sent_per_fill(), 0u);
+  EXPECT_EQ(sched->messages_received_per_fill(), 0u);
 }
 
 TEST(RefineSchedule, CoarseFillInterpolatesWhereNoSibling) {
@@ -274,6 +282,162 @@ TEST(Schedules, DistributedMatchesSerialOnFixture) {
     }
   });
   EXPECT_DOUBLE_EQ(serial, distributed);
+}
+
+TEST(TransferSchedule, OneAggregatedMessagePerPeerPerFill) {
+  // Two ranks, one patch each, two registered variables: the whole halo
+  // exchange must travel as ONE message per (peer, direction), and the
+  // received ghost values must be bit-exact copies of the remote field.
+  simmpi::World world(2, simmpi::ideal_network());
+  world.run([](simmpi::Communicator& comm) {
+    Fixture f(Centering::kCell, comm.rank(), 2, &comm);
+    f.ctx.device = &f.device;
+    auto level0 = f.hierarchy.level_ptr(0);
+    const auto fu = [](int i, int j) { return 100.0 * i + j; };
+    const auto fv = [](int i, int j) { return -7.0 * i + 1.0 / (j + 3.0); };
+    for (int gid : {0, 1}) {
+      if (auto p = level0->local_patch(gid)) {
+        f.fill(*p, fu, f.var);
+        f.fill(*p, fv, f.var2);
+      }
+    }
+
+    RefineAlgorithm alg;
+    alg.add(RefineItem{f.var, nullptr});
+    alg.add(RefineItem{f.var2, nullptr});
+    auto sched = alg.create_schedule(level0, level0, nullptr,
+                                     f.hierarchy.variables(), f.ctx, nullptr,
+                                     FillMode::kGhostsOnly);
+
+    const vgpu::TransferLog transfers_before = f.device.transfers();
+    const simmpi::CommStats before = comm.stats();
+    sched->fill();
+    const simmpi::CommStats delta = comm.stats() - before;
+
+    // One aggregated message per peer per direction, for 2 variables x
+    // several overlap strips.
+    EXPECT_EQ(delta.messages_sent, 1u);
+    EXPECT_EQ(delta.messages_received, 1u);
+    EXPECT_EQ(sched->messages_sent_per_fill(), 1u);
+    EXPECT_EQ(sched->messages_received_per_fill(), 1u);
+    // The schedule's modeled byte count is exactly what hit the wire.
+    EXPECT_EQ(delta.bytes_sent, sched->bytes_sent_per_fill());
+    EXPECT_GT(delta.bytes_sent, 0u);
+    // Fused device pack: one staged D2H crossing for the outgoing buffer
+    // and one H2D crossing for the received one.
+    const vgpu::TransferLog tdelta = f.device.transfers() - transfers_before;
+    EXPECT_EQ(tdelta.d2h_count, 1u);
+    EXPECT_EQ(tdelta.h2d_count, 1u);
+
+    // Bit-exact ghost data for both variables (plain EXPECT_EQ: the
+    // doubles are copied verbatim, never recomputed).
+    if (comm.rank() == 0) {
+      auto left = level0->local_patch(0);
+      EXPECT_EQ(f.at(*left, 8, 3, 0, f.var), fu(8, 3));
+      EXPECT_EQ(f.at(*left, 9, 6, 0, f.var), fu(9, 6));
+      EXPECT_EQ(f.at(*left, 8, 3, 0, f.var2), fv(8, 3));
+      EXPECT_EQ(f.at(*left, 9, 0, 0, f.var2), fv(9, 0));
+    } else {
+      auto right = level0->local_patch(1);
+      EXPECT_EQ(f.at(*right, 7, 5, 0, f.var), fu(7, 5));
+      EXPECT_EQ(f.at(*right, 6, 7, 0, f.var), fu(6, 7));
+      EXPECT_EQ(f.at(*right, 7, 5, 0, f.var2), fv(7, 5));
+      EXPECT_EQ(f.at(*right, 6, 2, 0, f.var2), fv(6, 2));
+    }
+  });
+}
+
+TEST(TransferSchedule, CoarseGatherAggregatesPerPeer) {
+  // The fine patch lives on rank 0; its interpolation scratch gathers
+  // from coarse patches on both ranks. Rank 1's whole contribution must
+  // arrive as one message, and the interpolated values must match the
+  // serial result.
+  simmpi::World world(2, simmpi::ideal_network());
+  world.run([](simmpi::Communicator& comm) {
+    Fixture f(Centering::kCell, comm.rank(), 2, &comm);
+    auto level0 = f.hierarchy.level_ptr(0);
+    auto level1 = f.hierarchy.level_ptr(1);
+    for (int gid : {0, 1}) {
+      if (auto p = level0->local_patch(gid)) {
+        f.fill(*p, [](int i, int j) { return 3.0 * (i + 0.5) + 7.0 * (j + 0.5); });
+      }
+    }
+    if (auto p = level1->local_patch(0)) {
+      f.fill(*p, [](int, int) { return -1.0; });
+    }
+
+    RefineAlgorithm alg;
+    alg.add(RefineItem{f.var,
+                       std::make_shared<geom::CellConservativeLinearRefine>()});
+    auto sched = alg.create_schedule(level1, level1, level0,
+                                     f.hierarchy.variables(), f.ctx, nullptr,
+                                     FillMode::kGhostsOnly);
+    const simmpi::CommStats before = comm.stats();
+    sched->fill();
+    const simmpi::CommStats delta = comm.stats() - before;
+    if (comm.rank() == 0) {
+      EXPECT_EQ(delta.messages_sent, 0u);
+      EXPECT_EQ(delta.messages_received, 1u);
+      auto fine = level1->local_patch(0);
+      const double expect = 3.0 * (7 + 0.5) / 2.0 + 7.0 * (6 + 0.5) / 2.0;
+      EXPECT_NEAR(f.at(*fine, 7, 6), expect, 1e-12);
+      EXPECT_DOUBLE_EQ(f.at(*fine, 10, 6), -1.0);
+    } else {
+      EXPECT_EQ(delta.messages_sent, 1u);
+      EXPECT_EQ(delta.messages_received, 0u);
+      EXPECT_EQ(delta.bytes_sent, sched->bytes_sent_per_fill());
+    }
+  });
+}
+
+TEST(CoarsenSchedule, DistributedSyncAggregatesPerPeer) {
+  // Fine patch on rank 0 contributes to coarse patches on ranks 0 and 1:
+  // the remote contribution (both variables) rides one message.
+  simmpi::World world(2, simmpi::ideal_network());
+  world.run([](simmpi::Communicator& comm) {
+    Fixture f(Centering::kCell, comm.rank(), 2, &comm);
+    auto level0 = f.hierarchy.level_ptr(0);
+    auto level1 = f.hierarchy.level_ptr(1);
+    for (int gid : {0, 1}) {
+      if (auto p = level0->local_patch(gid)) {
+        f.fill(*p, [](int, int) { return 1.0; }, f.var);
+        f.fill(*p, [](int, int) { return 2.0; }, f.var2);
+      }
+    }
+    if (auto p = level1->local_patch(0)) {
+      f.fill(*p, [](int, int) { return 8.0; }, f.var);
+      f.fill(*p, [](int, int) { return 16.0; }, f.var2);
+    }
+
+    CoarsenAlgorithm alg;
+    alg.add(CoarsenItem{f.var, std::make_shared<geom::VolumeWeightedCoarsen>(),
+                        -1});
+    alg.add(CoarsenItem{f.var2, std::make_shared<geom::VolumeWeightedCoarsen>(),
+                        -1});
+    auto sched = alg.create_schedule(level0, level1, f.hierarchy.variables(),
+                                     f.ctx);
+    const simmpi::CommStats before = comm.stats();
+    sched->coarsen_data();
+    const simmpi::CommStats delta = comm.stats() - before;
+    if (comm.rank() == 0) {
+      EXPECT_EQ(delta.messages_sent, 1u);  // fine owner ships to rank 1
+      EXPECT_EQ(delta.messages_received, 0u);
+      EXPECT_EQ(delta.bytes_sent, sched->bytes_sent_per_sync());
+      EXPECT_EQ(sched->messages_sent_per_sync(), 1u);
+      auto coarse = level0->local_patch(0);
+      EXPECT_EQ(f.at(*coarse, 5, 3, 0, f.var), 8.0);
+      EXPECT_EQ(f.at(*coarse, 5, 3, 0, f.var2), 16.0);
+      EXPECT_EQ(f.at(*coarse, 1, 1, 0, f.var), 1.0);
+    } else {
+      EXPECT_EQ(delta.messages_sent, 0u);
+      EXPECT_EQ(delta.messages_received, 1u);
+      EXPECT_EQ(sched->messages_received_per_sync(), 1u);
+      auto coarse = level0->local_patch(1);
+      EXPECT_EQ(f.at(*coarse, 11, 5, 0, f.var), 8.0);
+      EXPECT_EQ(f.at(*coarse, 11, 5, 0, f.var2), 16.0);
+      EXPECT_EQ(f.at(*coarse, 14, 7, 0, f.var2), 2.0);
+    }
+  });
 }
 
 }  // namespace
