@@ -25,6 +25,8 @@ struct Run {
   double hydro_fraction = 0.0;
   double messages_per_fill = 0.0;   ///< aggregated messages sent / schedule fill
   double pcie_per_step = 0.0;       ///< modeled PCIe crossings / timestep
+  double launches_per_step = 0.0;   ///< fused kernel launches / timestep
+  double kernel_s_per_step = 0.0;   ///< modeled kernel seconds / timestep
 };
 
 Run run_config(int n, int ranks, const ramr::vgpu::DeviceSpec& spec,
@@ -47,6 +49,8 @@ Run run_config(int n, int ranks, const ramr::vgpu::DeviceSpec& spec,
   double worst_hydro = 0.0;
   double worst_msgs_per_fill = 0.0;
   double worst_pcie_per_step = 0.0;
+  double worst_launches_per_step = 0.0;
+  double worst_kernel_s_per_step = 0.0;
   ramr::simmpi::World world(ranks, net);
   world.run([&](ramr::simmpi::Communicator& comm) {
     ramr::app::Simulation sim(cfg, &comm);
@@ -54,6 +58,8 @@ Run run_config(int n, int ranks, const ramr::vgpu::DeviceSpec& spec,
     sim.clock().reset();
     const ramr::vgpu::TransferLog transfers0 = sim.device().transfers();
     const ramr::app::TransferCounters tc0 = sim.integrator().transfer_counters();
+    const std::uint64_t launches0 = sim.device().launch_count();
+    const double kernel0 = sim.device().kernel_seconds();
     sim.run(steps);
     // The slowest rank sets the runtime.
     const double total = sim.clock().total();
@@ -73,6 +79,10 @@ Run run_config(int n, int ranks, const ramr::vgpu::DeviceSpec& spec,
       worst_msgs_per_fill =
           fills > 0 ? static_cast<double>(msgs) / fills : 0.0;
       worst_pcie_per_step = static_cast<double>(dt.total_count()) / steps;
+      worst_launches_per_step =
+          static_cast<double>(sim.device().launch_count() - launches0) / steps;
+      worst_kernel_s_per_step =
+          (sim.device().kernel_seconds() - kernel0) / steps;
     }
   });
   Run r;
@@ -80,6 +90,8 @@ Run run_config(int n, int ranks, const ramr::vgpu::DeviceSpec& spec,
   r.hydro_fraction = worst_total > 0.0 ? worst_hydro / worst_total : 0.0;
   r.messages_per_fill = worst_msgs_per_fill;
   r.pcie_per_step = worst_pcie_per_step;
+  r.launches_per_step = worst_launches_per_step;
+  r.kernel_s_per_step = worst_kernel_s_per_step;
   return r;
 }
 
@@ -96,9 +108,9 @@ int main() {
       n, n, n * static_cast<double>(n) / 1e6);
 
   const ramr::perf::Machine m = ramr::perf::ipa();
-  ramr::perf::Table t({8, 12, 14, 10, 16, 10, 13});
+  ramr::perf::Table t({8, 12, 14, 10, 16, 10, 13, 13});
   t.header({"nodes", "K20x (s)", "E5-2670 (s)", "GPU/CPU", "GPU hydro frac",
-            "msg/fill", "PCIe x/step"});
+            "msg/fill", "PCIe x/step", "launch/step"});
   double first_speedup = 0.0;
   double last_speedup = 0.0;
   for (int nodes : {1, 2, 4, 8}) {
@@ -113,7 +125,9 @@ int main() {
            ramr::perf::Table::ratio(speedup),
            ramr::perf::Table::percent(gpu.hydro_fraction),
            ramr::perf::Table::seconds(gpu.messages_per_fill),
-           ramr::perf::Table::seconds(gpu.pcie_per_step)});
+           ramr::perf::Table::seconds(gpu.pcie_per_step),
+           ramr::perf::Table::count(
+               static_cast<std::int64_t>(gpu.launches_per_step))});
   }
   std::printf(
       "\nspeedup at 1 node: %.2fx (paper: 4.87x); at 8 nodes: %.2fx "
@@ -124,6 +138,8 @@ int main() {
       "(host-side) regridding do not shrink with per-GPU work.\n"
       "msg/fill counts the slowest rank's aggregated sends per schedule\n"
       "execution (one message per peer per fill); PCIe x/step is that\n"
-      "rank's modeled crossings per timestep with the fused device pack.\n");
+      "rank's modeled crossings per timestep with the fused device pack;\n"
+      "launch/step is that rank's fused kernel launches per timestep\n"
+      "(one per kernel sub-stage per level, independent of patch count).\n");
   return 0;
 }

@@ -5,6 +5,11 @@
 // resident step and compares its modeled time against the same step with
 // the copy-in/copy-out traffic added (state fields across PCIe around
 // each of the step's kernel groups).
+//
+// It also asserts the post-batching residency accounting: with fused
+// per-level launches a serial step's resident PCIe traffic is regrid
+// tags + ONE dt scalar per level per step + inter-level staging only
+// (per-patch dt readbacks are gone; see docs/kernel_batching.md).
 #include <cstdio>
 
 #include "app/simulation.hpp"
@@ -23,9 +28,19 @@ int main() {
   ramr::app::Simulation sim(cfg, nullptr);
   sim.initialize();
   sim.clock().reset();
+  const ramr::vgpu::TransferLog transfers0 = sim.device().transfers();
   const int steps = 5;
-  sim.run(steps);
+  const int levels = sim.hierarchy().num_levels();
+  // One dt scalar per level per step; count the levels each step sees,
+  // since a regrid inside the window may change the hierarchy depth.
+  std::uint64_t expected_scalars = 0;
+  for (int s = 0; s < steps; ++s) {
+    expected_scalars += static_cast<std::uint64_t>(sim.hierarchy().num_levels());
+    sim.step();
+  }
   const double resident = sim.clock().total() / steps;
+  const ramr::vgpu::TransferLog traffic =
+      sim.device().transfers() - transfers0;
 
   // Copy-in/copy-out model: the 8 kernel groups of the step each move
   // the live state (density, energy, pressure, viscosity, soundspeed,
@@ -47,13 +62,27 @@ int main() {
   t.row({"copy-in/copy-out (modeled)", ramr::perf::Table::seconds(nonresident)});
   t.row({"residency speedup", ramr::perf::Table::ratio(nonresident / resident)});
   std::printf(
-      "\nPCIe traffic of the resident step (log): %llu bytes D2H, %llu "
+      "\nPCIe traffic of the resident run (%d steps): %llu bytes D2H, %llu "
       "bytes H2D\n",
-      static_cast<unsigned long long>(sim.device().transfers().d2h_bytes),
-      static_cast<unsigned long long>(sim.device().transfers().h2d_bytes));
-  std::printf("Resident traffic is tags + dt scalars + level-sync staging "
-              "only —\n%.2f%% of one copy-in/copy-out round trip.\n",
-              100.0 * sim.device().transfers().total_bytes() /
-                  (2.0 * field_bytes));
+      steps, static_cast<unsigned long long>(traffic.d2h_bytes),
+      static_cast<unsigned long long>(traffic.h2d_bytes));
+  std::printf(
+      "Resident traffic is regrid tags + ONE dt scalar per level per step\n"
+      "(%d levels x %d steps = %llu scalar readbacks; per-patch launching\n"
+      "read one back per patch) + inter-level staging only — %.2f%% of one\n"
+      "copy-in/copy-out round trip.\n",
+      levels, steps, static_cast<unsigned long long>(traffic.d2h_scalar_count),
+      100.0 * traffic.total_bytes() / (2.0 * field_bytes));
+
+  // Hard accounting check, enforced in CI's bench-smoke job: exactly one
+  // dt scalar per level per step.
+  if (traffic.d2h_scalar_count != expected_scalars) {
+    std::printf("FAIL: expected %llu dt scalar readbacks, logged %llu\n",
+                static_cast<unsigned long long>(expected_scalars),
+                static_cast<unsigned long long>(traffic.d2h_scalar_count));
+    return 1;
+  }
+  std::printf("OK: dt readback accounting matches (one scalar per level per "
+              "step)\n");
   return 0;
 }

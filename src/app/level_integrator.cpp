@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <limits>
 
+#include "app/level_kernel_runner.hpp"
+
 namespace ramr::app {
 
 double LagrangianEulerianLevelIntegrator::compute_dt(hier::PatchLevel& level) {
   const hydro::CellGeom g = geom_of(level);
+  if (batched_ != nullptr) {
+    return batched_->compute_dt(level, g);
+  }
   double dt = std::numeric_limits<double>::infinity();
   for (const auto& patch : level.local_patches()) {
     dt = std::min(dt, pi_->calc_dt(*patch, g));
@@ -16,6 +21,10 @@ double LagrangianEulerianLevelIntegrator::compute_dt(hier::PatchLevel& level) {
 
 void LagrangianEulerianLevelIntegrator::stage_eos(hier::PatchLevel& level) {
   const hydro::CellGeom g = geom_of(level);
+  if (batched_ != nullptr) {
+    batched_->ideal_gas(level, g, /*predict=*/false);
+    return;
+  }
   for (const auto& patch : level.local_patches()) {
     pi_->ideal_gas(*patch, g, /*predict=*/false);
   }
@@ -24,6 +33,10 @@ void LagrangianEulerianLevelIntegrator::stage_eos(hier::PatchLevel& level) {
 void LagrangianEulerianLevelIntegrator::stage_viscosity(
     hier::PatchLevel& level) {
   const hydro::CellGeom g = geom_of(level);
+  if (batched_ != nullptr) {
+    batched_->viscosity(level, g);
+    return;
+  }
   for (const auto& patch : level.local_patches()) {
     pi_->viscosity(*patch, g);
   }
@@ -32,6 +45,11 @@ void LagrangianEulerianLevelIntegrator::stage_viscosity(
 void LagrangianEulerianLevelIntegrator::stage_pdv_predict(
     hier::PatchLevel& level, double dt) {
   const hydro::CellGeom g = geom_of(level);
+  if (batched_ != nullptr) {
+    batched_->pdv(level, g, dt, /*predict=*/true);
+    batched_->ideal_gas(level, g, /*predict=*/true);
+    return;
+  }
   for (const auto& patch : level.local_patches()) {
     pi_->pdv(*patch, g, dt, /*predict=*/true);
   }
@@ -43,6 +61,10 @@ void LagrangianEulerianLevelIntegrator::stage_pdv_predict(
 void LagrangianEulerianLevelIntegrator::stage_accelerate(
     hier::PatchLevel& level, double dt) {
   const hydro::CellGeom g = geom_of(level);
+  if (batched_ != nullptr) {
+    batched_->accelerate(level, g, dt);
+    return;
+  }
   for (const auto& patch : level.local_patches()) {
     pi_->accelerate(*patch, g, dt);
   }
@@ -51,6 +73,10 @@ void LagrangianEulerianLevelIntegrator::stage_accelerate(
 void LagrangianEulerianLevelIntegrator::stage_pdv_correct(
     hier::PatchLevel& level, double dt) {
   const hydro::CellGeom g = geom_of(level);
+  if (batched_ != nullptr) {
+    batched_->pdv(level, g, dt, /*predict=*/false);
+    return;
+  }
   for (const auto& patch : level.local_patches()) {
     pi_->pdv(*patch, g, dt, /*predict=*/false);
   }
@@ -59,6 +85,10 @@ void LagrangianEulerianLevelIntegrator::stage_pdv_correct(
 void LagrangianEulerianLevelIntegrator::stage_flux_calc(hier::PatchLevel& level,
                                                         double dt) {
   const hydro::CellGeom g = geom_of(level);
+  if (batched_ != nullptr) {
+    batched_->flux_calc(level, g, dt);
+    return;
+  }
   for (const auto& patch : level.local_patches()) {
     pi_->flux_calc(*patch, g, dt);
   }
@@ -67,6 +97,10 @@ void LagrangianEulerianLevelIntegrator::stage_flux_calc(hier::PatchLevel& level,
 void LagrangianEulerianLevelIntegrator::stage_advec_cell(
     hier::PatchLevel& level, bool x_direction, int sweep_number) {
   const hydro::CellGeom g = geom_of(level);
+  if (batched_ != nullptr) {
+    batched_->advec_cell(level, g, x_direction, sweep_number);
+    return;
+  }
   for (const auto& patch : level.local_patches()) {
     pi_->advec_cell(*patch, g, x_direction, sweep_number);
   }
@@ -75,6 +109,13 @@ void LagrangianEulerianLevelIntegrator::stage_advec_cell(
 void LagrangianEulerianLevelIntegrator::stage_advec_mom(
     hier::PatchLevel& level, bool x_direction, int sweep_number) {
   const hydro::CellGeom g = geom_of(level);
+  if (batched_ != nullptr) {
+    batched_->advec_mom(level, g, x_direction, sweep_number,
+                        /*x_velocity=*/true);
+    batched_->advec_mom(level, g, x_direction, sweep_number,
+                        /*x_velocity=*/false);
+    return;
+  }
   for (const auto& patch : level.local_patches()) {
     pi_->advec_mom(*patch, g, x_direction, sweep_number, /*x_velocity=*/true);
     pi_->advec_mom(*patch, g, x_direction, sweep_number, /*x_velocity=*/false);
@@ -83,6 +124,10 @@ void LagrangianEulerianLevelIntegrator::stage_advec_mom(
 
 void LagrangianEulerianLevelIntegrator::stage_reset(hier::PatchLevel& level) {
   const hydro::CellGeom g = geom_of(level);
+  if (batched_ != nullptr) {
+    batched_->reset_field(level, g);
+    return;
+  }
   for (const auto& patch : level.local_patches()) {
     pi_->reset_field(*patch, g);
   }

@@ -1,7 +1,12 @@
 // LagrangianEulerianLevelIntegrator (paper Fig. 6): advances the
-// solution on a single level by driving the black-box patch integrator
-// over every local patch, one stage at a time. Halo exchanges between
-// stages are owned by the hierarchy integrator.
+// solution on a single level, one stage at a time. Halo exchanges
+// between stages are owned by the hierarchy integrator.
+//
+// Two execution routes share the kernel bodies and produce bit-identical
+// fields: the batched route (default; one fused launch per kernel
+// sub-stage per level through a LevelKernelRunner) and the per-patch
+// route (the paper's original structure; one launch per patch through
+// the black-box PatchIntegrator).
 #pragma once
 
 #include "app/patch_integrator.hpp"
@@ -9,11 +14,20 @@
 
 namespace ramr::app {
 
+class LevelKernelRunner;
+
 /// Stage-wise advancement of one PatchLevel.
 class LagrangianEulerianLevelIntegrator {
  public:
-  explicit LagrangianEulerianLevelIntegrator(PatchIntegrator& integrator)
-      : pi_(&integrator) {}
+  /// With a non-null `batched` runner every stage fuses its per-patch
+  /// kernels into one launch per sub-stage per level; otherwise stages
+  /// loop `integrator` over each local patch.
+  explicit LagrangianEulerianLevelIntegrator(PatchIntegrator& integrator,
+                                             LevelKernelRunner* batched = nullptr)
+      : pi_(&integrator), batched_(batched) {}
+
+  /// True when stages run as fused per-level launches.
+  bool batched() const { return batched_ != nullptr; }
 
   /// Minimum stable dt over the level's local patches.
   double compute_dt(hier::PatchLevel& level);
@@ -50,6 +64,7 @@ class LagrangianEulerianLevelIntegrator {
 
  private:
   PatchIntegrator* pi_;
+  LevelKernelRunner* batched_ = nullptr;
 };
 
 }  // namespace ramr::app

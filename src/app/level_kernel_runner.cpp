@@ -1,0 +1,155 @@
+#include "app/level_kernel_runner.hpp"
+
+#include "hier/level_views.hpp"
+#include "pdat/cuda/cuda_data.hpp"
+
+namespace ramr::app {
+
+using pdat::cuda::CudaData;
+
+util::View LevelKernelRunner::view(hier::Patch& p, int id, int comp) const {
+  return p.typed_data<CudaData>(id).device_view(comp);
+}
+
+namespace {
+
+/// Builds the per-patch argument span for a fused launch: one entry per
+/// local patch, in local-patch (= segment) order.
+template <typename Arg, typename Fn>
+std::vector<Arg> gather_args(hier::PatchLevel& level, Fn&& make) {
+  std::vector<Arg> args;
+  args.reserve(level.local_patches().size());
+  for (const auto& patch : level.local_patches()) {
+    args.push_back(make(*patch));
+  }
+  return args;
+}
+
+}  // namespace
+
+double LevelKernelRunner::compute_dt(hier::PatchLevel& level,
+                                     const hydro::CellGeom& g) {
+  const auto boxes = hier::local_boxes(level);
+  const auto args = gather_args<hydro::CalcDtPatch>(level, [&](hier::Patch& p) {
+    return hydro::CalcDtPatch{view(p, f_.density0), view(p, f_.soundspeed),
+                              view(p, f_.viscosity), view(p, f_.xvel0),
+                              view(p, f_.yvel0)};
+  });
+  return hydro::calc_dt_batched(*device_, stream_, boxes, g, args);
+}
+
+void LevelKernelRunner::ideal_gas(hier::PatchLevel& level,
+                                  const hydro::CellGeom&, bool predict) {
+  const int density = predict ? f_.density1 : f_.density0;
+  const int energy = predict ? f_.energy1 : f_.energy0;
+  const auto boxes = hier::local_boxes(level);
+  const auto args =
+      gather_args<hydro::IdealGasPatch>(level, [&](hier::Patch& p) {
+        return hydro::IdealGasPatch{view(p, density), view(p, energy),
+                                    view(p, f_.pressure),
+                                    view(p, f_.soundspeed)};
+      });
+  hydro::ideal_gas_batched(*device_, stream_, boxes, args);
+}
+
+void LevelKernelRunner::viscosity(hier::PatchLevel& level,
+                                  const hydro::CellGeom& g) {
+  const auto boxes = hier::local_boxes(level);
+  const auto args =
+      gather_args<hydro::ViscosityPatch>(level, [&](hier::Patch& p) {
+        return hydro::ViscosityPatch{view(p, f_.density0),
+                                     view(p, f_.pressure),
+                                     view(p, f_.viscosity), view(p, f_.xvel0),
+                                     view(p, f_.yvel0)};
+      });
+  hydro::viscosity_batched(*device_, stream_, boxes, g, args);
+}
+
+void LevelKernelRunner::pdv(hier::PatchLevel& level, const hydro::CellGeom& g,
+                            double dt, bool predict) {
+  const auto boxes = hier::local_boxes(level);
+  const auto args = gather_args<hydro::PdvPatch>(level, [&](hier::Patch& p) {
+    return hydro::PdvPatch{view(p, f_.xvel0), view(p, f_.yvel0),
+                           view(p, f_.xvel1), view(p, f_.yvel1),
+                           view(p, f_.density0), view(p, f_.density1),
+                           view(p, f_.energy0), view(p, f_.energy1),
+                           view(p, f_.pressure), view(p, f_.viscosity)};
+  });
+  hydro::pdv_batched(*device_, stream_, boxes, g, dt, predict, args);
+}
+
+void LevelKernelRunner::accelerate(hier::PatchLevel& level,
+                                   const hydro::CellGeom& g, double dt) {
+  const auto boxes = hier::local_boxes(level);
+  const auto args =
+      gather_args<hydro::AcceleratePatch>(level, [&](hier::Patch& p) {
+        return hydro::AcceleratePatch{
+            view(p, f_.density0), view(p, f_.pressure), view(p, f_.viscosity),
+            view(p, f_.xvel0), view(p, f_.yvel0), view(p, f_.xvel1),
+            view(p, f_.yvel1)};
+      });
+  hydro::accelerate_batched(*device_, stream_, boxes, g, dt, args);
+}
+
+void LevelKernelRunner::flux_calc(hier::PatchLevel& level,
+                                  const hydro::CellGeom& g, double dt) {
+  const auto boxes = hier::local_boxes(level);
+  const auto args =
+      gather_args<hydro::FluxCalcPatch>(level, [&](hier::Patch& p) {
+        return hydro::FluxCalcPatch{view(p, f_.xvel0), view(p, f_.yvel0),
+                                    view(p, f_.xvel1), view(p, f_.yvel1),
+                                    view(p, f_.vol_flux, 0),
+                                    view(p, f_.vol_flux, 1)};
+      });
+  hydro::flux_calc_batched(*device_, stream_, boxes, g, dt, args);
+}
+
+void LevelKernelRunner::advec_cell(hier::PatchLevel& level,
+                                   const hydro::CellGeom& g, bool x_direction,
+                                   int sweep_number) {
+  const auto boxes = hier::local_boxes(level);
+  const auto args =
+      gather_args<hydro::AdvecCellPatch>(level, [&](hier::Patch& p) {
+        return hydro::AdvecCellPatch{
+            view(p, f_.density1), view(p, f_.energy1), view(p, f_.vol_flux, 0),
+            view(p, f_.vol_flux, 1), view(p, f_.mass_flux, 0),
+            view(p, f_.mass_flux, 1), view(p, f_.pre_vol), view(p, f_.post_vol),
+            view(p, f_.ener_flux, x_direction ? 0 : 1)};
+      });
+  hydro::advec_cell_batched(*device_, stream_, boxes, g, x_direction,
+                            sweep_number, args);
+}
+
+void LevelKernelRunner::advec_mom(hier::PatchLevel& level,
+                                  const hydro::CellGeom& g, bool x_direction,
+                                  int sweep_number, bool x_velocity) {
+  const int mom_sweep = (x_direction ? 1 : 2) + 2 * (sweep_number - 1);
+  const auto boxes = hier::local_boxes(level);
+  const auto args =
+      gather_args<hydro::AdvecMomPatch>(level, [&](hier::Patch& p) {
+        return hydro::AdvecMomPatch{
+            view(p, x_velocity ? f_.xvel1 : f_.yvel1), view(p, f_.density1),
+            view(p, f_.vol_flux, 0), view(p, f_.vol_flux, 1),
+            view(p, f_.mass_flux, 0), view(p, f_.mass_flux, 1),
+            view(p, f_.node_flux), view(p, f_.node_mass_post),
+            view(p, f_.node_mass_pre), view(p, f_.mom_flux),
+            view(p, f_.pre_vol), view(p, f_.post_vol)};
+      });
+  hydro::advec_mom_batched(*device_, stream_, boxes, g, x_direction, mom_sweep,
+                           args);
+}
+
+void LevelKernelRunner::reset_field(hier::PatchLevel& level,
+                                    const hydro::CellGeom&) {
+  const auto boxes = hier::local_boxes(level);
+  const auto args =
+      gather_args<hydro::ResetFieldPatch>(level, [&](hier::Patch& p) {
+        return hydro::ResetFieldPatch{
+            view(p, f_.density0), view(p, f_.density1), view(p, f_.energy0),
+            view(p, f_.energy1), view(p, f_.xvel0), view(p, f_.xvel1),
+            view(p, f_.yvel0), view(p, f_.yvel1)};
+      });
+  hydro::reset_field_batched(*device_, stream_, boxes, args);
+}
+
+}  // namespace ramr::app

@@ -1,0 +1,52 @@
+// Batched per-level kernel driver: gathers every local patch's views and
+// geometry once per stage and issues ONE fused launch per kernel
+// sub-stage per level (vgpu::Device::launch_batched), instead of the
+// per-patch launches of PatchIntegrator. A level with P patches pays one
+// launch overhead per sub-stage and an occupancy ramp computed from the
+// level's total thread count — the batched-launch approach of GPU AMR
+// frameworks (GAMER, Uintah) applied to the paper's resident step.
+// Results are bit-identical to the per-patch path: both routes share the
+// kernel bodies in hydro/kernels.cpp.
+#pragma once
+
+#include <vector>
+
+#include "app/fields.hpp"
+#include "hier/patch_level.hpp"
+#include "hydro/kernels.hpp"
+
+namespace ramr::app {
+
+/// Fused per-level forms of the CloverLeaf timestep stages.
+class LevelKernelRunner {
+ public:
+  LevelKernelRunner(vgpu::Device& device, const Fields& fields)
+      : device_(&device), stream_(device, "hydro"), f_(fields) {}
+
+  /// Minimum stable dt over the level: one fused reduction and ONE
+  /// scalar D2H readback per level (was one of each per patch).
+  double compute_dt(hier::PatchLevel& level, const hydro::CellGeom& g);
+
+  void ideal_gas(hier::PatchLevel& level, const hydro::CellGeom& g,
+                 bool predict);
+  void viscosity(hier::PatchLevel& level, const hydro::CellGeom& g);
+  void pdv(hier::PatchLevel& level, const hydro::CellGeom& g, double dt,
+           bool predict);
+  void accelerate(hier::PatchLevel& level, const hydro::CellGeom& g,
+                  double dt);
+  void flux_calc(hier::PatchLevel& level, const hydro::CellGeom& g, double dt);
+  void advec_cell(hier::PatchLevel& level, const hydro::CellGeom& g,
+                  bool x_direction, int sweep_number);
+  void advec_mom(hier::PatchLevel& level, const hydro::CellGeom& g,
+                 bool x_direction, int sweep_number, bool x_velocity);
+  void reset_field(hier::PatchLevel& level, const hydro::CellGeom& g);
+
+ private:
+  util::View view(hier::Patch& p, int id, int comp = 0) const;
+
+  vgpu::Device* device_;
+  vgpu::Stream stream_;
+  Fields f_;
+};
+
+}  // namespace ramr::app

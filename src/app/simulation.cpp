@@ -52,8 +52,11 @@ Simulation::Simulation(const SimulationConfig& config,
   bc_ = std::make_unique<ReflectiveBoundary>(fields_);
   patch_integrator_ =
       std::make_unique<CudaPatchIntegrator>(device_, fields_);
-  level_integrator_ =
-      std::make_unique<LagrangianEulerianLevelIntegrator>(*patch_integrator_);
+  if (config_.batched_launch) {
+    level_runner_ = std::make_unique<LevelKernelRunner>(device_, fields_);
+  }
+  level_integrator_ = std::make_unique<LagrangianEulerianLevelIntegrator>(
+      *patch_integrator_, level_runner_.get());
 
   amr::GriddingParams gp;
   gp.cluster.efficiency = config_.cluster_efficiency;

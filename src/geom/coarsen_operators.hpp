@@ -21,6 +21,8 @@ class NodeInjectionCoarsen : public xfer::CoarsenOperator {
   void coarsen(pdat::PatchData& dst, const pdat::PatchData& src,
                const pdat::PatchData* src_aux, const mesh::Box& coarse_cells,
                const mesh::IntVector& ratio) const override;
+  void coarsen_batched(std::span<const xfer::CoarsenTask> tasks,
+                       const mesh::IntVector& ratio) const override;
   const char* name() const override { return "node-injection-coarsen"; }
 };
 
@@ -30,6 +32,8 @@ class VolumeWeightedCoarsen : public xfer::CoarsenOperator {
   void coarsen(pdat::PatchData& dst, const pdat::PatchData& src,
                const pdat::PatchData* src_aux, const mesh::Box& coarse_cells,
                const mesh::IntVector& ratio) const override;
+  void coarsen_batched(std::span<const xfer::CoarsenTask> tasks,
+                       const mesh::IntVector& ratio) const override;
   const char* name() const override { return "volume-weighted-coarsen"; }
 };
 
@@ -40,6 +44,8 @@ class MassWeightedCoarsen : public xfer::CoarsenOperator {
   void coarsen(pdat::PatchData& dst, const pdat::PatchData& src,
                const pdat::PatchData* src_aux, const mesh::Box& coarse_cells,
                const mesh::IntVector& ratio) const override;
+  void coarsen_batched(std::span<const xfer::CoarsenTask> tasks,
+                       const mesh::IntVector& ratio) const override;
   bool needs_aux() const override { return true; }
   const char* name() const override { return "mass-weighted-coarsen"; }
 };
@@ -51,6 +57,8 @@ class SideSumCoarsen : public xfer::CoarsenOperator {
   void coarsen(pdat::PatchData& dst, const pdat::PatchData& src,
                const pdat::PatchData* src_aux, const mesh::Box& coarse_cells,
                const mesh::IntVector& ratio) const override;
+  void coarsen_batched(std::span<const xfer::CoarsenTask> tasks,
+                       const mesh::IntVector& ratio) const override;
   const char* name() const override { return "side-sum-coarsen"; }
 };
 

@@ -21,6 +21,8 @@ class NodeLinearRefine : public xfer::RefineOperator {
   void refine(pdat::PatchData& dst, const pdat::PatchData& src,
               const mesh::Box& fine_cells,
               const mesh::IntVector& ratio) const override;
+  void refine_batched(std::span<const xfer::RefineTask> tasks,
+                      const mesh::IntVector& ratio) const override;
   const char* name() const override { return "node-linear-refine"; }
 };
 
@@ -31,6 +33,8 @@ class CellConservativeLinearRefine : public xfer::RefineOperator {
   void refine(pdat::PatchData& dst, const pdat::PatchData& src,
               const mesh::Box& fine_cells,
               const mesh::IntVector& ratio) const override;
+  void refine_batched(std::span<const xfer::RefineTask> tasks,
+                      const mesh::IntVector& ratio) const override;
   const char* name() const override { return "cell-conservative-linear-refine"; }
 };
 
@@ -42,6 +46,8 @@ class SideConservativeLinearRefine : public xfer::RefineOperator {
   void refine(pdat::PatchData& dst, const pdat::PatchData& src,
               const mesh::Box& fine_cells,
               const mesh::IntVector& ratio) const override;
+  void refine_batched(std::span<const xfer::RefineTask> tasks,
+                      const mesh::IntVector& ratio) const override;
   const char* name() const override { return "side-conservative-linear-refine"; }
 };
 

@@ -1,0 +1,39 @@
+// Level-wide patch-data gathering for batched (fused per-level) kernel
+// launches: the per-stage driver collects every local patch's box and
+// device views ONCE, then issues a single fused launch over the whole
+// level instead of one launch per patch.
+#pragma once
+
+#include <vector>
+
+#include "hier/patch_level.hpp"
+#include "util/array_view.hpp"
+
+namespace ramr::hier {
+
+/// Cell boxes of every local patch, in local-patch order (the segment
+/// order of the fused launches built from them).
+inline std::vector<mesh::Box> local_boxes(const PatchLevel& level) {
+  std::vector<mesh::Box> boxes;
+  boxes.reserve(level.local_patches().size());
+  for (const auto& patch : level.local_patches()) {
+    boxes.push_back(patch->box());
+  }
+  return boxes;
+}
+
+/// Device views of (variable `id`, component `comp`) from every local
+/// patch, in local-patch order. DataT is the concrete PatchData type
+/// (e.g. pdat::cuda::CudaData).
+template <typename DataT>
+std::vector<util::View> gather_views(const PatchLevel& level, int id,
+                                     int comp = 0) {
+  std::vector<util::View> views;
+  views.reserve(level.local_patches().size());
+  for (const auto& patch : level.local_patches()) {
+    views.push_back(patch->typed_data<DataT>(id).device_view(comp));
+  }
+  return views;
+}
+
+}  // namespace ramr::hier

@@ -25,46 +25,77 @@ constexpr vgpu::KernelCost hydro_cost(double flops, double doubles) {
   return vgpu::KernelCost{flops, doubles * kEffectiveBytesPerDouble};
 }
 
+/// One fused-launch segment per patch, each covering region(box) (empty
+/// regions keep their slot so segment ids index the argument spans).
+template <typename RegionFn>
+vgpu::SegmentTable make_segments(std::span<const Box> boxes,
+                                 RegionFn&& region) {
+  vgpu::SegmentTable t;
+  for (const Box& b : boxes) {
+    const Box r = region(b);
+    t.add(r.lower().i, r.lower().j, r.width(), r.height());
+  }
+  return t;
+}
+
+vgpu::SegmentTable cell_segments(std::span<const Box> boxes) {
+  return make_segments(boxes, [](const Box& b) { return b; });
+}
+
 }  // namespace
+
+void ideal_gas_batched(vgpu::Device& dev, vgpu::Stream& s,
+                       std::span<const Box> boxes,
+                       std::span<const IdealGasPatch> p) {
+  const IdealGasPatch* a = p.data();
+  dev.launch_batched(
+      s, cell_segments(boxes), hydro_cost(8.0, 4.0),
+      [=](std::size_t seg, int i, int j) {
+        const IdealGasPatch& v = a[seg];
+        const double vol = 1.0 / v.density(i, j);
+        const double pr =
+            (Constants::gamma - 1.0) * v.density(i, j) * v.energy(i, j);
+        const double pressure_by_energy =
+            (Constants::gamma - 1.0) * v.density(i, j);
+        const double pressure_by_volume = -v.density(i, j) * pr;
+        // c^2 = v^2 (p * dp/de - dp/dv) = gamma p / rho.
+        const double ss2 =
+            vol * vol * (pr * pressure_by_energy - pressure_by_volume);
+        v.pressure(i, j) = pr;
+        v.soundspeed(i, j) = std::sqrt(ss2);
+      });
+}
 
 void ideal_gas(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
                View density, View energy, View pressure, View soundspeed) {
-  dev.launch2d(s, box.lower().i, box.lower().j, box.width(), box.height(),
-               hydro_cost(8.0, 4.0), [=](int i, int j) {
-                 const double v = 1.0 / density(i, j);
-                 const double p =
-                     (Constants::gamma - 1.0) * density(i, j) * energy(i, j);
-                 const double pressure_by_energy =
-                     (Constants::gamma - 1.0) * density(i, j);
-                 const double pressure_by_volume = -density(i, j) * p;
-                 // c^2 = v^2 (p * dp/de - dp/dv) = gamma p / rho.
-                 const double ss2 =
-                     v * v * (p * pressure_by_energy - pressure_by_volume);
-                 pressure(i, j) = p;
-                 soundspeed(i, j) = std::sqrt(ss2);
-               });
+  const IdealGasPatch p{density, energy, pressure, soundspeed};
+  ideal_gas_batched(dev, s, {&box, 1}, {&p, 1});
 }
 
-void viscosity_kernel(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
-                      const CellGeom& g, View density0, View pressure,
-                      View viscosity, View xvel0, View yvel0) {
+void viscosity_batched(vgpu::Device& dev, vgpu::Stream& s,
+                       std::span<const Box> boxes, const CellGeom& g,
+                       std::span<const ViscosityPatch> p) {
   const double dx = g.dx;
   const double dy = g.dy;
-  dev.launch2d(
-      s, box.lower().i, box.lower().j, box.width(), box.height(),
-      hydro_cost(45.0, 14.0), [=](int i, int j) {
-        const double ugrad = (xvel0(i + 1, j) + xvel0(i + 1, j + 1)) -
-                             (xvel0(i, j) + xvel0(i, j + 1));
-        const double vgrad = (yvel0(i, j + 1) + yvel0(i + 1, j + 1)) -
-                             (yvel0(i, j) + yvel0(i + 1, j));
+  const ViscosityPatch* a = p.data();
+  dev.launch_batched(
+      s, cell_segments(boxes), hydro_cost(45.0, 14.0),
+      [=](std::size_t seg, int i, int j) {
+        const ViscosityPatch& v = a[seg];
+        const double ugrad = (v.xvel0(i + 1, j) + v.xvel0(i + 1, j + 1)) -
+                             (v.xvel0(i, j) + v.xvel0(i, j + 1));
+        const double vgrad = (v.yvel0(i, j + 1) + v.yvel0(i + 1, j + 1)) -
+                             (v.yvel0(i, j) + v.yvel0(i + 1, j));
         const double div = dx * ugrad + dy * vgrad;
         const double strain2 =
-            0.5 * (xvel0(i, j + 1) + xvel0(i + 1, j + 1) - xvel0(i, j) -
-                   xvel0(i + 1, j)) / dy +
-            0.5 * (yvel0(i + 1, j) + yvel0(i + 1, j + 1) - yvel0(i, j) -
-                   yvel0(i, j + 1)) / dx;
-        double pgradx = (pressure(i + 1, j) - pressure(i - 1, j)) / (2.0 * dx);
-        double pgrady = (pressure(i, j + 1) - pressure(i, j - 1)) / (2.0 * dy);
+            0.5 * (v.xvel0(i, j + 1) + v.xvel0(i + 1, j + 1) - v.xvel0(i, j) -
+                   v.xvel0(i + 1, j)) / dy +
+            0.5 * (v.yvel0(i + 1, j) + v.yvel0(i + 1, j + 1) - v.yvel0(i, j) -
+                   v.yvel0(i, j + 1)) / dx;
+        double pgradx =
+            (v.pressure(i + 1, j) - v.pressure(i - 1, j)) / (2.0 * dx);
+        double pgrady =
+            (v.pressure(i, j + 1) - v.pressure(i, j - 1)) / (2.0 * dy);
         const double pgradx2 = pgradx * pgradx;
         const double pgrady2 = pgrady * pgrady;
         const double limiter =
@@ -72,7 +103,7 @@ void viscosity_kernel(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
              strain2 * pgradx * pgrady) /
             std::max(pgradx2 + pgrady2, Constants::g_small);
         if (limiter > 0.0 || div >= 0.0) {
-          viscosity(i, j) = 0.0;
+          v.viscosity(i, j) = 0.0;
           return;
         }
         pgradx = sign(std::max(Constants::g_small, std::fabs(pgradx)), pgradx);
@@ -82,42 +113,50 @@ void viscosity_kernel(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
         const double ygrad = std::fabs(dy * pgrad / pgrady);
         const double grad = std::min(xgrad, ygrad);
         const double grad2 = grad * grad;
-        viscosity(i, j) = 2.0 * density0(i, j) * grad2 * limiter * limiter;
+        v.viscosity(i, j) =
+            2.0 * v.density0(i, j) * grad2 * limiter * limiter;
       });
 }
 
-double calc_dt(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
-               const CellGeom& g, View density0, View soundspeed,
-               View viscosity, View xvel0, View yvel0) {
+void viscosity_kernel(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
+                      const CellGeom& g, View density0, View pressure,
+                      View viscosity, View xvel0, View yvel0) {
+  const ViscosityPatch p{density0, pressure, viscosity, xvel0, yvel0};
+  viscosity_batched(dev, s, {&box, 1}, g, {&p, 1});
+}
+
+double calc_dt_batched(vgpu::Device& dev, vgpu::Stream& s,
+                       std::span<const Box> boxes, const CellGeom& g,
+                       std::span<const CalcDtPatch> p) {
   const double dx = g.dx;
   const double dy = g.dy;
   const double volume = g.volume();
   const double xarea = g.xarea();
   const double yarea = g.yarea();
-  const int ilo = box.lower().i;
-  const int jlo = box.lower().j;
-  const int w = box.width();
-  return dev.reduce_min(
-      s, box.size(), hydro_cost(40.0, 9.0), [=](std::int64_t t) {
-        const int i = ilo + static_cast<int>(t % w);
-        const int j = jlo + static_cast<int>(t / w);
-        double cc = soundspeed(i, j) * soundspeed(i, j);
-        cc += 2.0 * viscosity(i, j) / density0(i, j);
+  const CalcDtPatch* a = p.data();
+  return dev.reduce_min_batched(
+      s, cell_segments(boxes), hydro_cost(40.0, 9.0),
+      [=](std::size_t seg, int i, int j) {
+        const CalcDtPatch& v = a[seg];
+        double cc = v.soundspeed(i, j) * v.soundspeed(i, j);
+        cc += 2.0 * v.viscosity(i, j) / v.density0(i, j);
         cc = std::max(std::sqrt(cc), Constants::g_small);
         const double dtct = Constants::dtc_safe * std::min(dx, dy) / cc;
         double div = 0.0;
-        double dv1 = (xvel0(i, j) + xvel0(i, j + 1)) * xarea;
-        double dv2 = (xvel0(i + 1, j) + xvel0(i + 1, j + 1)) * xarea;
+        double dv1 = (v.xvel0(i, j) + v.xvel0(i, j + 1)) * xarea;
+        double dv2 = (v.xvel0(i + 1, j) + v.xvel0(i + 1, j + 1)) * xarea;
         div += dv2 - dv1;
         const double dtut =
             Constants::dtu_safe * 2.0 * volume /
-            std::max({std::fabs(dv1), std::fabs(dv2), Constants::g_small * volume});
-        dv1 = (yvel0(i, j) + yvel0(i + 1, j)) * yarea;
-        dv2 = (yvel0(i, j + 1) + yvel0(i + 1, j + 1)) * yarea;
+            std::max({std::fabs(dv1), std::fabs(dv2),
+                      Constants::g_small * volume});
+        dv1 = (v.yvel0(i, j) + v.yvel0(i + 1, j)) * yarea;
+        dv2 = (v.yvel0(i, j + 1) + v.yvel0(i + 1, j + 1)) * yarea;
         div += dv2 - dv1;
         const double dtvt =
             Constants::dtv_safe * 2.0 * volume /
-            std::max({std::fabs(dv1), std::fabs(dv2), Constants::g_small * volume});
+            std::max({std::fabs(dv1), std::fabs(dv2),
+                      Constants::g_small * volume});
         div /= (2.0 * volume);
         const double dtdivt = (div < -Constants::g_small)
                                   ? Constants::dtdiv_safe * (-1.0 / div)
@@ -126,164 +165,223 @@ double calc_dt(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
       });
 }
 
-void pdv(vgpu::Device& dev, vgpu::Stream& s, const Box& box, const CellGeom& g,
-         double dt, bool predict, View xvel0, View yvel0, View xvel1,
-         View yvel1, View density0, View density1, View energy0, View energy1,
-         View pressure, View viscosity) {
+double calc_dt(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
+               const CellGeom& g, View density0, View soundspeed,
+               View viscosity, View xvel0, View yvel0) {
+  const CalcDtPatch p{density0, soundspeed, viscosity, xvel0, yvel0};
+  return calc_dt_batched(dev, s, {&box, 1}, g, {&p, 1});
+}
+
+void pdv_batched(vgpu::Device& dev, vgpu::Stream& s,
+                 std::span<const Box> boxes, const CellGeom& g, double dt,
+                 bool predict, std::span<const PdvPatch> p) {
   const double volume = g.volume();
   const double xarea = g.xarea();
   const double yarea = g.yarea();
   const vgpu::KernelCost cost = hydro_cost(40.0, 16.0);
+  const vgpu::SegmentTable segs = cell_segments(boxes);
+  const PdvPatch* a = p.data();
   if (predict) {
-    dev.launch2d(
-        s, box.lower().i, box.lower().j, box.width(), box.height(), cost,
-        [=](int i, int j) {
+    dev.launch_batched(
+        s, segs, cost, [=](std::size_t seg, int i, int j) {
+          const PdvPatch& v = a[seg];
           const double left =
-              xarea * (xvel0(i, j) + xvel0(i, j + 1) + xvel0(i, j) +
-                       xvel0(i, j + 1)) * 0.25 * dt * 0.5;
+              xarea * (v.xvel0(i, j) + v.xvel0(i, j + 1) + v.xvel0(i, j) +
+                       v.xvel0(i, j + 1)) * 0.25 * dt * 0.5;
           const double right =
-              xarea * (xvel0(i + 1, j) + xvel0(i + 1, j + 1) + xvel0(i + 1, j) +
-                       xvel0(i + 1, j + 1)) * 0.25 * dt * 0.5;
+              xarea * (v.xvel0(i + 1, j) + v.xvel0(i + 1, j + 1) +
+                       v.xvel0(i + 1, j) + v.xvel0(i + 1, j + 1)) *
+              0.25 * dt * 0.5;
           const double bottom =
-              yarea * (yvel0(i, j) + yvel0(i + 1, j) + yvel0(i, j) +
-                       yvel0(i + 1, j)) * 0.25 * dt * 0.5;
+              yarea * (v.yvel0(i, j) + v.yvel0(i + 1, j) + v.yvel0(i, j) +
+                       v.yvel0(i + 1, j)) * 0.25 * dt * 0.5;
           const double top =
-              yarea * (yvel0(i, j + 1) + yvel0(i + 1, j + 1) + yvel0(i, j + 1) +
-                       yvel0(i + 1, j + 1)) * 0.25 * dt * 0.5;
+              yarea * (v.yvel0(i, j + 1) + v.yvel0(i + 1, j + 1) +
+                       v.yvel0(i, j + 1) + v.yvel0(i + 1, j + 1)) *
+              0.25 * dt * 0.5;
           const double total_flux = right - left + top - bottom;
           const double volume_change = volume / (volume + total_flux);
           const double recip_volume = 1.0 / volume;
           const double energy_change =
-              (pressure(i, j) / density0(i, j) +
-               viscosity(i, j) / density0(i, j)) * total_flux * recip_volume;
-          energy1(i, j) = energy0(i, j) - energy_change;
-          density1(i, j) = density0(i, j) * volume_change;
+              (v.pressure(i, j) / v.density0(i, j) +
+               v.viscosity(i, j) / v.density0(i, j)) *
+              total_flux * recip_volume;
+          v.energy1(i, j) = v.energy0(i, j) - energy_change;
+          v.density1(i, j) = v.density0(i, j) * volume_change;
         });
   } else {
-    dev.launch2d(
-        s, box.lower().i, box.lower().j, box.width(), box.height(), cost,
-        [=](int i, int j) {
+    dev.launch_batched(
+        s, segs, cost, [=](std::size_t seg, int i, int j) {
+          const PdvPatch& v = a[seg];
           const double left =
-              xarea * (xvel0(i, j) + xvel0(i, j + 1) + xvel1(i, j) +
-                       xvel1(i, j + 1)) * 0.25 * dt;
+              xarea * (v.xvel0(i, j) + v.xvel0(i, j + 1) + v.xvel1(i, j) +
+                       v.xvel1(i, j + 1)) * 0.25 * dt;
           const double right =
-              xarea * (xvel0(i + 1, j) + xvel0(i + 1, j + 1) + xvel1(i + 1, j) +
-                       xvel1(i + 1, j + 1)) * 0.25 * dt;
+              xarea * (v.xvel0(i + 1, j) + v.xvel0(i + 1, j + 1) +
+                       v.xvel1(i + 1, j) + v.xvel1(i + 1, j + 1)) * 0.25 * dt;
           const double bottom =
-              yarea * (yvel0(i, j) + yvel0(i + 1, j) + yvel1(i, j) +
-                       yvel1(i + 1, j)) * 0.25 * dt;
+              yarea * (v.yvel0(i, j) + v.yvel0(i + 1, j) + v.yvel1(i, j) +
+                       v.yvel1(i + 1, j)) * 0.25 * dt;
           const double top =
-              yarea * (yvel0(i, j + 1) + yvel0(i + 1, j + 1) + yvel1(i, j + 1) +
-                       yvel1(i + 1, j + 1)) * 0.25 * dt;
+              yarea * (v.yvel0(i, j + 1) + v.yvel0(i + 1, j + 1) +
+                       v.yvel1(i, j + 1) + v.yvel1(i + 1, j + 1)) * 0.25 * dt;
           const double total_flux = right - left + top - bottom;
           const double volume_change = volume / (volume + total_flux);
           const double recip_volume = 1.0 / volume;
           const double energy_change =
-              (pressure(i, j) / density0(i, j) +
-               viscosity(i, j) / density0(i, j)) * total_flux * recip_volume;
-          energy1(i, j) = energy0(i, j) - energy_change;
-          density1(i, j) = density0(i, j) * volume_change;
+              (v.pressure(i, j) / v.density0(i, j) +
+               v.viscosity(i, j) / v.density0(i, j)) *
+              total_flux * recip_volume;
+          v.energy1(i, j) = v.energy0(i, j) - energy_change;
+          v.density1(i, j) = v.density0(i, j) * volume_change;
         });
   }
+}
+
+void pdv(vgpu::Device& dev, vgpu::Stream& s, const Box& box, const CellGeom& g,
+         double dt, bool predict, View xvel0, View yvel0, View xvel1,
+         View yvel1, View density0, View density1, View energy0, View energy1,
+         View pressure, View viscosity) {
+  const PdvPatch p{xvel0, yvel0, xvel1, yvel1, density0,
+                   density1, energy0, energy1, pressure, viscosity};
+  pdv_batched(dev, s, {&box, 1}, g, dt, predict, {&p, 1});
+}
+
+void accelerate_batched(vgpu::Device& dev, vgpu::Stream& s,
+                        std::span<const Box> boxes, const CellGeom& g,
+                        double dt, std::span<const AcceleratePatch> p) {
+  const double halfdt = 0.5 * dt;
+  const double volume = g.volume();
+  const double xarea = g.xarea();
+  const double yarea = g.yarea();
+  const AcceleratePatch* a = p.data();
+  dev.launch_batched(
+      s,
+      make_segments(boxes,
+                    [](const Box& b) {
+                      return mesh::to_centering(b, mesh::Centering::kNode);
+                    }),
+      hydro_cost(45.0, 18.0), [=](std::size_t seg, int i, int j) {
+        const AcceleratePatch& v = a[seg];
+        const double nodal_mass =
+            (v.density0(i - 1, j - 1) * volume + v.density0(i, j - 1) * volume +
+             v.density0(i, j) * volume + v.density0(i - 1, j) * volume) * 0.25;
+        const double stepbymass = halfdt / nodal_mass;
+        double xv =
+            v.xvel0(i, j) -
+            stepbymass *
+                (xarea * (v.pressure(i, j) - v.pressure(i - 1, j)) +
+                 xarea * (v.pressure(i, j - 1) - v.pressure(i - 1, j - 1)));
+        double yv =
+            v.yvel0(i, j) -
+            stepbymass *
+                (yarea * (v.pressure(i, j) - v.pressure(i, j - 1)) +
+                 yarea * (v.pressure(i - 1, j) - v.pressure(i - 1, j - 1)));
+        xv -= stepbymass *
+              (xarea * (v.viscosity(i, j) - v.viscosity(i - 1, j)) +
+               xarea * (v.viscosity(i, j - 1) - v.viscosity(i - 1, j - 1)));
+        yv -= stepbymass *
+              (yarea * (v.viscosity(i, j) - v.viscosity(i, j - 1)) +
+               yarea * (v.viscosity(i - 1, j) - v.viscosity(i - 1, j - 1)));
+        v.xvel1(i, j) = xv;
+        v.yvel1(i, j) = yv;
+      });
 }
 
 void accelerate(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
                 const CellGeom& g, double dt, View density0, View pressure,
                 View viscosity, View xvel0, View yvel0, View xvel1,
                 View yvel1) {
-  const double halfdt = 0.5 * dt;
-  const double volume = g.volume();
+  const AcceleratePatch p{density0, pressure, viscosity, xvel0,
+                          yvel0, xvel1, yvel1};
+  accelerate_batched(dev, s, {&box, 1}, g, dt, {&p, 1});
+}
+
+void flux_calc_batched(vgpu::Device& dev, vgpu::Stream& s,
+                       std::span<const Box> boxes, const CellGeom& g,
+                       double dt, std::span<const FluxCalcPatch> p) {
   const double xarea = g.xarea();
   const double yarea = g.yarea();
-  const Box nodes = mesh::to_centering(box, mesh::Centering::kNode);
-  dev.launch2d(
-      s, nodes.lower().i, nodes.lower().j, nodes.width(), nodes.height(),
-      hydro_cost(45.0, 18.0), [=](int i, int j) {
-        const double nodal_mass =
-            (density0(i - 1, j - 1) * volume + density0(i, j - 1) * volume +
-             density0(i, j) * volume + density0(i - 1, j) * volume) * 0.25;
-        const double stepbymass = halfdt / nodal_mass;
-        double xv =
-            xvel0(i, j) -
-            stepbymass * (xarea * (pressure(i, j) - pressure(i - 1, j)) +
-                          xarea * (pressure(i, j - 1) - pressure(i - 1, j - 1)));
-        double yv =
-            yvel0(i, j) -
-            stepbymass * (yarea * (pressure(i, j) - pressure(i, j - 1)) +
-                          yarea * (pressure(i - 1, j) - pressure(i - 1, j - 1)));
-        xv -= stepbymass * (xarea * (viscosity(i, j) - viscosity(i - 1, j)) +
-                            xarea * (viscosity(i, j - 1) -
-                                     viscosity(i - 1, j - 1)));
-        yv -= stepbymass * (yarea * (viscosity(i, j) - viscosity(i, j - 1)) +
-                            yarea * (viscosity(i - 1, j) -
-                                     viscosity(i - 1, j - 1)));
-        xvel1(i, j) = xv;
-        yvel1(i, j) = yv;
+  const FluxCalcPatch* a = p.data();
+  dev.launch_batched(
+      s,
+      make_segments(boxes,
+                    [](const Box& b) {
+                      return mesh::to_centering(b, mesh::Centering::kXSide);
+                    }),
+      hydro_cost(6.0, 5.0), [=](std::size_t seg, int i, int j) {
+        const FluxCalcPatch& v = a[seg];
+        v.vol_flux_x(i, j) = 0.25 * dt * xarea *
+                             (v.xvel0(i, j) + v.xvel0(i, j + 1) +
+                              v.xvel1(i, j) + v.xvel1(i, j + 1));
+      });
+  dev.launch_batched(
+      s,
+      make_segments(boxes,
+                    [](const Box& b) {
+                      return mesh::to_centering(b, mesh::Centering::kYSide);
+                    }),
+      hydro_cost(6.0, 5.0), [=](std::size_t seg, int i, int j) {
+        const FluxCalcPatch& v = a[seg];
+        v.vol_flux_y(i, j) = 0.25 * dt * yarea *
+                             (v.yvel0(i, j) + v.yvel0(i + 1, j) +
+                              v.yvel1(i, j) + v.yvel1(i + 1, j));
       });
 }
 
 void flux_calc(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
                const CellGeom& g, double dt, View xvel0, View yvel0, View xvel1,
                View yvel1, View vol_flux_x, View vol_flux_y) {
-  const double xarea = g.xarea();
-  const double yarea = g.yarea();
-  const Box xf = mesh::to_centering(box, mesh::Centering::kXSide);
-  dev.launch2d(s, xf.lower().i, xf.lower().j, xf.width(), xf.height(),
-               hydro_cost(6.0, 5.0), [=](int i, int j) {
-                 vol_flux_x(i, j) = 0.25 * dt * xarea *
-                                    (xvel0(i, j) + xvel0(i, j + 1) +
-                                     xvel1(i, j) + xvel1(i, j + 1));
-               });
-  const Box yf = mesh::to_centering(box, mesh::Centering::kYSide);
-  dev.launch2d(s, yf.lower().i, yf.lower().j, yf.width(), yf.height(),
-               hydro_cost(6.0, 5.0), [=](int i, int j) {
-                 vol_flux_y(i, j) = 0.25 * dt * yarea *
-                                    (yvel0(i, j) + yvel0(i + 1, j) +
-                                     yvel1(i, j) + yvel1(i + 1, j));
-               });
+  const FluxCalcPatch p{xvel0, yvel0, xvel1, yvel1, vol_flux_x, vol_flux_y};
+  flux_calc_batched(dev, s, {&box, 1}, g, dt, {&p, 1});
 }
 
-void advec_cell(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
-                const CellGeom& g, bool x_direction, int sweep_number,
-                View density1, View energy1, View vol_flux_x, View vol_flux_y,
-                View mass_flux_x, View mass_flux_y, View pre_vol, View post_vol,
-                View ener_flux) {
+void advec_cell_batched(vgpu::Device& dev, vgpu::Stream& s,
+                        std::span<const Box> boxes, const CellGeom& g,
+                        bool x_direction, int sweep_number,
+                        std::span<const AdvecCellPatch> p) {
   constexpr double one_by_six = 1.0 / 6.0;
   const double volume = g.volume();
-  const int xmin = box.lower().i;
-  const int xmax = box.upper().i;
-  const int ymin = box.lower().j;
-  const int ymax = box.upper().j;
+  const AdvecCellPatch* a = p.data();
+  const Box* bx = boxes.data();
 
   // Stage 1: pre/post volumes over a 2-cell halo.
-  const Box vbox = box.grow(2);
+  const vgpu::SegmentTable vsegs =
+      make_segments(boxes, [](const Box& b) { return b.grow(2); });
   if (x_direction) {
     if (sweep_number == 1) {
-      dev.launch2d(s, vbox.lower().i, vbox.lower().j, vbox.width(),
-                   vbox.height(), hydro_cost(8.0, 6.0),
-                   [=](int i, int j) {
-                     pre_vol(i, j) =
-                         volume + (vol_flux_x(i + 1, j) - vol_flux_x(i, j) +
-                                   vol_flux_y(i, j + 1) - vol_flux_y(i, j));
-                     post_vol(i, j) =
-                         pre_vol(i, j) - (vol_flux_x(i + 1, j) - vol_flux_x(i, j));
-                   });
+      dev.launch_batched(
+          s, vsegs, hydro_cost(8.0, 6.0), [=](std::size_t seg, int i, int j) {
+            const AdvecCellPatch& v = a[seg];
+            v.pre_vol(i, j) =
+                volume + (v.vol_flux_x(i + 1, j) - v.vol_flux_x(i, j) +
+                          v.vol_flux_y(i, j + 1) - v.vol_flux_y(i, j));
+            v.post_vol(i, j) =
+                v.pre_vol(i, j) - (v.vol_flux_x(i + 1, j) - v.vol_flux_x(i, j));
+          });
     } else {
-      dev.launch2d(s, vbox.lower().i, vbox.lower().j, vbox.width(),
-                   vbox.height(), hydro_cost(4.0, 4.0),
-                   [=](int i, int j) {
-                     pre_vol(i, j) =
-                         volume + vol_flux_x(i + 1, j) - vol_flux_x(i, j);
-                     post_vol(i, j) = volume;
-                   });
+      dev.launch_batched(
+          s, vsegs, hydro_cost(4.0, 4.0), [=](std::size_t seg, int i, int j) {
+            const AdvecCellPatch& v = a[seg];
+            v.pre_vol(i, j) =
+                volume + v.vol_flux_x(i + 1, j) - v.vol_flux_x(i, j);
+            v.post_vol(i, j) = volume;
+          });
     }
     // Stage 2: second-order van Leer fluxes on x faces xmin..xmax+2
     // (CloverLeaf's j = x_min, x_max+2 loop bounds).
-    dev.launch2d(
-        s, xmin, ymin, box.width() + 2, box.height(),
-        hydro_cost(45.0, 14.0), [=](int i, int j) {
+    dev.launch_batched(
+        s,
+        make_segments(boxes,
+                      [](const Box& b) {
+                        return Box(b.lower().i, b.lower().j, b.upper().i + 2,
+                                   b.upper().j);
+                      }),
+        hydro_cost(45.0, 14.0), [=](std::size_t seg, int i, int j) {
+          const AdvecCellPatch& v = a[seg];
+          const int xmax = bx[seg].upper().i;
           int upwind, donor, downwind, dif;
-          if (vol_flux_x(i, j) > 0.0) {
+          if (v.vol_flux_x(i, j) > 0.0) {
             upwind = i - 2;
             donor = i - 1;
             downwind = i;
@@ -295,11 +393,12 @@ void advec_cell(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
             dif = upwind;
           }
           (void)dif;  // uniform mesh: vertexdx(i)/vertexdx(dif) == 1
-          const double sigmat = std::fabs(vol_flux_x(i, j)) / pre_vol(donor, j);
+          const double sigmat =
+              std::fabs(v.vol_flux_x(i, j)) / v.pre_vol(donor, j);
           const double sigma3 = (1.0 + sigmat);
           const double sigma4 = 2.0 - sigmat;
-          double diffuw = density1(donor, j) - density1(upwind, j);
-          double diffdw = density1(downwind, j) - density1(donor, j);
+          double diffuw = v.density1(donor, j) - v.density1(upwind, j);
+          double diffdw = v.density1(downwind, j) - v.density1(donor, j);
           double limiter = 0.0;
           if (diffuw * diffdw > 0.0) {
             limiter = (1.0 - sigmat) * sign(1.0, diffdw) *
@@ -307,11 +406,13 @@ void advec_cell(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
                                 one_by_six * (sigma3 * std::fabs(diffuw) +
                                               sigma4 * std::fabs(diffdw))});
           }
-          mass_flux_x(i, j) = vol_flux_x(i, j) * (density1(donor, j) + limiter);
+          v.mass_flux_x(i, j) =
+              v.vol_flux_x(i, j) * (v.density1(donor, j) + limiter);
           const double sigmam =
-              std::fabs(mass_flux_x(i, j)) / (density1(donor, j) * pre_vol(donor, j));
-          diffuw = energy1(donor, j) - energy1(upwind, j);
-          diffdw = energy1(downwind, j) - energy1(donor, j);
+              std::fabs(v.mass_flux_x(i, j)) /
+              (v.density1(donor, j) * v.pre_vol(donor, j));
+          diffuw = v.energy1(donor, j) - v.energy1(upwind, j);
+          diffdw = v.energy1(downwind, j) - v.energy1(donor, j);
           limiter = 0.0;
           if (diffuw * diffdw > 0.0) {
             limiter = (1.0 - sigmam) * sign(1.0, diffdw) *
@@ -319,48 +420,58 @@ void advec_cell(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
                                 one_by_six * (sigma3 * std::fabs(diffuw) +
                                               sigma4 * std::fabs(diffdw))});
           }
-          ener_flux(i, j) = mass_flux_x(i, j) * (energy1(donor, j) + limiter);
+          v.ener_flux(i, j) =
+              v.mass_flux_x(i, j) * (v.energy1(donor, j) + limiter);
         });
     // Stage 3: conservative cell update.
-    dev.launch2d(
-        s, xmin, ymin, box.width(), box.height(),
-        hydro_cost(14.0, 9.0), [=](int i, int j) {
-          const double pre_mass = density1(i, j) * pre_vol(i, j);
+    dev.launch_batched(
+        s, cell_segments(boxes), hydro_cost(14.0, 9.0),
+        [=](std::size_t seg, int i, int j) {
+          const AdvecCellPatch& v = a[seg];
+          const double pre_mass = v.density1(i, j) * v.pre_vol(i, j);
           const double post_mass =
-              pre_mass + mass_flux_x(i, j) - mass_flux_x(i + 1, j);
+              pre_mass + v.mass_flux_x(i, j) - v.mass_flux_x(i + 1, j);
           const double post_ener =
-              (energy1(i, j) * pre_mass + ener_flux(i, j) - ener_flux(i + 1, j)) /
+              (v.energy1(i, j) * pre_mass + v.ener_flux(i, j) -
+               v.ener_flux(i + 1, j)) /
               post_mass;
           const double advec_vol =
-              pre_vol(i, j) + vol_flux_x(i, j) - vol_flux_x(i + 1, j);
-          density1(i, j) = post_mass / advec_vol;
-          energy1(i, j) = post_ener;
+              v.pre_vol(i, j) + v.vol_flux_x(i, j) - v.vol_flux_x(i + 1, j);
+          v.density1(i, j) = post_mass / advec_vol;
+          v.energy1(i, j) = post_ener;
         });
   } else {
     if (sweep_number == 1) {
-      dev.launch2d(s, vbox.lower().i, vbox.lower().j, vbox.width(),
-                   vbox.height(), hydro_cost(8.0, 6.0),
-                   [=](int i, int j) {
-                     pre_vol(i, j) =
-                         volume + (vol_flux_y(i, j + 1) - vol_flux_y(i, j) +
-                                   vol_flux_x(i + 1, j) - vol_flux_x(i, j));
-                     post_vol(i, j) =
-                         pre_vol(i, j) - (vol_flux_y(i, j + 1) - vol_flux_y(i, j));
-                   });
+      dev.launch_batched(
+          s, vsegs, hydro_cost(8.0, 6.0), [=](std::size_t seg, int i, int j) {
+            const AdvecCellPatch& v = a[seg];
+            v.pre_vol(i, j) =
+                volume + (v.vol_flux_y(i, j + 1) - v.vol_flux_y(i, j) +
+                          v.vol_flux_x(i + 1, j) - v.vol_flux_x(i, j));
+            v.post_vol(i, j) =
+                v.pre_vol(i, j) - (v.vol_flux_y(i, j + 1) - v.vol_flux_y(i, j));
+          });
     } else {
-      dev.launch2d(s, vbox.lower().i, vbox.lower().j, vbox.width(),
-                   vbox.height(), hydro_cost(4.0, 4.0),
-                   [=](int i, int j) {
-                     pre_vol(i, j) =
-                         volume + vol_flux_y(i, j + 1) - vol_flux_y(i, j);
-                     post_vol(i, j) = volume;
-                   });
+      dev.launch_batched(
+          s, vsegs, hydro_cost(4.0, 4.0), [=](std::size_t seg, int i, int j) {
+            const AdvecCellPatch& v = a[seg];
+            v.pre_vol(i, j) =
+                volume + v.vol_flux_y(i, j + 1) - v.vol_flux_y(i, j);
+            v.post_vol(i, j) = volume;
+          });
     }
-    dev.launch2d(
-        s, xmin, ymin, box.width(), box.height() + 2,
-        hydro_cost(45.0, 14.0), [=](int i, int j) {
+    dev.launch_batched(
+        s,
+        make_segments(boxes,
+                      [](const Box& b) {
+                        return Box(b.lower().i, b.lower().j, b.upper().i,
+                                   b.upper().j + 2);
+                      }),
+        hydro_cost(45.0, 14.0), [=](std::size_t seg, int i, int j) {
+          const AdvecCellPatch& v = a[seg];
+          const int ymax = bx[seg].upper().j;
           int upwind, donor, downwind, dif;
-          if (vol_flux_y(i, j) > 0.0) {
+          if (v.vol_flux_y(i, j) > 0.0) {
             upwind = j - 2;
             donor = j - 1;
             downwind = j;
@@ -372,11 +483,12 @@ void advec_cell(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
             dif = upwind;
           }
           (void)dif;
-          const double sigmat = std::fabs(vol_flux_y(i, j)) / pre_vol(i, donor);
+          const double sigmat =
+              std::fabs(v.vol_flux_y(i, j)) / v.pre_vol(i, donor);
           const double sigma3 = (1.0 + sigmat);
           const double sigma4 = 2.0 - sigmat;
-          double diffuw = density1(i, donor) - density1(i, upwind);
-          double diffdw = density1(i, downwind) - density1(i, donor);
+          double diffuw = v.density1(i, donor) - v.density1(i, upwind);
+          double diffdw = v.density1(i, downwind) - v.density1(i, donor);
           double limiter = 0.0;
           if (diffuw * diffdw > 0.0) {
             limiter = (1.0 - sigmat) * sign(1.0, diffdw) *
@@ -384,11 +496,13 @@ void advec_cell(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
                                 one_by_six * (sigma3 * std::fabs(diffuw) +
                                               sigma4 * std::fabs(diffdw))});
           }
-          mass_flux_y(i, j) = vol_flux_y(i, j) * (density1(i, donor) + limiter);
+          v.mass_flux_y(i, j) =
+              v.vol_flux_y(i, j) * (v.density1(i, donor) + limiter);
           const double sigmam =
-              std::fabs(mass_flux_y(i, j)) / (density1(i, donor) * pre_vol(i, donor));
-          diffuw = energy1(i, donor) - energy1(i, upwind);
-          diffdw = energy1(i, downwind) - energy1(i, donor);
+              std::fabs(v.mass_flux_y(i, j)) /
+              (v.density1(i, donor) * v.pre_vol(i, donor));
+          diffuw = v.energy1(i, donor) - v.energy1(i, upwind);
+          diffdw = v.energy1(i, downwind) - v.energy1(i, donor);
           limiter = 0.0;
           if (diffuw * diffdw > 0.0) {
             limiter = (1.0 - sigmam) * sign(1.0, diffdw) *
@@ -396,97 +510,129 @@ void advec_cell(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
                                 one_by_six * (sigma3 * std::fabs(diffuw) +
                                               sigma4 * std::fabs(diffdw))});
           }
-          ener_flux(i, j) = mass_flux_y(i, j) * (energy1(i, donor) + limiter);
+          v.ener_flux(i, j) =
+              v.mass_flux_y(i, j) * (v.energy1(i, donor) + limiter);
         });
-    dev.launch2d(
-        s, xmin, ymin, box.width(), box.height(),
-        hydro_cost(14.0, 9.0), [=](int i, int j) {
-          const double pre_mass = density1(i, j) * pre_vol(i, j);
+    dev.launch_batched(
+        s, cell_segments(boxes), hydro_cost(14.0, 9.0),
+        [=](std::size_t seg, int i, int j) {
+          const AdvecCellPatch& v = a[seg];
+          const double pre_mass = v.density1(i, j) * v.pre_vol(i, j);
           const double post_mass =
-              pre_mass + mass_flux_y(i, j) - mass_flux_y(i, j + 1);
+              pre_mass + v.mass_flux_y(i, j) - v.mass_flux_y(i, j + 1);
           const double post_ener =
-              (energy1(i, j) * pre_mass + ener_flux(i, j) - ener_flux(i, j + 1)) /
+              (v.energy1(i, j) * pre_mass + v.ener_flux(i, j) -
+               v.ener_flux(i, j + 1)) /
               post_mass;
           const double advec_vol =
-              pre_vol(i, j) + vol_flux_y(i, j) - vol_flux_y(i, j + 1);
-          density1(i, j) = post_mass / advec_vol;
-          energy1(i, j) = post_ener;
+              v.pre_vol(i, j) + v.vol_flux_y(i, j) - v.vol_flux_y(i, j + 1);
+          v.density1(i, j) = post_mass / advec_vol;
+          v.energy1(i, j) = post_ener;
         });
   }
 }
 
-void advec_mom(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
-               const CellGeom& g, bool x_direction, int mom_sweep, View vel1,
-               View density1, View vol_flux_x, View vol_flux_y,
-               View mass_flux_x, View mass_flux_y, View node_flux,
-               View node_mass_post, View node_mass_pre, View mom_flux,
-               View pre_vol, View post_vol) {
+void advec_cell(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
+                const CellGeom& g, bool x_direction, int sweep_number,
+                View density1, View energy1, View vol_flux_x, View vol_flux_y,
+                View mass_flux_x, View mass_flux_y, View pre_vol, View post_vol,
+                View ener_flux) {
+  const AdvecCellPatch p{density1, energy1, vol_flux_x,
+                         vol_flux_y, mass_flux_x, mass_flux_y,
+                         pre_vol, post_vol, ener_flux};
+  advec_cell_batched(dev, s, {&box, 1}, g, x_direction, sweep_number, {&p, 1});
+}
+
+void advec_mom_batched(vgpu::Device& dev, vgpu::Stream& s,
+                       std::span<const Box> boxes, const CellGeom& g,
+                       bool x_direction, int mom_sweep,
+                       std::span<const AdvecMomPatch> p) {
   const double volume = g.volume();
-  const int xmin = box.lower().i;
-  const int xmax = box.upper().i;
-  const int ymin = box.lower().j;
-  const int ymax = box.upper().j;
   const double dx = g.dx;
   const double dy = g.dy;
+  const AdvecMomPatch* a = p.data();
 
   // Stage 1: cell volumes seen by this sweep, over a 2-cell halo.
-  const Box vbox = box.grow(2);
-  dev.launch2d(s, vbox.lower().i, vbox.lower().j, vbox.width(), vbox.height(),
-               hydro_cost(6.0, 6.0), [=](int i, int j) {
-                 switch (mom_sweep) {
-                   case 1:  // x sweep, first
-                     post_vol(i, j) =
-                         volume + vol_flux_y(i, j + 1) - vol_flux_y(i, j);
-                     pre_vol(i, j) = post_vol(i, j) + vol_flux_x(i + 1, j) -
-                                     vol_flux_x(i, j);
-                     break;
-                   case 2:  // y sweep, first
-                     post_vol(i, j) =
-                         volume + vol_flux_x(i + 1, j) - vol_flux_x(i, j);
-                     pre_vol(i, j) = post_vol(i, j) + vol_flux_y(i, j + 1) -
-                                     vol_flux_y(i, j);
-                     break;
-                   case 3:  // x sweep, second
-                     post_vol(i, j) = volume;
-                     pre_vol(i, j) = post_vol(i, j) + vol_flux_y(i, j + 1) -
-                                     vol_flux_y(i, j);
-                     break;
-                   default:  // 4: y sweep, second
-                     post_vol(i, j) = volume;
-                     pre_vol(i, j) = post_vol(i, j) + vol_flux_x(i + 1, j) -
-                                     vol_flux_x(i, j);
-                     break;
-                 }
-               });
+  dev.launch_batched(
+      s, make_segments(boxes, [](const Box& b) { return b.grow(2); }),
+      hydro_cost(6.0, 6.0), [=](std::size_t seg, int i, int j) {
+        const AdvecMomPatch& v = a[seg];
+        switch (mom_sweep) {
+          case 1:  // x sweep, first
+            v.post_vol(i, j) =
+                volume + v.vol_flux_y(i, j + 1) - v.vol_flux_y(i, j);
+            v.pre_vol(i, j) =
+                v.post_vol(i, j) + v.vol_flux_x(i + 1, j) - v.vol_flux_x(i, j);
+            break;
+          case 2:  // y sweep, first
+            v.post_vol(i, j) =
+                volume + v.vol_flux_x(i + 1, j) - v.vol_flux_x(i, j);
+            v.pre_vol(i, j) =
+                v.post_vol(i, j) + v.vol_flux_y(i, j + 1) - v.vol_flux_y(i, j);
+            break;
+          case 3:  // x sweep, second
+            v.post_vol(i, j) = volume;
+            v.pre_vol(i, j) =
+                v.post_vol(i, j) + v.vol_flux_y(i, j + 1) - v.vol_flux_y(i, j);
+            break;
+          default:  // 4: y sweep, second
+            v.post_vol(i, j) = volume;
+            v.pre_vol(i, j) =
+                v.post_vol(i, j) + v.vol_flux_x(i + 1, j) - v.vol_flux_x(i, j);
+            break;
+        }
+      });
 
   if (x_direction) {
     // Node fluxes over [xmin-2, xmax+2] (CloverLeaf bounds), node masses
     // over [xmin-1, xmax+2]; ghost data depth 2 covers every read.
-    dev.launch2d(s, xmin - 2, ymin, box.width() + 4, box.height() + 1,
-                 hydro_cost(10.0, 10.0), [=](int i, int j) {
-                   node_flux(i, j) =
-                       0.25 * (mass_flux_x(i, j - 1) + mass_flux_x(i, j) +
-                               mass_flux_x(i + 1, j - 1) + mass_flux_x(i + 1, j));
-                 });
-    dev.launch2d(s, xmin - 1, ymin, box.width() + 3, box.height() + 1,
-                 hydro_cost(10.0, 10.0), [=](int i, int j) {
-                   node_mass_post(i, j) =
-                       0.25 * (density1(i, j - 1) * post_vol(i, j - 1) +
-                               density1(i, j) * post_vol(i, j) +
-                               density1(i - 1, j - 1) * post_vol(i - 1, j - 1) +
-                               density1(i - 1, j) * post_vol(i - 1, j));
-                 });
-    dev.launch2d(s, xmin - 1, ymin, box.width() + 3, box.height() + 1,
-                 hydro_cost(3.0, 4.0), [=](int i, int j) {
-                   node_mass_pre(i, j) = node_mass_post(i, j) -
-                                         node_flux(i - 1, j) + node_flux(i, j);
-                 });
+    dev.launch_batched(
+        s,
+        make_segments(boxes,
+                      [](const Box& b) {
+                        return Box(b.lower().i - 2, b.lower().j,
+                                   b.upper().i + 2, b.upper().j + 1);
+                      }),
+        hydro_cost(10.0, 10.0), [=](std::size_t seg, int i, int j) {
+          const AdvecMomPatch& v = a[seg];
+          v.node_flux(i, j) =
+              0.25 * (v.mass_flux_x(i, j - 1) + v.mass_flux_x(i, j) +
+                      v.mass_flux_x(i + 1, j - 1) + v.mass_flux_x(i + 1, j));
+        });
+    const vgpu::SegmentTable mass_segs =
+        make_segments(boxes, [](const Box& b) {
+          return Box(b.lower().i - 1, b.lower().j, b.upper().i + 2,
+                     b.upper().j + 1);
+        });
+    dev.launch_batched(
+        s, mass_segs, hydro_cost(10.0, 10.0),
+        [=](std::size_t seg, int i, int j) {
+          const AdvecMomPatch& v = a[seg];
+          v.node_mass_post(i, j) =
+              0.25 * (v.density1(i, j - 1) * v.post_vol(i, j - 1) +
+                      v.density1(i, j) * v.post_vol(i, j) +
+                      v.density1(i - 1, j - 1) * v.post_vol(i - 1, j - 1) +
+                      v.density1(i - 1, j) * v.post_vol(i - 1, j));
+        });
+    dev.launch_batched(
+        s, mass_segs, hydro_cost(3.0, 4.0),
+        [=](std::size_t seg, int i, int j) {
+          const AdvecMomPatch& v = a[seg];
+          v.node_mass_pre(i, j) = v.node_mass_post(i, j) -
+                                  v.node_flux(i - 1, j) + v.node_flux(i, j);
+        });
     // Monotonic momentum flux.
-    dev.launch2d(
-        s, xmin - 1, ymin, box.width() + 2, box.height() + 1,
-        hydro_cost(30.0, 8.0), [=](int i, int j) {
+    dev.launch_batched(
+        s,
+        make_segments(boxes,
+                      [](const Box& b) {
+                        return Box(b.lower().i - 1, b.lower().j,
+                                   b.upper().i + 1, b.upper().j + 1);
+                      }),
+        hydro_cost(30.0, 8.0), [=](std::size_t seg, int i, int j) {
+          const AdvecMomPatch& v = a[seg];
           int upwind, donor, downwind, dif;
-          if (node_flux(i, j) < 0.0) {
+          if (v.node_flux(i, j) < 0.0) {
             // No patch-local clamp: i+2 <= xmax+3 is inside the exchanged
             // ghost nodes, and clamping here would make the two patches
             // sharing a seam node disagree on its value.
@@ -502,10 +648,10 @@ void advec_mom(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
           }
           (void)dif;
           const double sigma =
-              std::fabs(node_flux(i, j)) / node_mass_pre(donor, j);
+              std::fabs(v.node_flux(i, j)) / v.node_mass_pre(donor, j);
           const double width = dx;
-          const double vdiffuw = vel1(donor, j) - vel1(upwind, j);
-          const double vdiffdw = vel1(downwind, j) - vel1(donor, j);
+          const double vdiffuw = v.vel1(donor, j) - v.vel1(upwind, j);
+          const double vdiffdw = v.vel1(downwind, j) - v.vel1(donor, j);
           double limiter = 0.0;
           if (vdiffuw * vdiffdw > 0.0) {
             const double auw = std::fabs(vdiffuw);
@@ -517,41 +663,69 @@ void advec_mom(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
                                    (1.0 + sigma) * auw / dx) / 6.0,
                           auw, adw});
           }
-          const double advec_vel = vel1(donor, j) + (1.0 - sigma) * limiter;
-          mom_flux(i, j) = advec_vel * node_flux(i, j);
+          const double advec_vel = v.vel1(donor, j) + (1.0 - sigma) * limiter;
+          v.mom_flux(i, j) = advec_vel * v.node_flux(i, j);
         });
     // Velocity update on the patch's nodes.
-    dev.launch2d(s, xmin, ymin, box.width() + 1, box.height() + 1,
-                 hydro_cost(6.0, 5.0), [=](int i, int j) {
-                   vel1(i, j) = (vel1(i, j) * node_mass_pre(i, j) +
-                                 mom_flux(i - 1, j) - mom_flux(i, j)) /
-                                node_mass_post(i, j);
-                 });
+    dev.launch_batched(
+        s,
+        make_segments(boxes,
+                      [](const Box& b) {
+                        return mesh::to_centering(b, mesh::Centering::kNode);
+                      }),
+        hydro_cost(6.0, 5.0), [=](std::size_t seg, int i, int j) {
+          const AdvecMomPatch& v = a[seg];
+          v.vel1(i, j) = (v.vel1(i, j) * v.node_mass_pre(i, j) +
+                          v.mom_flux(i - 1, j) - v.mom_flux(i, j)) /
+                         v.node_mass_post(i, j);
+        });
   } else {
-    dev.launch2d(s, xmin, ymin - 2, box.width() + 1, box.height() + 4,
-                 hydro_cost(10.0, 10.0), [=](int i, int j) {
-                   node_flux(i, j) =
-                       0.25 * (mass_flux_y(i - 1, j) + mass_flux_y(i, j) +
-                               mass_flux_y(i - 1, j + 1) + mass_flux_y(i, j + 1));
-                 });
-    dev.launch2d(s, xmin, ymin - 1, box.width() + 1, box.height() + 3,
-                 hydro_cost(10.0, 10.0), [=](int i, int j) {
-                   node_mass_post(i, j) =
-                       0.25 * (density1(i, j - 1) * post_vol(i, j - 1) +
-                               density1(i, j) * post_vol(i, j) +
-                               density1(i - 1, j - 1) * post_vol(i - 1, j - 1) +
-                               density1(i - 1, j) * post_vol(i - 1, j));
-                 });
-    dev.launch2d(s, xmin, ymin - 1, box.width() + 1, box.height() + 3,
-                 hydro_cost(3.0, 4.0), [=](int i, int j) {
-                   node_mass_pre(i, j) = node_mass_post(i, j) -
-                                         node_flux(i, j - 1) + node_flux(i, j);
-                 });
-    dev.launch2d(
-        s, xmin, ymin - 1, box.width() + 1, box.height() + 2,
-        hydro_cost(30.0, 8.0), [=](int i, int j) {
+    dev.launch_batched(
+        s,
+        make_segments(boxes,
+                      [](const Box& b) {
+                        return Box(b.lower().i, b.lower().j - 2,
+                                   b.upper().i + 1, b.upper().j + 2);
+                      }),
+        hydro_cost(10.0, 10.0), [=](std::size_t seg, int i, int j) {
+          const AdvecMomPatch& v = a[seg];
+          v.node_flux(i, j) =
+              0.25 * (v.mass_flux_y(i - 1, j) + v.mass_flux_y(i, j) +
+                      v.mass_flux_y(i - 1, j + 1) + v.mass_flux_y(i, j + 1));
+        });
+    const vgpu::SegmentTable mass_segs =
+        make_segments(boxes, [](const Box& b) {
+          return Box(b.lower().i, b.lower().j - 1, b.upper().i + 1,
+                     b.upper().j + 2);
+        });
+    dev.launch_batched(
+        s, mass_segs, hydro_cost(10.0, 10.0),
+        [=](std::size_t seg, int i, int j) {
+          const AdvecMomPatch& v = a[seg];
+          v.node_mass_post(i, j) =
+              0.25 * (v.density1(i, j - 1) * v.post_vol(i, j - 1) +
+                      v.density1(i, j) * v.post_vol(i, j) +
+                      v.density1(i - 1, j - 1) * v.post_vol(i - 1, j - 1) +
+                      v.density1(i - 1, j) * v.post_vol(i - 1, j));
+        });
+    dev.launch_batched(
+        s, mass_segs, hydro_cost(3.0, 4.0),
+        [=](std::size_t seg, int i, int j) {
+          const AdvecMomPatch& v = a[seg];
+          v.node_mass_pre(i, j) = v.node_mass_post(i, j) -
+                                  v.node_flux(i, j - 1) + v.node_flux(i, j);
+        });
+    dev.launch_batched(
+        s,
+        make_segments(boxes,
+                      [](const Box& b) {
+                        return Box(b.lower().i, b.lower().j - 1,
+                                   b.upper().i + 1, b.upper().j + 1);
+                      }),
+        hydro_cost(30.0, 8.0), [=](std::size_t seg, int i, int j) {
+          const AdvecMomPatch& v = a[seg];
           int upwind, donor, downwind, dif;
-          if (node_flux(i, j) < 0.0) {
+          if (v.node_flux(i, j) < 0.0) {
             upwind = j + 2;  // <= ymax+3: inside exchanged ghost nodes
             donor = j + 1;
             downwind = j;
@@ -564,10 +738,10 @@ void advec_mom(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
           }
           (void)dif;
           const double sigma =
-              std::fabs(node_flux(i, j)) / node_mass_pre(i, donor);
+              std::fabs(v.node_flux(i, j)) / v.node_mass_pre(i, donor);
           const double width = dy;
-          const double vdiffuw = vel1(i, donor) - vel1(i, upwind);
-          const double vdiffdw = vel1(i, downwind) - vel1(i, donor);
+          const double vdiffuw = v.vel1(i, donor) - v.vel1(i, upwind);
+          const double vdiffdw = v.vel1(i, downwind) - v.vel1(i, donor);
           double limiter = 0.0;
           if (vdiffuw * vdiffdw > 0.0) {
             const double auw = std::fabs(vdiffuw);
@@ -579,33 +753,66 @@ void advec_mom(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
                                    (1.0 + sigma) * auw / dy) / 6.0,
                           auw, adw});
           }
-          const double advec_vel = vel1(i, donor) + (1.0 - sigma) * limiter;
-          mom_flux(i, j) = advec_vel * node_flux(i, j);
+          const double advec_vel = v.vel1(i, donor) + (1.0 - sigma) * limiter;
+          v.mom_flux(i, j) = advec_vel * v.node_flux(i, j);
         });
-    dev.launch2d(s, xmin, ymin, box.width() + 1, box.height() + 1,
-                 hydro_cost(6.0, 5.0), [=](int i, int j) {
-                   vel1(i, j) = (vel1(i, j) * node_mass_pre(i, j) +
-                                 mom_flux(i, j - 1) - mom_flux(i, j)) /
-                                node_mass_post(i, j);
-                 });
+    dev.launch_batched(
+        s,
+        make_segments(boxes,
+                      [](const Box& b) {
+                        return mesh::to_centering(b, mesh::Centering::kNode);
+                      }),
+        hydro_cost(6.0, 5.0), [=](std::size_t seg, int i, int j) {
+          const AdvecMomPatch& v = a[seg];
+          v.vel1(i, j) = (v.vel1(i, j) * v.node_mass_pre(i, j) +
+                          v.mom_flux(i, j - 1) - v.mom_flux(i, j)) /
+                         v.node_mass_post(i, j);
+        });
   }
+}
+
+void advec_mom(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
+               const CellGeom& g, bool x_direction, int mom_sweep, View vel1,
+               View density1, View vol_flux_x, View vol_flux_y,
+               View mass_flux_x, View mass_flux_y, View node_flux,
+               View node_mass_post, View node_mass_pre, View mom_flux,
+               View pre_vol, View post_vol) {
+  const AdvecMomPatch p{vel1, density1, vol_flux_x, vol_flux_y,
+                        mass_flux_x, mass_flux_y, node_flux, node_mass_post,
+                        node_mass_pre, mom_flux, pre_vol, post_vol};
+  advec_mom_batched(dev, s, {&box, 1}, g, x_direction, mom_sweep, {&p, 1});
+}
+
+void reset_field_batched(vgpu::Device& dev, vgpu::Stream& s,
+                         std::span<const Box> boxes,
+                         std::span<const ResetFieldPatch> p) {
+  const ResetFieldPatch* a = p.data();
+  dev.launch_batched(
+      s, cell_segments(boxes), hydro_cost(0.0, 8.0),
+      [=](std::size_t seg, int i, int j) {
+        const ResetFieldPatch& v = a[seg];
+        v.density0(i, j) = v.density1(i, j);
+        v.energy0(i, j) = v.energy1(i, j);
+      });
+  dev.launch_batched(
+      s,
+      make_segments(boxes,
+                    [](const Box& b) {
+                      return mesh::to_centering(b, mesh::Centering::kNode);
+                    }),
+      hydro_cost(0.0, 8.0), [=](std::size_t seg, int i, int j) {
+        const ResetFieldPatch& v = a[seg];
+        v.xvel0(i, j) = v.xvel1(i, j);
+        v.yvel0(i, j) = v.yvel1(i, j);
+      });
 }
 
 void reset_field(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
                  View density0, View density1, View energy0, View energy1,
                  View xvel0, View xvel1, View yvel0, View yvel1) {
-  dev.launch2d(s, box.lower().i, box.lower().j, box.width(), box.height(),
-               hydro_cost(0.0, 8.0), [=](int i, int j) {
-                 density0(i, j) = density1(i, j);
-                 energy0(i, j) = energy1(i, j);
-               });
-  const Box nodes = mesh::to_centering(box, mesh::Centering::kNode);
-  dev.launch2d(s, nodes.lower().i, nodes.lower().j, nodes.width(),
-               nodes.height(), hydro_cost(0.0, 8.0),
-               [=](int i, int j) {
-                 xvel0(i, j) = xvel1(i, j);
-                 yvel0(i, j) = yvel1(i, j);
-               });
+  const ResetFieldPatch p{density0, density1, energy0, energy1,
+                          xvel0, xvel1, yvel0, yvel1};
+  reset_field_batched(dev, s, {&box, 1}, {&p, 1});
 }
 
 FieldSummary field_summary(vgpu::Device& dev, vgpu::Stream& s, const Box& box,

@@ -19,6 +19,8 @@
 // assumed (CloverLeaf's halo depth).
 #pragma once
 
+#include <span>
+
 #include "mesh/box.hpp"
 #include "util/array_view.hpp"
 #include "vgpu/device.hpp"
@@ -46,6 +48,94 @@ struct CellGeom {
 };
 
 using View = util::View;
+
+// ---------------------------------------------------------------------------
+// Batched (fused per-level) kernel forms.
+//
+// Every stage kernel has a batched entry taking parallel spans of
+// per-patch interior cell boxes and per-patch view bundles (one entry
+// per patch, indexed by the fused launch's segment id). A batched call
+// issues ONE fused launch per kernel sub-stage — one launch overhead and
+// an occupancy ramp computed from the level's total thread count —
+// instead of one launch per patch. The per-patch entries below forward
+// to the batched forms with a single segment, so both paths share one
+// kernel body and stay bit-identical by construction. Geometry and
+// scalar arguments (dt, sweep selectors) are uniform across a level.
+
+/// Per-patch views for ideal_gas.
+struct IdealGasPatch {
+  View density, energy, pressure, soundspeed;
+};
+/// Per-patch views for viscosity_kernel.
+struct ViscosityPatch {
+  View density0, pressure, viscosity, xvel0, yvel0;
+};
+/// Per-patch views for calc_dt.
+struct CalcDtPatch {
+  View density0, soundspeed, viscosity, xvel0, yvel0;
+};
+/// Per-patch views for pdv.
+struct PdvPatch {
+  View xvel0, yvel0, xvel1, yvel1, density0, density1, energy0, energy1,
+      pressure, viscosity;
+};
+/// Per-patch views for accelerate.
+struct AcceleratePatch {
+  View density0, pressure, viscosity, xvel0, yvel0, xvel1, yvel1;
+};
+/// Per-patch views for flux_calc.
+struct FluxCalcPatch {
+  View xvel0, yvel0, xvel1, yvel1, vol_flux_x, vol_flux_y;
+};
+/// Per-patch views for advec_cell.
+struct AdvecCellPatch {
+  View density1, energy1, vol_flux_x, vol_flux_y, mass_flux_x, mass_flux_y,
+      pre_vol, post_vol, ener_flux;
+};
+/// Per-patch views for advec_mom (one velocity component).
+struct AdvecMomPatch {
+  View vel1, density1, vol_flux_x, vol_flux_y, mass_flux_x, mass_flux_y,
+      node_flux, node_mass_post, node_mass_pre, mom_flux, pre_vol, post_vol;
+};
+/// Per-patch views for reset_field.
+struct ResetFieldPatch {
+  View density0, density1, energy0, energy1, xvel0, xvel1, yvel0, yvel1;
+};
+
+void ideal_gas_batched(vgpu::Device& dev, vgpu::Stream& s,
+                       std::span<const mesh::Box> boxes,
+                       std::span<const IdealGasPatch> p);
+void viscosity_batched(vgpu::Device& dev, vgpu::Stream& s,
+                       std::span<const mesh::Box> boxes, const CellGeom& g,
+                       std::span<const ViscosityPatch> p);
+/// One fused min-reduction over every patch interior with a SINGLE
+/// scalar D2H readback for the whole span (per level, not per patch).
+double calc_dt_batched(vgpu::Device& dev, vgpu::Stream& s,
+                       std::span<const mesh::Box> boxes, const CellGeom& g,
+                       std::span<const CalcDtPatch> p);
+void pdv_batched(vgpu::Device& dev, vgpu::Stream& s,
+                 std::span<const mesh::Box> boxes, const CellGeom& g, double dt,
+                 bool predict, std::span<const PdvPatch> p);
+void accelerate_batched(vgpu::Device& dev, vgpu::Stream& s,
+                        std::span<const mesh::Box> boxes, const CellGeom& g,
+                        double dt, std::span<const AcceleratePatch> p);
+void flux_calc_batched(vgpu::Device& dev, vgpu::Stream& s,
+                       std::span<const mesh::Box> boxes, const CellGeom& g,
+                       double dt, std::span<const FluxCalcPatch> p);
+void advec_cell_batched(vgpu::Device& dev, vgpu::Stream& s,
+                        std::span<const mesh::Box> boxes, const CellGeom& g,
+                        bool x_direction, int sweep_number,
+                        std::span<const AdvecCellPatch> p);
+void advec_mom_batched(vgpu::Device& dev, vgpu::Stream& s,
+                       std::span<const mesh::Box> boxes, const CellGeom& g,
+                       bool x_direction, int mom_sweep,
+                       std::span<const AdvecMomPatch> p);
+void reset_field_batched(vgpu::Device& dev, vgpu::Stream& s,
+                         std::span<const mesh::Box> boxes,
+                         std::span<const ResetFieldPatch> p);
+
+// ---------------------------------------------------------------------------
+// Per-patch forms (single-segment wrappers over the batched entries).
 
 /// Equation of state over `box` (+ any ghost region included by caller).
 void ideal_gas(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,

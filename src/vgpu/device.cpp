@@ -78,11 +78,16 @@ void Device::charge_kernel(std::int64_t n, const KernelCost& cost) {
       (static_cast<double>(n) + spec_.half_saturation_threads);
   const double t_compute = flops / (spec_.peak_gflops * 1.0e9 * utilization);
   const double t_memory = bytes / (spec_.mem_bw_gbs * 1.0e9 * utilization);
-  clock_->charge(spec_.launch_overhead_s + std::max(t_compute, t_memory));
+  const double seconds =
+      spec_.launch_overhead_s + std::max(t_compute, t_memory);
+  ++launch_count_;
+  kernel_seconds_ += seconds;
+  clock_->charge(seconds);
 }
 
 void Device::charge_scalar_readback() {
   if (spec_.is_accelerator) {
+    ++transfers_.d2h_scalar_count;
     charge_crossing(/*h2d=*/false, sizeof(double));
   }
 }

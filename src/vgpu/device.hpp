@@ -21,6 +21,7 @@
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 #include "vgpu/device_spec.hpp"
+#include "vgpu/launch_batch.hpp"
 #include "vgpu/sim_clock.hpp"
 #include "vgpu/transfer_log.hpp"
 
@@ -87,6 +88,14 @@ class Device {
 
   std::uint64_t bytes_allocated() const { return bytes_allocated_; }
   std::uint64_t peak_bytes_allocated() const { return peak_bytes_; }
+
+  /// Cumulative kernel launches charged (a fused batched launch counts
+  /// once, however many segments it covers).
+  std::uint64_t launch_count() const { return launch_count_; }
+
+  /// Cumulative modeled seconds charged for kernels (launch overhead
+  /// included) — the kernel-time slice of the clock's total.
+  double kernel_seconds() const { return kernel_seconds_; }
 
   /// Allocates `n` elements in device memory. Throws util::Error when the
   /// modeled capacity would be exceeded (a real cudaMalloc failure).
@@ -164,16 +173,52 @@ class Device {
 
   /// 2-D convenience wrapper: body(i, j) over a width x height tile with
   /// global offsets (ilo, jlo), mapping j to the slow axis as the paper's
-  /// kernels do.
+  /// kernels do. Iteration inside each parallel_for chunk is row-wise:
+  /// the div/mod locating the chunk start runs once per chunk, not once
+  /// per element.
   template <typename F>
   void launch2d(Stream& stream, int ilo, int jlo, int width, int height,
                 const KernelCost& cost, F&& body) {
+    RAMR_DEBUG_ASSERT(&stream.device() == this);
+    (void)stream;
+    if (width <= 0 || height <= 0) {
+      return;
+    }
     const std::int64_t n = static_cast<std::int64_t>(width) * height;
-    launch(stream, n, cost, [=](std::int64_t idx) {
-      const int j = jlo + static_cast<int>(idx / width);
-      const int i = ilo + static_cast<int>(idx % width);
-      body(i, j);
-    });
+    charge_kernel(n, cost);
+    // Single-tile fast path: shares run_tile_rows with the fused
+    // executor but needs no SegmentTable (no per-launch allocations —
+    // this is still the path under every per-transaction transfer
+    // kernel).
+    const LaunchSeg2D tile{ilo, jlo, width, height};
+    util::ThreadPool::global().parallel_for(
+        n, [&](std::int64_t begin, std::int64_t end) {
+          auto drop_seg = [&body](std::size_t, int i, int j) { body(i, j); };
+          run_tile_rows(tile, 0, begin, end, drop_seg);
+        });
+  }
+
+  /// Fused launch over a SegmentTable (vgpu/launch_batch.hpp): ONE
+  /// launch-overhead charge and one data-parallel sweep over the
+  /// concatenated index space of all segments, with utilization computed
+  /// from the total thread count. body(seg, i, j) runs for every (i, j)
+  /// of every segment, row-wise within each segment — the same index
+  /// sets and per-element arithmetic as the equivalent per-segment
+  /// launch2d calls, so results are bit-identical to the per-patch path.
+  template <typename F>
+  void launch_batched(Stream& stream, const SegmentTable& segments,
+                      const KernelCost& cost, F&& body) {
+    RAMR_DEBUG_ASSERT(&stream.device() == this);
+    (void)stream;
+    const std::int64_t n = segments.total_threads();
+    if (n <= 0) {
+      return;
+    }
+    charge_kernel(n, cost);
+    util::ThreadPool::global().parallel_for(
+        n, [&](std::int64_t begin, std::int64_t end) {
+          run_segments(segments, begin, end, body);
+        });
   }
 
   /// Charges a device-side reduction of n elements (tree depth ~ log n is
@@ -183,11 +228,42 @@ class Device {
   /// Device-side min-reduction: evaluates f(i) for i in [0, n) data
   /// parallel and returns the minimum. Charges one kernel plus (for
   /// accelerators) the scalar D2H readback — this is the only per-step
-  /// PCIe traffic of the resident scheme outside halo exchange.
+  /// PCIe traffic of the resident scheme outside halo exchange. A
+  /// wrapper over reduce_min_batched: [0, n) is laid out as rows of a
+  /// wide virtual tile so 64-bit trip counts fit the int-typed segment
+  /// fields; same single kernel charge and readback, same ascending
+  /// evaluation order.
   template <typename F>
   double reduce_min(Stream& stream, std::int64_t n, const KernelCost& cost,
                     F&& f) {
+    if (n <= 0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    constexpr std::int64_t kRow = std::int64_t{1} << 30;
+    SegmentTable rows;
+    if (n / kRow > 0) {
+      rows.add(0, 0, static_cast<int>(kRow), static_cast<int>(n / kRow));
+    }
+    if (n % kRow > 0) {
+      rows.add(0, static_cast<int>(n / kRow), static_cast<int>(n % kRow), 1);
+    }
+    return reduce_min_batched(
+        stream, rows, cost, [&f](std::size_t, int i, int j) {
+          return f(static_cast<std::int64_t>(j) * kRow + i);
+        });
+  }
+
+  /// Fused min-reduction over a SegmentTable: one kernel charge for the
+  /// total thread count and ONE scalar D2H readback, replacing P
+  /// per-patch reduce_min calls (P kernels and P readbacks). f(seg, i, j)
+  /// must be pure; min is exact, so the result is bit-identical to the
+  /// per-segment reductions it fuses.
+  template <typename F>
+  double reduce_min_batched(Stream& stream, const SegmentTable& segments,
+                            const KernelCost& cost, F&& f) {
+    RAMR_DEBUG_ASSERT(&stream.device() == this);
     (void)stream;
+    const std::int64_t n = segments.total_threads();
     if (n <= 0) {
       return std::numeric_limits<double>::infinity();
     }
@@ -197,9 +273,10 @@ class Device {
     util::ThreadPool::global().parallel_for(
         n, [&](std::int64_t begin, std::int64_t end) {
           double local = std::numeric_limits<double>::infinity();
-          for (std::int64_t i = begin; i < end; ++i) {
-            local = std::min(local, f(i));
-          }
+          auto take = [&](std::size_t seg, int i, int j) {
+            local = std::min(local, f(seg, i, j));
+          };
+          run_segments(segments, begin, end, take);
           std::lock_guard<std::mutex> lock(m);
           global_min = std::min(global_min, local);
         });
@@ -213,6 +290,51 @@ class Device {
  private:
   void charge_kernel(std::int64_t n, const KernelCost& cost);
 
+  /// Runs body(seg_id, i, j) over one tile's tile-local flattened index
+  /// range [begin, end): the (i, j) position is resolved once at the
+  /// start and advanced row-wise — no per-element div/mod.
+  template <typename F>
+  static void run_tile_rows(const LaunchSeg2D& seg, std::size_t seg_id,
+                            std::int64_t begin, std::int64_t end, F& body) {
+    int j = seg.jlo + static_cast<int>(begin / seg.width);
+    int i = seg.ilo + static_cast<int>(begin % seg.width);
+    std::int64_t idx = begin;
+    while (idx < end) {
+      const std::int64_t run =
+          std::min<std::int64_t>(end - idx, (seg.ilo + seg.width) - i);
+      for (const int iend = i + static_cast<int>(run); i < iend; ++i) {
+        body(seg_id, i, j);
+      }
+      idx += run;
+      if (i == seg.ilo + seg.width) {
+        i = seg.ilo;
+        ++j;
+      }
+    }
+  }
+
+  /// Runs body(seg, i, j) over flattened indices [begin, end) of a fused
+  /// launch: the segment is resolved once per transition (binary search
+  /// at the chunk start, increment afterwards), rows via run_tile_rows.
+  template <typename F>
+  static void run_segments(const SegmentTable& segments, std::int64_t begin,
+                           std::int64_t end, F& body) {
+    std::size_t s = segments.find(begin);
+    std::int64_t idx = begin;
+    while (idx < end) {
+      const LaunchSeg2D& seg = segments.segment(s);
+      const std::int64_t seg_begin = segments.offset(s);
+      const std::int64_t seg_end = seg_begin + seg.size();
+      if (idx >= seg_end) {
+        ++s;
+        continue;
+      }
+      const std::int64_t stop = std::min(end, seg_end);
+      run_tile_rows(seg, s, idx - seg_begin, stop - seg_begin, body);
+      idx = stop;
+    }
+  }
+
   /// Logs one crossing in the given direction and charges its modeled
   /// wire time (the single home of the PCIe cost formula).
   void charge_crossing(bool h2d, std::uint64_t bytes);
@@ -223,6 +345,8 @@ class Device {
   TransferLog transfers_;
   std::uint64_t bytes_allocated_ = 0;
   std::uint64_t peak_bytes_ = 0;
+  std::uint64_t launch_count_ = 0;
+  double kernel_seconds_ = 0.0;
   int batch_depth_ = 0;
   bool batch_absorb_ = false;
   std::uint64_t batch_h2d_bytes_ = 0;

@@ -1,0 +1,84 @@
+// Fused (batched) kernel launches: many per-patch index ranges flattened
+// into ONE device launch.
+//
+// The per-patch hot loop launches one kernel per patch per stage, so a
+// level with P patches pays P launch overheads and P occupancy ramps,
+// each computed from one small patch alone. A SegmentTable flattens the
+// per-patch 2-D tiles into a single concatenated index space: the fused
+// launch charges ONE launch overhead and computes utilization from the
+// TOTAL thread count, so many small patches saturate the device like one
+// big grid (the batched-launch approach of GPU AMR frameworks such as
+// GAMER and Uintah). The fused body runs the per-patch bodies over
+// exactly the same (i, j) sets with the same per-element arithmetic, so
+// results are bit-identical to the per-patch launches it replaces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ramr::vgpu {
+
+/// One rectangular tile of a fused 2-D launch: columns [ilo, ilo+width)
+/// and rows [jlo, jlo+height) in global index space.
+struct LaunchSeg2D {
+  int ilo = 0;
+  int jlo = 0;
+  int width = 0;
+  int height = 0;
+
+  std::int64_t size() const {
+    return width <= 0 || height <= 0
+               ? 0
+               : static_cast<std::int64_t>(width) * height;
+  }
+};
+
+/// Prefix-summed table of launch segments. Segment indices are stable:
+/// empty segments are kept (they occupy zero threads and are never
+/// visited), so callers can index per-segment argument arrays directly
+/// with the segment id the fused body receives.
+class SegmentTable {
+ public:
+  /// Appends one tile; returns its segment index.
+  std::size_t add(int ilo, int jlo, int width, int height) {
+    segs_.push_back(LaunchSeg2D{ilo, jlo, width, height});
+    ends_.push_back(total_threads() + segs_.back().size());
+    return segs_.size() - 1;
+  }
+
+  std::size_t segment_count() const { return segs_.size(); }
+  bool empty() const { return total_threads() == 0; }
+
+  /// Total threads of the fused launch (sum of segment sizes).
+  std::int64_t total_threads() const { return ends_.empty() ? 0 : ends_.back(); }
+
+  const LaunchSeg2D& segment(std::size_t s) const { return segs_[s]; }
+
+  /// First flattened index of segment s.
+  std::int64_t offset(std::size_t s) const { return s == 0 ? 0 : ends_[s - 1]; }
+
+  /// Segment owning flattened index `flat` (binary search over the
+  /// prefix sums; zero-size segments are never selected).
+  std::size_t find(std::int64_t flat) const {
+    RAMR_DEBUG_ASSERT(flat >= 0 && flat < total_threads());
+    std::size_t lo = 0;
+    std::size_t hi = ends_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (ends_[mid] <= flat) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<LaunchSeg2D> segs_;
+  std::vector<std::int64_t> ends_;
+};
+
+}  // namespace ramr::vgpu

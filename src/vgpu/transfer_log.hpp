@@ -16,6 +16,14 @@ struct TransferLog {
   std::uint64_t h2d_bytes = 0;
   std::uint64_t d2h_count = 0;
   std::uint64_t d2h_bytes = 0;
+  /// Subset of d2h_count that is scalar reduction readbacks — every
+  /// charge_scalar_readback(), i.e. dt results and field-summary
+  /// reductions alike. During a step only the dt reduction reads back,
+  /// so after launch batching a step's resident PCIe traffic is regrid
+  /// tags + ONE dt scalar per level + halo staging, which tests assert
+  /// through this counter; windows that include composite_summary()
+  /// also count its per-piece readbacks.
+  std::uint64_t d2h_scalar_count = 0;
 
   std::uint64_t total_bytes() const { return h2d_bytes + d2h_bytes; }
   std::uint64_t total_count() const { return h2d_count + d2h_count; }
@@ -28,6 +36,7 @@ struct TransferLog {
     d.h2d_bytes = h2d_bytes - rhs.h2d_bytes;
     d.d2h_count = d2h_count - rhs.d2h_count;
     d.d2h_bytes = d2h_bytes - rhs.d2h_bytes;
+    d.d2h_scalar_count = d2h_scalar_count - rhs.d2h_scalar_count;
     return d;
   }
 };

@@ -5,10 +5,20 @@
 // the coarse solution.
 #pragma once
 
+#include <span>
+
 #include "mesh/box.hpp"
 #include "pdat/patch_data.hpp"
 
 namespace ramr::xfer {
+
+/// One application of a coarsen operator inside a fused batch.
+struct CoarsenTask {
+  pdat::PatchData* dst = nullptr;
+  const pdat::PatchData* src = nullptr;
+  const pdat::PatchData* src_aux = nullptr;
+  mesh::Box coarse_cells;
+};
 
 /// Strategy interface for fine-to-coarse restriction.
 class CoarsenOperator {
@@ -23,6 +33,18 @@ class CoarsenOperator {
                        const pdat::PatchData* src_aux,
                        const mesh::Box& coarse_cells,
                        const mesh::IntVector& ratio) const = 0;
+
+  /// Applies the operator to every task, fusing the per-task kernels
+  /// into ONE launch per component where the implementation supports it
+  /// (this default falls back to per-task coarsen()). Task destinations
+  /// must not alias, which the schedule's per-transaction scratch
+  /// guarantees.
+  virtual void coarsen_batched(std::span<const CoarsenTask> tasks,
+                               const mesh::IntVector& ratio) const {
+    for (const CoarsenTask& t : tasks) {
+      coarsen(*t.dst, *t.src, t.src_aux, t.coarse_cells, ratio);
+    }
+  }
 
   /// True when the operator requires an auxiliary source field.
   virtual bool needs_aux() const { return false; }

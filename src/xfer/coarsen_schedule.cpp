@@ -67,22 +67,45 @@ std::unique_ptr<CoarsenSchedule> CoarsenAlgorithm::create_schedule(
   return sched;
 }
 
-void CoarsenSchedule::coarsen_data() { engine_.execute(*this); }
+void CoarsenSchedule::coarsen_data() {
+  prepare_scratch();
+  engine_.execute(*this);
+  scratch_cache_.clear();
+}
 
-std::unique_ptr<pdat::PatchData> CoarsenSchedule::coarsen_into_scratch(
-    const Xact& x) const {
-  const auto fine = fine_level_->local_patch(x.fine_gid);
-  RAMR_REQUIRE(fine != nullptr, "missing local fine patch");
-  const CoarsenItem& item = items_[x.item];
-  auto scratch = db_->factory(item.var_id)
-                     .allocate_with_ghosts(x.coarse_cells, IntVector::zero());
-  const pdat::PatchData* aux =
-      item.aux_var_id >= 0 ? &fine->data(item.aux_var_id) : nullptr;
-  RAMR_REQUIRE(!item.op->needs_aux() || aux != nullptr,
-               "operator " << item.op->name() << " needs an aux field");
-  item.op->coarsen(*scratch, fine->data(item.var_id), aux, x.coarse_cells,
-                   fine_level_->ratio_to_coarser());
-  return scratch;
+void CoarsenSchedule::prepare_scratch() {
+  // Unlike the per-transaction path this replaced (allocate, coarsen,
+  // consume, free — one scratch live at a time), the batched pre-pass
+  // holds every locally-sourced transaction's scratch at once: the sum
+  // over all coarse overlap regions and items, ~1/r^2 of the fine
+  // level's field footprint per cell item. pack()/copy_local() release
+  // each scratch as soon as its transaction is consumed.
+  scratch_cache_.clear();
+  scratch_cache_.resize(xacts_.size());
+  const IntVector ratio = fine_level_->ratio_to_coarser();
+  std::vector<std::vector<CoarsenTask>> tasks_by_item(items_.size());
+  for (std::size_t h = 0; h < xacts_.size(); ++h) {
+    const Xact& x = xacts_[h];
+    const CoarsenItem& item = items_[x.item];
+    const auto fine = fine_level_->local_patch(x.fine_gid);
+    if (fine == nullptr) {
+      continue;  // remote fine source: its owner coarsens and sends
+    }
+    auto scratch = db_->factory(item.var_id)
+                       .allocate_with_ghosts(x.coarse_cells, IntVector::zero());
+    const pdat::PatchData* aux =
+        item.aux_var_id >= 0 ? &fine->data(item.aux_var_id) : nullptr;
+    RAMR_REQUIRE(!item.op->needs_aux() || aux != nullptr,
+                 "operator " << item.op->name() << " needs an aux field");
+    tasks_by_item[x.item].push_back(CoarsenTask{
+        scratch.get(), &fine->data(item.var_id), aux, x.coarse_cells});
+    scratch_cache_[h] = std::move(scratch);
+  }
+  for (std::size_t n = 0; n < items_.size(); ++n) {
+    if (!tasks_by_item[n].empty()) {
+      items_[n].op->coarsen_batched(tasks_by_item[n], ratio);
+    }
+  }
 }
 
 std::size_t CoarsenSchedule::stream_size(std::size_t handle) const {
@@ -93,7 +116,13 @@ std::size_t CoarsenSchedule::stream_size(std::size_t handle) const {
 
 void CoarsenSchedule::pack(pdat::MessageStream& stream, std::size_t handle) {
   const Xact& x = xacts_[handle];
-  coarsen_into_scratch(x)->pack_stream(stream, x.overlap);
+  RAMR_REQUIRE(scratch_cache_[handle] != nullptr,
+               "pack outside coarsen_data: scratch not prepared");
+  scratch_cache_[handle]->pack_stream(stream, x.overlap);
+  // Each transaction is consumed exactly once per execute; release its
+  // scratch now to keep the device-memory peak of the batched pre-pass
+  // short-lived.
+  scratch_cache_[handle].reset();
 }
 
 void CoarsenSchedule::unpack(pdat::MessageStream& stream, std::size_t handle) {
@@ -107,7 +136,10 @@ void CoarsenSchedule::copy_local(std::size_t handle) {
   const Xact& x = xacts_[handle];
   const auto coarse = coarse_level_->local_patch(x.coarse_gid);
   RAMR_REQUIRE(coarse != nullptr, "missing local coarse patch");
-  coarse->data(items_[x.item].var_id).copy(*coarsen_into_scratch(x), x.overlap);
+  RAMR_REQUIRE(scratch_cache_[handle] != nullptr,
+               "copy_local outside coarsen_data: scratch not prepared");
+  coarse->data(items_[x.item].var_id).copy(*scratch_cache_[handle], x.overlap);
+  scratch_cache_[handle].reset();
 }
 
 }  // namespace ramr::xfer

@@ -77,9 +77,11 @@ class CoarsenSchedule : private TransactionDelegate {
   void unpack(pdat::MessageStream& stream, std::size_t handle) override;
   void copy_local(std::size_t handle) override;
 
-  /// Runs the item's coarsen operator over the edge's covered region into
-  /// freshly allocated coarse-resolution scratch.
-  std::unique_ptr<pdat::PatchData> coarsen_into_scratch(const Xact& x) const;
+  /// Runs every locally-sourced transaction's coarsen operator into
+  /// per-transaction scratch, batched by item: one fused launch per
+  /// (item, component) for the whole sync instead of one launch per
+  /// transaction. pack()/copy_local() then consume scratch_cache_.
+  void prepare_scratch();
 
   std::vector<CoarsenItem> items_;
   std::shared_ptr<hier::PatchLevel> coarse_level_;
@@ -88,6 +90,10 @@ class CoarsenSchedule : private TransactionDelegate {
   ParallelContext* ctx_ = nullptr;
   std::vector<Xact> xacts_;
   TransferSchedule engine_;
+
+  /// Per-transaction coarsened scratch, indexed by handle; alive only
+  /// while coarsen_data() runs.
+  std::vector<std::unique_ptr<pdat::PatchData>> scratch_cache_;
 };
 
 }  // namespace ramr::xfer

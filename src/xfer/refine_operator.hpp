@@ -5,10 +5,19 @@
 // their kind.
 #pragma once
 
+#include <span>
+
 #include "mesh/box.hpp"
 #include "pdat/patch_data.hpp"
 
 namespace ramr::xfer {
+
+/// One application of a refine operator inside a fused batch.
+struct RefineTask {
+  pdat::PatchData* dst = nullptr;
+  const pdat::PatchData* src = nullptr;
+  mesh::Box fine_cells;
+};
 
 /// Strategy interface for coarse-to-fine interpolation.
 class RefineOperator {
@@ -24,6 +33,17 @@ class RefineOperator {
   virtual void refine(pdat::PatchData& dst, const pdat::PatchData& src,
                       const mesh::Box& fine_cells,
                       const mesh::IntVector& ratio) const = 0;
+
+  /// Applies the operator to every task, fusing the per-task kernels
+  /// into ONE launch per component where the implementation supports it
+  /// (this default falls back to per-task refine()). Task write regions
+  /// must be disjoint, which schedule plans guarantee.
+  virtual void refine_batched(std::span<const RefineTask> tasks,
+                              const mesh::IntVector& ratio) const {
+    for (const RefineTask& t : tasks) {
+      refine(*t.dst, *t.src, t.fine_cells, ratio);
+    }
+  }
 
   virtual const char* name() const = 0;
 };

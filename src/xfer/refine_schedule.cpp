@@ -319,21 +319,37 @@ void RefineSchedule::allocate_scratch() {
 void RefineSchedule::interpolate_coarse_fills() {
   const int me = ctx_->my_rank;
   const IntVector ratio = dst_level_->ratio_to_coarser();
-  for (std::size_t f = 0; f < coarse_fills_.size(); ++f) {
-    const CoarseFill& cf = coarse_fills_[f];
-    if (cf.dst_owner != me) {
+  // Batched by operator: the interpolation of a whole level costs one
+  // fused refine_batched call per item per round instead of one launch
+  // per (fill, piece). Tasks of one fused launch must not write the same
+  // element concurrently: pieces of DIFFERENT fills target different
+  // destination patches, but adjacent pieces of ONE fill share boundary
+  // nodes/faces once mapped to the variable's centring. So round r fuses
+  // piece r of every fill — alias-free within a round, and fills rarely
+  // have more than a couple of pieces.
+  for (std::size_t n = 0; n < items_.size(); ++n) {
+    if (items_[n].op == nullptr) {
       continue;
     }
-    const auto dst = dst_level_->local_patch(cf.dst_gid);
-    RAMR_REQUIRE(dst != nullptr, "missing local destination patch");
-    for (std::size_t n = 0; n < items_.size(); ++n) {
-      if (items_[n].op == nullptr) {
-        continue;
+    std::vector<RefineTask> tasks;
+    for (std::size_t round = 0;; ++round) {
+      tasks.clear();
+      for (std::size_t f = 0; f < coarse_fills_.size(); ++f) {
+        const CoarseFill& cf = coarse_fills_[f];
+        if (cf.dst_owner != me ||
+            round >= cf.fine_fill_cells.boxes().size()) {
+          continue;
+        }
+        const auto dst = dst_level_->local_patch(cf.dst_gid);
+        RAMR_REQUIRE(dst != nullptr, "missing local destination patch");
+        tasks.push_back(RefineTask{&dst->data(items_[n].var_id),
+                                   scratch_[f][n].get(),
+                                   cf.fine_fill_cells.boxes()[round]});
       }
-      for (const Box& piece : cf.fine_fill_cells.boxes()) {
-        items_[n].op->refine(dst->data(items_[n].var_id), *scratch_[f][n],
-                             piece, ratio);
+      if (tasks.empty()) {
+        break;
       }
+      items_[n].op->refine_batched(tasks, ratio);
     }
   }
 }
