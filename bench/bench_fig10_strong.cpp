@@ -27,6 +27,11 @@ struct Run {
   double pcie_per_step = 0.0;       ///< modeled PCIe crossings / timestep
   double launches_per_step = 0.0;   ///< fused kernel launches / timestep
   double kernel_s_per_step = 0.0;   ///< modeled kernel seconds / timestep
+  double pack_per_step = 0.0;       ///< fused pack launches / timestep
+  double unpack_per_step = 0.0;     ///< fused unpack launches / timestep
+  double local_copy_per_step = 0.0; ///< fused local-copy launches / timestep
+  double messages_per_step = 0.0;   ///< wire messages sent / timestep
+  double received_per_step = 0.0;   ///< wire messages received / timestep
 };
 
 Run run_config(int n, int ranks, const ramr::vgpu::DeviceSpec& spec,
@@ -51,14 +56,26 @@ Run run_config(int n, int ranks, const ramr::vgpu::DeviceSpec& spec,
   double worst_pcie_per_step = 0.0;
   double worst_launches_per_step = 0.0;
   double worst_kernel_s_per_step = 0.0;
+  double worst_pack_per_step = 0.0;
+  double worst_unpack_per_step = 0.0;
+  double worst_local_copy_per_step = 0.0;
+  double worst_messages_per_step = 0.0;
+  double worst_received_per_step = 0.0;
   ramr::simmpi::World world(ranks, net);
   world.run([&](ramr::simmpi::Communicator& comm) {
     ramr::app::Simulation sim(cfg, &comm);
     sim.initialize();
     sim.clock().reset();
+    const ramr::simmpi::CommStats comm0 = comm.stats();
     const ramr::vgpu::TransferLog transfers0 = sim.device().transfers();
     const ramr::app::TransferCounters tc0 = sim.integrator().transfer_counters();
     const std::uint64_t launches0 = sim.device().launch_count();
+    const std::uint64_t pack0 =
+        sim.device().launch_count(ramr::vgpu::LaunchTag::kTransferPack);
+    const std::uint64_t unpack0 =
+        sim.device().launch_count(ramr::vgpu::LaunchTag::kTransferUnpack);
+    const std::uint64_t copy0 =
+        sim.device().launch_count(ramr::vgpu::LaunchTag::kLocalCopy);
     const double kernel0 = sim.device().kernel_seconds();
     sim.run(steps);
     // The slowest rank sets the runtime.
@@ -83,6 +100,28 @@ Run run_config(int n, int ranks, const ramr::vgpu::DeviceSpec& spec,
           static_cast<double>(sim.device().launch_count() - launches0) / steps;
       worst_kernel_s_per_step =
           (sim.device().kernel_seconds() - kernel0) / steps;
+      worst_pack_per_step =
+          static_cast<double>(
+              sim.device().launch_count(ramr::vgpu::LaunchTag::kTransferPack) -
+              pack0) /
+          steps;
+      worst_unpack_per_step =
+          static_cast<double>(sim.device().launch_count(
+                                  ramr::vgpu::LaunchTag::kTransferUnpack) -
+                              unpack0) /
+          steps;
+      worst_local_copy_per_step =
+          static_cast<double>(
+              sim.device().launch_count(ramr::vgpu::LaunchTag::kLocalCopy) -
+              copy0) /
+          steps;
+      // Wire-level message counts (includes the regrid solution
+      // transfer, which the integrator counters do not own) for the
+      // pack/unpack launch-budget check.
+      const ramr::simmpi::CommStats cs = comm.stats() - comm0;
+      worst_messages_per_step = static_cast<double>(cs.messages_sent) / steps;
+      worst_received_per_step =
+          static_cast<double>(cs.messages_received) / steps;
     }
   });
   Run r;
@@ -92,6 +131,11 @@ Run run_config(int n, int ranks, const ramr::vgpu::DeviceSpec& spec,
   r.pcie_per_step = worst_pcie_per_step;
   r.launches_per_step = worst_launches_per_step;
   r.kernel_s_per_step = worst_kernel_s_per_step;
+  r.pack_per_step = worst_pack_per_step;
+  r.unpack_per_step = worst_unpack_per_step;
+  r.local_copy_per_step = worst_local_copy_per_step;
+  r.messages_per_step = worst_messages_per_step;
+  r.received_per_step = worst_received_per_step;
   return r;
 }
 
@@ -108,17 +152,20 @@ int main() {
       n, n, n * static_cast<double>(n) / 1e6);
 
   const ramr::perf::Machine m = ramr::perf::ipa();
-  ramr::perf::Table t({8, 12, 14, 10, 16, 10, 13, 13});
+  ramr::perf::Table t({8, 12, 14, 10, 16, 10, 13, 13, 11, 11, 11});
   t.header({"nodes", "K20x (s)", "E5-2670 (s)", "GPU/CPU", "GPU hydro frac",
-            "msg/fill", "PCIe x/step", "launch/step"});
+            "msg/fill", "PCIe x/step", "launch/step", "pack/step",
+            "unpk/step", "copy/step"});
   double first_speedup = 0.0;
   double last_speedup = 0.0;
+  std::vector<std::pair<int, std::pair<Run, Run>>> all;
   for (int nodes : {1, 2, 4, 8}) {
     const Run gpu = run_config(n, 2 * nodes, m.gpu_spec, m.network);
     const Run cpu = run_config(n, nodes, m.cpu_node_spec, m.network);
     const double speedup = cpu.seconds_1000 / gpu.seconds_1000;
     if (nodes == 1) first_speedup = speedup;
     last_speedup = speedup;
+    all.push_back({nodes, {gpu, cpu}});
     t.row({ramr::perf::Table::count(nodes),
            ramr::perf::Table::seconds(gpu.seconds_1000),
            ramr::perf::Table::seconds(cpu.seconds_1000),
@@ -127,7 +174,24 @@ int main() {
            ramr::perf::Table::seconds(gpu.messages_per_fill),
            ramr::perf::Table::seconds(gpu.pcie_per_step),
            ramr::perf::Table::count(
-               static_cast<std::int64_t>(gpu.launches_per_step))});
+               static_cast<std::int64_t>(gpu.launches_per_step)),
+           ramr::perf::Table::seconds(gpu.pack_per_step),
+           ramr::perf::Table::seconds(gpu.unpack_per_step),
+           ramr::perf::Table::seconds(gpu.local_copy_per_step)});
+    // Hard accounting check (compiled transfer plans): the slowest rank
+    // may not issue more fused pack (unpack) launches per step than it
+    // sends (receives) wire messages per step.
+    if (gpu.pack_per_step > gpu.messages_per_step + 1e-9) {
+      std::printf("FAIL: %.1f pack launches/step for %.1f messages/step\n",
+                  gpu.pack_per_step, gpu.messages_per_step);
+      return 1;
+    }
+    if (gpu.unpack_per_step > gpu.received_per_step + 1e-9) {
+      std::printf(
+          "FAIL: %.1f unpack launches/step for %.1f received messages/step\n",
+          gpu.unpack_per_step, gpu.received_per_step);
+      return 1;
+    }
   }
   std::printf(
       "\nspeedup at 1 node: %.2fx (paper: 4.87x); at 8 nodes: %.2fx "
@@ -140,6 +204,35 @@ int main() {
       "execution (one message per peer per fill); PCIe x/step is that\n"
       "rank's modeled crossings per timestep with the fused device pack;\n"
       "launch/step is that rank's fused kernel launches per timestep\n"
-      "(one per kernel sub-stage per level, independent of patch count).\n");
+      "(one per kernel sub-stage per level, independent of patch count).\n"
+      "pack/unpk/copy per step are the compiled transfer plans' fused\n"
+      "launches: one pack per message sent, one unpack per message\n"
+      "received, one local-copy per engine exchange (plus one snapshot\n"
+      "gather where node/side seam reads alias writes).\n");
+
+  // Machine-readable record for CI perf tracking (alongside
+  // BENCH_fig09.json).
+  if (FILE* json = std::fopen("BENCH_fig10.json", "w")) {
+    std::fprintf(json, "{\n  \"zones\": %lld,\n  \"configs\": [\n",
+                 static_cast<long long>(n) * n);
+    for (std::size_t c = 0; c < all.size(); ++c) {
+      const auto& [nodes, rr] = all[c];
+      const auto& [gpu, cpu] = rr;
+      std::fprintf(
+          json,
+          "    {\"nodes\": %d, \"gpu_s_per_step\": %.6e, "
+          "\"cpu_s_per_step\": %.6e, \"gpu_hydro_fraction\": %.4f, "
+          "\"messages_per_fill\": %.3f, \"pcie_per_step\": %.1f, "
+          "\"launches_per_step\": %.1f, \"pack_per_step\": %.1f, "
+          "\"unpack_per_step\": %.1f, \"local_copy_per_step\": %.1f}%s\n",
+          nodes, gpu.seconds_1000 / 1000.0, cpu.seconds_1000 / 1000.0,
+          gpu.hydro_fraction, gpu.messages_per_fill, gpu.pcie_per_step,
+          gpu.launches_per_step, gpu.pack_per_step, gpu.unpack_per_step,
+          gpu.local_copy_per_step, c + 1 < all.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_fig10.json\n");
+  }
   return 0;
 }

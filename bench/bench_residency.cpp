@@ -84,5 +84,50 @@ int main() {
   }
   std::printf("OK: dt readback accounting matches (one scalar per level per "
               "step)\n");
+
+  // Transfer-path launch accounting (compiled transfer plans): an
+  // exchange must never issue more fused pack/unpack launches than it
+  // sends/receives aggregated messages, and local copies fuse into at
+  // most two launches per engine exchange — one apply, plus one
+  // snapshot gather where node/side seam reads alias writes — with up to
+  // two engine exchanges per refine fill (same-level + coarse gather).
+  // A serial run sends no messages at all, so the pack/unpack bounds
+  // double as "zero pack/unpack launches" here.
+  const auto& tc = sim.integrator().transfer_counters();
+  const std::uint64_t pack_launches =
+      sim.device().launch_count(ramr::vgpu::LaunchTag::kTransferPack);
+  const std::uint64_t unpack_launches =
+      sim.device().launch_count(ramr::vgpu::LaunchTag::kTransferUnpack);
+  const std::uint64_t copy_launches =
+      sim.device().launch_count(ramr::vgpu::LaunchTag::kLocalCopy);
+  std::printf(
+      "\ntransfer-path launches: %llu pack (%llu messages sent), %llu "
+      "unpack (%llu received), %llu local-copy (%llu exchanges)\n",
+      static_cast<unsigned long long>(pack_launches),
+      static_cast<unsigned long long>(tc.messages_sent),
+      static_cast<unsigned long long>(unpack_launches),
+      static_cast<unsigned long long>(tc.messages_received),
+      static_cast<unsigned long long>(copy_launches),
+      static_cast<unsigned long long>(tc.halo_fills));
+  if (pack_launches > tc.messages_sent) {
+    std::printf("FAIL: %llu pack launches for %llu messages sent\n",
+                static_cast<unsigned long long>(pack_launches),
+                static_cast<unsigned long long>(tc.messages_sent));
+    return 1;
+  }
+  if (unpack_launches > tc.messages_received) {
+    std::printf("FAIL: %llu unpack launches for %llu messages received\n",
+                static_cast<unsigned long long>(unpack_launches),
+                static_cast<unsigned long long>(tc.messages_received));
+    return 1;
+  }
+  if (copy_launches > 4 * tc.halo_fills) {
+    std::printf("FAIL: %llu local-copy launches for %llu exchanges\n",
+                static_cast<unsigned long long>(copy_launches),
+                static_cast<unsigned long long>(tc.halo_fills));
+    return 1;
+  }
+  std::printf("OK: transfer launch accounting matches (fused plans: at most "
+              "one launch per message / exchange)\n");
   return 0;
 }

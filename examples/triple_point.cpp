@@ -7,6 +7,8 @@
 // weak-scaling study stresses.
 //
 //   ./triple_point [steps]
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -39,9 +41,15 @@ void print_map(ramr::app::Simulation& sim) {
         const int cy = (domain.upper().j - j) * rows / domain.height();
         static const char shades[] = " .:-=+*%@";
         const double d = v(i, j);
-        const int shade = std::min(8, static_cast<int>(d / 1.5 * 8));
-        canvas[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] =
-            shades[shade];
+        // A non-finite density would make the cast below undefined and
+        // the index wild; render it as '?' instead of crashing.
+        char c = '?';
+        if (std::isfinite(d)) {
+          const int shade =
+              std::max(0, std::min(8, static_cast<int>(d / 1.5 * 8)));
+          c = shades[shade];
+        }
+        canvas[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = c;
       }
     }
   }

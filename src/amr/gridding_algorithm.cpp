@@ -220,6 +220,18 @@ void GriddingAlgorithm::regrid(PatchHierarchy& hierarchy, double time) {
     }
     auto new_level = make_level(hierarchy, l + 1, boxes);
 
+    // Freshly allocated patch data is raw device memory. Only the state
+    // variables listed in `transfer_` are moved by the solution-transfer
+    // schedule below; every other field (work arrays, EOS outputs) must
+    // still hold *defined* values, because the next step's kernels read
+    // some of them (e.g. advec_mom's node masses) before rewriting them.
+    // Analytic initialisation first gives them the same defined start as
+    // make_initial_hierarchy; the schedule then overwrites the state.
+    for (const auto& patch : new_level->local_patches()) {
+      strategy_->initialize_level_data(*patch, *new_level,
+                                       hierarchy.geometry(), time);
+    }
+
     // Solution transfer: copy from the old level where it overlapped,
     // interpolate from level l elsewhere, then physical boundaries.
     std::shared_ptr<PatchLevel> old_level =

@@ -102,6 +102,7 @@ void LagrangianEulerianIntegrator::fill_all(
     sched->fill();
     ++xfer_counters_.halo_fills;
     xfer_counters_.messages_sent += sched->messages_sent_per_fill();
+    xfer_counters_.messages_received += sched->messages_received_per_fill();
     xfer_counters_.bytes_sent += sched->bytes_sent_per_fill();
   }
 }
@@ -117,6 +118,7 @@ double LagrangianEulerianIntegrator::advance() {
   }
   {
     vgpu::ComponentScope scope(*clock_, "hydro");
+    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
     for (int l = 0; l < levels; ++l) {
       li_->stage_eos(h.level(l));
     }
@@ -127,6 +129,7 @@ double LagrangianEulerianIntegrator::advance() {
   }
   {
     vgpu::ComponentScope scope(*clock_, "hydro");
+    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
     for (int l = 0; l < levels; ++l) {
       li_->stage_viscosity(h.level(l));
     }
@@ -138,6 +141,7 @@ double LagrangianEulerianIntegrator::advance() {
   double dt = std::numeric_limits<double>::infinity();
   {
     vgpu::ComponentScope scope(*clock_, "timestep");
+    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
     for (int l = 0; l < levels; ++l) {
       dt = std::min(dt, li_->compute_dt(h.level(l)));
     }
@@ -149,6 +153,7 @@ double LagrangianEulerianIntegrator::advance() {
   // --- Lagrangian step -------------------------------------------------
   {
     vgpu::ComponentScope scope(*clock_, "hydro");
+    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
     for (int l = 0; l < levels; ++l) {
       li_->stage_pdv_predict(h.level(l), dt);
     }
@@ -159,6 +164,7 @@ double LagrangianEulerianIntegrator::advance() {
   }
   {
     vgpu::ComponentScope scope(*clock_, "hydro");
+    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
     for (int l = 0; l < levels; ++l) {
       li_->stage_accelerate(h.level(l), dt);
     }
@@ -178,6 +184,7 @@ double LagrangianEulerianIntegrator::advance() {
   }
   {
     vgpu::ComponentScope scope(*clock_, "hydro");
+    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
     for (int l = 0; l < levels; ++l) {
       li_->stage_advec_cell(h.level(l), x_first, 1);
     }
@@ -188,6 +195,7 @@ double LagrangianEulerianIntegrator::advance() {
   }
   {
     vgpu::ComponentScope scope(*clock_, "hydro");
+    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
     for (int l = 0; l < levels; ++l) {
       li_->stage_advec_mom(h.level(l), x_first, 1);
     }
@@ -201,6 +209,7 @@ double LagrangianEulerianIntegrator::advance() {
   }
   {
     vgpu::ComponentScope scope(*clock_, "hydro");
+    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
     for (int l = 0; l < levels; ++l) {
       li_->stage_advec_mom(h.level(l), !x_first, 2);
     }
@@ -216,6 +225,7 @@ double LagrangianEulerianIntegrator::advance() {
       sched->coarsen_data();
       ++xfer_counters_.halo_fills;
       xfer_counters_.messages_sent += sched->messages_sent_per_sync();
+      xfer_counters_.messages_received += sched->messages_received_per_sync();
       xfer_counters_.bytes_sent += sched->bytes_sent_per_sync();
     }
   }

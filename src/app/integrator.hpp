@@ -23,9 +23,10 @@ namespace ramr::app {
 /// by the aggregated-message engine (diagnostics for the paper's Fig. 10
 /// communication analysis: messages shrink to one per peer per fill).
 struct TransferCounters {
-  std::uint64_t halo_fills = 0;     ///< schedule executions (fill + sync)
-  std::uint64_t messages_sent = 0;  ///< aggregated peer messages sent
-  std::uint64_t bytes_sent = 0;     ///< wire bytes sent
+  std::uint64_t halo_fills = 0;         ///< schedule executions (fill + sync)
+  std::uint64_t messages_sent = 0;      ///< aggregated peer messages sent
+  std::uint64_t messages_received = 0;  ///< aggregated peer messages received
+  std::uint64_t bytes_sent = 0;         ///< wire bytes sent
 };
 
 /// Hierarchy-wide time integration.

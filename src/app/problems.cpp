@@ -47,8 +47,12 @@ void HydroProblem::initialize_level_data(hier::Patch& patch,
         ss(i, j) = std::sqrt(hydro::Constants::gamma * pressure / rho);
       });
 
-  // Velocities and work arrays start at rest / zero.
-  for (int id : {fields_.xvel0, fields_.xvel1, fields_.yvel0, fields_.yvel1,
+  // Velocities and work arrays start at rest / zero. Viscosity is in the
+  // list too: it is recomputed from pressure gradients each step, but the
+  // timestep and acceleration kernels read its ghost cells, which on a
+  // freshly created patch would otherwise be raw allocations.
+  for (int id : {fields_.viscosity,
+                 fields_.xvel0, fields_.xvel1, fields_.yvel0, fields_.yvel1,
                  fields_.vol_flux, fields_.mass_flux, fields_.pre_vol,
                  fields_.post_vol, fields_.ener_flux, fields_.node_flux,
                  fields_.node_mass_post, fields_.node_mass_pre,

@@ -29,6 +29,7 @@ Simulation::Simulation(const SimulationConfig& config,
   // The transfer engine fuses each aggregated message's staging copies
   // into one modeled PCIe crossing on this device.
   ctx_.device = &device_;
+  ctx_.compiled_transfer = config.compiled_transfer;
   ctx_.world_size = comm != nullptr ? comm->size() : 1;
   if (comm != nullptr) {
     comm->set_clock(&clock_);

@@ -35,6 +35,11 @@ struct SimulationConfig {
   /// per level (default). Off = the per-patch launch structure of the
   /// paper's original code; both produce bit-identical fields.
   bool batched_launch = true;
+  /// Compiled transfer plans: one fused pack/unpack launch per peer
+  /// message and one local-copy launch per exchange (default). Off = the
+  /// per-transaction legacy transfer path; both produce bit-identical
+  /// fields (docs/transfer_api.md).
+  bool compiled_transfer = true;
 };
 
 /// One rank's simulation instance.

@@ -35,6 +35,13 @@ util::View CudaArrayData::device_view(int d) const {
                     box_.height());
 }
 
+util::View CudaArrayData::region_view(const mesh::Box& region, int d) const {
+  RAMR_REQUIRE(box_.contains(region),
+               "transfer region " << region << " outside device array "
+               << box_);
+  return device_view(d);
+}
+
 void CudaArrayData::fill(double value) { fill(value, box_); }
 
 void CudaArrayData::fill(double value, const Box& region) {

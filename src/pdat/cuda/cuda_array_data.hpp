@@ -32,6 +32,12 @@ class CudaArrayData {
   /// Device-space view for kernels (host code must not dereference).
   util::View device_view(int d = 0) const;
 
+  /// Checked view export for the compiled transfer plans: REQUIREs
+  /// `region` to lie inside the array box and returns the plane view
+  /// (fused pack/unpack/copy kernels index it directly, replacing the
+  /// per-box pack/unpack launches below).
+  util::View region_view(const mesh::Box& region, int d = 0) const;
+
   /// Fills `region` (clipped to the array box) with a constant, one
   /// thread per element.
   void fill(double value);

@@ -57,6 +57,15 @@ class CudaData : public PatchData {
   void pack_stream(MessageStream& stream, const BoxOverlap& overlap) const override;
   void unpack_stream(MessageStream& stream, const BoxOverlap& overlap) override;
 
+  /// Compiled-transfer view export: device-resident data participates in
+  /// the fused per-message plan kernels; spilled data falls back to the
+  /// per-transaction legacy path (which REQUIREs residency anyway).
+  bool supports_transfer_views() const override { return resident(); }
+  vgpu::Device* transfer_device() const override { return device_; }
+  util::View transfer_view(int k, int d, const mesh::Box& region) const override {
+    return component(k).region_view(region, d);
+  }
+
   /// Checkpointing crosses PCIe by design (a full-field download/upload,
   /// charged and logged like any other crossing).
   void put_to_restart(Database& db, const std::string& prefix) const override;

@@ -16,6 +16,11 @@
 #include "pdat/box_overlap.hpp"
 #include "pdat/database.hpp"
 #include "pdat/message_stream.hpp"
+#include "util/array_view.hpp"
+
+namespace ramr::vgpu {
+class Device;
+}  // namespace ramr::vgpu
 
 namespace ramr::pdat {
 
@@ -64,8 +69,33 @@ class PatchData {
   /// Bytes pack_stream will append for this overlap.
   virtual std::size_t data_stream_size(const BoxOverlap& overlap) const = 0;
 
+  /// Per-box marshalling of one overlap. Retained as the
+  /// legacy_transfer_path: the compiled transfer plans (see
+  /// xfer::TransferSchedule) move data through exported views instead,
+  /// and fall back to these when a kind cannot export views.
   virtual void pack_stream(MessageStream& stream, const BoxOverlap& overlap) const = 0;
   virtual void unpack_stream(MessageStream& stream, const BoxOverlap& overlap) = 0;
+
+  // -- Compiled-transfer support (optional capability) -------------------
+
+  /// True when component planes can be exported as device views for the
+  /// fused transfer-plan kernels. Data that cannot (host-resident arrays,
+  /// device arrays spilled to the host) is moved per transaction through
+  /// pack_stream/unpack_stream/copy instead.
+  virtual bool supports_transfer_views() const { return false; }
+
+  /// Device owning the exported views (null when unsupported).
+  virtual vgpu::Device* transfer_device() const { return nullptr; }
+
+  /// View of component `k`, depth plane `d`, valid at least over `region`
+  /// (a box in the component's index space). Only callable when
+  /// supports_transfer_views() holds.
+  virtual util::View transfer_view(int k, int d, const mesh::Box& region) const {
+    (void)k;
+    (void)d;
+    (void)region;
+    RAMR_FAIL("transfer views unsupported for this PatchData kind");
+  }
 
   /// Checkpoint support (Fig. 2: putToRestart / getFromRestart): writes
   /// or reads all component arrays under `prefix` in the database.

@@ -81,6 +81,7 @@ void Device::charge_kernel(std::int64_t n, const KernelCost& cost) {
   const double seconds =
       spec_.launch_overhead_s + std::max(t_compute, t_memory);
   ++launch_count_;
+  ++launch_count_by_tag_[static_cast<std::size_t>(launch_tag_)];
   kernel_seconds_ += seconds;
   clock_->charge(seconds);
 }

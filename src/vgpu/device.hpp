@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <mutex>
@@ -34,6 +35,19 @@ struct KernelCost {
   double flops_per_thread = 0.0;
   double bytes_per_thread = 0.0;
 };
+
+/// Category a kernel launch is attributed to. The aggregate launch_count
+/// stays the headline number; per-tag counts let benches and tests break
+/// it down (hydro stages vs the transfer path) and assert launch budgets
+/// like "pack launches == messages sent" per exchange.
+enum class LaunchTag : int {
+  kOther = 0,       ///< untagged (init, tagging, diagnostics)
+  kHydro,           ///< hydro stage + timestep kernels
+  kTransferPack,    ///< message packing (fused plan or per-transaction)
+  kTransferUnpack,  ///< message unpacking
+  kLocalCopy,       ///< schedule-local device-to-device copies
+};
+inline constexpr int kLaunchTagCount = 5;
 
 class Device;
 
@@ -92,6 +106,16 @@ class Device {
   /// Cumulative kernel launches charged (a fused batched launch counts
   /// once, however many segments it covers).
   std::uint64_t launch_count() const { return launch_count_; }
+
+  /// Launches attributed to one category (see LaunchTag). The sum over
+  /// all tags equals launch_count().
+  std::uint64_t launch_count(LaunchTag tag) const {
+    return launch_count_by_tag_[static_cast<std::size_t>(tag)];
+  }
+
+  /// Category charged for launches until changed (prefer LaunchTagScope).
+  LaunchTag launch_tag() const { return launch_tag_; }
+  void set_launch_tag(LaunchTag tag) { launch_tag_ = tag; }
 
   /// Cumulative modeled seconds charged for kernels (launch overhead
   /// included) — the kernel-time slice of the clock's total.
@@ -346,11 +370,38 @@ class Device {
   std::uint64_t bytes_allocated_ = 0;
   std::uint64_t peak_bytes_ = 0;
   std::uint64_t launch_count_ = 0;
+  LaunchTag launch_tag_ = LaunchTag::kOther;
+  std::array<std::uint64_t, kLaunchTagCount> launch_count_by_tag_{};
   double kernel_seconds_ = 0.0;
   int batch_depth_ = 0;
   bool batch_absorb_ = false;
   std::uint64_t batch_h2d_bytes_ = 0;
   std::uint64_t batch_d2h_bytes_ = 0;
+};
+
+/// RAII launch-tag scope: launches on `device` are attributed to `tag`
+/// for the scope's lifetime. A null device makes the scope a no-op, so
+/// callers that may run host-only need no branching.
+class LaunchTagScope {
+ public:
+  LaunchTagScope(Device* device, LaunchTag tag) : device_(device) {
+    if (device_ != nullptr) {
+      previous_ = device_->launch_tag();
+      device_->set_launch_tag(tag);
+    }
+  }
+  ~LaunchTagScope() {
+    if (device_ != nullptr) {
+      device_->set_launch_tag(previous_);
+    }
+  }
+
+  LaunchTagScope(const LaunchTagScope&) = delete;
+  LaunchTagScope& operator=(const LaunchTagScope&) = delete;
+
+ private:
+  Device* device_;
+  LaunchTag previous_ = LaunchTag::kOther;
 };
 
 /// RAII transfer batch. A null device is allowed and makes the scope a

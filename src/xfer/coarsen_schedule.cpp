@@ -78,8 +78,9 @@ void CoarsenSchedule::prepare_scratch() {
   // consume, free — one scratch live at a time), the batched pre-pass
   // holds every locally-sourced transaction's scratch at once: the sum
   // over all coarse overlap regions and items, ~1/r^2 of the fine
-  // level's field footprint per cell item. pack()/copy_local() release
-  // each scratch as soon as its transaction is consumed.
+  // level's field footprint per cell item. The scratch stays alive
+  // through the engine's (fused) pack/copy and is dropped as one batch
+  // when coarsen_data() finishes.
   scratch_cache_.clear();
   scratch_cache_.resize(xacts_.size());
   const IntVector ratio = fine_level_->ratio_to_coarser();
@@ -108,38 +109,28 @@ void CoarsenSchedule::prepare_scratch() {
   }
 }
 
-std::size_t CoarsenSchedule::stream_size(std::size_t handle) const {
+TransferGeometry CoarsenSchedule::geometry(std::size_t handle) const {
   const Xact& x = xacts_[handle];
-  return overlap_stream_size(x.overlap,
-                             db_->variable(items_[x.item].var_id).depth);
+  TransferGeometry g;
+  g.overlap = &x.overlap;
+  g.depth = db_->variable(items_[x.item].var_id).depth;
+  // Destination-object id for the engine's write clipping: every
+  // contribution targets one (coarse patch, item) datum; node-seam
+  // contributions from adjacent fine patches overlap there and must land
+  // last-writer-wins in plan order.
+  g.dst_slot =
+      x.coarse_gid * static_cast<int>(items_.size()) + static_cast<int>(x.item);
+  return g;
 }
 
-void CoarsenSchedule::pack(pdat::MessageStream& stream, std::size_t handle) {
+TransferEndpoints CoarsenSchedule::endpoints(std::size_t handle) {
   const Xact& x = xacts_[handle];
-  RAMR_REQUIRE(scratch_cache_[handle] != nullptr,
-               "pack outside coarsen_data: scratch not prepared");
-  scratch_cache_[handle]->pack_stream(stream, x.overlap);
-  // Each transaction is consumed exactly once per execute; release its
-  // scratch now to keep the device-memory peak of the batched pre-pass
-  // short-lived.
-  scratch_cache_[handle].reset();
-}
-
-void CoarsenSchedule::unpack(pdat::MessageStream& stream, std::size_t handle) {
-  const Xact& x = xacts_[handle];
-  const auto coarse = coarse_level_->local_patch(x.coarse_gid);
-  RAMR_REQUIRE(coarse != nullptr, "missing local coarse patch");
-  coarse->data(items_[x.item].var_id).unpack_stream(stream, x.overlap);
-}
-
-void CoarsenSchedule::copy_local(std::size_t handle) {
-  const Xact& x = xacts_[handle];
-  const auto coarse = coarse_level_->local_patch(x.coarse_gid);
-  RAMR_REQUIRE(coarse != nullptr, "missing local coarse patch");
-  RAMR_REQUIRE(scratch_cache_[handle] != nullptr,
-               "copy_local outside coarsen_data: scratch not prepared");
-  coarse->data(items_[x.item].var_id).copy(*scratch_cache_[handle], x.overlap);
-  scratch_cache_[handle].reset();
+  TransferEndpoints ep;
+  ep.src = scratch_cache_[handle].get();  // null when the fine source is remote
+  if (const auto coarse = coarse_level_->local_patch(x.coarse_gid)) {
+    ep.dst = &coarse->data(items_[x.item].var_id);
+  }
+  return ep;
 }
 
 }  // namespace ramr::xfer

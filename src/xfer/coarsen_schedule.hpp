@@ -43,7 +43,7 @@ class CoarsenAlgorithm {
 };
 
 /// Executable synchronisation plan.
-class CoarsenSchedule : private TransactionDelegate {
+class CoarsenSchedule : private TransferDelegate {
  public:
   /// Restricts fine data onto the coarse level.
   void coarsen_data();
@@ -58,6 +58,9 @@ class CoarsenSchedule : private TransactionDelegate {
     return engine_.messages_received_per_exchange();
   }
 
+  /// Engine exchange of one sync, for plan-level observability in tests.
+  const TransferSchedule& transfer_engine() const { return engine_; }
+
  private:
   friend class CoarsenAlgorithm;
   CoarsenSchedule() = default;
@@ -71,16 +74,15 @@ class CoarsenSchedule : private TransactionDelegate {
     pdat::BoxOverlap overlap;
   };
 
-  // TransactionDelegate (shared engine callbacks).
-  std::size_t stream_size(std::size_t handle) const override;
-  void pack(pdat::MessageStream& stream, std::size_t handle) override;
-  void unpack(pdat::MessageStream& stream, std::size_t handle) override;
-  void copy_local(std::size_t handle) override;
+  // TransferDelegate (shared engine: geometry at compile, endpoints at
+  // execute).
+  TransferGeometry geometry(std::size_t handle) const override;
+  TransferEndpoints endpoints(std::size_t handle) override;
 
   /// Runs every locally-sourced transaction's coarsen operator into
   /// per-transaction scratch, batched by item: one fused launch per
   /// (item, component) for the whole sync instead of one launch per
-  /// transaction. pack()/copy_local() then consume scratch_cache_.
+  /// transaction. The engine then packs/copies from scratch_cache_.
   void prepare_scratch();
 
   std::vector<CoarsenItem> items_;

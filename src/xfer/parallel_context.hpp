@@ -21,10 +21,15 @@ struct ParallelContext {
   /// construction, box calculus); may be null in unit tests.
   vgpu::SimClock* clock = nullptr;
   /// The rank's compute device, when data is device-resident: the
-  /// transfer engine fuses all staging copies of one aggregated message
-  /// into a single modeled PCIe crossing on it. Null disables fusing
-  /// (host-resident data, or tests that count raw crossings).
+  /// legacy transfer path fuses all staging copies of one aggregated
+  /// message into a single modeled PCIe crossing on it. Null disables
+  /// fusing (host-resident data, or tests that count raw crossings).
   vgpu::Device* device = nullptr;
+  /// Execute schedules through the compiled per-peer transfer plans (one
+  /// fused pack/unpack launch per message, one local-copy launch per
+  /// exchange) whenever the data can export device views. False forces
+  /// the per-transaction legacy path (differential testing, ablation).
+  bool compiled_transfer = true;
   int next_tag = 1 << 10;
 
   int allocate_tag() { return next_tag++; }

@@ -1,6 +1,7 @@
 #include "xfer/refine_schedule.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/error.hpp"
 #include "util/logger.hpp"
@@ -59,6 +60,15 @@ pdat::BoxOverlap item_overlap(const BoxList& fill_cells, const Box& dst_cell_box
   BoxList cells = fill_cells;
   cells.intersect(dst_cell_box.grow(var.ghosts));
   return pdat::overlap_for_region(var.centering, cells);
+}
+
+/// L1 gap between two boxes (0 when they touch or overlap).
+std::int64_t box_gap(const Box& a, const Box& b) {
+  const int gi = std::max({0, a.lower().i - b.upper().i,
+                           b.lower().i - a.upper().i});
+  const int gj = std::max({0, a.lower().j - b.upper().j,
+                           b.lower().j - a.upper().j});
+  return gi + gj;
 }
 
 }  // namespace
@@ -219,9 +229,37 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
         scratch_remaining.remove_intersections(gbox);
       }
       if (!scratch_remaining.empty()) {
+        // Scratch corners can fall outside the union of coarse patch +
+        // ghost boxes: nesting bounds the fine INTERIOR, not the stencil
+        // fringe of its ghost fill. Pair each uncovered piece with its
+        // nearest covered box; fill() clamp-fills them after the gather,
+        // so interpolation stencils never read the raw allocation.
+        BoxList covered(cf.scratch_cells);
+        for (const Box& u : scratch_remaining.boxes()) {
+          covered.remove_intersections(u);
+        }
+        std::ostringstream pieces;
+        for (const Box& u : scratch_remaining.boxes()) {
+          pieces << " " << u;
+          const Box* best = nullptr;
+          std::int64_t best_gap = 0;
+          for (const Box& c : covered.boxes()) {
+            const std::int64_t gap = box_gap(u, c);
+            if (best == nullptr || gap < best_gap) {
+              best = &c;
+              best_gap = gap;
+            }
+          }
+          if (best != nullptr) {
+            cf.uncovered_clamp.emplace_back(u, *best);
+          }
+        }
+        cf.covered = covered;
         RAMR_LOG_DEBUG("refine schedule: " << scratch_remaining.count()
                        << " scratch pieces uncovered for patch "
-                       << d.global_id << " (outside coarse coverage)");
+                       << d.global_id << " (outside coarse coverage):"
+                       << pieces.str() << " of scratch " << cf.scratch_cells
+                       << "; clamp-filled from nearest covered data");
       }
       sched->coarse_fills_.push_back(std::move(cf));
     }
@@ -248,52 +286,53 @@ void RefineSchedule::fill() {
   if (!coarse_fills_.empty()) {
     allocate_scratch();
     coarse_engine_.execute(*this);
+    clamp_fill_uncovered_scratch();
     interpolate_coarse_fills();
     scratch_.clear();
   }
   execute_physical_boundaries();
 }
 
-std::size_t RefineSchedule::stream_size(std::size_t handle) const {
+TransferGeometry RefineSchedule::geometry(std::size_t handle) const {
   const Xact& x = xacts_[handle];
-  return overlap_stream_size(x.overlap,
-                             db_->variable(items_[x.item].var_id).depth);
+  TransferGeometry g;
+  g.overlap = &x.overlap;
+  g.depth = db_->variable(items_[x.item].var_id).depth;
+  // Destination-object id for the engine's write clipping: same-level
+  // transactions write (dst patch, item) data; gathers write (fill, item)
+  // scratch. The two kinds live in different engines, so the id spaces
+  // cannot collide.
+  const int n = static_cast<int>(items_.size());
+  g.dst_slot = x.kind == Xact::Kind::kSameLevel
+                   ? x.dst_gid * n + static_cast<int>(x.item)
+                   : static_cast<int>(x.fill) * n + static_cast<int>(x.item);
+  // When source and destination are the SAME level (halo exchange), the
+  // source arrays are themselves ghost-fill targets of this exchange:
+  // give them ids in the dst_slot space so the engine can snapshot seam
+  // reads that alias writes. Regrid transfers (old level -> new level)
+  // and gathers (coarse -> scratch) read arrays no transaction writes.
+  if (x.kind == Xact::Kind::kSameLevel && src_level_ == dst_level_) {
+    g.src_slot = x.src_gid * n + static_cast<int>(x.item);
+  }
+  return g;
 }
 
-void RefineSchedule::pack(pdat::MessageStream& stream, std::size_t handle) {
+TransferEndpoints RefineSchedule::endpoints(std::size_t handle) {
   const Xact& x = xacts_[handle];
+  TransferEndpoints ep;
   const PatchLevel& src_level =
       x.kind == Xact::Kind::kSameLevel ? *src_level_ : *coarse_level_;
-  const auto src = src_level.local_patch(x.src_gid);
-  RAMR_REQUIRE(src != nullptr, "missing local source patch");
-  src->data(items_[x.item].var_id).pack_stream(stream, x.overlap);
-}
-
-void RefineSchedule::unpack(pdat::MessageStream& stream, std::size_t handle) {
-  const Xact& x = xacts_[handle];
-  if (x.kind == Xact::Kind::kSameLevel) {
-    const auto dst = dst_level_->local_patch(x.dst_gid);
-    RAMR_REQUIRE(dst != nullptr, "missing local destination patch");
-    dst->data(items_[x.item].var_id).unpack_stream(stream, x.overlap);
-  } else {
-    scratch_[x.fill][x.item]->unpack_stream(stream, x.overlap);
+  if (const auto src = src_level.local_patch(x.src_gid)) {
+    ep.src = &src->data(items_[x.item].var_id);
   }
-}
-
-void RefineSchedule::copy_local(std::size_t handle) {
-  const Xact& x = xacts_[handle];
   if (x.kind == Xact::Kind::kSameLevel) {
-    const auto src = src_level_->local_patch(x.src_gid);
-    const auto dst = dst_level_->local_patch(x.dst_gid);
-    RAMR_REQUIRE(src != nullptr && dst != nullptr,
-                 "missing local patch for same-level copy");
-    dst->data(items_[x.item].var_id)
-        .copy(src->data(items_[x.item].var_id), x.overlap);
-  } else {
-    const auto src = coarse_level_->local_patch(x.src_gid);
-    RAMR_REQUIRE(src != nullptr, "missing local coarse patch");
-    scratch_[x.fill][x.item]->copy(src->data(items_[x.item].var_id), x.overlap);
+    if (const auto dst = dst_level_->local_patch(x.dst_gid)) {
+      ep.dst = &dst->data(items_[x.item].var_id);
+    }
+  } else if (!scratch_[x.fill].empty()) {
+    ep.dst = scratch_[x.fill][x.item].get();
   }
+  return ep;
 }
 
 void RefineSchedule::allocate_scratch() {
@@ -311,6 +350,70 @@ void RefineSchedule::allocate_scratch() {
         scratch_[f][n] = db_->factory(items_[n].var_id)
                              .allocate_with_ghosts(cf.scratch_cells,
                                                    IntVector::zero());
+      }
+    }
+  }
+}
+
+void RefineSchedule::clamp_fill_uncovered_scratch() {
+  // Constant-extrapolate the gathered data into the uncovered scratch
+  // corners: scratch(p) = scratch(clamp(p into nearest covered box)).
+  // The write regions exclude the source box, so reads and writes of the
+  // in-place kernel never alias; planning is replicated and only the dst
+  // owner executes, so every rank layout produces identical values.
+  const int me = ctx_->my_rank;
+  for (std::size_t f = 0; f < coarse_fills_.size(); ++f) {
+    const CoarseFill& cf = coarse_fills_[f];
+    if (cf.dst_owner != me || cf.uncovered_clamp.empty()) {
+      continue;
+    }
+    for (std::size_t n = 0; n < items_.size(); ++n) {
+      if (items_[n].op == nullptr) {
+        continue;
+      }
+      pdat::PatchData* scratch = scratch_[f][n].get();
+      if (!scratch->supports_transfer_views()) {
+        continue;  // host scratch: value-initialised storage, no raw reads
+      }
+      vgpu::Device& dev = *scratch->transfer_device();
+      vgpu::Stream stream(dev, "xfer");
+      const mesh::Centering centering = scratch->centering();
+      const int ncomp = mesh::centering_components(centering);
+      for (int k = 0; k < ncomp; ++k) {
+        const mesh::Centering comp = mesh::component_centering(centering, k);
+        for (const auto& [uncovered, source] : cf.uncovered_clamp) {
+          const Box src = mesh::to_centering(source, comp);
+          // Write only indices no covered box owns: mapping cells to the
+          // component's index space widens the region onto seam
+          // node/side lines shared with covered neighbours, which the
+          // gather just filled with real data.
+          BoxList pieces(mesh::to_centering(uncovered, comp));
+          for (const Box& c : cf.covered.boxes()) {
+            pieces.remove_intersections(mesh::to_centering(c, comp));
+          }
+          const int ilo_s = src.lower().i;
+          const int ihi_s = src.upper().i;
+          const int jlo_s = src.lower().j;
+          const int jhi_s = src.upper().j;
+          for (int d = 0; d < scratch->depth(); ++d) {
+            for (const Box& piece : pieces.boxes()) {
+              // The kernel reads clamped indices inside `src`, so request
+              // the view over the union's bounding box, as the
+              // transfer_view contract promises validity only there.
+              const Box span(std::min(piece.lower().i, src.lower().i),
+                             std::min(piece.lower().j, src.lower().j),
+                             std::max(piece.upper().i, src.upper().i),
+                             std::max(piece.upper().j, src.upper().j));
+              util::View v = scratch->transfer_view(k, d, span);
+              dev.launch2d(stream, piece.lower().i, piece.lower().j,
+                           piece.width(), piece.height(),
+                           vgpu::KernelCost{0.0, 16.0}, [=](int i, int j) {
+                             v(i, j) = v(std::clamp(i, ilo_s, ihi_s),
+                                         std::clamp(j, jlo_s, jhi_s));
+                           });
+            }
+          }
+        }
       }
     }
   }

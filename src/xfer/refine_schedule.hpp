@@ -12,11 +12,14 @@
 // metadata, so matching sends/receives need no negotiation. Execution is
 // delegated to the shared TransferSchedule engine: planning expands every
 // (edge, variable) pair into a Transaction with a precomputed overlap,
-// and each fill() exchanges ONE aggregated message per peer rank.
+// and the schedule implements TransferDelegate — describing each
+// transaction's geometry once (the engine compiles fused per-message
+// transfer plans from it) and binding endpoint objects each fill().
 #pragma once
 
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "hier/patch_hierarchy.hpp"
@@ -63,8 +66,9 @@ class RefineAlgorithm {
 };
 
 /// Executable communication plan. Rebuild after any regrid that changes
-/// the participating levels.
-class RefineSchedule : private TransactionDelegate {
+/// the participating levels (rebuilding also recompiles the engine's
+/// fused transfer plans — the plan cache is the schedule's lifetime).
+class RefineSchedule : private TransferDelegate {
  public:
   /// Moves the data. May be executed repeatedly (every timestep).
   void fill();
@@ -86,6 +90,11 @@ class RefineSchedule : private TransactionDelegate {
     return same_engine_.messages_received_per_exchange() +
            coarse_engine_.messages_received_per_exchange();
   }
+
+  /// The two engine exchanges of one fill (same-level, coarse gather),
+  /// for plan-level observability in tests.
+  const TransferSchedule& same_level_engine() const { return same_engine_; }
+  const TransferSchedule& coarse_engine() const { return coarse_engine_; }
 
  private:
   friend class RefineAlgorithm;
@@ -111,15 +120,26 @@ class RefineSchedule : private TransactionDelegate {
     int dst_owner = -1;
     mesh::Box scratch_cells;        ///< coarse cell box of the scratch
     mesh::BoxList fine_fill_cells;  ///< fine cell regions to interpolate
+    /// Pieces of scratch_cells no coarse source covers (stencil fringe
+    /// outside the coarse level's patch+ghost union), each paired with
+    /// the nearest covered box. fill() clamp-fills them after the gather
+    /// so interpolation stencils read defined, locally plausible values
+    /// instead of the raw allocation (seed bug: NaN densities after
+    /// regrids near coverage corners).
+    std::vector<std::pair<mesh::Box, mesh::Box>> uncovered_clamp;
+    /// The covered complement (scratch_cells minus the uncovered pieces):
+    /// the clamp fill must not overwrite any node/side seam index these
+    /// boxes own, however the cell-space pieces adjoin.
+    mesh::BoxList covered;
   };
 
-  // TransactionDelegate (shared engine callbacks).
-  std::size_t stream_size(std::size_t handle) const override;
-  void pack(pdat::MessageStream& stream, std::size_t handle) override;
-  void unpack(pdat::MessageStream& stream, std::size_t handle) override;
-  void copy_local(std::size_t handle) override;
+  // TransferDelegate (shared engine: geometry at compile, endpoints at
+  // execute).
+  TransferGeometry geometry(std::size_t handle) const override;
+  TransferEndpoints endpoints(std::size_t handle) override;
 
   void allocate_scratch();
+  void clamp_fill_uncovered_scratch();
   void interpolate_coarse_fills();
   void execute_physical_boundaries();
 

@@ -1,6 +1,9 @@
 #include "xfer/transfer_schedule.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
+#include "vgpu/device_buffer.hpp"
 
 namespace ramr::xfer {
 
@@ -14,16 +17,25 @@ struct MessageHeader {
   std::uint64_t payload_bytes = 0;
 };
 
+/// Pack / unpack / copy move 8 bytes in and 8 bytes out per thread (the
+/// same per-element cost the per-transaction kernels charge, so fusing
+/// changes launch overhead and occupancy, not per-element work).
+constexpr vgpu::KernelCost kXferCost{0.0, 16.0};
+
 }  // namespace
 
-void TransferSchedule::finalize(const TransactionDelegate& delegate) {
+void TransferSchedule::finalize(const TransferDelegate& delegate) {
   RAMR_REQUIRE(!finalized_, "TransferSchedule finalized twice");
   RAMR_REQUIRE(ctx_ != nullptr, "TransferSchedule used before initialize()");
   finalized_ = true;
 
   const int me = ctx_->my_rank;
+  geometry_.reserve(transactions_.size());
   for (std::size_t i = 0; i < transactions_.size(); ++i) {
     const Transaction& t = transactions_[i];
+    geometry_.push_back(delegate.geometry(t.handle));
+    RAMR_REQUIRE(geometry_.back().overlap != nullptr,
+                 "transaction described without an overlap");
     if (t.src_owner == t.dst_owner) {
       continue;  // local transactions are applied directly, never framed
     }
@@ -36,7 +48,8 @@ void TransferSchedule::finalize(const TransactionDelegate& delegate) {
       continue;  // between two other ranks; not our traffic
     }
     msg->transaction_indices.push_back(i);
-    msg->payload_bytes += delegate.stream_size(t.handle);
+    msg->payload_bytes +=
+        overlap_stream_size(*geometry_[i].overlap, geometry_[i].depth);
   }
   for (auto* messages : {&send_messages_, &recv_messages_}) {
     for (auto& [peer, msg] : *messages) {
@@ -48,14 +61,389 @@ void TransferSchedule::finalize(const TransactionDelegate& delegate) {
     (void)peer;
     bytes_sent_ += msg.wire_bytes;
   }
+  compile_plans();
 }
 
-void TransferSchedule::execute(TransactionDelegate& delegate) {
-  RAMR_REQUIRE(finalized_, "TransferSchedule executed before finalize()");
+void TransferSchedule::compile_plans() {
   const int me = ctx_->my_rank;
+
+  // Payload base (in doubles) of each framed transaction within its
+  // message — the same accumulation order the legacy per-transaction
+  // pack walks, so compiled and legacy endpoints agree on the wire.
+  std::vector<std::int64_t> payload_base(transactions_.size(), 0);
+  for (auto* messages : {&send_messages_, &recv_messages_}) {
+    for (auto& [peer, msg] : *messages) {
+      (void)peer;
+      std::int64_t base = 0;
+      for (const std::size_t i : msg.transaction_indices) {
+        payload_base[i] = base;
+        base += geometry_[i].overlap->element_count() * geometry_[i].depth;
+      }
+    }
+  }
+
+  // Pack plans: segments in SOURCE index space, in exact payload layout
+  // order — component-major, then depth plane, then overlap box, each box
+  // row-major — matching the byte layout PatchData::pack_stream produces.
+  // Pack only reads, so no clipping is needed and the segment-table
+  // offsets walk the payload contiguously.
+  for (const auto& [peer, msg] : send_messages_) {
+    Plan& plan = pack_plans_[peer];
+    plan.payload_doubles =
+        static_cast<std::int64_t>(msg.payload_bytes / sizeof(double));
+    for (const std::size_t i : msg.transaction_indices) {
+      const TransferGeometry& g = geometry_[i];
+      const mesh::IntVector shift = g.overlap->src_shift();
+      std::int64_t off = payload_base[i];
+      for (int k = 0; k < g.overlap->components(); ++k) {
+        for (int d = 0; d < g.depth; ++d) {
+          for (const mesh::Box& b : g.overlap->component(k).boxes()) {
+            const mesh::Box src = b.shift(mesh::IntVector(-shift.i, -shift.j));
+            PlanSeg op;
+            op.txn = static_cast<std::uint32_t>(i);
+            op.comp = static_cast<std::uint16_t>(k);
+            op.plane = static_cast<std::uint16_t>(d);
+            op.run_ilo = src.lower().i;
+            op.run_jlo = src.lower().j;
+            op.run_w = src.width();
+            op.payload_base = off;
+            plan.segs.add(src.lower().i, src.lower().j, src.width(),
+                          src.height());
+            plan.ops.push_back(op);
+            off += b.size();
+          }
+        }
+      }
+    }
+  }
+
+  // Destination-side write runs (local copies + unpacks) in GLOBAL plan
+  // order. Each run is clipped against every LATER run targeting the same
+  // (dst_slot, component, plane): only the last plan-order writer keeps
+  // each element, so the fused launches are free of intra-launch write
+  // conflicts and their any-order execution reproduces the sequential
+  // apply bit-for-bit.
+  struct WriteRun {
+    std::size_t txn;
+    int comp;
+    int plane;
+    mesh::Box box;          ///< un-clipped destination run
+    std::int64_t base;      ///< payload base of the run (unpack runs)
+  };
+  std::vector<WriteRun> runs;
+  std::map<std::tuple<int, int, int>, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < transactions_.size(); ++i) {
+    const Transaction& t = transactions_[i];
+    if (t.dst_owner != me) {
+      continue;
+    }
+    const TransferGeometry& g = geometry_[i];
+    std::int64_t off = t.src_owner == me ? 0 : payload_base[i];
+    for (int k = 0; k < g.overlap->components(); ++k) {
+      for (int d = 0; d < g.depth; ++d) {
+        for (const mesh::Box& b : g.overlap->component(k).boxes()) {
+          groups[{g.dst_slot, k, d}].push_back(runs.size());
+          runs.push_back(WriteRun{i, k, d, b, off});
+          off += b.size();
+        }
+      }
+    }
+  }
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const WriteRun& run = runs[r];
+    const TransferGeometry& g = geometry_[run.txn];
+    mesh::BoxList pieces(run.box);
+    for (const std::size_t q : groups[{g.dst_slot, run.comp, run.plane}]) {
+      if (q <= r) {
+        continue;
+      }
+      pieces.remove_intersections(runs[q].box);
+      if (pieces.empty()) {
+        break;
+      }
+    }
+    if (pieces.empty()) {
+      continue;  // fully overwritten by later plan-order writers
+    }
+    const Transaction& t = transactions_[run.txn];
+    const bool local = t.src_owner == me;
+    Plan& plan = local ? local_plan_ : unpack_plans_[t.src_owner];
+    const mesh::IntVector shift = g.overlap->src_shift();
+    for (const mesh::Box& piece : pieces.boxes()) {
+      PlanSeg op;
+      op.txn = static_cast<std::uint32_t>(run.txn);
+      op.comp = static_cast<std::uint16_t>(run.comp);
+      op.plane = static_cast<std::uint16_t>(run.plane);
+      op.shift_i = shift.i;
+      op.shift_j = shift.j;
+      if (local) {
+        // Local copies address no payload; the run fields address the
+        // snapshot buffer over the clipped piece itself (dst space).
+        op.run_ilo = piece.lower().i;
+        op.run_jlo = piece.lower().j;
+        op.run_w = piece.width();
+        // Snapshot reads that alias ANY write of this exchange: the
+        // source seam lines of node/side same-level fills are also
+        // ghost-fill targets, so a live read would race with (and
+        // order-depend on) the fused apply writes.
+        if (g.src_slot >= 0) {
+          const mesh::Box read_box = piece.shift(-shift);
+          for (const std::size_t q :
+               groups[{g.src_slot, run.comp, run.plane}]) {
+            if (!read_box.intersect(runs[q].box).empty()) {
+              op.staged = true;
+              break;
+            }
+          }
+        }
+        if (op.staged) {
+          op.payload_base = local_plan_.staging_doubles;
+          local_plan_.staging_doubles += piece.size();
+          local_plan_.staged_segs.add(piece.lower().i, piece.lower().j,
+                                      piece.width(), piece.height());
+          local_plan_.staged_ops.push_back(local_plan_.ops.size());
+        }
+      } else {
+        op.run_ilo = run.box.lower().i;
+        op.run_jlo = run.box.lower().j;
+        op.run_w = run.box.width();
+        op.payload_base = run.base;
+      }
+      plan.segs.add(piece.lower().i, piece.lower().j, piece.width(),
+                    piece.height());
+      plan.ops.push_back(op);
+    }
+  }
+  // Every received message has a plan entry even when its writes were
+  // fully clipped: the message must still be received and charged.
+  for (const auto& [peer, msg] : recv_messages_) {
+    unpack_plans_[peer].payload_doubles =
+        static_cast<std::int64_t>(msg.payload_bytes / sizeof(double));
+  }
+  plans_compiled_ = true;
+}
+
+bool TransferSchedule::bind(TransferDelegate& delegate) {
+  bindings_.assign(transactions_.size(), TransferEndpoints{});
+  plan_device_ = nullptr;
+  bool viewable = true;
+  const int me = ctx_->my_rank;
+  for (std::size_t i = 0; i < transactions_.size(); ++i) {
+    const Transaction& t = transactions_[i];
+    if (t.src_owner != me && t.dst_owner != me) {
+      continue;
+    }
+    TransferEndpoints ep = delegate.endpoints(t.handle);
+    if (t.src_owner == me) {
+      RAMR_REQUIRE(ep.src != nullptr, "missing local source object");
+    }
+    if (t.dst_owner == me) {
+      RAMR_REQUIRE(ep.dst != nullptr, "missing local destination object");
+    }
+    for (pdat::PatchData* data : {t.src_owner == me ? ep.src : nullptr,
+                                  t.dst_owner == me ? ep.dst : nullptr}) {
+      if (data == nullptr) {
+        continue;
+      }
+      if (!data->supports_transfer_views()) {
+        viewable = false;
+        continue;
+      }
+      vgpu::Device* dev = data->transfer_device();
+      if (plan_device_ == nullptr) {
+        plan_device_ = dev;
+      } else if (plan_device_ != dev) {
+        viewable = false;  // cross-device endpoints: stage per transaction
+      }
+    }
+    bindings_[i] = ep;
+  }
+  return viewable && plan_device_ != nullptr;
+}
+
+void TransferSchedule::execute(TransferDelegate& delegate) {
+  RAMR_REQUIRE(finalized_, "TransferSchedule executed before finalize()");
   const bool remote = !send_messages_.empty() || !recv_messages_.empty();
   RAMR_REQUIRE(!remote || ctx_->comm != nullptr,
                "distributed transfer plan without a communicator");
+  const bool viewable = bind(delegate);
+  if (ctx_->compiled_transfer && viewable) {
+    ++compiled_executions_;
+    execute_compiled();
+  } else {
+    ++legacy_executions_;
+    execute_legacy();
+  }
+}
+
+std::vector<util::View> TransferSchedule::resolve_views(const Plan& plan,
+                                                        bool src_side) const {
+  // Rebind each segment to its endpoint's current device view: the
+  // geometric plan is stable across executes, only the object pointers
+  // (per-exchange scratch) change.
+  std::vector<util::View> views;
+  views.reserve(plan.ops.size());
+  for (std::size_t s = 0; s < plan.ops.size(); ++s) {
+    const PlanSeg& op = plan.ops[s];
+    const TransferEndpoints& ep = bindings_[op.txn];
+    pdat::PatchData* data = src_side ? ep.src : ep.dst;
+    RAMR_DEBUG_ASSERT(data != nullptr);
+    const vgpu::LaunchSeg2D& seg = plan.segs.segment(s);
+    mesh::Box region(seg.ilo, seg.jlo, seg.ilo + seg.width - 1,
+                     seg.jlo + seg.height - 1);
+    if (src_side && (op.shift_i != 0 || op.shift_j != 0)) {
+      region = region.shift(mesh::IntVector(-op.shift_i, -op.shift_j));
+    }
+    views.push_back(data->transfer_view(op.comp, op.plane, region));
+  }
+  return views;
+}
+
+void TransferSchedule::execute_compiled() {
+  vgpu::Device& dev = *plan_device_;
+  vgpu::Stream stream(dev, "xfer");
+
+  // 1. Post every receive before any packing happens.
+  std::map<int, simmpi::Request> recvs;
+  for (const auto& [peer, msg] : recv_messages_) {
+    (void)msg;
+    recvs.emplace(peer, ctx_->comm->irecv(peer, tag_));
+  }
+
+  // 2. One fused gather launch + ONE PCIe crossing + one isend per
+  //    outgoing peer message.
+  std::vector<pdat::MessageStream> send_streams;
+  send_streams.reserve(send_messages_.size());
+  std::vector<simmpi::Request> sends;
+  sends.reserve(send_messages_.size());
+  for (const auto& [peer, msg] : send_messages_) {
+    const Plan& plan = pack_plans_.at(peer);
+    vgpu::DeviceBuffer<double> staging(dev, plan.payload_doubles);
+    const std::vector<util::View> views = resolve_views(plan, /*src_side=*/true);
+    double* out = staging.device_ptr();
+    const PlanSeg* ops = plan.ops.data();
+    const util::View* v = views.data();
+    {
+      vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kTransferPack);
+      dev.launch_batched(
+          stream, plan.segs, kXferCost, [=](std::size_t s, int i, int j) {
+            const PlanSeg& op = ops[s];
+            out[op.payload_base +
+                static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
+                (i - op.run_ilo)] = v[s](i, j);
+          });
+    }
+    pdat::MessageStream ms;
+    ms.reserve(msg.wire_bytes);
+    MessageHeader header;
+    header.transaction_count =
+        static_cast<std::uint32_t>(msg.transaction_indices.size());
+    header.payload_bytes = msg.payload_bytes;
+    ms.write(header);
+    std::byte* dst = ms.grow(msg.payload_bytes);
+    dev.memcpy_d2h(dst, staging.device_ptr(), msg.payload_bytes);
+    RAMR_REQUIRE(ms.size() == msg.wire_bytes,
+                 "aggregated message to rank " << peer << " packed "
+                 << ms.size() << " bytes, planned " << msg.wire_bytes);
+    send_streams.push_back(std::move(ms));
+    sends.push_back(ctx_->comm->isend(peer, tag_, send_streams.back().data(),
+                                      send_streams.back().size()));
+  }
+
+  // 3. ONE fused local-copy launch per exchange. Compile-time clipping
+  //    made all remaining writes (here and in the unpack plans) disjoint,
+  //    so the order between this launch and the per-peer scatters is
+  //    free — every element receives exactly its last plan-order writer.
+  //    Reads that alias any of the exchange's writes (node/side seam
+  //    lines) go through a pre-apply snapshot — one extra gather launch,
+  //    issued before any apply write, so every copied value is the
+  //    pre-exchange source value, identical to what a remote peer's pack
+  //    ships regardless of the rank layout.
+  if (local_plan_.segs.total_threads() > 0) {
+    const std::vector<util::View> dst_views =
+        resolve_views(local_plan_, /*src_side=*/false);
+    const std::vector<util::View> src_views =
+        resolve_views(local_plan_, /*src_side=*/true);
+    const PlanSeg* ops = local_plan_.ops.data();
+    const util::View* dv = dst_views.data();
+    const util::View* sv = src_views.data();
+    vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kLocalCopy);
+    vgpu::DeviceBuffer<double> snapshot(
+        dev, std::max<std::int64_t>(local_plan_.staging_doubles, 1));
+    double* snap = snapshot.device_ptr();
+    if (local_plan_.staging_doubles > 0) {
+      const std::size_t* staged = local_plan_.staged_ops.data();
+      dev.launch_batched(stream, local_plan_.staged_segs, kXferCost,
+                         [=](std::size_t t, int i, int j) {
+                           const PlanSeg& op = ops[staged[t]];
+                           snap[op.payload_base +
+                                static_cast<std::int64_t>(j - op.run_jlo) *
+                                    op.run_w +
+                                (i - op.run_ilo)] =
+                               sv[staged[t]](i - op.shift_i, j - op.shift_j);
+                         });
+    }
+    dev.launch_batched(
+        stream, local_plan_.segs, kXferCost, [=](std::size_t s, int i, int j) {
+          const PlanSeg& op = ops[s];
+          dv[s](i, j) =
+              op.staged
+                  ? snap[op.payload_base +
+                         static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
+                         (i - op.run_ilo)]
+                  : sv[s](i - op.shift_i, j - op.shift_j);
+        });
+  }
+
+  // 4. Per received message: ONE upload crossing + one fused scatter
+  //    launch.
+  for (const auto& [peer, msg] : recv_messages_) {
+    auto rit = recvs.find(peer);
+    RAMR_REQUIRE(rit != recvs.end(), "no posted receive for rank " << peer);
+    ctx_->comm->wait(rit->second);
+    pdat::MessageStream ms(rit->second.take_payload());
+    RAMR_REQUIRE(ms.size() == msg.wire_bytes,
+                 "aggregated message from rank " << peer << " is "
+                 << ms.size() << " bytes, planned " << msg.wire_bytes);
+    const auto header = ms.read<MessageHeader>();
+    RAMR_REQUIRE(header.transaction_count == msg.transaction_indices.size() &&
+                     header.payload_bytes == msg.payload_bytes,
+                 "aggregated message frame mismatch from rank " << peer);
+    const Plan& plan = unpack_plans_.at(peer);
+    vgpu::DeviceBuffer<double> staging(dev, plan.payload_doubles);
+    const std::byte* src = ms.view_and_skip(msg.payload_bytes);
+    dev.memcpy_h2d(staging.device_ptr(), src, msg.payload_bytes);
+    RAMR_REQUIRE(ms.fully_consumed(), "aggregated message from rank " << peer
+                 << " not fully consumed: " << ms.read_position() << " of "
+                 << ms.size());
+    if (plan.segs.total_threads() > 0) {
+      const std::vector<util::View> views =
+          resolve_views(plan, /*src_side=*/false);
+      const PlanSeg* ops = plan.ops.data();
+      const util::View* v = views.data();
+      const double* in = staging.device_ptr();
+      vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kTransferUnpack);
+      dev.launch_batched(
+          stream, plan.segs, kXferCost, [=](std::size_t s, int i, int j) {
+            const PlanSeg& op = ops[s];
+            v[s](i, j) =
+                in[op.payload_base +
+                   static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
+                   (i - op.run_ilo)];
+          });
+    }
+  }
+  if (!sends.empty()) {
+    ctx_->comm->wait_all(sends);
+  }
+}
+
+void TransferSchedule::execute_legacy() {
+  // Per-transaction path over PatchData::pack_stream / unpack_stream /
+  // copy: the fallback for data without view export, and the
+  // differential-testing reference for the compiled plans (identical
+  // wire format, identical plan-order apply).
+  const int me = ctx_->my_rank;
 
   // 1. Post every receive before any packing happens.
   std::map<int, simmpi::Request> recvs;
@@ -81,8 +469,10 @@ void TransferSchedule::execute(TransactionDelegate& delegate) {
     ms.write(header);
     {
       vgpu::TransferBatch batch(ctx_->device);
+      vgpu::LaunchTagScope tag_scope(plan_device_,
+                                     vgpu::LaunchTag::kTransferPack);
       for (const std::size_t i : msg.transaction_indices) {
-        delegate.pack(ms, transactions_[i].handle);
+        bindings_[i].src->pack_stream(ms, *geometry_[i].overlap);
       }
     }
     RAMR_REQUIRE(ms.size() == msg.wire_bytes,
@@ -93,22 +483,52 @@ void TransferSchedule::execute(TransactionDelegate& delegate) {
                                       send_streams.back().size()));
   }
 
-  // 3. Apply in plan order. Each peer's stream is opened (and its frame
+  // 3. Stage every LOCAL transaction's source before any apply write —
+  //    the same pack-then-apply snapshot a remote peer performs (remote
+  //    payloads are always packed before the apply phase), so a local
+  //    copy can never observe this exchange's writes. Without this,
+  //    seam values of node/side data could depend on the rank layout
+  //    (an in-place serial copy chains through earlier writes, a packed
+  //    remote copy does not). The absorbing batch keeps the modeled PCIe
+  //    account clean: local staging never crosses the bus.
+  std::map<std::size_t, pdat::MessageStream> local_streams;
+  {
+    vgpu::TransferBatch local_batch(ctx_->device, /*absorb=*/true);
+    vgpu::LaunchTagScope tag_scope(plan_device_, vgpu::LaunchTag::kLocalCopy);
+    for (std::size_t i = 0; i < transactions_.size(); ++i) {
+      const Transaction& t = transactions_[i];
+      if (t.src_owner != me || t.dst_owner != me) {
+        continue;
+      }
+      pdat::MessageStream ms;
+      bindings_[i].src->pack_stream(ms, *geometry_[i].overlap);
+      local_streams.emplace(i, std::move(ms));
+    }
+  }
+
+  // 4. Apply in plan order. Each peer's stream is opened (and its frame
   //    validated) on first use and then consumed sequentially — the
   //    sender packed it in the same replicated plan order. Each received
   //    aggregated buffer is charged as ONE modeled PCIe crossing when it
   //    is opened; the absorbing batch swallows the per-transaction
   //    staging uploads, which interleave across peers and are part of
-  //    those already-charged buffers.
+  //    those already-charged buffers (and the local snapshot downloads,
+  //    which never really cross the bus).
   std::map<int, pdat::MessageStream> streams;
-  vgpu::TransferBatch unpack_batch(recvs.empty() ? nullptr : ctx_->device,
-                                   /*absorb=*/true);
-  for (const Transaction& t : transactions_) {
+  vgpu::TransferBatch unpack_batch(
+      recvs.empty() && local_streams.empty() ? nullptr : ctx_->device,
+      /*absorb=*/true);
+  for (std::size_t i = 0; i < transactions_.size(); ++i) {
+    const Transaction& t = transactions_[i];
     if (t.dst_owner != me) {
       continue;
     }
     if (t.src_owner == me) {
-      delegate.copy_local(t.handle);
+      vgpu::LaunchTagScope tag_scope(plan_device_,
+                                     vgpu::LaunchTag::kLocalCopy);
+      auto ls = local_streams.find(i);
+      RAMR_DEBUG_ASSERT(ls != local_streams.end());
+      bindings_[i].dst->unpack_stream(ls->second, *geometry_[i].overlap);
       continue;
     }
     auto it = streams.find(t.src_owner);
@@ -133,7 +553,9 @@ void TransferSchedule::execute(TransactionDelegate& delegate) {
       }
       it = streams.emplace(t.src_owner, std::move(ms)).first;
     }
-    delegate.unpack(it->second, t.handle);
+    vgpu::LaunchTagScope tag_scope(plan_device_,
+                                   vgpu::LaunchTag::kTransferUnpack);
+    bindings_[i].dst->unpack_stream(it->second, *geometry_[i].overlap);
   }
   for (auto& [peer, ms] : streams) {
     RAMR_REQUIRE(ms.fully_consumed(), "aggregated message from rank " << peer

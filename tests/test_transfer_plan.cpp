@@ -1,0 +1,484 @@
+// Compiled transfer plans (xfer::TransferSchedule): plan compilation and
+// caching, fused launch budgets (pack launches == messages sent, unpack
+// launches == messages received, one local-copy launch per exchange),
+// bit-exactness against the per-transaction legacy path over full runs
+// with regrids, and plan-cache invalidation on schedule rebuild.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "app/simulation.hpp"
+#include "geom/refine_operators.hpp"
+#include "hier/patch_hierarchy.hpp"
+#include "pdat/cuda/cuda_data.hpp"
+#include "simmpi/communicator.hpp"
+#include "xfer/refine_schedule.hpp"
+
+namespace ramr::xfer {
+namespace {
+
+using hier::GlobalPatch;
+using hier::PatchHierarchy;
+using hier::PatchLevel;
+using mesh::Box;
+using mesh::Centering;
+using mesh::IntVector;
+using pdat::cuda::CudaData;
+using vgpu::LaunchTag;
+
+/// Two-level hierarchy: level 0 has two side-by-side patches covering a
+/// 16x8 domain; level 1 refines the middle 8x4 region (ratio 2).
+struct Fixture {
+  vgpu::Device device{vgpu::tesla_k20x()};
+  PatchHierarchy hierarchy;
+  int var = -1;
+  int var2 = -1;
+  ParallelContext ctx;
+
+  explicit Fixture(Centering centering = Centering::kCell, int rank = 0,
+                   int world = 1, simmpi::Communicator* comm = nullptr)
+      : hierarchy(mesh::GridGeometry(Box(0, 0, 15, 7), {0.0, 0.0}, {2.0, 1.0}),
+                  2, IntVector(2, 2), rank, world) {
+    ctx.my_rank = rank;
+    ctx.world_size = world;
+    ctx.comm = comm;
+    var = hierarchy.variables().register_variable(
+        hier::Variable{"u", centering, 1, IntVector(2, 2)},
+        std::make_shared<pdat::cuda::CudaDataFactory>(device, centering,
+                                                      IntVector(2, 2), 1));
+    var2 = hierarchy.variables().register_variable(
+        hier::Variable{"v", centering, 1, IntVector(2, 2)},
+        std::make_shared<pdat::cuda::CudaDataFactory>(device, centering,
+                                                      IntVector(2, 2), 1));
+    std::vector<GlobalPatch> l0 = {{Box(0, 0, 7, 7), 0, 0},
+                                   {Box(8, 0, 15, 7), world > 1 ? 1 : 0, 1}};
+    auto level0 = std::make_shared<PatchLevel>(0, IntVector(1, 1),
+                                               IntVector(1, 1), l0, rank,
+                                               hierarchy.geometry());
+    level0->allocate_data(hierarchy.variables());
+    hierarchy.set_level(0, level0);
+    std::vector<GlobalPatch> l1 = {{Box(8, 4, 23, 11), 0, 0}};
+    auto level1 = std::make_shared<PatchLevel>(1, IntVector(2, 2),
+                                               IntVector(2, 2), l1, rank,
+                                               hierarchy.geometry());
+    level1->allocate_data(hierarchy.variables());
+    hierarchy.set_level(1, level1);
+  }
+
+  void fill(hier::Patch& p, const std::function<double(int, int)>& f,
+            int which = -1) {
+    auto& cd = p.typed_data<CudaData>(which < 0 ? var : which);
+    for (int k = 0; k < cd.components(); ++k) {
+      const Box ib = cd.component(k).index_box();
+      std::vector<double> plane(static_cast<std::size_t>(ib.size()));
+      std::size_t n = 0;
+      for (int j = ib.lower().j; j <= ib.upper().j; ++j) {
+        for (int i = ib.lower().i; i <= ib.upper().i; ++i) {
+          plane[n++] = f(i, j) + 1000.0 * k;
+        }
+      }
+      cd.component(k).upload_plane(plane);
+    }
+  }
+
+  double at(hier::Patch& p, int i, int j, int k = 0, int which = -1) {
+    auto& cd = p.typed_data<CudaData>(which < 0 ? var : which);
+    const Box ib = cd.component(k).index_box();
+    const auto plane = cd.component(k).download_plane();
+    return plane[static_cast<std::size_t>((j - ib.lower().j) * ib.width() +
+                                          (i - ib.lower().i))];
+  }
+};
+
+std::uint64_t tag_count(const vgpu::Device& dev, LaunchTag tag) {
+  return dev.launch_count(tag);
+}
+
+TEST(TransferPlan, PlansCompileOnFinalizeAndCacheAcrossExecutes) {
+  Fixture f;
+  auto level0 = f.hierarchy.level_ptr(0);
+  f.fill(*level0->local_patch(0), [](int i, int j) { return 10.0 * i + j; });
+  f.fill(*level0->local_patch(1), [](int i, int j) { return -3.0 * i + j; });
+
+  RefineAlgorithm alg;
+  alg.add(RefineItem{f.var, nullptr});
+  auto sched = alg.create_schedule(level0, level0, nullptr,
+                                   f.hierarchy.variables(), f.ctx, nullptr,
+                                   FillMode::kGhostsOnly);
+  // Compilation happens in finalize (inside create_schedule), before any
+  // execute.
+  const TransferSchedule& engine = sched->same_level_engine();
+  EXPECT_TRUE(engine.plans_compiled());
+  EXPECT_GT(engine.plan_segment_count(), 0u);
+  const std::size_t segments = engine.plan_segment_count();
+
+  sched->fill();
+  sched->fill();
+  // Both executes ran the compiled path against the SAME cached plan.
+  EXPECT_EQ(engine.compiled_executions(), 2u);
+  EXPECT_EQ(engine.legacy_executions(), 0u);
+  EXPECT_EQ(engine.plan_segment_count(), segments);
+  // Repeated fills are idempotent on already-exchanged data.
+  EXPECT_DOUBLE_EQ(f.at(*level0->local_patch(0), 8, 3), -3.0 * 8 + 3);
+}
+
+TEST(TransferPlan, OneLocalCopyLaunchPerExchange) {
+  // Serial fill: every transaction is local, so the whole exchange (two
+  // variables, several patch edges and overlap strips) must cost exactly
+  // ONE fused local-copy device launch — and zero pack/unpack launches.
+  Fixture f;
+  auto level0 = f.hierarchy.level_ptr(0);
+  for (int gid : {0, 1}) {
+    f.fill(*level0->local_patch(gid),
+           [gid](int i, int j) { return gid * 100.0 + i + 0.01 * j; }, f.var);
+    f.fill(*level0->local_patch(gid),
+           [gid](int i, int j) { return gid * -7.0 + j - 0.5 * i; }, f.var2);
+  }
+  RefineAlgorithm alg;
+  alg.add(RefineItem{f.var, nullptr});
+  alg.add(RefineItem{f.var2, nullptr});
+  auto sched = alg.create_schedule(level0, level0, nullptr,
+                                   f.hierarchy.variables(), f.ctx, nullptr,
+                                   FillMode::kGhostsOnly);
+  ASSERT_GT(sched->same_level_engine().transaction_count(), 2u);
+
+  const std::uint64_t copy0 = tag_count(f.device, LaunchTag::kLocalCopy);
+  const std::uint64_t pack0 = tag_count(f.device, LaunchTag::kTransferPack);
+  const std::uint64_t unpack0 = tag_count(f.device, LaunchTag::kTransferUnpack);
+  sched->fill();
+  EXPECT_EQ(tag_count(f.device, LaunchTag::kLocalCopy) - copy0, 1u);
+  EXPECT_EQ(tag_count(f.device, LaunchTag::kTransferPack) - pack0, 0u);
+  EXPECT_EQ(tag_count(f.device, LaunchTag::kTransferUnpack) - unpack0, 0u);
+  // Values match the per-transaction semantics.
+  EXPECT_DOUBLE_EQ(f.at(*level0->local_patch(0), 8, 3, 0, f.var),
+                   100.0 + 8 + 0.01 * 3);
+  EXPECT_DOUBLE_EQ(f.at(*level0->local_patch(1), 7, 5, 0, f.var2), 5 - 0.5 * 7);
+}
+
+TEST(TransferPlan, PackUnpackLaunchesEqualMessageCounts) {
+  // Two ranks: each sends ONE aggregated message per fill, so each rank
+  // must issue exactly one fused pack launch and one fused unpack launch
+  // (plus at most one local-copy launch), however many transactions the
+  // message carries.
+  simmpi::World world(2, simmpi::ideal_network());
+  world.run([](simmpi::Communicator& comm) {
+    Fixture f(Centering::kCell, comm.rank(), 2, &comm);
+    f.ctx.device = &f.device;
+    auto level0 = f.hierarchy.level_ptr(0);
+    const auto fu = [](int i, int j) { return 100.0 * i + j; };
+    const auto fv = [](int i, int j) { return -7.0 * i + 1.0 / (j + 3.0); };
+    for (int gid : {0, 1}) {
+      if (auto p = level0->local_patch(gid)) {
+        f.fill(*p, fu, f.var);
+        f.fill(*p, fv, f.var2);
+      }
+    }
+    RefineAlgorithm alg;
+    alg.add(RefineItem{f.var, nullptr});
+    alg.add(RefineItem{f.var2, nullptr});
+    auto sched = alg.create_schedule(level0, level0, nullptr,
+                                     f.hierarchy.variables(), f.ctx, nullptr,
+                                     FillMode::kGhostsOnly);
+
+    const std::uint64_t pack0 = tag_count(f.device, LaunchTag::kTransferPack);
+    const std::uint64_t unpack0 =
+        tag_count(f.device, LaunchTag::kTransferUnpack);
+    sched->fill();
+    EXPECT_EQ(tag_count(f.device, LaunchTag::kTransferPack) - pack0,
+              sched->messages_sent_per_fill());
+    EXPECT_EQ(tag_count(f.device, LaunchTag::kTransferUnpack) - unpack0,
+              sched->messages_received_per_fill());
+    EXPECT_EQ(sched->messages_sent_per_fill(), 1u);
+    EXPECT_EQ(sched->messages_received_per_fill(), 1u);
+    // Ghost values are bit-exact copies of the remote field.
+    if (comm.rank() == 0) {
+      EXPECT_EQ(f.at(*level0->local_patch(0), 8, 3, 0, f.var), fu(8, 3));
+      EXPECT_EQ(f.at(*level0->local_patch(0), 9, 0, 0, f.var2), fv(9, 0));
+    } else {
+      EXPECT_EQ(f.at(*level0->local_patch(1), 7, 5, 0, f.var), fu(7, 5));
+      EXPECT_EQ(f.at(*level0->local_patch(1), 6, 7, 0, f.var2), fv(6, 7));
+    }
+  });
+}
+
+TEST(TransferPlan, CompiledMatchesLegacyGhostsBitwise) {
+  // Same fixture, same data: one fill through the compiled plans, one
+  // through the per-transaction legacy path (ctx.compiled_transfer off);
+  // every value of every component must match bit for bit — including
+  // the node-seam overlaps the compiler clips to last-writer-wins.
+  for (const Centering centering : {Centering::kCell, Centering::kNode,
+                                    Centering::kSide}) {
+    Fixture compiled(centering);
+    Fixture legacy(centering);
+    legacy.ctx.compiled_transfer = false;
+    for (Fixture* f : {&compiled, &legacy}) {
+      auto level0 = f->hierarchy.level_ptr(0);
+      for (int gid : {0, 1}) {
+        f->fill(*level0->local_patch(gid), [gid](int i, int j) {
+          return std::sin(0.3 * i) * (gid + 1.0) + 0.02 * j;
+        });
+        f->fill(*level0->local_patch(gid), [gid](int i, int j) {
+          return std::cos(0.2 * j) - gid * i;
+        }, f->var2);
+      }
+      RefineAlgorithm alg;
+      alg.add(RefineItem{f->var, nullptr});
+      alg.add(RefineItem{f->var2, nullptr});
+      auto sched = alg.create_schedule(level0, level0, nullptr,
+                                       f->hierarchy.variables(), f->ctx,
+                                       nullptr, FillMode::kGhostsOnly);
+      sched->fill();
+      if (f == &compiled) {
+        EXPECT_EQ(sched->same_level_engine().compiled_executions(), 1u);
+      } else {
+        EXPECT_EQ(sched->same_level_engine().legacy_executions(), 1u);
+      }
+    }
+    for (int gid : {0, 1}) {
+      auto pc = compiled.hierarchy.level_ptr(0)->local_patch(gid);
+      auto pl = legacy.hierarchy.level_ptr(0)->local_patch(gid);
+      for (int which : {compiled.var, compiled.var2}) {
+        auto& cc = pc->typed_data<CudaData>(which);
+        auto& cl = pl->typed_data<CudaData>(which);
+        for (int k = 0; k < cc.components(); ++k) {
+          const auto a = cc.component(k).download_plane();
+          const auto b = cl.component(k).download_plane();
+          ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)),
+                    0)
+              << "centering " << static_cast<int>(centering) << " patch "
+              << gid << " var " << which << " comp " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(TransferPlan, SeamReadsSnapshotPreExchangeValues) {
+  // Node-centred halo exchange: the destination ghost region includes the
+  // patch-boundary node line, so each patch's seam column is both READ
+  // (as the neighbour's source) and WRITTEN (as a ghost target) within
+  // one exchange. The compiler snapshots such aliased reads before any
+  // apply write (one extra gather launch), so every copied value is the
+  // pre-exchange source value — exactly what a remote peer's pack ships.
+  // Make the two patches DISAGREE at the seam and check both properties.
+  const auto fp = [](int i, int j) { return 1000.0 + 10.0 * i + j; };
+  const auto fq = [](int i, int j) { return -2000.0 - 10.0 * i - j; };
+  const auto run = [&](int world, simmpi::Communicator* comm, int rank,
+                       double* left_ghost, double* right_ghost,
+                       std::uint64_t* copy_launches) {
+    Fixture f(Centering::kNode, rank, world, comm);
+    auto level0 = f.hierarchy.level_ptr(0);
+    if (auto p = level0->local_patch(0)) {
+      f.fill(*p, fp);
+    }
+    if (auto p = level0->local_patch(1)) {
+      f.fill(*p, fq);
+    }
+    RefineAlgorithm alg;
+    alg.add(RefineItem{f.var, nullptr});
+    auto sched = alg.create_schedule(level0, level0, nullptr,
+                                     f.hierarchy.variables(), f.ctx, nullptr,
+                                     FillMode::kGhostsOnly);
+    const std::uint64_t copy0 = tag_count(f.device, LaunchTag::kLocalCopy);
+    sched->fill();
+    if (copy_launches != nullptr) {
+      *copy_launches = tag_count(f.device, LaunchTag::kLocalCopy) - copy0;
+    }
+    // Patch 0's seam column (node i = 8) is ghost-filled from patch 1;
+    // patch 1's from patch 0.
+    if (auto p = level0->local_patch(0)) {
+      *left_ghost = f.at(*p, 8, 3);
+    }
+    if (auto p = level0->local_patch(1)) {
+      *right_ghost = f.at(*p, 8, 5);
+    }
+  };
+
+  double serial_left = 0.0;
+  double serial_right = 0.0;
+  std::uint64_t serial_copies = 0;
+  run(1, nullptr, 0, &serial_left, &serial_right, &serial_copies);
+  // Each ghost holds the NEIGHBOUR's pre-exchange value, not a chained
+  // round-trip of its own.
+  EXPECT_EQ(serial_left, fq(8, 3));
+  EXPECT_EQ(serial_right, fp(8, 5));
+  // Seam aliasing engaged the snapshot stage: gather + apply launches.
+  EXPECT_EQ(serial_copies, 2u);
+
+  // The same exchange split across two ranks (where the values travel as
+  // packed messages) lands bit-identically: local copies have the same
+  // pack-then-apply semantics as remote transfers.
+  simmpi::World world(2, simmpi::ideal_network());
+  double dist_left = 0.0;
+  double dist_right = 0.0;
+  world.run([&](simmpi::Communicator& comm) {
+    run(2, &comm, comm.rank(), &dist_left, &dist_right, nullptr);
+  });
+  EXPECT_EQ(dist_left, serial_left);
+  EXPECT_EQ(dist_right, serial_right);
+}
+
+TEST(TransferPlan, RebuiltScheduleRecompilesPlans) {
+  // The plan cache lives and dies with the schedule: rebuilding (what the
+  // integrator does after every regrid) compiles fresh plans from the new
+  // metadata and executes correctly.
+  Fixture f;
+  auto level0 = f.hierarchy.level_ptr(0);
+  f.fill(*level0->local_patch(0), [](int i, int j) { return i + 100.0 * j; });
+  f.fill(*level0->local_patch(1), [](int i, int j) { return i - 100.0 * j; });
+  RefineAlgorithm alg;
+  alg.add(RefineItem{f.var, nullptr});
+  auto first = alg.create_schedule(level0, level0, nullptr,
+                                   f.hierarchy.variables(), f.ctx, nullptr,
+                                   FillMode::kGhostsOnly);
+  first->fill();
+  EXPECT_EQ(first->same_level_engine().compiled_executions(), 1u);
+
+  auto rebuilt = alg.create_schedule(level0, level0, nullptr,
+                                     f.hierarchy.variables(), f.ctx, nullptr,
+                                     FillMode::kGhostsOnly);
+  EXPECT_TRUE(rebuilt->same_level_engine().plans_compiled());
+  EXPECT_EQ(rebuilt->same_level_engine().compiled_executions(), 0u);
+  rebuilt->fill();
+  EXPECT_EQ(rebuilt->same_level_engine().compiled_executions(), 1u);
+  EXPECT_DOUBLE_EQ(f.at(*level0->local_patch(0), 9, 2), 9 - 100.0 * 2);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: compiled plans against the legacy path through full steps.
+
+app::SimulationConfig multi_patch_sod() {
+  app::SimulationConfig cfg;
+  cfg.problem = app::ProblemKind::kSod;
+  cfg.nx = 64;
+  cfg.ny = 64;
+  cfg.max_levels = 3;
+  cfg.regrid_interval = 4;  // include regrids in the comparison window
+  cfg.max_patch_cells = 16 * 16;  // force many patches per level
+  cfg.min_patch_size = 8;
+  return cfg;
+}
+
+TEST(TransferPlan, BitIdenticalToLegacyAfterTenStepsWithRegrids) {
+  // Ten full steps crossing two regrids: every field of every patch must
+  // match the legacy per-transaction path bit for bit. Regrids rebuild
+  // the schedules, so this also covers plan-cache invalidation: stale
+  // plans on the new hierarchy would corrupt fields or throw.
+  app::SimulationConfig compiled_cfg = multi_patch_sod();
+  compiled_cfg.compiled_transfer = true;
+  app::SimulationConfig legacy_cfg = multi_patch_sod();
+  legacy_cfg.compiled_transfer = false;
+
+  app::Simulation compiled(compiled_cfg, nullptr);
+  app::Simulation legacy(legacy_cfg, nullptr);
+  compiled.initialize();
+  legacy.initialize();
+  compiled.run(10);
+  legacy.run(10);
+
+  ASSERT_EQ(compiled.hierarchy().num_levels(), legacy.hierarchy().num_levels());
+  ASSERT_DOUBLE_EQ(compiled.last_dt(), legacy.last_dt());
+  int patches_checked = 0;
+  for (int l = 0; l < compiled.hierarchy().num_levels(); ++l) {
+    hier::PatchLevel& lc = compiled.hierarchy().level(l);
+    hier::PatchLevel& ll = legacy.hierarchy().level(l);
+    ASSERT_EQ(lc.patch_count(), ll.patch_count());
+    for (const auto& pc : lc.local_patches()) {
+      const auto pl = ll.local_patch(pc->global_id());
+      ASSERT_NE(pl, nullptr);
+      ASSERT_EQ(pc->box(), pl->box());
+      ++patches_checked;
+      for (int id = 0; id < pc->data_count(); ++id) {
+        const auto& dc = pc->typed_data<CudaData>(id);
+        const auto& dl = pl->typed_data<CudaData>(id);
+        const Centering centering =
+            compiled.hierarchy().variables().variable(id).centering;
+        for (int k = 0; k < dc.components(); ++k) {
+          // Compare the patch interior in the component's index space:
+          // every stage rewrites it each step. (Ghost cells of
+          // non-communicated fields keep whatever the raw allocation
+          // held, which is not part of the bit-exactness contract.)
+          const Box region = mesh::to_centering(
+              pc->box(), mesh::component_centering(centering, k));
+          for (int d = 0; d < dc.component(k).depth(); ++d) {
+            const util::View vc = dc.device_view(k, d);
+            const util::View vl = dl.device_view(k, d);
+            std::int64_t mismatches = 0;
+            for (int j = region.lower().j; j <= region.upper().j; ++j) {
+              for (int i = region.lower().i; i <= region.upper().i; ++i) {
+                const double a = vc(i, j);
+                const double b = vl(i, j);
+                mismatches += std::memcmp(&a, &b, sizeof(double)) != 0;
+              }
+            }
+            ASSERT_EQ(mismatches, 0)
+                << "level " << l << " patch " << pc->global_id() << " var "
+                << id << " comp " << k << " depth " << d;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(patches_checked, 3);
+  const auto sc = compiled.composite_summary();
+  const auto sl = legacy.composite_summary();
+  EXPECT_DOUBLE_EQ(sc.mass, sl.mass);
+  EXPECT_DOUBLE_EQ(sc.internal_energy, sl.internal_energy);
+  EXPECT_DOUBLE_EQ(sc.kinetic_energy, sl.kinetic_energy);
+}
+
+TEST(TransferPlan, StepLaunchBudgetOn512SodWithSmallPatches) {
+  // The acceptance bar of the compiled-plan redesign: on the 3-level
+  // 512^2 Sod with <= 64^2 patches, per-step transfer-path launches drop
+  // from O(transactions) (thousands) to O(messages + 1) per exchange —
+  // serially: zero pack/unpack launches and at most one local-copy
+  // launch per engine execution, clipped-plan fusion notwithstanding.
+  auto run = [](bool compiled_path) {
+    app::SimulationConfig cfg;
+    cfg.problem = app::ProblemKind::kSod;
+    cfg.nx = 512;
+    cfg.ny = 512;
+    cfg.max_levels = 3;
+    cfg.regrid_interval = 0;  // isolate the per-step budget
+    cfg.max_patch_cells = 64 * 64;
+    cfg.min_patch_size = 8;
+    cfg.compiled_transfer = compiled_path;
+    app::Simulation sim(cfg, nullptr);
+    sim.initialize();
+    sim.step();
+    const auto& dev = sim.device();
+    const std::uint64_t pack0 = dev.launch_count(LaunchTag::kTransferPack);
+    const std::uint64_t unpack0 = dev.launch_count(LaunchTag::kTransferUnpack);
+    const std::uint64_t copy0 = dev.launch_count(LaunchTag::kLocalCopy);
+    sim.step();
+    struct Counts {
+      std::uint64_t pack, unpack, copy;
+      std::size_t patches;
+    } c{dev.launch_count(LaunchTag::kTransferPack) - pack0,
+        dev.launch_count(LaunchTag::kTransferUnpack) - unpack0,
+        dev.launch_count(LaunchTag::kLocalCopy) - copy0, 0};
+    for (int l = 0; l < sim.hierarchy().num_levels(); ++l) {
+      c.patches += sim.hierarchy().level(l).patch_count();
+    }
+    return c;
+  };
+  const auto compiled = run(true);
+  const auto legacy = run(false);
+  ASSERT_GT(compiled.patches, 30u) << "config must produce many patches";
+  // Serial: no messages, so no pack/unpack launches at all.
+  EXPECT_EQ(compiled.pack, 0u);
+  EXPECT_EQ(compiled.unpack, 0u);
+  // One step executes 7 refine fill groups x 3 levels (each at most two
+  // engine exchanges: same-level + coarse gather) plus 2 syncs: at most
+  // one fused local-copy launch each, plus one snapshot-gather launch
+  // where node/side seam reads alias writes.
+  EXPECT_LE(compiled.copy, 2u * (7u * 3u * 2u + 2u));
+  EXPECT_GT(compiled.copy, 0u);
+  // The legacy path pays one launch per (transaction, component, box):
+  // orders of magnitude more on a many-patch hierarchy.
+  EXPECT_GT(legacy.copy, 100u * compiled.copy);
+}
+
+}  // namespace
+}  // namespace ramr::xfer
