@@ -55,10 +55,21 @@ void tiles(int nodes, int& a, int& b) {
   }
 }
 
+/// Slowest rank's sync-vs-overlap step times of one real configuration.
+struct StepTimes {
+  double sync_s = 0.0;   ///< synchronous modeled seconds / step
+  double async_s = 0.0;  ///< async-overlap comparable seconds / step
+  double saved_s = 0.0;  ///< slowest async rank's overlap saving / step
+};
+
 /// Real distributed run; returns the slowest rank's per-step components
-/// and the cells advanced per step.
+/// and the cells advanced per step. With `async` the run executes under
+/// the timeline model (split-phase state exchange, network-lane wire
+/// legs) and `step_out`/`saved_out` record the slowest rank's
+/// comparable step time and overlap saving.
 Components run_real(int nodes, const ramr::perf::Machine& m,
-                    std::int64_t& cells_out) {
+                    std::int64_t& cells_out, bool async = false,
+                    double* step_out = nullptr, double* saved_out = nullptr) {
   int a = 1;
   int b = 1;
   tiles(nodes, a, b);
@@ -73,9 +84,12 @@ Components run_real(int nodes, const ramr::perf::Machine& m,
   cfg.min_patch_size = 8;
   cfg.device = m.gpu_spec;
   cfg.device.mem_bytes = 64ull << 30;
+  cfg.async_overlap = async;
 
   std::mutex mu;
   Components worst;
+  double worst_step = 0.0;
+  double worst_saved = 0.0;
   std::int64_t cells = 0;
   ramr::simmpi::World world(nodes, m.network);
   world.run([&](ramr::simmpi::Communicator& comm) {
@@ -89,14 +103,29 @@ Components run_real(int nodes, const ramr::perf::Machine& m,
     c.timestep = sim.clock().component("timestep") / kSteps;
     c.sync = sim.clock().component("sync") / kSteps;
     c.regrid = sim.clock().component("regrid") / kSteps;
+    const double step = sim.modeled_seconds() / kSteps;
+    const double saved =
+        sim.timeline() != nullptr
+            ? sim.timeline()->overlap_seconds_saved() / kSteps
+            : 0.0;
     const std::int64_t total_cells = sim.hierarchy().total_cells();
     std::lock_guard<std::mutex> lock(mu);
     if (c.total() > worst.total()) {
       worst = c;
     }
+    if (step > worst_step) {
+      worst_step = step;
+      worst_saved = saved;
+    }
     cells = total_cells;
   });
   cells_out = cells;
+  if (step_out != nullptr) {
+    *step_out = worst_step;
+  }
+  if (saved_out != nullptr) {
+    *saved_out = worst_saved;
+  }
   return worst;
 }
 
@@ -152,12 +181,25 @@ int main() {
   std::int64_t last_cells = 1;
   int last_nodes = 1;
 
+  struct JsonRow {
+    int nodes = 0;
+    bool modeled = false;
+    std::int64_t cells_per_node = 0;
+    Components c;
+    StepTimes times;  ///< real rows only (zeros on modeled rows)
+  };
+  std::vector<JsonRow> rows;
+
   for (int nodes : {1, 4, 16, 64, 256, 1024, 4096}) {
     Components c;
+    StepTimes times;
     std::int64_t cells = 0;
     bool modeled = false;
     if (nodes <= cap) {
-      c = run_real(nodes, m, cells);
+      c = run_real(nodes, m, cells, /*async=*/false, &times.sync_s);
+      std::int64_t async_cells = 0;
+      run_real(nodes, m, async_cells, /*async=*/true, &times.async_s,
+               &times.saved_s);
       largest_real = c;
       largest_real_nodes = nodes;
       largest_cells = cells;
@@ -172,6 +214,8 @@ int main() {
     // rank over the cells that rank advances (cells per node), which the
     // paper holds constant across node counts.
     const double denom = static_cast<double>(cells) / nodes;
+    rows.push_back(JsonRow{nodes, modeled,
+                           static_cast<std::int64_t>(denom), c, times});
     t.row({ramr::perf::Table::count(nodes) + (modeled ? "*" : ""),
            ramr::perf::Table::sci(c.total() / denom),
            ramr::perf::Table::sci(c.hydro / denom),
@@ -205,5 +249,57 @@ int main() {
          ramr::perf::Table::percent(last.timestep / last.total()),
          ramr::perf::Table::percent(last.sync / last.total()),
          "44% / 6% / 3%"});
+
+  // Sync vs async-overlap step times of the real runs: the split-phase
+  // state exchange + network-lane wire legs shave the hidden
+  // communication off the slowest rank's step (docs/async_overlap.md).
+  std::printf("\nSync vs overlapped step times (real runs, slowest rank):\n");
+  ramr::perf::Table o({8, 14, 14, 14});
+  o.header({"nodes", "sync s/step", "async s/step", "saved s/step"});
+  for (const JsonRow& r : rows) {
+    if (r.modeled) {
+      continue;
+    }
+    o.row({ramr::perf::Table::count(r.nodes),
+           ramr::perf::Table::sci(r.times.sync_s),
+           ramr::perf::Table::sci(r.times.async_s),
+           ramr::perf::Table::sci(r.times.saved_s)});
+    // Hard acceptance check on distributed rows: overlap must save
+    // modeled time and beat the synchronous step.
+    if (r.nodes > 1 &&
+        (r.times.saved_s <= 0.0 || r.times.async_s >= r.times.sync_s)) {
+      std::printf("FAIL: no overlap saving at %d nodes (sync %.3e, async "
+                  "%.3e, saved %.3e)\n",
+                  r.nodes, r.times.sync_s, r.times.async_s, r.times.saved_s);
+      return 1;
+    }
+  }
+
+  // Machine-readable record for CI perf tracking (alongside
+  // BENCH_fig09.json / BENCH_fig10.json). Extrapolated rows carry the
+  // grind components only; sync/async step times are recorded for the
+  // real runs.
+  if (FILE* json = std::fopen("BENCH_fig11.json", "w")) {
+    std::fprintf(json, "{\n  \"tile\": %d,\n  \"configs\": [\n", kTile);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const JsonRow& r = rows[i];
+      const double denom = static_cast<double>(r.cells_per_node);
+      std::fprintf(
+          json,
+          "    {\"nodes\": %d, \"modeled\": %s, \"grind_total\": %.6e, "
+          "\"grind_hydro\": %.6e, \"grind_boundary\": %.6e, "
+          "\"grind_timestep\": %.6e, \"grind_sync\": %.6e, "
+          "\"grind_regrid\": %.6e, \"sync_s_per_step\": %.6e, "
+          "\"async_s_per_step\": %.6e, \"overlap_saved_per_step\": %.6e}%s\n",
+          r.nodes, r.modeled ? "true" : "false", r.c.total() / denom,
+          r.c.hydro / denom, r.c.boundary / denom, r.c.timestep / denom,
+          r.c.sync / denom, r.c.regrid / denom, r.times.sync_s,
+          r.times.async_s, r.times.saved_s,
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_fig11.json\n");
+  }
   return 0;
 }

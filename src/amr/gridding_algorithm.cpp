@@ -44,8 +44,12 @@ TagBitmap GriddingAlgorithm::collect_tags(PatchHierarchy& hierarchy,
 
   // Local tagging: device kernel per patch, then the paper's compressed
   // transfer — a per-patch "any tagged" flag, and bits instead of ints.
+  // All of it is regrid-path device work: attribute the launches to the
+  // kRegrid tag so benches can split clustering from the hydro stages.
   pdat::MessageStream local;
   for (const auto& patch : level.local_patches()) {
+    vgpu::LaunchTagScope regrid_tag(&device_of(*patch),
+                                    vgpu::LaunchTag::kRegrid);
     DeviceTagData tags(device_of(*patch), patch->box());
     strategy_->tag_cells(*patch, level, hierarchy.geometry(), tags, time);
     if (!tags.any_tagged()) {
@@ -227,6 +231,10 @@ void GriddingAlgorithm::regrid(PatchHierarchy& hierarchy, double time) {
     // some of them (e.g. advec_mom's node masses) before rewriting them.
     // Analytic initialisation first gives them the same defined start as
     // make_initial_hierarchy; the schedule then overwrites the state.
+    // Attribute the regrid-path launches (analytic init, the solution
+    // transfer's interpolation + scratch clamp fills) to kRegrid; the
+    // engine's own pack/unpack/local-copy scopes override within.
+    vgpu::LaunchTagScope regrid_tag(ctx_->device, vgpu::LaunchTag::kRegrid);
     for (const auto& patch : new_level->local_patches()) {
       strategy_->initialize_level_data(*patch, *new_level,
                                        hierarchy.geometry(), time);

@@ -27,6 +27,9 @@ struct TransferCounters {
   std::uint64_t messages_sent = 0;      ///< aggregated peer messages sent
   std::uint64_t messages_received = 0;  ///< aggregated peer messages received
   std::uint64_t bytes_sent = 0;         ///< wire bytes sent
+  /// Fills executed split-phase (begin / overlapped compute / finish) on
+  /// the async-overlap path; 0 on the synchronous path.
+  std::uint64_t split_fills = 0;
 };
 
 /// Hierarchy-wide time integration.
@@ -68,6 +71,13 @@ class LagrangianEulerianIntegrator {
 
  private:
   void fill_all(std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds);
+
+  // Split-phase halves of fill_all (async-overlap path): begin starts
+  // every level's same-level exchange; finish completes them in level
+  // order (so a level's coarse gather still sees the coarser level's
+  // finished ghosts) and accounts the traffic.
+  void begin_all(std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds);
+  void finish_all(std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds);
 
   hier::PatchHierarchy* hierarchy_;
   LagrangianEulerianLevelIntegrator* li_;

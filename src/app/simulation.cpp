@@ -23,6 +23,13 @@ std::unique_ptr<HydroProblem> make_problem(const SimulationConfig& cfg,
 Simulation::Simulation(const SimulationConfig& config,
                        simmpi::Communicator* comm)
     : config_(config), device_(config.device, &clock_) {
+  if (config_.async_overlap) {
+    // The timeline attaches to the rank clock: every modeled charge
+    // (device, network, host ops) now advances a lane cursor, and the
+    // integrator runs the state exchange split-phase around EOS.
+    timeline_ = std::make_unique<vgpu::Timeline>(clock_);
+    ctx_.timeline = timeline_.get();
+  }
   ctx_.comm = comm;
   ctx_.my_rank = comm != nullptr ? comm->rank() : 0;
   ctx_.clock = &clock_;

@@ -12,6 +12,7 @@
 #include "app/level_kernel_runner.hpp"
 #include "app/problems.hpp"
 #include "simmpi/communicator.hpp"
+#include "vgpu/timeline.hpp"
 
 namespace ramr::app {
 
@@ -40,6 +41,16 @@ struct SimulationConfig {
   /// per-transaction legacy transfer path; both produce bit-identical
   /// fields (docs/transfer_api.md).
   bool compiled_transfer = true;
+  /// Async timeline model: attach a vgpu::Timeline to the rank clock and
+  /// run the start-of-step state exchange split-phase around the EOS
+  /// stage, with send/recv wire legs on the network lane — communication
+  /// overlaps compute and the receiver waits on message arrival instead
+  /// of re-paying wire time. Fields are bit-identical to the synchronous
+  /// path (identical launch contents; only modeled timestamps differ);
+  /// step time is then Timeline::makespan(), strictly below the serial
+  /// sum when any overlap occurs (docs/async_overlap.md). Off (default)
+  /// = the synchronous single-cursor model of the compiled-plan path.
+  bool async_overlap = false;
 };
 
 /// One rank's simulation instance.
@@ -64,6 +75,18 @@ class Simulation {
 
   hier::PatchHierarchy& hierarchy() { return *hierarchy_; }
   vgpu::SimClock& clock() { return clock_; }
+  /// Multi-lane timing model (async_overlap runs); null otherwise.
+  vgpu::Timeline* timeline() { return timeline_.get(); }
+  /// Modeled completion time of this rank, comparable across the two
+  /// timing models: the serial clock total (a pure busy sum) on the
+  /// synchronous path, and the timeline's comparable_seconds() (lane
+  /// makespan minus cross-rank imbalance idle, which the serial account
+  /// never contained) under async_overlap. Timeline::makespan() stays
+  /// available for the wait-inclusive completion time.
+  double modeled_seconds() const {
+    return timeline_ != nullptr ? timeline_->comparable_seconds()
+                                : clock_.total();
+  }
   vgpu::Device& device() { return device_; }
   const Fields& fields() const { return fields_; }
   LagrangianEulerianIntegrator& integrator() { return *integrator_; }
@@ -86,6 +109,9 @@ class Simulation {
  private:
   SimulationConfig config_;
   vgpu::SimClock clock_;
+  /// Attached to clock_ when async_overlap is on (declared after it:
+  /// detaches before the clock dies).
+  std::unique_ptr<vgpu::Timeline> timeline_;
   vgpu::Device device_;
   xfer::ParallelContext ctx_;
   std::unique_ptr<hier::PatchHierarchy> hierarchy_;

@@ -29,10 +29,24 @@ int Communicator::size() const { return world_->size(); }
 
 void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) {
   RAMR_REQUIRE(dest >= 0 && dest < size(), "send to invalid rank " << dest);
-  clock_->charge(world_->network().message_time(bytes));
+  const double wire = world_->network().message_time(bytes);
+  double available_at = 0.0;
+  vgpu::Timeline* tl = timeline();
+  if (tl != nullptr) {
+    // The NIC drains the message: wire time runs on the network lane,
+    // starting no earlier than the issuing lane's cursor (the payload
+    // exists only once the pack that produced it is done). The issuing
+    // lane does NOT advance — this is what lets a nonblocking send's
+    // wire time hide behind compute.
+    vgpu::LaneScope net(tl, tl->lane("net"));
+    clock_->charge(wire);
+    available_at = tl->now(tl->lane("net"));
+  } else {
+    clock_->charge(wire);
+  }
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
-  world_->deliver(dest, rank_, tag, data, bytes);
+  world_->deliver(dest, rank_, tag, data, bytes, available_at);
 }
 
 std::vector<std::byte> Communicator::recv(int src, int tag) {
@@ -46,9 +60,28 @@ std::vector<std::byte> Communicator::recv(int src, int tag) {
   });
   auto it = box.queues.find(key);
   std::vector<std::byte> payload = std::move(it->second.front().payload);
+  const double available_at = it->second.front().available_at;
   it->second.pop_front();
-  // The receiver also pays the wire time (no overlap modeled).
-  clock_->charge(world_->network().message_time(payload.size()));
+  const double wire = world_->network().message_time(payload.size());
+  vgpu::Timeline* tl = timeline();
+  if (tl != nullptr) {
+    // Timeline model: the sender's network lane already carried the wire
+    // time; the receiver WAITS on the message-arrival event (cursor =
+    // max, no busy charge) instead of re-paying it. The synchronous
+    // model's serial re-pay is recorded so overlap_seconds_saved()
+    // compares like with like; the part of the wait beyond the wire
+    // time is a LAGGING SENDER — load imbalance, not failed overlap —
+    // and is booked as excluded idle.
+    const double wait = available_at - tl->now();
+    tl->advance(tl->active_lane(), available_at);
+    tl->add_serial_only(wire);
+    if (wait > wire) {
+      tl->add_imbalance_idle(wait - wire);
+    }
+  } else {
+    // The receiver also pays the wire time (no overlap modeled).
+    clock_->charge(wire);
+  }
   ++stats_.messages_received;
   stats_.bytes_received += payload.size();
   return payload;
@@ -93,13 +126,22 @@ void Communicator::wait_all(std::vector<Request>& requests) {
   }
 }
 
+void Communicator::collective_rendezvous(double my_time) {
+  vgpu::Timeline* tl = timeline();
+  if (tl != nullptr) {
+    tl->rendezvous(my_time);
+  }
+}
+
 double Communicator::allreduce(double value, ReduceOp op) {
   World::CollectiveState& c = world_->collective_;
   // Recursive-doubling allreduce: 2*log2(P) message latencies.
   clock_->charge(2.0 * tree_depth(size()) *
                  world_->network().message_time(sizeof(double)));
+  const double my_time = timeline() != nullptr ? timeline()->now() : 0.0;
   std::unique_lock<std::mutex> lock(c.mutex);
   const std::uint64_t generation = c.generation;
+  c.fold_time(c.arrived == 0, my_time);
   if (c.arrived == 0) {
     c.dvalue = value;
   } else {
@@ -111,12 +153,15 @@ double Communicator::allreduce(double value, ReduceOp op) {
   }
   if (++c.arrived == size()) {
     c.dresult = c.dvalue;
+    c.publish_time();
     c.arrived = 0;
     ++c.generation;
     c.cv.notify_all();
+    collective_rendezvous(c.tmax_result);
     return c.dresult;
   }
   c.cv.wait(lock, [&] { return c.generation != generation; });
+  collective_rendezvous(c.tmax_result);
   return c.dresult;
 }
 
@@ -124,8 +169,10 @@ std::int64_t Communicator::allreduce(std::int64_t value, ReduceOp op) {
   World::CollectiveState& c = world_->collective_;
   clock_->charge(2.0 * tree_depth(size()) *
                  world_->network().message_time(sizeof(std::int64_t)));
+  const double my_time = timeline() != nullptr ? timeline()->now() : 0.0;
   std::unique_lock<std::mutex> lock(c.mutex);
   const std::uint64_t generation = c.generation;
+  c.fold_time(c.arrived == 0, my_time);
   if (c.arrived == 0) {
     c.ivalue = value;
   } else {
@@ -137,12 +184,15 @@ std::int64_t Communicator::allreduce(std::int64_t value, ReduceOp op) {
   }
   if (++c.arrived == size()) {
     c.iresult = c.ivalue;
+    c.publish_time();
     c.arrived = 0;
     ++c.generation;
     c.cv.notify_all();
+    collective_rendezvous(c.tmax_result);
     return c.iresult;
   }
   c.cv.wait(lock, [&] { return c.generation != generation; });
+  collective_rendezvous(c.tmax_result);
   return c.iresult;
 }
 
@@ -154,8 +204,10 @@ std::vector<std::vector<std::byte>> Communicator::allgather(const void* data,
     clock_->charge(static_cast<double>(size() - 1) *
                    world_->network().message_time(bytes));
   }
+  const double my_time = timeline() != nullptr ? timeline()->now() : 0.0;
   std::unique_lock<std::mutex> lock(c.mutex);
   const std::uint64_t generation = c.generation;
+  c.fold_time(c.arrived == 0, my_time);
   if (c.arrived == 0) {
     c.gather_in.assign(static_cast<std::size_t>(size()), {});
   }
@@ -164,15 +216,18 @@ std::vector<std::vector<std::byte>> Communicator::allgather(const void* data,
   if (++c.arrived == size()) {
     c.gather_out = std::make_shared<std::vector<std::vector<std::byte>>>(
         std::move(c.gather_in));
+    c.publish_time();
     c.arrived = 0;
     ++c.generation;
     c.cv.notify_all();
+    collective_rendezvous(c.tmax_result);
     return *c.gather_out;
   }
   auto result_holder = [&] {
     c.cv.wait(lock, [&] { return c.generation != generation; });
     return c.gather_out;
   }();
+  collective_rendezvous(c.tmax_result);
   return *result_holder;
 }
 
@@ -180,15 +235,20 @@ void Communicator::barrier() {
   World::CollectiveState& c = world_->collective_;
   clock_->charge(2.0 * tree_depth(size()) *
                  world_->network().message_time(0));
+  const double my_time = timeline() != nullptr ? timeline()->now() : 0.0;
   std::unique_lock<std::mutex> lock(c.mutex);
   const std::uint64_t generation = c.generation;
+  c.fold_time(c.arrived == 0, my_time);
   if (++c.arrived == size()) {
+    c.publish_time();
     c.arrived = 0;
     ++c.generation;
     c.cv.notify_all();
+    collective_rendezvous(c.tmax_result);
     return;
   }
   c.cv.wait(lock, [&] { return c.generation != generation; });
+  collective_rendezvous(c.tmax_result);
 }
 
 // ---------------------------------------------------------------------------
@@ -206,9 +266,10 @@ World::World(int size, NetworkSpec network)
 World::~World() = default;
 
 void World::deliver(int dest, int src, int tag, const void* data,
-                    std::size_t bytes) {
+                    std::size_t bytes, double available_at) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
   Message msg;
+  msg.available_at = available_at;
   const auto* p = static_cast<const std::byte*>(data);
   msg.payload.assign(p, p + bytes);
   {

@@ -8,6 +8,7 @@
 // MPI programs use a dozen routines or fewer).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -21,6 +22,7 @@
 
 #include "simmpi/network_spec.hpp"
 #include "vgpu/sim_clock.hpp"
+#include "vgpu/timeline.hpp"
 
 namespace ramr::simmpi {
 
@@ -79,6 +81,16 @@ class Communicator {
   /// Charges communication time into `clock` (defaults to an internal
   /// clock; the application points this at its per-rank clock so network
   /// time lands in the current component scope).
+  ///
+  /// When the clock carries a Timeline (async-overlap runs) the wire
+  /// legs become NETWORK-LANE operations: a send charges its wire time
+  /// on the rank's "net" lane — the NIC — starting no earlier than the
+  /// issuing lane's cursor, so it proceeds concurrently with compute;
+  /// the message carries its arrival timestamp and the receiver WAITS on
+  /// that message-arrival event (cursor = max, no busy time) instead of
+  /// serially re-paying the wire time as the synchronous model does.
+  /// Collectives become rendezvous points that synchronise every rank's
+  /// virtual time to the latest arrival.
   void set_clock(vgpu::SimClock* clock) { clock_ = clock; }
   vgpu::SimClock& clock() { return *clock_; }
 
@@ -134,6 +146,14 @@ class Communicator {
   friend class World;
   Communicator(World& world, int rank);
 
+  /// Active timeline, or null in the synchronous model.
+  vgpu::Timeline* timeline() const { return clock_->timeline(); }
+
+  /// Rendezvous: synchronises this rank's virtual time with the slowest
+  /// participant of the collective that just completed (no-op without a
+  /// timeline). `my_time` is this rank's cursor at arrival.
+  void collective_rendezvous(double my_time);
+
   World* world_;
   int rank_;
   vgpu::SimClock owned_clock_;
@@ -161,6 +181,11 @@ class World {
 
   struct Message {
     std::vector<std::byte> payload;
+    /// Sender-side virtual time at which the last wire byte arrives
+    /// (timeline runs only; 0 in the synchronous model). Rank virtual
+    /// clocks share an origin and are re-synchronised at every
+    /// collective, so the receiver may wait on this directly.
+    double available_at = 0.0;
   };
 
   struct Mailbox {
@@ -174,6 +199,19 @@ class World {
     std::condition_variable cv;
     int arrived = 0;
     std::uint64_t generation = 0;
+    double tmax = 0.0;         ///< latest arrival cursor this round
+    double tmax_result = 0.0;  ///< rendezvous time of the completed round
+
+    /// Folds one rank's virtual arrival time into the round (the single
+    /// home of the rendezvous protocol; call under the mutex, with
+    /// `first` true on the round's first arrival).
+    void fold_time(bool first, double t) {
+      tmax = first ? t : std::max(tmax, t);
+    }
+    /// Publishes the completed round's rendezvous time (releasing rank,
+    /// under the mutex, before notifying).
+    void publish_time() { tmax_result = tmax; }
+
     double dvalue = 0.0;
     std::int64_t ivalue = 0;
     double dresult = 0.0;
@@ -182,7 +220,8 @@ class World {
     std::shared_ptr<std::vector<std::vector<std::byte>>> gather_out;
   };
 
-  void deliver(int dest, int src, int tag, const void* data, std::size_t bytes);
+  void deliver(int dest, int src, int tag, const void* data, std::size_t bytes,
+               double available_at);
 
   int size_;
   NetworkSpec network_;

@@ -24,6 +24,7 @@
 #include "vgpu/device_spec.hpp"
 #include "vgpu/launch_batch.hpp"
 #include "vgpu/sim_clock.hpp"
+#include "vgpu/timeline.hpp"
 #include "vgpu/transfer_log.hpp"
 
 namespace ramr::vgpu {
@@ -41,20 +42,25 @@ struct KernelCost {
 /// it down (hydro stages vs the transfer path) and assert launch budgets
 /// like "pack launches == messages sent" per exchange.
 enum class LaunchTag : int {
-  kOther = 0,       ///< untagged (init, tagging, diagnostics)
+  kOther = 0,       ///< untagged (init, diagnostics)
   kHydro,           ///< hydro stage + timestep kernels
   kTransferPack,    ///< message packing (fused plan or per-transaction)
   kTransferUnpack,  ///< message unpacking
   kLocalCopy,       ///< schedule-local device-to-device copies
+  kRegrid,          ///< regrid path: tagging/clustering + interpolation
 };
-inline constexpr int kLaunchTagCount = 5;
+inline constexpr int kLaunchTagCount = 6;
 
 class Device;
 
 /// An in-order execution queue, as in CUDA. Functionally the virtual
 /// device executes kernels eagerly (so stream semantics are trivially
-/// preserved); the stream exists to scope timing and to mirror the host
-/// code structure of the paper's listings.
+/// preserved); the stream scopes TIMING: when the device's clock carries
+/// a Timeline and the stream is bound to a lane, every launch on the
+/// stream advances that lane's cursor instead of the active lane — the
+/// stream is a concurrent engine, exactly a CUDA stream. Unbound streams
+/// follow the active lane (the CUDA default stream: fully ordered with
+/// the issuing code).
 class Stream {
  public:
   Stream(Device& device, std::string name) : device_(&device), name_(std::move(name)) {}
@@ -62,20 +68,33 @@ class Stream {
   Device& device() const { return *device_; }
   const std::string& name() const { return name_; }
 
+  /// Routes this stream's launches onto a timeline lane (see
+  /// Timeline::lane). Negative restores default-stream behavior.
+  void bind_lane(int lane) { lane_ = lane; }
+  int lane() const { return lane_; }
+
  private:
   Device* device_;
   std::string name_;
+  int lane_ = -1;  ///< timeline lane; -1 = follow the active lane
 };
 
 /// A marker in a stream; wait_event models cross-stream ordering. With
-/// eager execution ordering always holds, so events only carry timing.
+/// eager execution ordering always holds functionally; under a timeline
+/// the event carries the REAL timestamp of the stream's lane at record
+/// time, and waiting advances the waiter to it (completion = max of the
+/// dependency chains, never the sum).
 class Event {
  public:
-  void record(Stream&) { recorded_ = true; }
+  void record(Stream& stream);  // defined after Device
   bool recorded() const { return recorded_; }
+
+  /// Lane time at record (0 without a timeline).
+  double timestamp() const { return timestamp_; }
 
  private:
   bool recorded_ = false;
+  double timestamp_ = 0.0;
 };
 
 /// A modeled processor with a private memory arena, a simulated clock and
@@ -99,6 +118,21 @@ class Device {
   const SimClock& clock() const { return *clock_; }
   TransferLog& transfers() { return transfers_; }
   const TransferLog& transfers() const { return transfers_; }
+
+  /// Timing model attached to this device's clock, or null when running
+  /// the synchronous (single-cursor) model.
+  Timeline* timeline() const { return clock_->timeline(); }
+
+  /// Models cudaStreamWaitEvent: `stream`'s lane (or the active lane for
+  /// an unbound stream) cannot proceed before the event's timestamp.
+  /// No-op without a timeline.
+  void wait_event(Stream& stream, const Event& event) {
+    Timeline* tl = timeline();
+    if (tl != nullptr) {
+      tl->advance(stream.lane() >= 0 ? stream.lane() : tl->active_lane(),
+                  event.timestamp());
+    }
+  }
 
   std::uint64_t bytes_allocated() const { return bytes_allocated_; }
   std::uint64_t peak_bytes_allocated() const { return peak_bytes_; }
@@ -182,11 +216,10 @@ class Device {
   template <typename F>
   void launch(Stream& stream, std::int64_t n, const KernelCost& cost, F&& body) {
     RAMR_DEBUG_ASSERT(&stream.device() == this);
-    (void)stream;
     if (n <= 0) {
       return;
     }
-    charge_kernel(n, cost);
+    charge_kernel(stream, n, cost);
     util::ThreadPool::global().parallel_for(
         n, [&body](std::int64_t begin, std::int64_t end) {
           for (std::int64_t i = begin; i < end; ++i) {
@@ -204,12 +237,11 @@ class Device {
   void launch2d(Stream& stream, int ilo, int jlo, int width, int height,
                 const KernelCost& cost, F&& body) {
     RAMR_DEBUG_ASSERT(&stream.device() == this);
-    (void)stream;
     if (width <= 0 || height <= 0) {
       return;
     }
     const std::int64_t n = static_cast<std::int64_t>(width) * height;
-    charge_kernel(n, cost);
+    charge_kernel(stream, n, cost);
     // Single-tile fast path: shares run_tile_rows with the fused
     // executor but needs no SegmentTable (no per-launch allocations —
     // this is still the path under every per-transaction transfer
@@ -233,12 +265,11 @@ class Device {
   void launch_batched(Stream& stream, const SegmentTable& segments,
                       const KernelCost& cost, F&& body) {
     RAMR_DEBUG_ASSERT(&stream.device() == this);
-    (void)stream;
     const std::int64_t n = segments.total_threads();
     if (n <= 0) {
       return;
     }
-    charge_kernel(n, cost);
+    charge_kernel(stream, n, cost);
     util::ThreadPool::global().parallel_for(
         n, [&](std::int64_t begin, std::int64_t end) {
           run_segments(segments, begin, end, body);
@@ -286,25 +317,34 @@ class Device {
   double reduce_min_batched(Stream& stream, const SegmentTable& segments,
                             const KernelCost& cost, F&& f) {
     RAMR_DEBUG_ASSERT(&stream.device() == this);
-    (void)stream;
     const std::int64_t n = segments.total_threads();
     if (n <= 0) {
       return std::numeric_limits<double>::infinity();
     }
-    charge_kernel(n, cost);
-    std::mutex m;
+    Timeline* tl = stream.lane() >= 0 ? timeline() : nullptr;
     double global_min = std::numeric_limits<double>::infinity();
-    util::ThreadPool::global().parallel_for(
-        n, [&](std::int64_t begin, std::int64_t end) {
-          double local = std::numeric_limits<double>::infinity();
-          auto take = [&](std::size_t seg, int i, int j) {
-            local = std::min(local, f(seg, i, j));
-          };
-          run_segments(segments, begin, end, take);
-          std::lock_guard<std::mutex> lock(m);
-          global_min = std::min(global_min, local);
-        });
-    charge_scalar_readback();
+    {
+      // The scalar readback rides the stream's lane with the kernel.
+      LaneScope lane(tl, stream.lane());
+      charge_kernel(n, cost);
+      std::mutex m;
+      util::ThreadPool::global().parallel_for(
+          n, [&](std::int64_t begin, std::int64_t end) {
+            double local = std::numeric_limits<double>::infinity();
+            auto take = [&](std::size_t seg, int i, int j) {
+              local = std::min(local, f(seg, i, j));
+            };
+            run_segments(segments, begin, end, take);
+            std::lock_guard<std::mutex> lock(m);
+            global_min = std::min(global_min, local);
+          });
+      charge_scalar_readback();
+    }
+    if (tl != nullptr) {
+      // Returning the scalar is a synchronization point: the caller's
+      // lane cannot consume the value before the reduction completed.
+      tl->advance(tl->active_lane(), tl->now(stream.lane()));
+    }
     return global_min;
   }
 
@@ -313,6 +353,14 @@ class Device {
 
  private:
   void charge_kernel(std::int64_t n, const KernelCost& cost);
+
+  /// Charges the launch on the stream's timeline lane when the stream is
+  /// bound to one (async streams); on the active lane otherwise.
+  void charge_kernel(const Stream& stream, std::int64_t n,
+                     const KernelCost& cost) {
+    LaneScope lane(stream.lane() >= 0 ? timeline() : nullptr, stream.lane());
+    charge_kernel(n, cost);
+  }
 
   /// Runs body(seg_id, i, j) over one tile's tile-local flattened index
   /// range [begin, end): the (i, j) position is resolved once at the
@@ -378,6 +426,15 @@ class Device {
   std::uint64_t batch_h2d_bytes_ = 0;
   std::uint64_t batch_d2h_bytes_ = 0;
 };
+
+inline void Event::record(Stream& stream) {
+  recorded_ = true;
+  const Timeline* tl = stream.device().clock().timeline();
+  if (tl != nullptr) {
+    timestamp_ =
+        tl->now(stream.lane() >= 0 ? stream.lane() : tl->active_lane());
+  }
+}
 
 /// RAII launch-tag scope: launches on `device` are attributed to `tag`
 /// for the scope's lifetime. A null device makes the scope a no-op, so

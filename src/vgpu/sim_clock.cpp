@@ -1,6 +1,7 @@
 #include "vgpu/sim_clock.hpp"
 
 #include "util/error.hpp"
+#include "vgpu/timeline.hpp"
 
 namespace ramr::vgpu {
 
@@ -16,6 +17,9 @@ void SimClock::charge_to(const std::string& component, double seconds) {
   RAMR_DEBUG_ASSERT(seconds >= 0.0);
   by_component_[component] += seconds;
   total_ += seconds;
+  if (timeline_ != nullptr) {
+    timeline_->on_charge(seconds);
+  }
 }
 
 double SimClock::component(const std::string& name) const {
@@ -30,6 +34,9 @@ const std::string& SimClock::current_component() const {
 void SimClock::reset() {
   by_component_.clear();
   total_ = 0.0;
+  if (timeline_ != nullptr) {
+    timeline_->reset();
+  }
 }
 
 void SimClock::merge(const SimClock& other) {

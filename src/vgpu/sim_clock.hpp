@@ -12,10 +12,14 @@
 
 namespace ramr::vgpu {
 
+class Timeline;
+
 /// Accumulates modeled seconds per named component.
 class SimClock {
  public:
-  /// Charges `seconds` to the current component (and the total).
+  /// Charges `seconds` to the current component (and the total). With an
+  /// attached Timeline the charge also advances the active lane's time
+  /// cursor (vgpu/timeline.hpp).
   void charge(double seconds);
 
   /// Charges to an explicit component regardless of the current scope.
@@ -28,6 +32,8 @@ class SimClock {
   /// Name of the component currently on top of the scope stack.
   const std::string& current_component() const;
 
+  /// Zeros the accumulations; an attached timeline resets with it so
+  /// benches that reset the clock re-anchor virtual time at zero.
   void reset();
 
   /// Adds another clock's accumulations into this one.
@@ -37,10 +43,16 @@ class SimClock {
   void push_component(std::string name);
   void pop_component();
 
+  /// Multi-lane timing model, when one is attached (async-overlap runs);
+  /// null in the synchronous model. Managed by Timeline's ctor/dtor.
+  Timeline* timeline() const { return timeline_; }
+  void set_timeline(Timeline* timeline) { timeline_ = timeline; }
+
  private:
   std::map<std::string, double> by_component_;
   std::vector<std::string> scope_stack_;
   double total_ = 0.0;
+  Timeline* timeline_ = nullptr;
 };
 
 /// RAII helper: all charges within the scope go to `component`.

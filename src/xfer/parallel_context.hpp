@@ -9,6 +9,7 @@
 #include "simmpi/communicator.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/sim_clock.hpp"
+#include "vgpu/timeline.hpp"
 
 namespace ramr::xfer {
 
@@ -30,6 +31,12 @@ struct ParallelContext {
   /// exchange) whenever the data can export device views. False forces
   /// the per-transaction legacy path (differential testing, ablation).
   bool compiled_transfer = true;
+  /// Multi-lane timing model of the async-overlap runs, or null for the
+  /// synchronous single-cursor model. When set, split-phase schedule
+  /// execution charges its pack/send legs on the "comm" lane so their
+  /// wire time overlaps compute issued between begin and finish
+  /// (docs/async_overlap.md).
+  vgpu::Timeline* timeline = nullptr;
   int next_tag = 1 << 10;
 
   int allocate_tag() { return next_tag++; }

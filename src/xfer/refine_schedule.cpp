@@ -282,7 +282,14 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
 }
 
 void RefineSchedule::fill() {
-  same_engine_.execute(*this);
+  fill_begin();
+  fill_finish();
+}
+
+void RefineSchedule::fill_begin() { same_engine_.execute_begin(*this); }
+
+void RefineSchedule::fill_finish() {
+  same_engine_.execute_finish();
   if (!coarse_fills_.empty()) {
     allocate_scratch();
     coarse_engine_.execute(*this);

@@ -71,7 +71,22 @@ class RefineAlgorithm {
 class RefineSchedule : private TransferDelegate {
  public:
   /// Moves the data. May be executed repeatedly (every timestep).
+  /// Equivalent to fill_begin() + fill_finish().
   void fill();
+
+  /// Split-phase fill. fill_begin() starts the same-level exchange
+  /// (posts receives, fused pack + isend per peer, local ghost copies) —
+  /// under a timeline on the comm/network lanes, so its wire time
+  /// overlaps whatever the caller runs before fill_finish(). Safe to
+  /// interleave with compute that neither writes the exchanged
+  /// variables' interiors nor reads their ghosts (the EOS stage is the
+  /// canonical case: pointwise over interiors of OTHER variables).
+  /// fill_finish() completes the same-level exchange, then runs the
+  /// coarse gather + interpolation and the physical boundaries exactly
+  /// as fill() does. Launch contents are identical either way, so split
+  /// and single-phase fills are bit-identical by construction.
+  void fill_begin();
+  void fill_finish();
 
   /// Wire bytes this rank sends per execution (diagnostics / tests).
   std::uint64_t bytes_sent_per_fill() const {

@@ -262,18 +262,40 @@ bool TransferSchedule::bind(TransferDelegate& delegate) {
 }
 
 void TransferSchedule::execute(TransferDelegate& delegate) {
+  execute_begin(delegate);
+  execute_finish();
+}
+
+void TransferSchedule::execute_begin(TransferDelegate& delegate) {
   RAMR_REQUIRE(finalized_, "TransferSchedule executed before finalize()");
+  RAMR_REQUIRE(!in_flight_, "execute_begin() while an exchange is in flight");
   const bool remote = !send_messages_.empty() || !recv_messages_.empty();
   RAMR_REQUIRE(!remote || ctx_->comm != nullptr,
                "distributed transfer plan without a communicator");
   const bool viewable = bind(delegate);
-  if (ctx_->compiled_transfer && viewable) {
+  in_flight_ = true;
+  flight_compiled_ = ctx_->compiled_transfer && viewable;
+  if (flight_compiled_) {
     ++compiled_executions_;
-    execute_compiled();
+    execute_compiled_begin();
   } else {
+    // The per-transaction path interleaves receives with applies and
+    // cannot split; run the whole exchange here so begin/finish callers
+    // stay correct on any data kind.
     ++legacy_executions_;
     execute_legacy();
   }
+}
+
+void TransferSchedule::execute_finish() {
+  RAMR_REQUIRE(in_flight_, "execute_finish() without execute_begin()");
+  if (flight_compiled_) {
+    execute_compiled_finish();
+  }
+  in_flight_ = false;
+  flight_recvs_.clear();
+  flight_send_streams_.clear();
+  flight_sends_.clear();
 }
 
 std::vector<util::View> TransferSchedule::resolve_views(const Plan& plan,
@@ -299,12 +321,21 @@ std::vector<util::View> TransferSchedule::resolve_views(const Plan& plan,
   return views;
 }
 
-void TransferSchedule::execute_compiled() {
+void TransferSchedule::execute_compiled_begin() {
   vgpu::Device& dev = *plan_device_;
   vgpu::Stream stream(dev, "xfer");
+  // Under a timeline the whole begin phase runs on the comm lane: the
+  // pack launches and D2H crossings advance it (the comm stream is bound
+  // to it), the isends' wire time rides the network lane, and the
+  // caller's compute lane does not move — whatever runs between begin
+  // and finish overlaps this communication.
+  vgpu::Timeline* tl = ctx_->timeline;
+  const int comm_lane = tl != nullptr ? tl->lane("comm") : -1;
+  vgpu::LaneScope comm_scope(tl, comm_lane);
+  stream.bind_lane(comm_lane);
 
   // 1. Post every receive before any packing happens.
-  std::map<int, simmpi::Request> recvs;
+  std::map<int, simmpi::Request>& recvs = flight_recvs_;
   for (const auto& [peer, msg] : recv_messages_) {
     (void)msg;
     recvs.emplace(peer, ctx_->comm->irecv(peer, tag_));
@@ -312,9 +343,9 @@ void TransferSchedule::execute_compiled() {
 
   // 2. One fused gather launch + ONE PCIe crossing + one isend per
   //    outgoing peer message.
-  std::vector<pdat::MessageStream> send_streams;
+  std::vector<pdat::MessageStream>& send_streams = flight_send_streams_;
   send_streams.reserve(send_messages_.size());
-  std::vector<simmpi::Request> sends;
+  std::vector<simmpi::Request>& sends = flight_sends_;
   sends.reserve(send_messages_.size());
   for (const auto& [peer, msg] : send_messages_) {
     const Plan& plan = pack_plans_.at(peer);
@@ -394,47 +425,72 @@ void TransferSchedule::execute_compiled() {
                   : sv[s](i - op.shift_i, j - op.shift_j);
         });
   }
+}
 
-  // 4. Per received message: ONE upload crossing + one fused scatter
-  //    launch.
-  for (const auto& [peer, msg] : recv_messages_) {
-    auto rit = recvs.find(peer);
-    RAMR_REQUIRE(rit != recvs.end(), "no posted receive for rank " << peer);
-    ctx_->comm->wait(rit->second);
-    pdat::MessageStream ms(rit->second.take_payload());
-    RAMR_REQUIRE(ms.size() == msg.wire_bytes,
-                 "aggregated message from rank " << peer << " is "
-                 << ms.size() << " bytes, planned " << msg.wire_bytes);
-    const auto header = ms.read<MessageHeader>();
-    RAMR_REQUIRE(header.transaction_count == msg.transaction_indices.size() &&
-                     header.payload_bytes == msg.payload_bytes,
-                 "aggregated message frame mismatch from rank " << peer);
-    const Plan& plan = unpack_plans_.at(peer);
-    vgpu::DeviceBuffer<double> staging(dev, plan.payload_doubles);
-    const std::byte* src = ms.view_and_skip(msg.payload_bytes);
-    dev.memcpy_h2d(staging.device_ptr(), src, msg.payload_bytes);
-    RAMR_REQUIRE(ms.fully_consumed(), "aggregated message from rank " << peer
-                 << " not fully consumed: " << ms.read_position() << " of "
-                 << ms.size());
-    if (plan.segs.total_threads() > 0) {
-      const std::vector<util::View> views =
-          resolve_views(plan, /*src_side=*/false);
-      const PlanSeg* ops = plan.ops.data();
-      const util::View* v = views.data();
-      const double* in = staging.device_ptr();
-      vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kTransferUnpack);
-      dev.launch_batched(
-          stream, plan.segs, kXferCost, [=](std::size_t s, int i, int j) {
-            const PlanSeg& op = ops[s];
-            v[s](i, j) =
-                in[op.payload_base +
-                   static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
-                   (i - op.run_ilo)];
-          });
+void TransferSchedule::execute_compiled_finish() {
+  vgpu::Device& dev = *plan_device_;
+  vgpu::Stream stream(dev, "xfer");
+  // Finish also runs on the comm lane (it is issued now — the fork in
+  // LaneScope keeps it from starting before the caller's present): each
+  // wait advances the lane to the message-arrival event, the uploads and
+  // fused scatters follow, and the closing Event joins the lane back
+  // into the caller's — completion is the max of the compute and
+  // communication chains, not their sum.
+  vgpu::Timeline* tl = ctx_->timeline;
+  const int comm_lane = tl != nullptr ? tl->lane("comm") : -1;
+  {
+    vgpu::LaneScope comm_scope(tl, comm_lane);
+    stream.bind_lane(comm_lane);
+
+    // 4. Per received message: ONE upload crossing + one fused scatter
+    //    launch.
+    for (const auto& [peer, msg] : recv_messages_) {
+      auto rit = flight_recvs_.find(peer);
+      RAMR_REQUIRE(rit != flight_recvs_.end(),
+                   "no posted receive for rank " << peer);
+      ctx_->comm->wait(rit->second);
+      pdat::MessageStream ms(rit->second.take_payload());
+      RAMR_REQUIRE(ms.size() == msg.wire_bytes,
+                   "aggregated message from rank " << peer << " is "
+                   << ms.size() << " bytes, planned " << msg.wire_bytes);
+      const auto header = ms.read<MessageHeader>();
+      RAMR_REQUIRE(header.transaction_count == msg.transaction_indices.size() &&
+                       header.payload_bytes == msg.payload_bytes,
+                   "aggregated message frame mismatch from rank " << peer);
+      const Plan& plan = unpack_plans_.at(peer);
+      vgpu::DeviceBuffer<double> staging(dev, plan.payload_doubles);
+      const std::byte* src = ms.view_and_skip(msg.payload_bytes);
+      dev.memcpy_h2d(staging.device_ptr(), src, msg.payload_bytes);
+      RAMR_REQUIRE(ms.fully_consumed(), "aggregated message from rank " << peer
+                   << " not fully consumed: " << ms.read_position() << " of "
+                   << ms.size());
+      if (plan.segs.total_threads() > 0) {
+        const std::vector<util::View> views =
+            resolve_views(plan, /*src_side=*/false);
+        const PlanSeg* ops = plan.ops.data();
+        const util::View* v = views.data();
+        const double* in = staging.device_ptr();
+        vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kTransferUnpack);
+        dev.launch_batched(
+            stream, plan.segs, kXferCost, [=](std::size_t s, int i, int j) {
+              const PlanSeg& op = ops[s];
+              v[s](i, j) =
+                  in[op.payload_base +
+                     static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
+                     (i - op.run_ilo)];
+            });
+      }
+    }
+    if (!flight_sends_.empty()) {
+      ctx_->comm->wait_all(flight_sends_);
     }
   }
-  if (!sends.empty()) {
-    ctx_->comm->wait_all(sends);
+  if (tl != nullptr) {
+    // Join: the exchange's writes are visible to the caller only once
+    // the comm lane has drained.
+    vgpu::Event done;
+    done.record(stream);
+    tl->advance(tl->active_lane(), done.timestamp());
   }
 }
 

@@ -149,7 +149,30 @@ class TransferSchedule {
 
   /// Runs one exchange. May be called repeatedly (every timestep); plans
   /// compiled by finalize() are reused, only endpoint views rebind.
+  /// Equivalent to execute_begin() + execute_finish().
   void execute(TransferDelegate& delegate);
+
+  /// Split-phase execution, compiled-plan path: execute_begin() posts
+  /// every receive, issues the fused pack launches + one isend per peer
+  /// message, and runs the local-copy apply (snapshot included) — under
+  /// an attached timeline (ParallelContext::timeline) all of it on the
+  /// "comm" lane, with the wire legs on the network lane, so everything
+  /// the caller runs before execute_finish() overlaps the communication.
+  /// execute_finish() waits for the messages, uploads + fused-unpacks
+  /// them, completes the sends, and joins the comm lane back into the
+  /// caller's lane (an Event recorded on the comm stream).
+  ///
+  /// The data movement and launch contents are identical to execute()'s
+  /// — only the modeled timestamps differ — so split and single-phase
+  /// execution are bit-identical by construction. The caller must not
+  /// touch data the exchange reads or writes between begin and finish.
+  /// The legacy per-transaction path cannot split: begin runs the whole
+  /// exchange synchronously and finish only clears the in-flight state.
+  void execute_begin(TransferDelegate& delegate);
+  void execute_finish();
+
+  /// True between execute_begin() and execute_finish().
+  bool in_flight() const { return in_flight_; }
 
   bool empty() const { return transactions_.empty(); }
   std::size_t transaction_count() const { return transactions_.size(); }
@@ -232,7 +255,8 @@ class TransferSchedule {
 
   void compile_plans();
   bool bind(TransferDelegate& delegate);
-  void execute_compiled();
+  void execute_compiled_begin();
+  void execute_compiled_finish();
   void execute_legacy();
   std::vector<util::View> resolve_views(const Plan& plan, bool src_side) const;
 
@@ -257,6 +281,13 @@ class TransferSchedule {
   vgpu::Device* plan_device_ = nullptr;
   std::uint64_t compiled_executions_ = 0;
   std::uint64_t legacy_executions_ = 0;
+
+  // Split-phase in-flight state (execute_begin .. execute_finish).
+  bool in_flight_ = false;
+  bool flight_compiled_ = false;
+  std::map<int, simmpi::Request> flight_recvs_;
+  std::vector<pdat::MessageStream> flight_send_streams_;
+  std::vector<simmpi::Request> flight_sends_;
 };
 
 }  // namespace ramr::xfer
