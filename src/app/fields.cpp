@@ -10,12 +10,12 @@ using mesh::IntVector;
 namespace {
 
 int add(hier::VariableDatabase& db, vgpu::Device& device, const char* name,
-        Centering centering) {
+        Centering centering, int depth = 1) {
   const IntVector ghosts(2, 2);
-  hier::Variable v{name, centering, 1, ghosts};
+  hier::Variable v{name, centering, depth, ghosts};
   return db.register_variable(
       v, std::make_shared<pdat::cuda::CudaDataFactory>(device, centering,
-                                                       ghosts, 1));
+                                                       ghosts, depth));
 }
 
 }  // namespace
@@ -41,7 +41,12 @@ Fields Fields::register_all(hier::VariableDatabase& db, vgpu::Device& device) {
   f.node_flux = add(db, device, "node_flux", Centering::kNode);
   f.node_mass_post = add(db, device, "node_mass_post", Centering::kNode);
   f.node_mass_pre = add(db, device, "node_mass_pre", Centering::kNode);
-  f.mom_flux = add(db, device, "mom_flux", Centering::kNode);
+  // One plane per advected velocity component: the x- and y-velocity
+  // momentum sweeps of one direction then share no divergent work array,
+  // which is what lets the interior sweeps of both components run while
+  // the post-cell exchange is in flight and the rind sweeps follow
+  // without re-reading each other's fluxes (hydro::SweepPart).
+  f.mom_flux = add(db, device, "mom_flux", Centering::kNode, 2);
   return f;
 }
 

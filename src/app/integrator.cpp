@@ -95,12 +95,14 @@ void LagrangianEulerianIntegrator::rebuild_schedules() {
 }
 
 void LagrangianEulerianIntegrator::fill_all(
-    std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds) {
+    std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds,
+    TransferCounters::Window window) {
   // Coarse-to-fine: coarse ghosts must be valid before a finer level's
   // coarse-fill gathers from them.
   for (auto& sched : scheds) {
     sched->fill();
     ++xfer_counters_.halo_fills;
+    ++xfer_counters_.window[window].fills;
     xfer_counters_.messages_sent += sched->messages_sent_per_fill();
     xfer_counters_.messages_received += sched->messages_received_per_fill();
     xfer_counters_.bytes_sent += sched->bytes_sent_per_fill();
@@ -110,80 +112,124 @@ void LagrangianEulerianIntegrator::fill_all(
 void LagrangianEulerianIntegrator::begin_all(
     std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds) {
   // Every level's same-level exchange starts here: its begin phase only
-  // reads that level's interiors and writes that level's ghosts, so the
-  // begins are mutually independent and the wire time of all levels'
-  // messages is in flight together.
+  // reads that level's interiors and writes that level's ghosts (the
+  // wide-overlap early gather reads only the coarser level's
+  // strictly-interior data), so the begins are mutually independent and
+  // the wire time of all levels' messages is in flight together.
   for (auto& sched : scheds) {
     sched->fill_begin();
   }
 }
 
 void LagrangianEulerianIntegrator::finish_all(
-    std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds) {
+    std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds,
+    TransferCounters::Window window) {
   // Finish coarse-to-fine, like fill_all: a level's coarse gather reads
   // the coarser level's ghosts, which its (earlier) finish completed.
   for (auto& sched : scheds) {
     sched->fill_finish();
     ++xfer_counters_.halo_fills;
     ++xfer_counters_.split_fills;
+    ++xfer_counters_.window[window].fills;
+    ++xfer_counters_.window[window].split_fills;
     xfer_counters_.messages_sent += sched->messages_sent_per_fill();
     xfer_counters_.messages_received += sched->messages_received_per_fill();
     xfer_counters_.bytes_sent += sched->bytes_sent_per_fill();
   }
 }
 
+bool LagrangianEulerianIntegrator::wide_overlap_active() const {
+  // The stage splits pay a launch/occupancy premium per sub-stage; with
+  // no remote peers there is no wire to buy back, so a 1-rank world
+  // keeps the single-window shape (local-copy time already hides behind
+  // EOS at zero extra cost). Interior/rind parts need the batched route.
+  return ctx_->timeline != nullptr && ctx_->wide_overlap && li_->batched() &&
+         !ctx_->is_serial();
+}
+
+double LagrangianEulerianIntegrator::overlap_saved_now() const {
+  return ctx_->timeline != nullptr ? ctx_->timeline->overlap_seconds_saved()
+                                   : 0.0;
+}
+
+double LagrangianEulerianIntegrator::comm_busy_now() const {
+  // Comm kernels + wire legs + the two PCIe copy engines: everything a
+  // window's exchange occupies off the host lane.
+  vgpu::Timeline* tl = ctx_->timeline;
+  if (tl == nullptr) {
+    return 0.0;
+  }
+  return tl->busy(tl->lane("comm")) + tl->busy(tl->lane("net")) +
+         tl->busy(tl->lane("d2h")) + tl->busy(tl->lane("h2d"));
+}
+
+void LagrangianEulerianIntegrator::fill_window(
+    TransferCounters::Window window,
+    std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds,
+    const StageFn& stage) {
+  const double saved0 = overlap_saved_now();
+  const double comm0 = comm_busy_now();
+  if (wide_overlap_active()) {
+    {
+      vgpu::ComponentScope scope(*clock_, "boundary");
+      begin_all(scheds);
+    }
+    {
+      // The ghost-free interior sweep runs on the host lane while the
+      // exchange's wire legs ride the comm/net lanes.
+      vgpu::ComponentScope scope(*clock_, "hydro");
+      vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
+      stage(hydro::SweepPart::kInterior);
+    }
+    {
+      vgpu::ComponentScope scope(*clock_, "boundary");
+      finish_all(scheds, window);
+    }
+    {
+      // Boundary rind: the shell cells whose stencils read the ghosts
+      // the finish just filled.
+      vgpu::ComponentScope scope(*clock_, "hydro");
+      vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kRind);
+      stage(hydro::SweepPart::kRind);
+    }
+  } else {
+    {
+      vgpu::ComponentScope scope(*clock_, "boundary");
+      fill_all(scheds, window);
+    }
+    {
+      vgpu::ComponentScope scope(*clock_, "hydro");
+      vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
+      stage(hydro::SweepPart::kAll);
+    }
+  }
+  xfer_counters_.window[window].overlap_seconds_saved +=
+      overlap_saved_now() - saved0;
+  xfer_counters_.window[window].comm_seconds += comm_busy_now() - comm0;
+}
+
 double LagrangianEulerianIntegrator::advance() {
   hier::PatchHierarchy& h = *hierarchy_;
   const int levels = h.num_levels();
+  using Window = TransferCounters::Window;
 
   // --- Boundary + EOS + viscosity + timestep --------------------------
   //
-  // With a timeline attached (async-overlap runs) the start-of-step
-  // state exchange executes split-phase around the EOS stage: EOS is
-  // pointwise over patch INTERIORS of density/energy and writes only
-  // pressure/soundspeed, so it neither reads the ghosts the exchange
-  // fills nor touches the interiors it packs — a real device can run it
-  // while the halo messages are on the wire. The launches and their
-  // inputs are identical to the synchronous order (the exchange packs
-  // before EOS runs either way), so the fields are bit-identical; only
-  // the modeled completion time drops (docs/async_overlap.md).
+  // With a timeline attached (async-overlap runs) every halo exchange
+  // executes split-phase around compute that provably needs no ghosts:
+  // the state exchange around the pointwise EOS stage, and — under
+  // wide_overlap — each later exchange around the INTERIOR sweep of its
+  // consumer stencil stage (hydro::SweepPart), with the boundary rind
+  // swept after the exchange finished. The launches and their inputs are
+  // identical to the synchronous order (packs happen before any
+  // overlapped compute; interior sweeps read no in-flight ghost or seam
+  // data; rind sweeps read finished ghosts exactly as a post-fill stage
+  // would), so the fields are bit-identical; only the modeled completion
+  // time drops (docs/async_overlap.md).
   const bool split_phase = ctx_->timeline != nullptr;
-  {
-    vgpu::ComponentScope scope(*clock_, "boundary");
-    if (split_phase) {
-      begin_all(sched_state_);
-    } else {
-      fill_all(sched_state_);
-    }
-  }
-  {
-    vgpu::ComponentScope scope(*clock_, "hydro");
-    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
-    for (int l = 0; l < levels; ++l) {
-      li_->stage_eos(h.level(l));
-    }
-  }
-  if (split_phase) {
-    vgpu::ComponentScope scope(*clock_, "boundary");
-    finish_all(sched_state_);
-  }
-  {
-    vgpu::ComponentScope scope(*clock_, "boundary");
-    fill_all(sched_pressure_);
-  }
-  {
-    vgpu::ComponentScope scope(*clock_, "hydro");
-    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
-    for (int l = 0; l < levels; ++l) {
-      li_->stage_viscosity(h.level(l));
-    }
-  }
-  {
-    vgpu::ComponentScope scope(*clock_, "boundary");
-    fill_all(sched_viscosity_);
-  }
+  const bool wide = wide_overlap_active();
   double dt = std::numeric_limits<double>::infinity();
-  {
+  const auto compute_dt_all = [&]() {
     vgpu::ComponentScope scope(*clock_, "timestep");
     vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
     for (int l = 0; l < levels; ++l) {
@@ -192,71 +238,148 @@ double LagrangianEulerianIntegrator::advance() {
     if (ctx_->comm != nullptr) {
       dt = ctx_->comm->allreduce(dt, simmpi::ReduceOp::kMin);
     }
-  }
-
-  // --- Lagrangian step -------------------------------------------------
-  {
+  };
+  const auto hydro_stage = [&](vgpu::LaunchTag tag, auto&& body) {
     vgpu::ComponentScope scope(*clock_, "hydro");
-    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
+    vgpu::LaunchTagScope launch_tag(ctx_->device, tag);
     for (int l = 0; l < levels; ++l) {
-      li_->stage_pdv_predict(h.level(l), dt);
+      body(h.level(l));
     }
-  }
-  {
+  };
+  const auto boundary = [&](auto&& body) {
     vgpu::ComponentScope scope(*clock_, "boundary");
-    fill_all(sched_pressure_);
-  }
-  {
-    vgpu::ComponentScope scope(*clock_, "hydro");
-    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
-    for (int l = 0; l < levels; ++l) {
-      li_->stage_accelerate(h.level(l), dt);
+    body();
+  };
+  if (wide) {
+    using hydro::SweepPart;
+    // State window: EOS is pointwise, so the whole stage is its own
+    // interior and there is no rind — the original single-window shape.
+    // (Keeping this window separate from the pressure window measures
+    // strictly better than fusing them: the two exchanges' chains share
+    // the comm lane and the copy engines, so beginning the second fill
+    // early only delays the first one's finish.)
+    {
+      const double saved0 = overlap_saved_now();
+      const double comm0 = comm_busy_now();
+      boundary([&] { begin_all(sched_state_); });
+      hydro_stage(vgpu::LaunchTag::kHydro,
+                  [&](hier::PatchLevel& l) { li_->stage_eos(l); });
+      boundary([&] { finish_all(sched_state_, Window::kState); });
+      xfer_counters_.window[Window::kState].overlap_seconds_saved +=
+          overlap_saved_now() - saved0;
+      xfer_counters_.window[Window::kState].comm_seconds +=
+          comm_busy_now() - comm0;
     }
-    for (int l = 0; l < levels; ++l) {
-      li_->stage_pdv_correct(h.level(l), dt);
+    // First pressure window: hidden behind the viscosity interior.
+    fill_window(Window::kPressure, sched_pressure_,
+                [&](SweepPart part) {
+                  for (int l = 0; l < levels; ++l) {
+                    li_->stage_viscosity(h.level(l), part);
+                  }
+                });
+    // Viscosity window: neither the timestep reduction (allreduce
+    // included) nor the Lagrangian predictor reads any ghost, so the
+    // viscosity exchange stays in flight across BOTH and finishes just
+    // before the acceleration stage that consumes viscosity ghosts.
+    {
+      const double saved0 = overlap_saved_now();
+      const double comm0 = comm_busy_now();
+      boundary([&] { begin_all(sched_viscosity_); });
+      compute_dt_all();
+      hydro_stage(vgpu::LaunchTag::kHydro, [&](hier::PatchLevel& l) {
+        li_->stage_pdv_predict(l, dt);
+      });
+      boundary([&] { finish_all(sched_viscosity_, Window::kViscosity); });
+      xfer_counters_.window[Window::kViscosity].overlap_seconds_saved +=
+          overlap_saved_now() - saved0;
+      xfer_counters_.window[Window::kViscosity].comm_seconds +=
+          comm_busy_now() - comm0;
     }
-    for (int l = 0; l < levels; ++l) {
-      li_->stage_flux_calc(h.level(l), dt);
+    // Second pressure window: the whole Lagrangian step's interiors run
+    // inside it — acceleration first, then the corrector and flux sweeps,
+    // whose velocity reads chain within the acceleration's interior
+    // (depths in hydro/kernels.cpp) and which read no in-flight ghost.
+    fill_window(Window::kPressure, sched_pressure_,
+                [&](SweepPart part) {
+                  for (int l = 0; l < levels; ++l) {
+                    li_->stage_accelerate(h.level(l), dt, part);
+                    li_->stage_pdv_correct(h.level(l), dt, part);
+                    li_->stage_flux_calc(h.level(l), dt, part);
+                  }
+                });
+  } else {
+    // Single-window (PR-4) and synchronous shapes: only the state
+    // exchange splits (around EOS); every other fill precedes its
+    // consumer stage whole.
+    {
+      const double saved0 = overlap_saved_now();
+      boundary([&] {
+        if (split_phase) {
+          begin_all(sched_state_);
+        } else {
+          fill_all(sched_state_, Window::kState);
+        }
+      });
+      hydro_stage(vgpu::LaunchTag::kHydro,
+                  [&](hier::PatchLevel& l) { li_->stage_eos(l); });
+      if (split_phase) {
+        boundary([&] { finish_all(sched_state_, Window::kState); });
+      }
+      xfer_counters_.window[Window::kState].overlap_seconds_saved +=
+          overlap_saved_now() - saved0;
     }
+    boundary([&] { fill_all(sched_pressure_, Window::kPressure); });
+    hydro_stage(vgpu::LaunchTag::kHydro,
+                [&](hier::PatchLevel& l) { li_->stage_viscosity(l); });
+    boundary([&] { fill_all(sched_viscosity_, Window::kViscosity); });
+    compute_dt_all();
+
+    // --- Lagrangian step ----------------------------------------------
+    hydro_stage(vgpu::LaunchTag::kHydro, [&](hier::PatchLevel& l) {
+      li_->stage_pdv_predict(l, dt);
+    });
+    boundary([&] { fill_all(sched_pressure_, Window::kPressure); });
+    hydro_stage(vgpu::LaunchTag::kHydro, [&](hier::PatchLevel& l) {
+      li_->stage_accelerate(l, dt);
+    });
+    hydro_stage(vgpu::LaunchTag::kHydro, [&](hier::PatchLevel& l) {
+      li_->stage_pdv_correct(l, dt);
+    });
+    hydro_stage(vgpu::LaunchTag::kHydro, [&](hier::PatchLevel& l) {
+      li_->stage_flux_calc(l, dt);
+    });
   }
 
   // --- Advection (directional split, alternating order) ----------------
   const bool x_first = (step_count_ % 2) == 0;
-  {
-    vgpu::ComponentScope scope(*clock_, "boundary");
-    fill_all(sched_preadvec_);
-  }
-  {
-    vgpu::ComponentScope scope(*clock_, "hydro");
-    vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
-    for (int l = 0; l < levels; ++l) {
-      li_->stage_advec_cell(h.level(l), x_first, 1);
-    }
-  }
-  {
-    vgpu::ComponentScope scope(*clock_, "boundary");
-    fill_all(sched_postcell_);
-  }
+  fill_window(Window::kPreAdvec, sched_preadvec_,
+              [&](hydro::SweepPart part) {
+                for (int l = 0; l < levels; ++l) {
+                  li_->stage_advec_cell(h.level(l), x_first, 1, part);
+                }
+              });
+  fill_window(Window::kPostCell, sched_postcell_,
+              [&](hydro::SweepPart part) {
+                for (int l = 0; l < levels; ++l) {
+                  li_->stage_advec_mom(h.level(l), x_first, 1, part);
+                }
+              });
   {
     vgpu::ComponentScope scope(*clock_, "hydro");
     vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
-    for (int l = 0; l < levels; ++l) {
-      li_->stage_advec_mom(h.level(l), x_first, 1);
-    }
     for (int l = 0; l < levels; ++l) {
       li_->stage_advec_cell(h.level(l), !x_first, 2);
     }
   }
-  {
-    vgpu::ComponentScope scope(*clock_, "boundary");
-    fill_all(sched_postcell_);
-  }
+  fill_window(Window::kPostCell, sched_postcell_,
+              [&](hydro::SweepPart part) {
+                for (int l = 0; l < levels; ++l) {
+                  li_->stage_advec_mom(h.level(l), !x_first, 2, part);
+                }
+              });
   {
     vgpu::ComponentScope scope(*clock_, "hydro");
     vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
-    for (int l = 0; l < levels; ++l) {
-      li_->stage_advec_mom(h.level(l), !x_first, 2);
-    }
     for (int l = 0; l < levels; ++l) {
       li_->stage_reset(h.level(l));
     }
@@ -283,7 +406,7 @@ double LagrangianEulerianIntegrator::advance() {
       h.max_levels() > 1) {
     vgpu::ComponentScope scope(*clock_, "regrid");
     // Refresh halos so tagging and solution transfer see current data.
-    fill_all(sched_state_);
+    fill_all(sched_state_, TransferCounters::Window::kState);
     gridding_->regrid(h, time_);
     rebuild_schedules();
   }

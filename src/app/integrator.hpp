@@ -7,6 +7,9 @@
 // (hydro / boundary / timestep / sync / regrid).
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -30,6 +33,39 @@ struct TransferCounters {
   /// Fills executed split-phase (begin / overlapped compute / finish) on
   /// the async-overlap path; 0 on the synchronous path.
   std::uint64_t split_fills = 0;
+
+  /// The per-step fill windows of the integrator, named after the
+  /// exchanged quantity. Windows executed more than once per step (the
+  /// pressure fill after EOS and after the Lagrangian predictor, the
+  /// post-cell fill after each advection sweep) accumulate into one slot.
+  enum Window : int {
+    kState = 0,   ///< start-of-step state exchange (hidden by EOS)
+    kPressure,    ///< pressure fills (hidden by viscosity / acceleration)
+    kViscosity,   ///< viscosity fill (hidden by dt + Lagrangian predictor)
+    kPreAdvec,    ///< pre-advection fill (hidden by the first cell sweep)
+    kPostCell,    ///< post-cell fills (hidden by the momentum sweeps)
+    kWindowCount
+  };
+  static const char* window_name(int w) {
+    static constexpr const char* kNames[kWindowCount] = {
+        "state", "pressure", "viscosity", "preadvec", "postcell"};
+    return kNames[w];
+  }
+
+  /// Per-window breakdown: how often each exchange ran, how often it ran
+  /// split-phase, how much comm/net-lane work the window issued, and how
+  /// much modeled time the timeline attributes to it (the
+  /// overlap_seconds_saved delta across it) — which fill windows
+  /// actually hide time, not just the step aggregate.
+  struct WindowStats {
+    std::uint64_t fills = 0;
+    std::uint64_t split_fills = 0;
+    /// comm+net lane busy seconds issued inside the window (an upper
+    /// bound on what the window could hide); 0 without a timeline.
+    double comm_seconds = 0.0;
+    double overlap_seconds_saved = 0.0;
+  };
+  std::array<WindowStats, kWindowCount> window{};
 };
 
 /// Hierarchy-wide time integration.
@@ -70,14 +106,41 @@ class LagrangianEulerianIntegrator {
   }
 
  private:
-  void fill_all(std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds);
+  void fill_all(std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds,
+                TransferCounters::Window window);
 
   // Split-phase halves of fill_all (async-overlap path): begin starts
-  // every level's same-level exchange; finish completes them in level
+  // every level's same-level exchange (and, under wide_overlap, the
+  // early half of each coarse gather); finish completes them in level
   // order (so a level's coarse gather still sees the coarser level's
   // finished ghosts) and accounts the traffic.
   void begin_all(std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds);
-  void finish_all(std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds);
+  void finish_all(std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds,
+                  TransferCounters::Window window);
+
+  /// Runs the stencil stage of one fill window over every level.
+  using StageFn = std::function<void(hydro::SweepPart)>;
+
+  /// One overlapped fill window (wide_overlap): begin the exchange, run
+  /// the stage's ghost-free interior sweep on the host lane while the
+  /// messages fly, finish the exchange, then run the boundary rind
+  /// sweep. Without wide overlap this degrades to the synchronous
+  /// fill-then-full-stage pair, unchanged from the single-window
+  /// subsystem. Either way the launch inputs match the synchronous
+  /// order, so fields are bit-identical (docs/async_overlap.md).
+  void fill_window(TransferCounters::Window window,
+                   std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds,
+                   const StageFn& stage);
+
+  /// True when the widened overlap window is in effect: timeline
+  /// attached, wide_overlap requested, batched route, distributed world.
+  bool wide_overlap_active() const;
+
+  /// overlap_seconds_saved of the attached timeline (0 without one).
+  double overlap_saved_now() const;
+
+  /// comm+net lane busy seconds of the attached timeline (0 without one).
+  double comm_busy_now() const;
 
   hier::PatchHierarchy* hierarchy_;
   LagrangianEulerianLevelIntegrator* li_;

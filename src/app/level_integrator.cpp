@@ -4,8 +4,21 @@
 #include <limits>
 
 #include "app/level_kernel_runner.hpp"
+#include "util/error.hpp"
 
 namespace ramr::app {
+
+namespace {
+
+/// The per-patch route sweeps whole patches; interior/rind parts exist
+/// only on the batched route (the paper's original structure has no
+/// split, and the split-phase integrator requires batching).
+void require_all(const LevelKernelRunner* batched, hydro::SweepPart part) {
+  RAMR_REQUIRE(batched != nullptr || part == hydro::SweepPart::kAll,
+               "interior/rind sweep parts require the batched launch route");
+}
+
+}  // namespace
 
 double LagrangianEulerianLevelIntegrator::compute_dt(hier::PatchLevel& level) {
   const hydro::CellGeom g = geom_of(level);
@@ -31,10 +44,11 @@ void LagrangianEulerianLevelIntegrator::stage_eos(hier::PatchLevel& level) {
 }
 
 void LagrangianEulerianLevelIntegrator::stage_viscosity(
-    hier::PatchLevel& level) {
+    hier::PatchLevel& level, hydro::SweepPart part) {
   const hydro::CellGeom g = geom_of(level);
+  require_all(batched_, part);
   if (batched_ != nullptr) {
-    batched_->viscosity(level, g);
+    batched_->viscosity(level, g, part);
     return;
   }
   for (const auto& patch : level.local_patches()) {
@@ -43,11 +57,12 @@ void LagrangianEulerianLevelIntegrator::stage_viscosity(
 }
 
 void LagrangianEulerianLevelIntegrator::stage_pdv_predict(
-    hier::PatchLevel& level, double dt) {
+    hier::PatchLevel& level, double dt, hydro::SweepPart part) {
   const hydro::CellGeom g = geom_of(level);
+  require_all(batched_, part);
   if (batched_ != nullptr) {
-    batched_->pdv(level, g, dt, /*predict=*/true);
-    batched_->ideal_gas(level, g, /*predict=*/true);
+    batched_->pdv(level, g, dt, /*predict=*/true, part);
+    batched_->ideal_gas(level, g, /*predict=*/true, part);
     return;
   }
   for (const auto& patch : level.local_patches()) {
@@ -59,10 +74,11 @@ void LagrangianEulerianLevelIntegrator::stage_pdv_predict(
 }
 
 void LagrangianEulerianLevelIntegrator::stage_accelerate(
-    hier::PatchLevel& level, double dt) {
+    hier::PatchLevel& level, double dt, hydro::SweepPart part) {
   const hydro::CellGeom g = geom_of(level);
+  require_all(batched_, part);
   if (batched_ != nullptr) {
-    batched_->accelerate(level, g, dt);
+    batched_->accelerate(level, g, dt, part);
     return;
   }
   for (const auto& patch : level.local_patches()) {
@@ -71,10 +87,11 @@ void LagrangianEulerianLevelIntegrator::stage_accelerate(
 }
 
 void LagrangianEulerianLevelIntegrator::stage_pdv_correct(
-    hier::PatchLevel& level, double dt) {
+    hier::PatchLevel& level, double dt, hydro::SweepPart part) {
   const hydro::CellGeom g = geom_of(level);
+  require_all(batched_, part);
   if (batched_ != nullptr) {
-    batched_->pdv(level, g, dt, /*predict=*/false);
+    batched_->pdv(level, g, dt, /*predict=*/false, part);
     return;
   }
   for (const auto& patch : level.local_patches()) {
@@ -83,10 +100,12 @@ void LagrangianEulerianLevelIntegrator::stage_pdv_correct(
 }
 
 void LagrangianEulerianLevelIntegrator::stage_flux_calc(hier::PatchLevel& level,
-                                                        double dt) {
+                                                        double dt,
+                                                        hydro::SweepPart part) {
   const hydro::CellGeom g = geom_of(level);
+  require_all(batched_, part);
   if (batched_ != nullptr) {
-    batched_->flux_calc(level, g, dt);
+    batched_->flux_calc(level, g, dt, part);
     return;
   }
   for (const auto& patch : level.local_patches()) {
@@ -95,10 +114,12 @@ void LagrangianEulerianLevelIntegrator::stage_flux_calc(hier::PatchLevel& level,
 }
 
 void LagrangianEulerianLevelIntegrator::stage_advec_cell(
-    hier::PatchLevel& level, bool x_direction, int sweep_number) {
+    hier::PatchLevel& level, bool x_direction, int sweep_number,
+    hydro::SweepPart part) {
   const hydro::CellGeom g = geom_of(level);
+  require_all(batched_, part);
   if (batched_ != nullptr) {
-    batched_->advec_cell(level, g, x_direction, sweep_number);
+    batched_->advec_cell(level, g, x_direction, sweep_number, part);
     return;
   }
   for (const auto& patch : level.local_patches()) {
@@ -107,13 +128,12 @@ void LagrangianEulerianLevelIntegrator::stage_advec_cell(
 }
 
 void LagrangianEulerianLevelIntegrator::stage_advec_mom(
-    hier::PatchLevel& level, bool x_direction, int sweep_number) {
+    hier::PatchLevel& level, bool x_direction, int sweep_number,
+    hydro::SweepPart part) {
   const hydro::CellGeom g = geom_of(level);
+  require_all(batched_, part);
   if (batched_ != nullptr) {
-    batched_->advec_mom(level, g, x_direction, sweep_number,
-                        /*x_velocity=*/true);
-    batched_->advec_mom(level, g, x_direction, sweep_number,
-                        /*x_velocity=*/false);
+    batched_->advec_mom_both(level, g, x_direction, sweep_number, part);
     return;
   }
   for (const auto& patch : level.local_patches()) {
@@ -122,10 +142,12 @@ void LagrangianEulerianLevelIntegrator::stage_advec_mom(
   }
 }
 
-void LagrangianEulerianLevelIntegrator::stage_reset(hier::PatchLevel& level) {
+void LagrangianEulerianLevelIntegrator::stage_reset(hier::PatchLevel& level,
+                                                    hydro::SweepPart part) {
   const hydro::CellGeom g = geom_of(level);
+  require_all(batched_, part);
   if (batched_ != nullptr) {
-    batched_->reset_field(level, g);
+    batched_->reset_field(level, g, part);
     return;
   }
   for (const auto& patch : level.local_patches()) {

@@ -32,29 +32,43 @@ class LagrangianEulerianLevelIntegrator {
   /// Minimum stable dt over the level's local patches.
   double compute_dt(hier::PatchLevel& level);
 
+  /// Stencil stages take a sweep part (hydro::SweepPart): kInterior runs
+  /// only the ghost-free patch cores (safe while a halo exchange is in
+  /// flight), kRind the complementary boundary shells afterwards, and
+  /// kAll (the default) the whole stage. Parts other than kAll require
+  /// the batched route; the per-patch route always sweeps everything.
+
   /// EOS + artificial viscosity from the level-n state.
   void stage_eos(hier::PatchLevel& level);
-  void stage_viscosity(hier::PatchLevel& level);
+  void stage_viscosity(hier::PatchLevel& level,
+                       hydro::SweepPart part = hydro::SweepPart::kAll);
 
   /// Lagrangian predictor: half-step PdV, then EOS on the predicted
   /// state (pressure at t + dt/2).
-  void stage_pdv_predict(hier::PatchLevel& level, double dt);
+  void stage_pdv_predict(hier::PatchLevel& level, double dt,
+                         hydro::SweepPart part = hydro::SweepPart::kAll);
 
   /// Nodal acceleration with the half-step pressure.
-  void stage_accelerate(hier::PatchLevel& level, double dt);
+  void stage_accelerate(hier::PatchLevel& level, double dt,
+                        hydro::SweepPart part = hydro::SweepPart::kAll);
 
   /// Lagrangian corrector: full-step PdV with time-centred velocities.
-  void stage_pdv_correct(hier::PatchLevel& level, double dt);
+  void stage_pdv_correct(hier::PatchLevel& level, double dt,
+                         hydro::SweepPart part = hydro::SweepPart::kAll);
 
-  void stage_flux_calc(hier::PatchLevel& level, double dt);
+  void stage_flux_calc(hier::PatchLevel& level, double dt,
+                       hydro::SweepPart part = hydro::SweepPart::kAll);
 
   /// One advection sweep: cells then both momentum components.
   void stage_advec_cell(hier::PatchLevel& level, bool x_direction,
-                        int sweep_number);
+                        int sweep_number,
+                        hydro::SweepPart part = hydro::SweepPart::kAll);
   void stage_advec_mom(hier::PatchLevel& level, bool x_direction,
-                       int sweep_number);
+                       int sweep_number,
+                       hydro::SweepPart part = hydro::SweepPart::kAll);
 
-  void stage_reset(hier::PatchLevel& level);
+  void stage_reset(hier::PatchLevel& level,
+                   hydro::SweepPart part = hydro::SweepPart::kAll);
 
   PatchIntegrator& patch_integrator() { return *pi_; }
 

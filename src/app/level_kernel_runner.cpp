@@ -7,8 +7,9 @@ namespace ramr::app {
 
 using pdat::cuda::CudaData;
 
-util::View LevelKernelRunner::view(hier::Patch& p, int id, int comp) const {
-  return p.typed_data<CudaData>(id).device_view(comp);
+util::View LevelKernelRunner::view(hier::Patch& p, int id, int comp,
+                                   int plane) const {
+  return p.typed_data<CudaData>(id).device_view(comp, plane);
 }
 
 namespace {
@@ -39,7 +40,8 @@ double LevelKernelRunner::compute_dt(hier::PatchLevel& level,
 }
 
 void LevelKernelRunner::ideal_gas(hier::PatchLevel& level,
-                                  const hydro::CellGeom&, bool predict) {
+                                  const hydro::CellGeom&, bool predict,
+                                  hydro::SweepPart part) {
   const int density = predict ? f_.density1 : f_.density0;
   const int energy = predict ? f_.energy1 : f_.energy0;
   const auto boxes = hier::local_boxes(level);
@@ -49,11 +51,12 @@ void LevelKernelRunner::ideal_gas(hier::PatchLevel& level,
                                     view(p, f_.pressure),
                                     view(p, f_.soundspeed)};
       });
-  hydro::ideal_gas_batched(*device_, stream_, boxes, args);
+  hydro::ideal_gas_batched(*device_, stream_, boxes, args, part);
 }
 
 void LevelKernelRunner::viscosity(hier::PatchLevel& level,
-                                  const hydro::CellGeom& g) {
+                                  const hydro::CellGeom& g,
+                                  hydro::SweepPart part) {
   const auto boxes = hier::local_boxes(level);
   const auto args =
       gather_args<hydro::ViscosityPatch>(level, [&](hier::Patch& p) {
@@ -62,11 +65,12 @@ void LevelKernelRunner::viscosity(hier::PatchLevel& level,
                                      view(p, f_.viscosity), view(p, f_.xvel0),
                                      view(p, f_.yvel0)};
       });
-  hydro::viscosity_batched(*device_, stream_, boxes, g, args);
+  hydro::viscosity_batched(*device_, stream_, boxes, g, args, part);
 }
 
 void LevelKernelRunner::pdv(hier::PatchLevel& level, const hydro::CellGeom& g,
-                            double dt, bool predict) {
+                            double dt, bool predict,
+                            hydro::SweepPart part) {
   const auto boxes = hier::local_boxes(level);
   const auto args = gather_args<hydro::PdvPatch>(level, [&](hier::Patch& p) {
     return hydro::PdvPatch{view(p, f_.xvel0), view(p, f_.yvel0),
@@ -75,11 +79,12 @@ void LevelKernelRunner::pdv(hier::PatchLevel& level, const hydro::CellGeom& g,
                            view(p, f_.energy0), view(p, f_.energy1),
                            view(p, f_.pressure), view(p, f_.viscosity)};
   });
-  hydro::pdv_batched(*device_, stream_, boxes, g, dt, predict, args);
+  hydro::pdv_batched(*device_, stream_, boxes, g, dt, predict, args, part);
 }
 
 void LevelKernelRunner::accelerate(hier::PatchLevel& level,
-                                   const hydro::CellGeom& g, double dt) {
+                                   const hydro::CellGeom& g, double dt,
+                                   hydro::SweepPart part) {
   const auto boxes = hier::local_boxes(level);
   const auto args =
       gather_args<hydro::AcceleratePatch>(level, [&](hier::Patch& p) {
@@ -88,11 +93,12 @@ void LevelKernelRunner::accelerate(hier::PatchLevel& level,
             view(p, f_.xvel0), view(p, f_.yvel0), view(p, f_.xvel1),
             view(p, f_.yvel1)};
       });
-  hydro::accelerate_batched(*device_, stream_, boxes, g, dt, args);
+  hydro::accelerate_batched(*device_, stream_, boxes, g, dt, args, part);
 }
 
 void LevelKernelRunner::flux_calc(hier::PatchLevel& level,
-                                  const hydro::CellGeom& g, double dt) {
+                                  const hydro::CellGeom& g, double dt,
+                                  hydro::SweepPart part) {
   const auto boxes = hier::local_boxes(level);
   const auto args =
       gather_args<hydro::FluxCalcPatch>(level, [&](hier::Patch& p) {
@@ -101,12 +107,12 @@ void LevelKernelRunner::flux_calc(hier::PatchLevel& level,
                                     view(p, f_.vol_flux, 0),
                                     view(p, f_.vol_flux, 1)};
       });
-  hydro::flux_calc_batched(*device_, stream_, boxes, g, dt, args);
+  hydro::flux_calc_batched(*device_, stream_, boxes, g, dt, args, part);
 }
 
 void LevelKernelRunner::advec_cell(hier::PatchLevel& level,
                                    const hydro::CellGeom& g, bool x_direction,
-                                   int sweep_number) {
+                                   int sweep_number, hydro::SweepPart part) {
   const auto boxes = hier::local_boxes(level);
   const auto args =
       gather_args<hydro::AdvecCellPatch>(level, [&](hier::Patch& p) {
@@ -117,12 +123,13 @@ void LevelKernelRunner::advec_cell(hier::PatchLevel& level,
             view(p, f_.ener_flux, x_direction ? 0 : 1)};
       });
   hydro::advec_cell_batched(*device_, stream_, boxes, g, x_direction,
-                            sweep_number, args);
+                            sweep_number, args, part);
 }
 
 void LevelKernelRunner::advec_mom(hier::PatchLevel& level,
                                   const hydro::CellGeom& g, bool x_direction,
-                                  int sweep_number, bool x_velocity) {
+                                  int sweep_number, bool x_velocity,
+                                  hydro::SweepPart part) {
   const int mom_sweep = (x_direction ? 1 : 2) + 2 * (sweep_number - 1);
   const auto boxes = hier::local_boxes(level);
   const auto args =
@@ -132,15 +139,54 @@ void LevelKernelRunner::advec_mom(hier::PatchLevel& level,
             view(p, f_.vol_flux, 0), view(p, f_.vol_flux, 1),
             view(p, f_.mass_flux, 0), view(p, f_.mass_flux, 1),
             view(p, f_.node_flux), view(p, f_.node_mass_post),
-            view(p, f_.node_mass_pre), view(p, f_.mom_flux),
+            view(p, f_.node_mass_pre),
+            view(p, f_.mom_flux, 0, x_velocity ? 0 : 1),
             view(p, f_.pre_vol), view(p, f_.post_vol)};
       });
   hydro::advec_mom_batched(*device_, stream_, boxes, g, x_direction, mom_sweep,
-                           args);
+                           args, part);
+}
+
+void LevelKernelRunner::advec_mom_both(hier::PatchLevel& level,
+                                       const hydro::CellGeom& g,
+                                       bool x_direction, int sweep_number,
+                                       hydro::SweepPart part) {
+  const int mom_sweep = (x_direction ? 1 : 2) + 2 * (sweep_number - 1);
+  const auto boxes = hier::local_boxes(level);
+  const auto shared =
+      gather_args<hydro::AdvecMomSharedPatch>(level, [&](hier::Patch& p) {
+        return hydro::AdvecMomSharedPatch{
+            view(p, f_.density1), view(p, f_.vol_flux, 0),
+            view(p, f_.vol_flux, 1), view(p, f_.mass_flux, 0),
+            view(p, f_.mass_flux, 1), view(p, f_.node_flux),
+            view(p, f_.node_mass_post), view(p, f_.node_mass_pre),
+            view(p, f_.pre_vol), view(p, f_.post_vol)};
+      });
+  hydro::advec_mom_shared_batched(*device_, stream_, boxes, g, mom_sweep,
+                                  shared, part);
+
+  // Both components in one fused launch per sub-stage: entries (and
+  // boxes) for the x-velocity first, then the y-velocity.
+  std::vector<mesh::Box> both_boxes(boxes);
+  both_boxes.insert(both_boxes.end(), boxes.begin(), boxes.end());
+  std::vector<hydro::AdvecMomVelPatch> vels;
+  vels.reserve(2 * boxes.size());
+  for (const bool x_velocity : {true, false}) {
+    for (const auto& patch : level.local_patches()) {
+      hier::Patch& p = *patch;
+      vels.push_back(hydro::AdvecMomVelPatch{
+          view(p, x_velocity ? f_.xvel1 : f_.yvel1),
+          view(p, f_.mom_flux, 0, x_velocity ? 0 : 1), view(p, f_.node_flux),
+          view(p, f_.node_mass_post), view(p, f_.node_mass_pre)});
+    }
+  }
+  hydro::advec_mom_velocity_batched(*device_, stream_, both_boxes, g,
+                                    x_direction, vels, part);
 }
 
 void LevelKernelRunner::reset_field(hier::PatchLevel& level,
-                                    const hydro::CellGeom&) {
+                                    const hydro::CellGeom&,
+                                    hydro::SweepPart part) {
   const auto boxes = hier::local_boxes(level);
   const auto args =
       gather_args<hydro::ResetFieldPatch>(level, [&](hier::Patch& p) {
@@ -149,7 +195,7 @@ void LevelKernelRunner::reset_field(hier::PatchLevel& level,
             view(p, f_.energy1), view(p, f_.xvel0), view(p, f_.xvel1),
             view(p, f_.yvel0), view(p, f_.yvel1)};
       });
-  hydro::reset_field_batched(*device_, stream_, boxes, args);
+  hydro::reset_field_batched(*device_, stream_, boxes, args, part);
 }
 
 }  // namespace ramr::app

@@ -27,22 +27,41 @@ class LevelKernelRunner {
   /// scalar D2H readback per level (was one of each per patch).
   double compute_dt(hier::PatchLevel& level, const hydro::CellGeom& g);
 
+  /// Every stage can sweep the full level (kAll), only the patch
+  /// interiors (kInterior — safe while a halo exchange is in flight), or
+  /// the complementary boundary rind (kRind — run after the exchange
+  /// finished); see hydro::SweepPart.
   void ideal_gas(hier::PatchLevel& level, const hydro::CellGeom& g,
-                 bool predict);
-  void viscosity(hier::PatchLevel& level, const hydro::CellGeom& g);
+                 bool predict, hydro::SweepPart part = hydro::SweepPart::kAll);
+  void viscosity(hier::PatchLevel& level, const hydro::CellGeom& g,
+                 hydro::SweepPart part = hydro::SweepPart::kAll);
   void pdv(hier::PatchLevel& level, const hydro::CellGeom& g, double dt,
-           bool predict);
-  void accelerate(hier::PatchLevel& level, const hydro::CellGeom& g,
-                  double dt);
-  void flux_calc(hier::PatchLevel& level, const hydro::CellGeom& g, double dt);
+           bool predict, hydro::SweepPart part = hydro::SweepPart::kAll);
+  void accelerate(hier::PatchLevel& level, const hydro::CellGeom& g, double dt,
+                  hydro::SweepPart part = hydro::SweepPart::kAll);
+  void flux_calc(hier::PatchLevel& level, const hydro::CellGeom& g, double dt,
+                 hydro::SweepPart part = hydro::SweepPart::kAll);
   void advec_cell(hier::PatchLevel& level, const hydro::CellGeom& g,
-                  bool x_direction, int sweep_number);
+                  bool x_direction, int sweep_number,
+                  hydro::SweepPart part = hydro::SweepPart::kAll);
   void advec_mom(hier::PatchLevel& level, const hydro::CellGeom& g,
-                 bool x_direction, int sweep_number, bool x_velocity);
-  void reset_field(hier::PatchLevel& level, const hydro::CellGeom& g);
+                 bool x_direction, int sweep_number, bool x_velocity,
+                 hydro::SweepPart part = hydro::SweepPart::kAll);
+  /// Both velocity components of one momentum sweep in six fused
+  /// launches instead of twelve: the component-independent volumes /
+  /// node fluxes / node masses run ONCE (the per-component route
+  /// recomputes them bit-identically), and the per-component momentum
+  /// flux + velocity update fuse both components into one launch each
+  /// (each component writes its own vel1 and mom_flux plane, so the
+  /// fusion is race-free).
+  void advec_mom_both(hier::PatchLevel& level, const hydro::CellGeom& g,
+                      bool x_direction, int sweep_number,
+                      hydro::SweepPart part = hydro::SweepPart::kAll);
+  void reset_field(hier::PatchLevel& level, const hydro::CellGeom& g,
+                   hydro::SweepPart part = hydro::SweepPart::kAll);
 
  private:
-  util::View view(hier::Patch& p, int id, int comp = 0) const;
+  util::View view(hier::Patch& p, int id, int comp = 0, int plane = 0) const;
 
   vgpu::Device* device_;
   vgpu::Stream stream_;

@@ -6,8 +6,9 @@ namespace ramr::app {
 
 using pdat::cuda::CudaData;
 
-util::View CudaPatchIntegrator::view(hier::Patch& p, int id, int comp) const {
-  return p.typed_data<CudaData>(id).device_view(comp);
+util::View CudaPatchIntegrator::view(hier::Patch& p, int id, int comp,
+                                     int plane) const {
+  return p.typed_data<CudaData>(id).device_view(comp, plane);
 }
 
 void CudaPatchIntegrator::ideal_gas(hier::Patch& p, const hydro::CellGeom&,
@@ -74,7 +75,8 @@ void CudaPatchIntegrator::advec_mom(hier::Patch& p, const hydro::CellGeom& g,
                    view(p, f_.vol_flux, 1), view(p, f_.mass_flux, 0),
                    view(p, f_.mass_flux, 1), view(p, f_.node_flux),
                    view(p, f_.node_mass_post), view(p, f_.node_mass_pre),
-                   view(p, f_.mom_flux), view(p, f_.pre_vol),
+                   view(p, f_.mom_flux, 0, x_velocity ? 0 : 1),
+                   view(p, f_.pre_vol),
                    view(p, f_.post_vol));
 }
 

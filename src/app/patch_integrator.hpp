@@ -66,8 +66,8 @@ class CudaPatchIntegrator : public PatchIntegrator {
                                     const mesh::Box& region) override;
 
  private:
-  /// Device view of (variable id, component).
-  util::View view(hier::Patch& p, int id, int comp = 0) const;
+  /// Device view of (variable id, component, depth plane).
+  util::View view(hier::Patch& p, int id, int comp = 0, int plane = 0) const;
 
   vgpu::Device* device_;
   vgpu::Stream stream_;

@@ -26,9 +26,13 @@ Simulation::Simulation(const SimulationConfig& config,
   if (config_.async_overlap) {
     // The timeline attaches to the rank clock: every modeled charge
     // (device, network, host ops) now advances a lane cursor, and the
-    // integrator runs the state exchange split-phase around EOS.
+    // integrator runs every halo exchange split-phase: the state
+    // exchange around EOS, and — with wide_overlap (default) — the
+    // remaining exchanges around the interior sweeps of their consumer
+    // stages (interior/rind requires the batched launch route).
     timeline_ = std::make_unique<vgpu::Timeline>(clock_);
     ctx_.timeline = timeline_.get();
+    ctx_.wide_overlap = config_.wide_overlap && config_.batched_launch;
   }
   ctx_.comm = comm;
   ctx_.my_rank = comm != nullptr ? comm->rank() : 0;

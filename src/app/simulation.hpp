@@ -51,6 +51,16 @@ struct SimulationConfig {
   /// sum when any overlap occurs (docs/async_overlap.md). Off (default)
   /// = the synchronous single-cursor model of the compiled-plan path.
   bool async_overlap = false;
+  /// Widened overlap window (effective only with async_overlap and
+  /// batched_launch): EVERY per-step halo exchange hides behind compute,
+  /// not just the state exchange behind EOS. Each stencil stage splits
+  /// into a ghost-free interior sweep that runs while its exchange's
+  /// messages fly and a boundary rind sweep after the exchange finishes,
+  /// and the strictly-interior half of each coarse gather ships at
+  /// begin. Fields stay bit-identical to the synchronous path. False =
+  /// the single-window overlap, kept for ablation
+  /// (docs/async_overlap.md).
+  bool wide_overlap = true;
 };
 
 /// One rank's simulation instance.

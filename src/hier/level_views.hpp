@@ -1,7 +1,9 @@
 // Level-wide patch-data gathering for batched (fused per-level) kernel
 // launches: the per-stage driver collects every local patch's box and
 // device views ONCE, then issues a single fused launch over the whole
-// level instead of one launch per patch.
+// level instead of one launch per patch — plus the interior/rind box
+// carving the wide-overlap stage splits are built on (mesh::rind_pieces
+// applied to a patch's cell box).
 #pragma once
 
 #include <vector>
@@ -10,6 +12,30 @@
 #include "util/array_view.hpp"
 
 namespace ramr::hier {
+
+/// Interior core of a patch's cell box at rind depth `d`: the cells at
+/// least d away from every patch face — the index region whose stencil
+/// reads (up to the sub-stage's declared reach) provably touch no ghost
+/// and no exchange-rewritten seam line. Empty when the patch is thinner
+/// than 2d+1.
+inline mesh::Box interior_box(const mesh::Box& cells, int depth) {
+  return cells.shrink(depth);
+}
+
+/// The complementary boundary shell: up to four disjoint boxes which,
+/// together with interior_box(cells, depth), cover every cell of the
+/// patch exactly once — for ANY depth, including depths that leave no
+/// interior (the whole patch is then rind).
+inline std::vector<mesh::Box> rind_boxes(const mesh::Box& cells, int depth) {
+  std::vector<mesh::Box> out;
+  for (const mesh::Box& piece :
+       mesh::rind_pieces(cells, cells.shrink(depth)).piece) {
+    if (!piece.empty()) {
+      out.push_back(piece);
+    }
+  }
+  return out;
+}
 
 /// Cell boxes of every local patch, in local-patch order (the segment
 /// order of the fused launches built from them).

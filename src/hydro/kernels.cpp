@@ -25,31 +25,103 @@ constexpr vgpu::KernelCost hydro_cost(double flops, double doubles) {
   return vgpu::KernelCost{flops, doubles * kEffectiveBytesPerDouble};
 }
 
-/// One fused-launch segment per patch, each covering region(box) (empty
-/// regions keep their slot so segment ids index the argument spans).
+/// One fused launch's segments for one sub-stage and sweep part.
+///
+/// kAll: one segment per patch covering region(box) (empty regions keep
+/// their slot so the default argument ids index the argument spans).
+/// kInterior: the same slots clipped to the patch cell box shrunk by
+/// `depth` — at the depths declared per sub-stage below, an interior
+/// element's reads stay off every ghost and seam node/side line an
+/// in-flight exchange could rewrite, and off everything an earlier
+/// sub-stage computes outside ITS interior. kRind: the exact complement
+/// (up to four shell pieces per patch, each carrying the patch's
+/// argument id). Interior + rind partition kAll exactly, whatever the
+/// depth and however thin the patch (an interior-free patch is all
+/// rind), so running kInterior then kRind is bit-identical to kAll.
 template <typename RegionFn>
-vgpu::SegmentTable make_segments(std::span<const Box> boxes,
-                                 RegionFn&& region) {
+vgpu::SegmentTable make_segments(std::span<const Box> boxes, SweepPart part,
+                                 int depth, RegionFn&& region) {
   vgpu::SegmentTable t;
-  for (const Box& b : boxes) {
-    const Box r = region(b);
-    t.add(r.lower().i, r.lower().j, r.width(), r.height());
+  for (std::size_t p = 0; p < boxes.size(); ++p) {
+    const Box r = region(boxes[p]);
+    if (part == SweepPart::kAll) {
+      t.add(r.lower().i, r.lower().j, r.width(), r.height());
+      continue;
+    }
+    const Box core = r.intersect(boxes[p].shrink(depth));
+    if (part == SweepPart::kInterior) {
+      t.add(core.lower().i, core.lower().j, core.width(), core.height(), p);
+      continue;
+    }
+    for (const Box& piece : mesh::rind_pieces(r, core).piece) {
+      if (!piece.empty()) {
+        t.add(piece.lower().i, piece.lower().j, piece.width(), piece.height(),
+              p);
+      }
+    }
   }
   return t;
 }
 
-vgpu::SegmentTable cell_segments(std::span<const Box> boxes) {
-  return make_segments(boxes, [](const Box& b) { return b; });
+vgpu::SegmentTable cell_segments(std::span<const Box> boxes,
+                                 SweepPart part = SweepPart::kAll,
+                                 int depth = 0) {
+  return make_segments(boxes, part, depth, [](const Box& b) { return b; });
 }
+
+// Rind depths per stage sub-launch, derived from the stencils (offsets
+// into variables an overlapped exchange may have in flight, chained
+// reads of earlier sub-launches' outputs, and the in-place update
+// hazards of the advection stages). A read of an in-flight CELL variable
+// at offset s needs depth >= s (ghosts start outside the box); a read of
+// an in-flight NODE/SIDE variable must additionally stay off the seam
+// lines (first/last index) that a same-level exchange rewrites. A read
+// of sub-launch m's output at offset s from sub-launch k's interior
+// needs depth_k >= depth_m + s, and the advection updates that rewrite
+// their own inputs in place need the update's interior two deeper than
+// the flux sweep's rind reads reach (kernels below note the specific
+// hazard). Depth 0 means the whole region is interior (pointwise
+// stages: their rind is empty and the split is free).
+constexpr int kViscosityDepth = 1;   // pressure (in flight) at +-1
+// The corrector and flux sweeps may run inside the window that overlaps
+// the acceleration stage: their velocity reads at node offsets 0..+1
+// must stay within the acceleration's depth-1 interior — depth 2.
+constexpr int kPdvDepth = 2;
+constexpr int kAccelerateDepth = 1;  // pressure (in flight) at -1..0
+constexpr int kFluxCalcDepth = 2;    // velocity reads chained off accelerate
+// advec_cell: volume sweep reads in-flight vol_flux seam faces at 0..+1;
+// flux sweep reads in-flight density1/energy1 at -2..+1 and the volume
+// sweep's pre_vol at -1..0; the cell update reads the flux sweep's
+// output at 0..+1 AND rewrites density1/energy1 that the flux sweep's
+// rind still has to read at up to depth 3 — hence 4, not 3.
+constexpr int kAdvecCellVolDepth = 1;
+constexpr int kAdvecCellFluxDepth = 2;
+constexpr int kAdvecCellUpdateDepth = 4;
+// advec_mom: the volume sweep reads only vol_flux, which no window
+// overlapping advec_mom has in flight (it rides the pre-advection fill
+// consumed by advec_cell), so its interior spans the whole patch box —
+// required, since the node-mass sweep (depth 1) reads it at -1..0. The
+// chain node_flux(1) -> node_mass_pre(2) -> mom_flux(3) -> velocity
+// update adds one per link, and the update rewrites vel1 that the
+// mom_flux rind still reads at up to depth 4 — hence 5.
+constexpr int kAdvecMomVolDepth = 0;
+constexpr int kAdvecMomNodeFluxDepth = 1;
+constexpr int kAdvecMomNodeMassDepth = 1;
+constexpr int kAdvecMomNodeMassPreDepth = 2;
+constexpr int kAdvecMomFluxDepth = 3;
+constexpr int kAdvecMomUpdateDepth = 5;
+constexpr int kResetCellDepth = 0;   // pointwise cell copy
+constexpr int kResetNodeDepth = 1;   // writes seam nodes
 
 }  // namespace
 
 void ideal_gas_batched(vgpu::Device& dev, vgpu::Stream& s,
                        std::span<const Box> boxes,
-                       std::span<const IdealGasPatch> p) {
+                       std::span<const IdealGasPatch> p, SweepPart part) {
   const IdealGasPatch* a = p.data();
+  // Pointwise: depth 0, so the interior sweep is the whole stage.
   dev.launch_batched(
-      s, cell_segments(boxes), hydro_cost(8.0, 4.0),
+      s, cell_segments(boxes, part, 0), hydro_cost(8.0, 4.0),
       [=](std::size_t seg, int i, int j) {
         const IdealGasPatch& v = a[seg];
         const double vol = 1.0 / v.density(i, j);
@@ -74,12 +146,12 @@ void ideal_gas(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
 
 void viscosity_batched(vgpu::Device& dev, vgpu::Stream& s,
                        std::span<const Box> boxes, const CellGeom& g,
-                       std::span<const ViscosityPatch> p) {
+                       std::span<const ViscosityPatch> p, SweepPart part) {
   const double dx = g.dx;
   const double dy = g.dy;
   const ViscosityPatch* a = p.data();
   dev.launch_batched(
-      s, cell_segments(boxes), hydro_cost(45.0, 14.0),
+      s, cell_segments(boxes, part, kViscosityDepth), hydro_cost(45.0, 14.0),
       [=](std::size_t seg, int i, int j) {
         const ViscosityPatch& v = a[seg];
         const double ugrad = (v.xvel0(i + 1, j) + v.xvel0(i + 1, j + 1)) -
@@ -174,12 +246,12 @@ double calc_dt(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
 
 void pdv_batched(vgpu::Device& dev, vgpu::Stream& s,
                  std::span<const Box> boxes, const CellGeom& g, double dt,
-                 bool predict, std::span<const PdvPatch> p) {
+                 bool predict, std::span<const PdvPatch> p, SweepPart part) {
   const double volume = g.volume();
   const double xarea = g.xarea();
   const double yarea = g.yarea();
   const vgpu::KernelCost cost = hydro_cost(40.0, 16.0);
-  const vgpu::SegmentTable segs = cell_segments(boxes);
+  const vgpu::SegmentTable segs = cell_segments(boxes, part, kPdvDepth);
   const PdvPatch* a = p.data();
   if (predict) {
     dev.launch_batched(
@@ -249,7 +321,8 @@ void pdv(vgpu::Device& dev, vgpu::Stream& s, const Box& box, const CellGeom& g,
 
 void accelerate_batched(vgpu::Device& dev, vgpu::Stream& s,
                         std::span<const Box> boxes, const CellGeom& g,
-                        double dt, std::span<const AcceleratePatch> p) {
+                        double dt, std::span<const AcceleratePatch> p,
+                        SweepPart part) {
   const double halfdt = 0.5 * dt;
   const double volume = g.volume();
   const double xarea = g.xarea();
@@ -257,7 +330,7 @@ void accelerate_batched(vgpu::Device& dev, vgpu::Stream& s,
   const AcceleratePatch* a = p.data();
   dev.launch_batched(
       s,
-      make_segments(boxes,
+      make_segments(boxes, part, kAccelerateDepth,
                     [](const Box& b) {
                       return mesh::to_centering(b, mesh::Centering::kNode);
                     }),
@@ -299,13 +372,14 @@ void accelerate(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
 
 void flux_calc_batched(vgpu::Device& dev, vgpu::Stream& s,
                        std::span<const Box> boxes, const CellGeom& g,
-                       double dt, std::span<const FluxCalcPatch> p) {
+                       double dt, std::span<const FluxCalcPatch> p,
+                       SweepPart part) {
   const double xarea = g.xarea();
   const double yarea = g.yarea();
   const FluxCalcPatch* a = p.data();
   dev.launch_batched(
       s,
-      make_segments(boxes,
+      make_segments(boxes, part, kFluxCalcDepth,
                     [](const Box& b) {
                       return mesh::to_centering(b, mesh::Centering::kXSide);
                     }),
@@ -317,7 +391,7 @@ void flux_calc_batched(vgpu::Device& dev, vgpu::Stream& s,
       });
   dev.launch_batched(
       s,
-      make_segments(boxes,
+      make_segments(boxes, part, kFluxCalcDepth,
                     [](const Box& b) {
                       return mesh::to_centering(b, mesh::Centering::kYSide);
                     }),
@@ -339,15 +413,15 @@ void flux_calc(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
 void advec_cell_batched(vgpu::Device& dev, vgpu::Stream& s,
                         std::span<const Box> boxes, const CellGeom& g,
                         bool x_direction, int sweep_number,
-                        std::span<const AdvecCellPatch> p) {
+                        std::span<const AdvecCellPatch> p, SweepPart part) {
   constexpr double one_by_six = 1.0 / 6.0;
   const double volume = g.volume();
   const AdvecCellPatch* a = p.data();
   const Box* bx = boxes.data();
 
   // Stage 1: pre/post volumes over a 2-cell halo.
-  const vgpu::SegmentTable vsegs =
-      make_segments(boxes, [](const Box& b) { return b.grow(2); });
+  const vgpu::SegmentTable vsegs = make_segments(
+      boxes, part, kAdvecCellVolDepth, [](const Box& b) { return b.grow(2); });
   if (x_direction) {
     if (sweep_number == 1) {
       dev.launch_batched(
@@ -372,7 +446,7 @@ void advec_cell_batched(vgpu::Device& dev, vgpu::Stream& s,
     // (CloverLeaf's j = x_min, x_max+2 loop bounds).
     dev.launch_batched(
         s,
-        make_segments(boxes,
+        make_segments(boxes, part, kAdvecCellFluxDepth,
                       [](const Box& b) {
                         return Box(b.lower().i, b.lower().j, b.upper().i + 2,
                                    b.upper().j);
@@ -423,10 +497,13 @@ void advec_cell_batched(vgpu::Device& dev, vgpu::Stream& s,
           v.ener_flux(i, j) =
               v.mass_flux_x(i, j) * (v.energy1(donor, j) + limiter);
         });
-    // Stage 3: conservative cell update.
+    // Stage 3: conservative cell update. Its interior sits two deeper
+    // than the flux sweep's (kAdvecCellUpdateDepth): the flux sweep's
+    // RIND still reads pre-update density1/energy1 up to depth 3, so
+    // the in-place interior update must not reach them.
     dev.launch_batched(
-        s, cell_segments(boxes), hydro_cost(14.0, 9.0),
-        [=](std::size_t seg, int i, int j) {
+        s, cell_segments(boxes, part, kAdvecCellUpdateDepth),
+        hydro_cost(14.0, 9.0), [=](std::size_t seg, int i, int j) {
           const AdvecCellPatch& v = a[seg];
           const double pre_mass = v.density1(i, j) * v.pre_vol(i, j);
           const double post_mass =
@@ -462,7 +539,7 @@ void advec_cell_batched(vgpu::Device& dev, vgpu::Stream& s,
     }
     dev.launch_batched(
         s,
-        make_segments(boxes,
+        make_segments(boxes, part, kAdvecCellFluxDepth,
                       [](const Box& b) {
                         return Box(b.lower().i, b.lower().j, b.upper().i,
                                    b.upper().j + 2);
@@ -514,8 +591,8 @@ void advec_cell_batched(vgpu::Device& dev, vgpu::Stream& s,
               v.mass_flux_y(i, j) * (v.energy1(i, donor) + limiter);
         });
     dev.launch_batched(
-        s, cell_segments(boxes), hydro_cost(14.0, 9.0),
-        [=](std::size_t seg, int i, int j) {
+        s, cell_segments(boxes, part, kAdvecCellUpdateDepth),
+        hydro_cost(14.0, 9.0), [=](std::size_t seg, int i, int j) {
           const AdvecCellPatch& v = a[seg];
           const double pre_mass = v.density1(i, j) * v.pre_vol(i, j);
           const double post_mass =
@@ -543,20 +620,22 @@ void advec_cell(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
   advec_cell_batched(dev, s, {&box, 1}, g, x_direction, sweep_number, {&p, 1});
 }
 
-void advec_mom_batched(vgpu::Device& dev, vgpu::Stream& s,
-                       std::span<const Box> boxes, const CellGeom& g,
-                       bool x_direction, int mom_sweep,
-                       std::span<const AdvecMomPatch> p) {
+void advec_mom_shared_batched(vgpu::Device& dev, vgpu::Stream& s,
+                              std::span<const Box> boxes, const CellGeom& g,
+                              int mom_sweep,
+                              std::span<const AdvecMomSharedPatch> p,
+                              SweepPart part) {
   const double volume = g.volume();
-  const double dx = g.dx;
-  const double dy = g.dy;
-  const AdvecMomPatch* a = p.data();
+  const bool x_direction = mom_sweep == 1 || mom_sweep == 3;
+  const AdvecMomSharedPatch* a = p.data();
 
   // Stage 1: cell volumes seen by this sweep, over a 2-cell halo.
   dev.launch_batched(
-      s, make_segments(boxes, [](const Box& b) { return b.grow(2); }),
+      s,
+      make_segments(boxes, part, kAdvecMomVolDepth,
+                    [](const Box& b) { return b.grow(2); }),
       hydro_cost(6.0, 6.0), [=](std::size_t seg, int i, int j) {
-        const AdvecMomPatch& v = a[seg];
+        const AdvecMomSharedPatch& v = a[seg];
         switch (mom_sweep) {
           case 1:  // x sweep, first
             v.post_vol(i, j) =
@@ -588,26 +667,25 @@ void advec_mom_batched(vgpu::Device& dev, vgpu::Stream& s,
     // over [xmin-1, xmax+2]; ghost data depth 2 covers every read.
     dev.launch_batched(
         s,
-        make_segments(boxes,
+        make_segments(boxes, part, kAdvecMomNodeFluxDepth,
                       [](const Box& b) {
                         return Box(b.lower().i - 2, b.lower().j,
                                    b.upper().i + 2, b.upper().j + 1);
                       }),
         hydro_cost(10.0, 10.0), [=](std::size_t seg, int i, int j) {
-          const AdvecMomPatch& v = a[seg];
+          const AdvecMomSharedPatch& v = a[seg];
           v.node_flux(i, j) =
               0.25 * (v.mass_flux_x(i, j - 1) + v.mass_flux_x(i, j) +
                       v.mass_flux_x(i + 1, j - 1) + v.mass_flux_x(i + 1, j));
         });
-    const vgpu::SegmentTable mass_segs =
-        make_segments(boxes, [](const Box& b) {
-          return Box(b.lower().i - 1, b.lower().j, b.upper().i + 2,
-                     b.upper().j + 1);
-        });
+    const auto mass_region = [](const Box& b) {
+      return Box(b.lower().i - 1, b.lower().j, b.upper().i + 2,
+                 b.upper().j + 1);
+    };
     dev.launch_batched(
-        s, mass_segs, hydro_cost(10.0, 10.0),
-        [=](std::size_t seg, int i, int j) {
-          const AdvecMomPatch& v = a[seg];
+        s, make_segments(boxes, part, kAdvecMomNodeMassDepth, mass_region),
+        hydro_cost(10.0, 10.0), [=](std::size_t seg, int i, int j) {
+          const AdvecMomSharedPatch& v = a[seg];
           v.node_mass_post(i, j) =
               0.25 * (v.density1(i, j - 1) * v.post_vol(i, j - 1) +
                       v.density1(i, j) * v.post_vol(i, j) +
@@ -615,22 +693,70 @@ void advec_mom_batched(vgpu::Device& dev, vgpu::Stream& s,
                       v.density1(i - 1, j) * v.post_vol(i - 1, j));
         });
     dev.launch_batched(
-        s, mass_segs, hydro_cost(3.0, 4.0),
-        [=](std::size_t seg, int i, int j) {
-          const AdvecMomPatch& v = a[seg];
+        s, make_segments(boxes, part, kAdvecMomNodeMassPreDepth, mass_region),
+        hydro_cost(3.0, 4.0), [=](std::size_t seg, int i, int j) {
+          const AdvecMomSharedPatch& v = a[seg];
           v.node_mass_pre(i, j) = v.node_mass_post(i, j) -
                                   v.node_flux(i - 1, j) + v.node_flux(i, j);
         });
+  } else {
+    dev.launch_batched(
+        s,
+        make_segments(boxes, part, kAdvecMomNodeFluxDepth,
+                      [](const Box& b) {
+                        return Box(b.lower().i, b.lower().j - 2,
+                                   b.upper().i + 1, b.upper().j + 2);
+                      }),
+        hydro_cost(10.0, 10.0), [=](std::size_t seg, int i, int j) {
+          const AdvecMomSharedPatch& v = a[seg];
+          v.node_flux(i, j) =
+              0.25 * (v.mass_flux_y(i - 1, j) + v.mass_flux_y(i, j) +
+                      v.mass_flux_y(i - 1, j + 1) + v.mass_flux_y(i, j + 1));
+        });
+    const auto mass_region = [](const Box& b) {
+      return Box(b.lower().i, b.lower().j - 1, b.upper().i + 1,
+                 b.upper().j + 2);
+    };
+    dev.launch_batched(
+        s, make_segments(boxes, part, kAdvecMomNodeMassDepth, mass_region),
+        hydro_cost(10.0, 10.0), [=](std::size_t seg, int i, int j) {
+          const AdvecMomSharedPatch& v = a[seg];
+          v.node_mass_post(i, j) =
+              0.25 * (v.density1(i, j - 1) * v.post_vol(i, j - 1) +
+                      v.density1(i, j) * v.post_vol(i, j) +
+                      v.density1(i - 1, j - 1) * v.post_vol(i - 1, j - 1) +
+                      v.density1(i - 1, j) * v.post_vol(i - 1, j));
+        });
+    dev.launch_batched(
+        s, make_segments(boxes, part, kAdvecMomNodeMassPreDepth, mass_region),
+        hydro_cost(3.0, 4.0), [=](std::size_t seg, int i, int j) {
+          const AdvecMomSharedPatch& v = a[seg];
+          v.node_mass_pre(i, j) = v.node_mass_post(i, j) -
+                                  v.node_flux(i, j - 1) + v.node_flux(i, j);
+        });
+  }
+}
+
+void advec_mom_velocity_batched(vgpu::Device& dev, vgpu::Stream& s,
+                                std::span<const Box> boxes, const CellGeom& g,
+                                bool x_direction,
+                                std::span<const AdvecMomVelPatch> p,
+                                SweepPart part) {
+  const double dx = g.dx;
+  const double dy = g.dy;
+  const AdvecMomVelPatch* a = p.data();
+
+  if (x_direction) {
     // Monotonic momentum flux.
     dev.launch_batched(
         s,
-        make_segments(boxes,
+        make_segments(boxes, part, kAdvecMomFluxDepth,
                       [](const Box& b) {
                         return Box(b.lower().i - 1, b.lower().j,
                                    b.upper().i + 1, b.upper().j + 1);
                       }),
         hydro_cost(30.0, 8.0), [=](std::size_t seg, int i, int j) {
-          const AdvecMomPatch& v = a[seg];
+          const AdvecMomVelPatch& v = a[seg];
           int upwind, donor, downwind, dif;
           if (v.node_flux(i, j) < 0.0) {
             // No patch-local clamp: i+2 <= xmax+3 is inside the exchanged
@@ -666,15 +792,17 @@ void advec_mom_batched(vgpu::Device& dev, vgpu::Stream& s,
           const double advec_vel = v.vel1(donor, j) + (1.0 - sigma) * limiter;
           v.mom_flux(i, j) = advec_vel * v.node_flux(i, j);
         });
-    // Velocity update on the patch's nodes.
+    // Velocity update on the patch's nodes. Interior two deeper than the
+    // mom_flux sweep (kAdvecMomUpdateDepth): that sweep's rind still
+    // reads pre-update vel1 up to depth 4.
     dev.launch_batched(
         s,
-        make_segments(boxes,
+        make_segments(boxes, part, kAdvecMomUpdateDepth,
                       [](const Box& b) {
                         return mesh::to_centering(b, mesh::Centering::kNode);
                       }),
         hydro_cost(6.0, 5.0), [=](std::size_t seg, int i, int j) {
-          const AdvecMomPatch& v = a[seg];
+          const AdvecMomVelPatch& v = a[seg];
           v.vel1(i, j) = (v.vel1(i, j) * v.node_mass_pre(i, j) +
                           v.mom_flux(i - 1, j) - v.mom_flux(i, j)) /
                          v.node_mass_post(i, j);
@@ -682,48 +810,13 @@ void advec_mom_batched(vgpu::Device& dev, vgpu::Stream& s,
   } else {
     dev.launch_batched(
         s,
-        make_segments(boxes,
-                      [](const Box& b) {
-                        return Box(b.lower().i, b.lower().j - 2,
-                                   b.upper().i + 1, b.upper().j + 2);
-                      }),
-        hydro_cost(10.0, 10.0), [=](std::size_t seg, int i, int j) {
-          const AdvecMomPatch& v = a[seg];
-          v.node_flux(i, j) =
-              0.25 * (v.mass_flux_y(i - 1, j) + v.mass_flux_y(i, j) +
-                      v.mass_flux_y(i - 1, j + 1) + v.mass_flux_y(i, j + 1));
-        });
-    const vgpu::SegmentTable mass_segs =
-        make_segments(boxes, [](const Box& b) {
-          return Box(b.lower().i, b.lower().j - 1, b.upper().i + 1,
-                     b.upper().j + 2);
-        });
-    dev.launch_batched(
-        s, mass_segs, hydro_cost(10.0, 10.0),
-        [=](std::size_t seg, int i, int j) {
-          const AdvecMomPatch& v = a[seg];
-          v.node_mass_post(i, j) =
-              0.25 * (v.density1(i, j - 1) * v.post_vol(i, j - 1) +
-                      v.density1(i, j) * v.post_vol(i, j) +
-                      v.density1(i - 1, j - 1) * v.post_vol(i - 1, j - 1) +
-                      v.density1(i - 1, j) * v.post_vol(i - 1, j));
-        });
-    dev.launch_batched(
-        s, mass_segs, hydro_cost(3.0, 4.0),
-        [=](std::size_t seg, int i, int j) {
-          const AdvecMomPatch& v = a[seg];
-          v.node_mass_pre(i, j) = v.node_mass_post(i, j) -
-                                  v.node_flux(i, j - 1) + v.node_flux(i, j);
-        });
-    dev.launch_batched(
-        s,
-        make_segments(boxes,
+        make_segments(boxes, part, kAdvecMomFluxDepth,
                       [](const Box& b) {
                         return Box(b.lower().i, b.lower().j - 1,
                                    b.upper().i + 1, b.upper().j + 1);
                       }),
         hydro_cost(30.0, 8.0), [=](std::size_t seg, int i, int j) {
-          const AdvecMomPatch& v = a[seg];
+          const AdvecMomVelPatch& v = a[seg];
           int upwind, donor, downwind, dif;
           if (v.node_flux(i, j) < 0.0) {
             upwind = j + 2;  // <= ymax+3: inside exchanged ghost nodes
@@ -758,17 +851,41 @@ void advec_mom_batched(vgpu::Device& dev, vgpu::Stream& s,
         });
     dev.launch_batched(
         s,
-        make_segments(boxes,
+        make_segments(boxes, part, kAdvecMomUpdateDepth,
                       [](const Box& b) {
                         return mesh::to_centering(b, mesh::Centering::kNode);
                       }),
         hydro_cost(6.0, 5.0), [=](std::size_t seg, int i, int j) {
-          const AdvecMomPatch& v = a[seg];
+          const AdvecMomVelPatch& v = a[seg];
           v.vel1(i, j) = (v.vel1(i, j) * v.node_mass_pre(i, j) +
                           v.mom_flux(i, j - 1) - v.mom_flux(i, j)) /
                          v.node_mass_post(i, j);
         });
   }
+}
+
+void advec_mom_batched(vgpu::Device& dev, vgpu::Stream& s,
+                       std::span<const Box> boxes, const CellGeom& g,
+                       bool x_direction, int mom_sweep,
+                       std::span<const AdvecMomPatch> p, SweepPart part) {
+  // One component, all six sub-stages: the shared sweep recomputes the
+  // component-independent work exactly as the paper's original kernel
+  // does (per-patch route; the batched runner calls the shared sweep
+  // once per direction and fuses both components instead).
+  std::vector<AdvecMomSharedPatch> shared;
+  std::vector<AdvecMomVelPatch> vel;
+  shared.reserve(p.size());
+  vel.reserve(p.size());
+  for (const AdvecMomPatch& v : p) {
+    shared.push_back(AdvecMomSharedPatch{
+        v.density1, v.vol_flux_x, v.vol_flux_y, v.mass_flux_x, v.mass_flux_y,
+        v.node_flux, v.node_mass_post, v.node_mass_pre, v.pre_vol,
+        v.post_vol});
+    vel.push_back(AdvecMomVelPatch{v.vel1, v.mom_flux, v.node_flux,
+                                   v.node_mass_post, v.node_mass_pre});
+  }
+  advec_mom_shared_batched(dev, s, boxes, g, mom_sweep, shared, part);
+  advec_mom_velocity_batched(dev, s, boxes, g, x_direction, vel, part);
 }
 
 void advec_mom(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
@@ -785,10 +902,10 @@ void advec_mom(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
 
 void reset_field_batched(vgpu::Device& dev, vgpu::Stream& s,
                          std::span<const Box> boxes,
-                         std::span<const ResetFieldPatch> p) {
+                         std::span<const ResetFieldPatch> p, SweepPart part) {
   const ResetFieldPatch* a = p.data();
   dev.launch_batched(
-      s, cell_segments(boxes), hydro_cost(0.0, 8.0),
+      s, cell_segments(boxes, part, kResetCellDepth), hydro_cost(0.0, 8.0),
       [=](std::size_t seg, int i, int j) {
         const ResetFieldPatch& v = a[seg];
         v.density0(i, j) = v.density1(i, j);
@@ -796,7 +913,7 @@ void reset_field_batched(vgpu::Device& dev, vgpu::Stream& s,
       });
   dev.launch_batched(
       s,
-      make_segments(boxes,
+      make_segments(boxes, part, kResetNodeDepth,
                     [](const Box& b) {
                       return mesh::to_centering(b, mesh::Centering::kNode);
                     }),

@@ -50,17 +50,45 @@ struct CellGeom {
 using View = util::View;
 
 // ---------------------------------------------------------------------------
+// Interior / rind stage decomposition.
+//
+// Every batched stage can run over one of three index-space parts, so a
+// halo exchange can hide behind the stage instead of preceding it:
+//
+//   kAll       the full stage (the default; one fused launch per
+//              sub-stage, exactly the pre-split behaviour),
+//   kInterior  only the cells/faces/nodes of each patch at least the
+//              sub-stage's rind depth away from the patch's cell
+//              boundary — by construction these sweeps read no ghost
+//              data of any exchanged variable, no seam node/side line a
+//              same-level exchange rewrites, and no element an earlier
+//              sub-stage computes outside ITS interior, so they may run
+//              while the exchange's messages are on the wire,
+//   kRind      the exact complement (up to four shell pieces per patch
+//              per sub-stage), run after the exchange finished.
+//
+// kInterior followed by kRind covers every element of kAll exactly once
+// with the same per-element arithmetic and a read order equivalent to
+// the synchronous fill-then-stage schedule, so the split is bit-identical
+// to kAll. Per-sub-stage rind depths are derived from the stencils (and
+// the in-place update hazards of the advection stages) in kernels.cpp;
+// a patch thinner than 2*depth simply has an empty interior and a rind
+// covering everything. Empty parts launch nothing.
+enum class SweepPart { kAll, kInterior, kRind };
+
+// ---------------------------------------------------------------------------
 // Batched (fused per-level) kernel forms.
 //
 // Every stage kernel has a batched entry taking parallel spans of
 // per-patch interior cell boxes and per-patch view bundles (one entry
-// per patch, indexed by the fused launch's segment id). A batched call
-// issues ONE fused launch per kernel sub-stage — one launch overhead and
-// an occupancy ramp computed from the level's total thread count —
-// instead of one launch per patch. The per-patch entries below forward
-// to the batched forms with a single segment, so both paths share one
-// kernel body and stay bit-identical by construction. Geometry and
-// scalar arguments (dt, sweep selectors) are uniform across a level.
+// per patch, indexed by the fused launch's segment argument id). A
+// batched call issues ONE fused launch per kernel sub-stage and part —
+// one launch overhead and an occupancy ramp computed from the part's
+// total thread count — instead of one launch per patch. The per-patch
+// entries below forward to the batched forms with a single segment, so
+// both paths share one kernel body and stay bit-identical by
+// construction. Geometry and scalar arguments (dt, sweep selectors) are
+// uniform across a level.
 
 /// Per-patch views for ideal_gas.
 struct IdealGasPatch {
@@ -97,6 +125,22 @@ struct AdvecMomPatch {
   View vel1, density1, vol_flux_x, vol_flux_y, mass_flux_x, mass_flux_y,
       node_flux, node_mass_post, node_mass_pre, mom_flux, pre_vol, post_vol;
 };
+/// Per-patch views of the component-INDEPENDENT advec_mom work: sweep
+/// volumes, node fluxes and node masses are identical for both velocity
+/// components of one sweep, so they are computed once per sweep instead
+/// of once per component (the paper's original code recomputed them with
+/// bit-identical results).
+struct AdvecMomSharedPatch {
+  View density1, vol_flux_x, vol_flux_y, mass_flux_x, mass_flux_y, node_flux,
+      node_mass_post, node_mass_pre, pre_vol, post_vol;
+};
+/// Per-(patch, velocity component) views of the component-specific
+/// advec_mom work (monotonic momentum flux + velocity update). Each
+/// component writes its own mom_flux plane, so entries for BOTH
+/// components can ride one fused launch.
+struct AdvecMomVelPatch {
+  View vel1, mom_flux, node_flux, node_mass_post, node_mass_pre;
+};
 /// Per-patch views for reset_field.
 struct ResetFieldPatch {
   View density0, density1, energy0, energy1, xvel0, xvel1, yvel0, yvel1;
@@ -104,10 +148,12 @@ struct ResetFieldPatch {
 
 void ideal_gas_batched(vgpu::Device& dev, vgpu::Stream& s,
                        std::span<const mesh::Box> boxes,
-                       std::span<const IdealGasPatch> p);
+                       std::span<const IdealGasPatch> p,
+                       SweepPart part = SweepPart::kAll);
 void viscosity_batched(vgpu::Device& dev, vgpu::Stream& s,
                        std::span<const mesh::Box> boxes, const CellGeom& g,
-                       std::span<const ViscosityPatch> p);
+                       std::span<const ViscosityPatch> p,
+                       SweepPart part = SweepPart::kAll);
 /// One fused min-reduction over every patch interior with a SINGLE
 /// scalar D2H readback for the whole span (per level, not per patch).
 double calc_dt_batched(vgpu::Device& dev, vgpu::Stream& s,
@@ -115,24 +161,50 @@ double calc_dt_batched(vgpu::Device& dev, vgpu::Stream& s,
                        std::span<const CalcDtPatch> p);
 void pdv_batched(vgpu::Device& dev, vgpu::Stream& s,
                  std::span<const mesh::Box> boxes, const CellGeom& g, double dt,
-                 bool predict, std::span<const PdvPatch> p);
+                 bool predict, std::span<const PdvPatch> p,
+                 SweepPart part = SweepPart::kAll);
 void accelerate_batched(vgpu::Device& dev, vgpu::Stream& s,
                         std::span<const mesh::Box> boxes, const CellGeom& g,
-                        double dt, std::span<const AcceleratePatch> p);
+                        double dt, std::span<const AcceleratePatch> p,
+                        SweepPart part = SweepPart::kAll);
 void flux_calc_batched(vgpu::Device& dev, vgpu::Stream& s,
                        std::span<const mesh::Box> boxes, const CellGeom& g,
-                       double dt, std::span<const FluxCalcPatch> p);
+                       double dt, std::span<const FluxCalcPatch> p,
+                       SweepPart part = SweepPart::kAll);
 void advec_cell_batched(vgpu::Device& dev, vgpu::Stream& s,
                         std::span<const mesh::Box> boxes, const CellGeom& g,
                         bool x_direction, int sweep_number,
-                        std::span<const AdvecCellPatch> p);
+                        std::span<const AdvecCellPatch> p,
+                        SweepPart part = SweepPart::kAll);
+/// One velocity component, all six sub-stages (the per-patch wrapper's
+/// entry): forwards to the shared + velocity entries below.
 void advec_mom_batched(vgpu::Device& dev, vgpu::Stream& s,
                        std::span<const mesh::Box> boxes, const CellGeom& g,
                        bool x_direction, int mom_sweep,
-                       std::span<const AdvecMomPatch> p);
+                       std::span<const AdvecMomPatch> p,
+                       SweepPart part = SweepPart::kAll);
+/// Component-independent sub-stages (volumes, node flux, node masses) of
+/// one momentum sweep: ONE run serves both velocity components.
+void advec_mom_shared_batched(vgpu::Device& dev, vgpu::Stream& s,
+                              std::span<const mesh::Box> boxes,
+                              const CellGeom& g, int mom_sweep,
+                              std::span<const AdvecMomSharedPatch> p,
+                              SweepPart part = SweepPart::kAll);
+/// Component-specific sub-stages (momentum flux + velocity update), one
+/// fused launch per sub-stage over ALL entries: pass 2P entries (x- then
+/// y-velocity, with `boxes` repeated) to advance both components per
+/// launch — the entries write disjoint arrays (own vel1, own mom_flux
+/// plane), so fusing them is race-free and bit-identical to running the
+/// components back to back.
+void advec_mom_velocity_batched(vgpu::Device& dev, vgpu::Stream& s,
+                                std::span<const mesh::Box> boxes,
+                                const CellGeom& g, bool x_direction,
+                                std::span<const AdvecMomVelPatch> p,
+                                SweepPart part = SweepPart::kAll);
 void reset_field_batched(vgpu::Device& dev, vgpu::Stream& s,
                          std::span<const mesh::Box> boxes,
-                         std::span<const ResetFieldPatch> p);
+                         std::span<const ResetFieldPatch> p,
+                         SweepPart part = SweepPart::kAll);
 
 // ---------------------------------------------------------------------------
 // Per-patch forms (single-segment wrappers over the batched entries).

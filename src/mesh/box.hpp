@@ -77,6 +77,10 @@ class Box {
   Box grow(const IntVector& g) const { return Box(lo_ - g, hi_ + g); }
   Box grow(int g) const { return grow(IntVector::uniform(g)); }
 
+  /// Interior core at rind depth d: the cells at least d away from every
+  /// face of this box (empty when the box is thinner than 2d+1).
+  Box shrink(int d) const { return grow(-d); }
+
   Box shift(const IntVector& s) const { return Box(lo_ + s, hi_ + s); }
 
   /// Fine-index box covering the same region at `ratio` times the
@@ -101,6 +105,37 @@ class Box {
   IntVector lo_;
   IntVector hi_;
 };
+
+/// Exact 4-piece decomposition of `region` minus `core` (the rind shell
+/// of an interior/boundary stage split): bottom and top strips spanning
+/// the full region width, then left and right strips of the remaining
+/// middle rows. The pieces are pairwise disjoint and, together with
+/// region.intersect(core), cover every index of `region` exactly once —
+/// for ANY core, including an empty one (whole region becomes the bottom
+/// strip) or one containing the region (all pieces empty).
+struct RindPieces {
+  Box piece[4];
+};
+inline RindPieces rind_pieces(const Box& region, const Box& core) {
+  RindPieces r;
+  if (region.empty()) {
+    return r;
+  }
+  const Box c = region.intersect(core);
+  if (c.empty()) {
+    r.piece[0] = region;
+    return r;
+  }
+  r.piece[0] = Box(region.lower().i, region.lower().j,  // bottom
+                   region.upper().i, c.lower().j - 1);
+  r.piece[1] = Box(region.lower().i, c.upper().j + 1,  // top
+                   region.upper().i, region.upper().j);
+  r.piece[2] = Box(region.lower().i, c.lower().j,  // left
+                   c.lower().i - 1, c.upper().j);
+  r.piece[3] = Box(c.upper().i + 1, c.lower().j,  // right
+                   region.upper().i, c.upper().j);
+  return r;
+}
 
 /// Index box of centring `c` covering cell box `cells`: nodes extend one
 /// index past the upper cell along both axes, sides along their axis.

@@ -48,8 +48,9 @@ enum class LaunchTag : int {
   kTransferUnpack,  ///< message unpacking
   kLocalCopy,       ///< schedule-local device-to-device copies
   kRegrid,          ///< regrid path: tagging/clustering + interpolation
+  kRind,            ///< boundary-shell sweeps of interior/rind stage splits
 };
-inline constexpr int kLaunchTagCount = 6;
+inline constexpr int kLaunchTagCount = 7;
 
 class Device;
 
@@ -385,9 +386,11 @@ class Device {
     }
   }
 
-  /// Runs body(seg, i, j) over flattened indices [begin, end) of a fused
+  /// Runs body(arg, i, j) over flattened indices [begin, end) of a fused
   /// launch: the segment is resolved once per transition (binary search
   /// at the chunk start, increment afterwards), rows via run_tile_rows.
+  /// The body receives the segment's ARGUMENT id (== the segment index
+  /// unless the table assigned one explicitly).
   template <typename F>
   static void run_segments(const SegmentTable& segments, std::int64_t begin,
                            std::int64_t end, F& body) {
@@ -402,7 +405,8 @@ class Device {
         continue;
       }
       const std::int64_t stop = std::min(end, seg_end);
-      run_tile_rows(seg, s, idx - seg_begin, stop - seg_begin, body);
+      run_tile_rows(seg, segments.arg(s), idx - seg_begin, stop - seg_begin,
+                    body);
       idx = stop;
     }
   }

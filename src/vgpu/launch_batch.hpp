@@ -38,13 +38,24 @@ struct LaunchSeg2D {
 /// Prefix-summed table of launch segments. Segment indices are stable:
 /// empty segments are kept (they occupy zero threads and are never
 /// visited), so callers can index per-segment argument arrays directly
-/// with the segment id the fused body receives.
+/// with the segment id the fused body receives. A segment may carry an
+/// explicit ARGUMENT id instead (add with arg): the fused body receives
+/// that id, so several segments can share one argument-array entry — the
+/// rind sweep of an interior/boundary stage split launches up to four
+/// shell pieces per patch against the patch's single argument bundle.
 class SegmentTable {
  public:
-  /// Appends one tile; returns its segment index.
+  /// Appends one tile; returns its segment index (also its argument id).
   std::size_t add(int ilo, int jlo, int width, int height) {
+    return add(ilo, jlo, width, height, segs_.size());
+  }
+
+  /// Appends one tile whose fused body receives `arg` instead of the
+  /// segment index.
+  std::size_t add(int ilo, int jlo, int width, int height, std::size_t arg) {
     segs_.push_back(LaunchSeg2D{ilo, jlo, width, height});
     ends_.push_back(total_threads() + segs_.back().size());
+    args_.push_back(arg);
     return segs_.size() - 1;
   }
 
@@ -55,6 +66,9 @@ class SegmentTable {
   std::int64_t total_threads() const { return ends_.empty() ? 0 : ends_.back(); }
 
   const LaunchSeg2D& segment(std::size_t s) const { return segs_[s]; }
+
+  /// Argument id handed to the fused body for segment s.
+  std::size_t arg(std::size_t s) const { return args_[s]; }
 
   /// First flattened index of segment s.
   std::int64_t offset(std::size_t s) const { return s == 0 ? 0 : ends_[s - 1]; }
@@ -79,6 +93,7 @@ class SegmentTable {
  private:
   std::vector<LaunchSeg2D> segs_;
   std::vector<std::int64_t> ends_;
+  std::vector<std::size_t> args_;
 };
 
 }  // namespace ramr::vgpu

@@ -125,6 +125,12 @@ class Timeline {
   // previously active one: ops on the new lane are issued now, so they
   // cannot start earlier than the issuing lane's cursor.
   void push_lane(int lane);
+  /// Like push_lane but WITHOUT the fork: the routed work was already
+  /// enqueued on `lane` at an earlier point (stream operations recorded
+  /// at begin time, gated on event/message arrival — the pre-issued
+  /// receive processing of a split-phase exchange), so it continues from
+  /// the lane's own cursor instead of the issuing lane's present.
+  void push_lane_preissued(int lane) { active_stack_.push_back(lane); }
   void pop_lane();
 
  private:
@@ -143,14 +149,20 @@ class Timeline {
 };
 
 /// RAII active-lane scope: charges within go to `lane`, forked from the
-/// previously active lane. A null timeline or negative lane makes the
-/// scope a no-op, so call sites need no branching.
+/// previously active lane — or, with `preissued`, continuing from the
+/// lane's own cursor (work recorded on the lane earlier and gated on
+/// arrival events, not issued now). A null timeline or negative lane
+/// makes the scope a no-op, so call sites need no branching.
 class LaneScope {
  public:
-  LaneScope(Timeline* timeline, int lane)
+  LaneScope(Timeline* timeline, int lane, bool preissued = false)
       : timeline_(lane >= 0 ? timeline : nullptr) {
     if (timeline_ != nullptr) {
-      timeline_->push_lane(lane);
+      if (preissued) {
+        timeline_->push_lane_preissued(lane);
+      } else {
+        timeline_->push_lane(lane);
+      }
     }
   }
   ~LaneScope() {

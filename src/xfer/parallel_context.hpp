@@ -37,6 +37,13 @@ struct ParallelContext {
   /// wire time overlaps compute issued between begin and finish
   /// (docs/async_overlap.md).
   vgpu::Timeline* timeline = nullptr;
+  /// Widened overlap window (requires a timeline): every stencil stage
+  /// splits into an interior sweep that overlaps its halo exchange and a
+  /// rind sweep after it, and RefineSchedule::fill_begin() additionally
+  /// starts the strictly-interior part of the coarse gather so its wire
+  /// time hides too. False = the single EOS window of the original
+  /// async-overlap subsystem (ablation; docs/async_overlap.md).
+  bool wide_overlap = false;
   int next_tag = 1 << 10;
 
   int allocate_tag() { return next_tag++; }

@@ -94,6 +94,7 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
   sched->mode_ = mode;
   sched->same_engine_.initialize(ctx);
   sched->coarse_engine_.initialize(ctx);
+  sched->coarse_late_engine_.initialize(ctx);
 
   const IntVector ghosts = max_ghosts(items_, db);
   const IntVector stencil = max_stencil(items_);
@@ -132,8 +133,19 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
                                           sched->xacts_.size() - 1});
     }
   };
+  // Adds the gather transactions of one (coarse patch, destination)
+  // pair, splitting each item between the EARLY engine (sources whose
+  // values are provably stable from fill_begin to fill_finish, so a
+  // wide-overlap split fill may pack and ship them at begin) and the
+  // LATE engine (sources valid only once the coarse level's own exchange
+  // finished). `stable` is the cell region of begin-stable sources:
+  // for interior gathers the coarse patch box, clipped one cell inward
+  // for node/side items — a cell variable's interior (shell included)
+  // is never rewritten by the patch's own exchange, but a node/side
+  // variable's shell maps onto the seam lines the exchange DOES rewrite.
   const auto add_gather = [&](const GlobalPatch& c, const GlobalPatch& d,
-                              const BoxList& provided, std::size_t fill) {
+                              const BoxList& provided, const Box& stable,
+                              std::size_t fill) {
     overlap_pieces += 16;
     if (c.owner_rank != me && d.owner_rank != me) {
       return;
@@ -142,15 +154,33 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
       if (items_[n].op == nullptr) {
         continue;
       }
-      pdat::BoxOverlap ov = pdat::overlap_for_region(
-          db.variable(items_[n].var_id).centering, provided);
-      if (ov.empty()) {
-        continue;
+      const hier::Variable& var = db.variable(items_[n].var_id);
+      const Box item_stable = var.centering == mesh::Centering::kCell
+                                  ? stable
+                                  : stable.shrink(1);
+      BoxList early = provided;
+      early.intersect(item_stable);
+      BoxList late = provided;
+      late.remove_intersections(item_stable);
+      for (auto* part : {&early, &late}) {
+        if (part->empty()) {
+          continue;
+        }
+        part->coalesce();
+        pdat::BoxOverlap ov = pdat::overlap_for_region(var.centering, *part);
+        if (ov.empty()) {
+          continue;
+        }
+        sched->xacts_.push_back(
+            RefineSchedule::Xact{RefineSchedule::Xact::Kind::kCoarseGather,
+                                 c.global_id, d.global_id, n, fill,
+                                 std::move(ov)});
+        TransferSchedule& engine = part == &early
+                                       ? sched->coarse_engine_
+                                       : sched->coarse_late_engine_;
+        engine.add(Transaction{c.owner_rank, d.owner_rank,
+                               sched->xacts_.size() - 1});
       }
-      sched->xacts_.push_back(RefineSchedule::Xact{RefineSchedule::Xact::Kind::kCoarseGather, c.global_id,
-                                   d.global_id, n, fill, std::move(ov)});
-      sched->coarse_engine_.add(Transaction{c.owner_rank, d.owner_rank,
-                                            sched->xacts_.size() - 1});
     }
   };
 
@@ -198,7 +228,10 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
       const std::size_t fill = sched->coarse_fills_.size();
 
       BoxList scratch_remaining(cf.scratch_cells);
-      // Pass 1: coarse patch interiors.
+      // Pass 1: coarse patch interiors, split per item between the two
+      // gather engines by add_gather: a cell item's whole interior ships
+      // early; a node/side item keeps its depth-0 shell late (the seam
+      // lines the coarse exchange rewrites).
       for (const GlobalPatch& c : coarse_level->global_patches()) {
         if (scratch_remaining.empty()) {
           break;
@@ -209,11 +242,13 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
           continue;
         }
         provided.coalesce();
-        add_gather(c, d, provided, fill);
+        add_gather(c, d, provided, c.box, fill);
         scratch_remaining.remove_intersections(c.box);
       }
       // Pass 2: coarse patch ghost regions (carry BC-filled values needed
-      // for stencils that poke past the domain or patch edges).
+      // for stencils that poke past the domain or patch edges) — never
+      // stable before the coarse level's finish, so entirely late (the
+      // empty `stable` box routes every item there).
       for (const GlobalPatch& c : coarse_level->global_patches()) {
         if (scratch_remaining.empty()) {
           break;
@@ -225,7 +260,7 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
           continue;
         }
         provided.coalesce();
-        add_gather(c, d, provided, fill);
+        add_gather(c, d, provided, Box(), fill);
         scratch_remaining.remove_intersections(gbox);
       }
       if (!scratch_remaining.empty()) {
@@ -266,6 +301,7 @@ std::unique_ptr<RefineSchedule> RefineAlgorithm::create_schedule(
   }
   sched->same_engine_.finalize(*sched);
   sched->coarse_engine_.finalize(*sched);
+  sched->coarse_late_engine_.finalize(*sched);
 
   // Host cost of building the plan: the pairwise box calculus over the
   // replicated metadata (dst x src patch enumeration plus per-edge box
@@ -286,13 +322,36 @@ void RefineSchedule::fill() {
   fill_finish();
 }
 
-void RefineSchedule::fill_begin() { same_engine_.execute_begin(*this); }
+void RefineSchedule::fill_begin() {
+  same_engine_.execute_begin(*this);
+  if (ctx_->wide_overlap && !coarse_fills_.empty()) {
+    // Wide window: ship the strictly-interior coarse sources now, so
+    // the gather's wire time rides the comm/net lanes alongside the
+    // same-level exchange. Their values cannot change before finish
+    // (the coarse level's own exchange rewrites only ghost and seam
+    // indices; the overlapped interior sweeps stay off the boundary
+    // shell), so begin-time packs equal the synchronous gather's reads.
+    allocate_scratch();
+    coarse_engine_.execute_begin(*this);
+    coarse_in_flight_ = true;
+  }
+}
 
 void RefineSchedule::fill_finish() {
   same_engine_.execute_finish();
   if (!coarse_fills_.empty()) {
-    allocate_scratch();
-    coarse_engine_.execute(*this);
+    if (coarse_in_flight_) {
+      coarse_engine_.execute_finish();
+      coarse_in_flight_ = false;
+    } else {
+      allocate_scratch();
+      coarse_engine_.execute(*this);
+    }
+    // Boundary-shell and ghost sources read the coarse level's FINISHED
+    // exchange (finish_all runs coarse-to-fine), and execute after the
+    // early engine's writes — the pre-split single-engine plan order
+    // wherever their seam images overlap.
+    coarse_late_engine_.execute(*this);
     clamp_fill_uncovered_scratch();
     interpolate_coarse_fills();
     scratch_.clear();

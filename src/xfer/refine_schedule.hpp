@@ -77,21 +77,31 @@ class RefineSchedule : private TransferDelegate {
   /// Split-phase fill. fill_begin() starts the same-level exchange
   /// (posts receives, fused pack + isend per peer, local ghost copies) —
   /// under a timeline on the comm/network lanes, so its wire time
-  /// overlaps whatever the caller runs before fill_finish(). Safe to
-  /// interleave with compute that neither writes the exchanged
-  /// variables' interiors nor reads their ghosts (the EOS stage is the
-  /// canonical case: pointwise over interiors of OTHER variables).
-  /// fill_finish() completes the same-level exchange, then runs the
-  /// coarse gather + interpolation and the physical boundaries exactly
-  /// as fill() does. Launch contents are identical either way, so split
-  /// and single-phase fills are bit-identical by construction.
+  /// overlaps whatever the caller runs before fill_finish(). Under
+  /// ParallelContext::wide_overlap it also starts the EARLY half of the
+  /// coarse gather: the transactions sourced from strictly-interior
+  /// coarse data, whose values cannot change before fill_finish() (the
+  /// coarse level's own exchange only rewrites its ghost and seam
+  /// indices, and the overlapped interior compute sweeps stay off the
+  /// boundary shell), so the bulk of the gather's wire time hides too.
+  /// Safe to interleave with compute that neither writes the exchanged
+  /// variables' interiors nor reads their ghosts — the ghost-free
+  /// interior sweeps of the stencil stages (hydro::SweepPart), of which
+  /// the EOS stage is the trivial whole-stage case. fill_finish()
+  /// completes the same-level exchange and the early gather, runs the
+  /// LATE gather (coarse boundary-shell and ghost sources, which need
+  /// the coarse level's finished exchange), then interpolation and the
+  /// physical boundaries exactly as fill() does. Launch contents are
+  /// identical either way, so split and single-phase fills are
+  /// bit-identical by construction.
   void fill_begin();
   void fill_finish();
 
   /// Wire bytes this rank sends per execution (diagnostics / tests).
   std::uint64_t bytes_sent_per_fill() const {
     return same_engine_.bytes_sent_per_exchange() +
-           coarse_engine_.bytes_sent_per_exchange();
+           coarse_engine_.bytes_sent_per_exchange() +
+           coarse_late_engine_.bytes_sent_per_exchange();
   }
 
   /// Aggregated messages this rank sends / receives per execution: at
@@ -99,17 +109,24 @@ class RefineSchedule : private TransferDelegate {
   /// edges and variables the fill covers.
   std::uint64_t messages_sent_per_fill() const {
     return same_engine_.messages_sent_per_exchange() +
-           coarse_engine_.messages_sent_per_exchange();
+           coarse_engine_.messages_sent_per_exchange() +
+           coarse_late_engine_.messages_sent_per_exchange();
   }
   std::uint64_t messages_received_per_fill() const {
     return same_engine_.messages_received_per_exchange() +
-           coarse_engine_.messages_received_per_exchange();
+           coarse_engine_.messages_received_per_exchange() +
+           coarse_late_engine_.messages_received_per_exchange();
   }
 
-  /// The two engine exchanges of one fill (same-level, coarse gather),
-  /// for plan-level observability in tests.
+  /// The engine exchanges of one fill (same-level; early coarse gather
+  /// from strictly-interior sources; late coarse gather from
+  /// boundary-shell and ghost sources), for plan-level observability in
+  /// tests.
   const TransferSchedule& same_level_engine() const { return same_engine_; }
   const TransferSchedule& coarse_engine() const { return coarse_engine_; }
+  const TransferSchedule& coarse_late_engine() const {
+    return coarse_late_engine_;
+  }
 
  private:
   friend class RefineAlgorithm;
@@ -171,7 +188,19 @@ class RefineSchedule : private TransferDelegate {
   std::vector<Xact> xacts_;
   std::vector<CoarseFill> coarse_fills_;
   TransferSchedule same_engine_;
+  /// Early coarse gather: sources strictly inside a coarse patch (at
+  /// least one cell off its boundary), whose values are stable between
+  /// fill_begin and fill_finish; may therefore start in fill_begin.
   TransferSchedule coarse_engine_;
+  /// Late coarse gather: coarse boundary-shell and ghost sources, valid
+  /// only after the coarse level's own exchange finished — always
+  /// executed whole in fill_finish. Runs after the early engine's
+  /// writes, reproducing the pre-split single-engine plan order where
+  /// their seam node/side images overlap.
+  TransferSchedule coarse_late_engine_;
+  /// True while the early coarse engine is in flight (wide_overlap
+  /// split fills); scratch is then allocated at begin, not finish.
+  bool coarse_in_flight_ = false;
 
   /// Per-CoarseFill, per-item interpolation scratch; alive only while
   /// fill() runs the coarse exchange.

@@ -342,7 +342,13 @@ void TransferSchedule::execute_compiled_begin() {
   }
 
   // 2. One fused gather launch + ONE PCIe crossing + one isend per
-  //    outgoing peer message.
+  //    outgoing peer message. The download rides the device's D2H COPY
+  //    ENGINE — its own timeline lane, chained after this message's pack
+  //    (fork) and before its isend (the send issues from the engine's
+  //    cursor) — so the NEXT message's pack launch overlaps this
+  //    message's bus crossing, exactly as CUDA streams overlap compute
+  //    with the dedicated copy engines.
+  const int d2h_lane = tl != nullptr ? tl->lane("d2h") : -1;
   std::vector<pdat::MessageStream>& send_streams = flight_send_streams_;
   send_streams.reserve(send_messages_.size());
   std::vector<simmpi::Request>& sends = flight_sends_;
@@ -372,13 +378,20 @@ void TransferSchedule::execute_compiled_begin() {
     header.payload_bytes = msg.payload_bytes;
     ms.write(header);
     std::byte* dst = ms.grow(msg.payload_bytes);
-    dev.memcpy_d2h(dst, staging.device_ptr(), msg.payload_bytes);
-    RAMR_REQUIRE(ms.size() == msg.wire_bytes,
-                 "aggregated message to rank " << peer << " packed "
-                 << ms.size() << " bytes, planned " << msg.wire_bytes);
-    send_streams.push_back(std::move(ms));
-    sends.push_back(ctx_->comm->isend(peer, tag_, send_streams.back().data(),
-                                      send_streams.back().size()));
+    {
+      // Fork the copy engine from the pack's completion; the isend below
+      // issues from the engine's cursor (still inside this scope), so
+      // wire follows download follows pack — per message, while packs of
+      // later messages proceed on the comm lane concurrently.
+      vgpu::LaneScope d2h_scope(tl, comm_lane >= 0 ? d2h_lane : -1);
+      dev.memcpy_d2h(dst, staging.device_ptr(), msg.payload_bytes);
+      RAMR_REQUIRE(ms.size() == msg.wire_bytes,
+                   "aggregated message to rank " << peer << " packed "
+                   << ms.size() << " bytes, planned " << msg.wire_bytes);
+      send_streams.push_back(std::move(ms));
+      sends.push_back(ctx_->comm->isend(peer, tag_, send_streams.back().data(),
+                                        send_streams.back().size()));
+    }
   }
 
   // 3. ONE fused local-copy launch per exchange. Compile-time clipping
@@ -430,20 +443,36 @@ void TransferSchedule::execute_compiled_begin() {
 void TransferSchedule::execute_compiled_finish() {
   vgpu::Device& dev = *plan_device_;
   vgpu::Stream stream(dev, "xfer");
-  // Finish also runs on the comm lane (it is issued now — the fork in
-  // LaneScope keeps it from starting before the caller's present): each
-  // wait advances the lane to the message-arrival event, the uploads and
-  // fused scatters follow, and the closing Event joins the lane back
-  // into the caller's — completion is the max of the compute and
-  // communication chains, not their sum.
+  // Finish continues the comm lane PRE-ISSUED: its stream operations —
+  // per-message arrival waits, uploads, fused scatters — model receive
+  // processing enqueued on the transfer stream at begin time and gated
+  // on the arrival events (stream-ordered receives), so they start at
+  // max(comm-lane progress, arrival), not at the caller's present.
+  // That is what lets the DEcomposition side of an exchange hide behind
+  // the compute issued between begin and finish, exactly as the pack
+  // side already does; the closing Event still joins the lane back into
+  // the caller's, so completion is the max of the compute and
+  // communication chains, never less than either.
   vgpu::Timeline* tl = ctx_->timeline;
   const int comm_lane = tl != nullptr ? tl->lane("comm") : -1;
   {
-    vgpu::LaneScope comm_scope(tl, comm_lane);
+    vgpu::LaneScope comm_scope(tl, comm_lane, /*preissued=*/true);
     stream.bind_lane(comm_lane);
 
     // 4. Per received message: ONE upload crossing + one fused scatter
-    //    launch.
+    //    launch. Uploads ride the H2D COPY ENGINE (its own lane, forked
+    //    per message from the arrival wait), and every upload is issued
+    //    before any scatter: message k+1's bus crossing overlaps message
+    //    k's scatter kernel, with each scatter chained after its own
+    //    upload's completion.
+    const int h2d_lane = tl != nullptr ? tl->lane("h2d") : -1;
+    struct Arrived {
+      int peer;
+      vgpu::DeviceBuffer<double> staging;
+      double uploaded_at = 0.0;  ///< H2D engine cursor after the upload
+    };
+    std::vector<Arrived> arrived;
+    arrived.reserve(recv_messages_.size());
     for (const auto& [peer, msg] : recv_messages_) {
       auto rit = flight_recvs_.find(peer);
       RAMR_REQUIRE(rit != flight_recvs_.end(),
@@ -458,28 +487,44 @@ void TransferSchedule::execute_compiled_finish() {
                        header.payload_bytes == msg.payload_bytes,
                    "aggregated message frame mismatch from rank " << peer);
       const Plan& plan = unpack_plans_.at(peer);
-      vgpu::DeviceBuffer<double> staging(dev, plan.payload_doubles);
+      Arrived a{peer, vgpu::DeviceBuffer<double>(dev, plan.payload_doubles),
+                0.0};
       const std::byte* src = ms.view_and_skip(msg.payload_bytes);
-      dev.memcpy_h2d(staging.device_ptr(), src, msg.payload_bytes);
+      {
+        vgpu::LaneScope h2d_scope(tl, comm_lane >= 0 ? h2d_lane : -1);
+        dev.memcpy_h2d(a.staging.device_ptr(), src, msg.payload_bytes);
+        if (tl != nullptr) {
+          a.uploaded_at = tl->now(h2d_lane);
+        }
+      }
       RAMR_REQUIRE(ms.fully_consumed(), "aggregated message from rank " << peer
                    << " not fully consumed: " << ms.read_position() << " of "
                    << ms.size());
-      if (plan.segs.total_threads() > 0) {
-        const std::vector<util::View> views =
-            resolve_views(plan, /*src_side=*/false);
-        const PlanSeg* ops = plan.ops.data();
-        const util::View* v = views.data();
-        const double* in = staging.device_ptr();
-        vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kTransferUnpack);
-        dev.launch_batched(
-            stream, plan.segs, kXferCost, [=](std::size_t s, int i, int j) {
-              const PlanSeg& op = ops[s];
-              v[s](i, j) =
-                  in[op.payload_base +
-                     static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
-                     (i - op.run_ilo)];
-            });
+      arrived.push_back(std::move(a));
+    }
+    for (const Arrived& a : arrived) {
+      const Plan& plan = unpack_plans_.at(a.peer);
+      if (plan.segs.total_threads() == 0) {
+        continue;
       }
+      if (tl != nullptr) {
+        // The scatter cannot start before its payload is device-resident.
+        tl->advance(comm_lane, a.uploaded_at);
+      }
+      const std::vector<util::View> views =
+          resolve_views(plan, /*src_side=*/false);
+      const PlanSeg* ops = plan.ops.data();
+      const util::View* v = views.data();
+      const double* in = a.staging.device_ptr();
+      vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kTransferUnpack);
+      dev.launch_batched(
+          stream, plan.segs, kXferCost, [=](std::size_t s, int i, int j) {
+            const PlanSeg& op = ops[s];
+            v[s](i, j) =
+                in[op.payload_base +
+                   static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
+                   (i - op.run_ilo)];
+          });
     }
     if (!flight_sends_.empty()) {
       ctx_->comm->wait_all(flight_sends_);

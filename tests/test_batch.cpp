@@ -330,6 +330,10 @@ TEST(BatchedStep, OneLaunchPerKernelSubStagePerLevel) {
   EXPECT_EQ(launches([&] { runner.flux_calc(level, g, dt); }), 2u);
   EXPECT_EQ(launches([&] { runner.advec_cell(level, g, true, 1); }), 3u);
   EXPECT_EQ(launches([&] { runner.advec_mom(level, g, true, 1, true); }), 6u);
+  // BOTH velocity components in six launches, not twelve: the shared
+  // volumes / node fluxes / node masses run once, and the per-component
+  // momentum flux + velocity update fuse the two components.
+  EXPECT_EQ(launches([&] { runner.advec_mom_both(level, g, true, 1); }), 6u);
   EXPECT_EQ(launches([&] { runner.reset_field(level, g); }), 2u);
 }
 

@@ -388,8 +388,9 @@ TEST(OverlapStep, SavesModeledSecondsOnDistributedFig10Config) {
 
 TEST(OverlapStep, SumOverLaunchTagsEqualsTotalAndRegridIsAttributed) {
   // The per-tag launch counters must partition launch_count() exactly —
-  // now across SIX tags — and a run crossing a regrid must attribute
-  // clustering + interpolation launches to kRegrid.
+  // now across SEVEN tags (kRind joined for the boundary-shell sweeps of
+  // the wide-overlap stage splits) — and a run crossing a regrid must
+  // attribute clustering + interpolation launches to kRegrid.
   app::SimulationConfig cfg;
   cfg.problem = app::ProblemKind::kSod;
   cfg.nx = 64;

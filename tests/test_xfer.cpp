@@ -349,9 +349,11 @@ TEST(TransferSchedule, OneAggregatedMessagePerPeerPerFill) {
 
 TEST(TransferSchedule, CoarseGatherAggregatesPerPeer) {
   // The fine patch lives on rank 0; its interpolation scratch gathers
-  // from coarse patches on both ranks. Rank 1's whole contribution must
-  // arrive as one message, and the interpolated values must match the
-  // serial result.
+  // from coarse patches on both ranks. Rank 1's contribution rides at
+  // most one message per gather engine — the early engine carries the
+  // strictly-interior coarse sources (shippable at fill_begin under
+  // wide overlap), the late engine the boundary-shell and ghost sources
+  // — and the interpolated values must match the serial result.
   simmpi::World world(2, simmpi::ideal_network());
   world.run([](simmpi::Communicator& comm) {
     Fixture f(Centering::kCell, comm.rank(), 2, &comm);
@@ -377,13 +379,17 @@ TEST(TransferSchedule, CoarseGatherAggregatesPerPeer) {
     const simmpi::CommStats delta = comm.stats() - before;
     if (comm.rank() == 0) {
       EXPECT_EQ(delta.messages_sent, 0u);
-      EXPECT_EQ(delta.messages_received, 1u);
+      EXPECT_EQ(delta.messages_received, sched->messages_received_per_fill());
+      EXPECT_LE(delta.messages_received, 2u);
+      EXPECT_GE(delta.messages_received, 1u);
       auto fine = level1->local_patch(0);
       const double expect = 3.0 * (7 + 0.5) / 2.0 + 7.0 * (6 + 0.5) / 2.0;
       EXPECT_NEAR(f.at(*fine, 7, 6), expect, 1e-12);
       EXPECT_DOUBLE_EQ(f.at(*fine, 10, 6), -1.0);
     } else {
-      EXPECT_EQ(delta.messages_sent, 1u);
+      EXPECT_EQ(delta.messages_sent, sched->messages_sent_per_fill());
+      EXPECT_LE(delta.messages_sent, 2u);
+      EXPECT_GE(delta.messages_sent, 1u);
       EXPECT_EQ(delta.messages_received, 0u);
       EXPECT_EQ(delta.bytes_sent, sched->bytes_sent_per_fill());
     }
