@@ -40,7 +40,7 @@ Result run_backend(int n, const ramr::vgpu::DeviceSpec& spec,
                    bool batched = true,
                    std::int64_t max_patch_cells = 512 * 512) {
   ramr::app::SimulationConfig cfg;
-  cfg.problem = ramr::app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = n;
   cfg.ny = n;
   cfg.max_levels = 3;

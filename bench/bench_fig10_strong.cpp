@@ -42,7 +42,7 @@ Run run_config(int n, int ranks, const ramr::vgpu::DeviceSpec& spec,
                const ramr::simmpi::NetworkSpec& net, bool async_overlap = false,
                bool wide_overlap = true) {
   ramr::app::SimulationConfig cfg;
-  cfg.problem = ramr::app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = n;
   cfg.ny = n;
   cfg.max_levels = 3;

@@ -74,7 +74,7 @@ Components run_real(int nodes, const ramr::perf::Machine& m,
   int b = 1;
   tiles(nodes, a, b);
   ramr::app::SimulationConfig cfg;
-  cfg.problem = ramr::app::ProblemKind::kTriplePoint;
+  cfg.problem = "triple_point";
   cfg.nx = kTile * a;
   cfg.ny = kTile * b;
   cfg.max_levels = 3;

@@ -18,7 +18,7 @@
 
 int main() {
   ramr::app::SimulationConfig cfg;
-  cfg.problem = ramr::app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 512;
   cfg.ny = 512;
   cfg.max_levels = 3;

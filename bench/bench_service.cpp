@@ -1,0 +1,154 @@
+// Service throughput: jobs/hour of one modeled K20x running the same
+// job list at K ∈ {1, 2, 4, 8} resident jobs.
+//
+// K = 1 executes jobs back-to-back exactly like today's standalone
+// driver (no fusion). K >= 2 interleaves level advances inside a
+// launch-fusion scope, so the same stage kernel of different jobs (and
+// levels) is charged as ONE launch: overhead amortizes and the occupancy
+// ramp sees the summed grid — the cross-job generalisation of the
+// paper's per-level batching, aimed at the small-grid regime where a
+// single job cannot saturate a throughput-oriented device.
+//
+// Physics is asserted bit-identical across K (execution stays eager and
+// per-job; only the time accounting fuses). Set RAMR_BENCH_FAST=1 for a
+// smaller job list. Emits BENCH_service.json; exits nonzero when any
+// K >= 2 fails to beat K = 1 throughput.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "svc/server.hpp"
+
+namespace {
+
+struct Point {
+  int concurrency = 0;
+  double clock_seconds = 0.0;
+  double jobs_per_hour = 0.0;
+  double fused_seconds_saved = 0.0;
+  std::uint64_t launches = 0;
+};
+
+double summary_value(const ramr::cfg::Json& metrics, const char* key) {
+  const ramr::cfg::Json* summary = metrics.find("summary");
+  const ramr::cfg::Json* v = summary != nullptr ? summary->find(key) : nullptr;
+  return v != nullptr ? v->as_number() : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = std::getenv("RAMR_BENCH_FAST") != nullptr;
+  const int jobs = 8;
+  const int nx = fast ? 96 : 128;
+  const int steps = fast ? 8 : 20;
+
+  ramr::cfg::RunConfig job;
+  job.sim.problem = "sod";
+  job.sim.nx = nx;
+  job.sim.ny = nx;
+  job.sim.max_levels = 3;
+  job.sim.regrid_interval = 5;
+  job.run.max_steps = steps;
+
+  std::printf(
+      "Service throughput: %d Sod jobs (%d^2, 3 levels, %d steps each) on "
+      "one K20x\n\n",
+      jobs, nx, steps);
+
+  std::vector<Point> points;
+  std::vector<double> reference_summary;  // K=1 conservation totals
+  bool identical = true;
+  for (const int concurrency : {1, 2, 4, 8}) {
+    ramr::svc::ServerConfig sc;
+    sc.max_concurrent_jobs = concurrency;
+    // K=1 is the baseline: strictly serial, unfused — today's behavior.
+    sc.fuse_across_jobs = concurrency > 1;
+    ramr::svc::SimulationServer server(sc);
+    for (int j = 0; j < jobs; ++j) {
+      server.submit({"sod_" + std::to_string(j), job});
+    }
+    server.run();
+
+    Point p;
+    p.concurrency = concurrency;
+    p.clock_seconds = server.clock().total();
+    p.jobs_per_hour = jobs * 3600.0 / p.clock_seconds;
+    const ramr::vgpu::FusionStats& fs = server.device().fusion_stats();
+    p.fused_seconds_saved = fs.serial_seconds - fs.fused_seconds;
+    p.launches = server.device().launch_count();
+    points.push_back(p);
+
+    // Cross-K physics check: the conservation totals of every job must
+    // match the serial run exactly (fusion defers charges, not work).
+    std::vector<double> summary;
+    for (int id = 0; id < server.queue().size(); ++id) {
+      const ramr::svc::JobStatus st = server.status(id);
+      if (st.state != ramr::svc::JobState::kDone) {
+        std::printf("FAIL: job %d state %s at K=%d\n", id,
+                    ramr::svc::job_state_name(st.state), concurrency);
+        return 1;
+      }
+      summary.push_back(summary_value(st.metrics, "mass"));
+      summary.push_back(summary_value(st.metrics, "internal_energy"));
+      summary.push_back(summary_value(st.metrics, "kinetic_energy"));
+    }
+    if (reference_summary.empty()) {
+      reference_summary = summary;
+    } else if (summary != reference_summary) {
+      identical = false;
+    }
+  }
+
+  std::printf("   K   modeled s   jobs/hour    launches   fusion saved (s)\n");
+  for (const Point& p : points) {
+    std::printf("%4d   %9.3f   %9.1f  %10llu   %16.3f\n", p.concurrency,
+                p.clock_seconds, p.jobs_per_hour,
+                static_cast<unsigned long long>(p.launches),
+                p.fused_seconds_saved);
+  }
+
+  const double serial = points.front().jobs_per_hour;
+  bool ok = true;
+  for (const Point& p : points) {
+    if (p.concurrency >= 2 && p.jobs_per_hour <= serial) {
+      std::printf("FAIL: K=%d throughput %.1f jobs/h does not beat K=1 "
+                  "(%.1f jobs/h)\n",
+                  p.concurrency, p.jobs_per_hour, serial);
+      ok = false;
+    }
+  }
+  if (!identical) {
+    std::printf("FAIL: conservation totals differ across K — cross-job "
+                "fusion changed the physics\n");
+    ok = false;
+  }
+  if (ok) {
+    std::printf("\nOK: every K>=2 beats serial throughput (best %.2fx) and "
+                "physics is bit-identical across K\n",
+                points.back().jobs_per_hour / serial);
+  }
+
+  if (FILE* json = std::fopen("BENCH_service.json", "w")) {
+    std::fprintf(json,
+                 "{\n  \"jobs\": %d, \"nx\": %d, \"steps_per_job\": %d,\n"
+                 "  \"points\": [\n",
+                 jobs, nx, steps);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::fprintf(json,
+                   "    {\"concurrency\": %d, \"modeled_seconds\": %.6e, "
+                   "\"jobs_per_hour\": %.3f, \"launches\": %llu, "
+                   "\"fusion_seconds_saved\": %.6e}%s\n",
+                   p.concurrency, p.clock_seconds, p.jobs_per_hour,
+                   static_cast<unsigned long long>(p.launches),
+                   p.fused_seconds_saved, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"batched_beats_serial\": %s\n}\n",
+                 ok ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_service.json\n");
+  }
+  return ok ? 0 : 1;
+}

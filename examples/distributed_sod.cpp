@@ -15,7 +15,7 @@
 int main(int argc, char** argv) {
   const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
   ramr::app::SimulationConfig cfg;
-  cfg.problem = ramr::app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 192;
   cfg.ny = 192;
   cfg.max_levels = 3;

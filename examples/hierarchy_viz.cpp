@@ -60,7 +60,7 @@ void print_hierarchy(ramr::app::Simulation& sim) {
 int main(int argc, char** argv) {
   const int steps = argc > 1 ? std::atoi(argv[1]) : 60;
   ramr::app::SimulationConfig cfg;
-  cfg.problem = ramr::app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 128;
   cfg.ny = 128;
   cfg.max_levels = 3;

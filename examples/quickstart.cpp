@@ -12,7 +12,7 @@
 int main() {
   // 1. Describe the run: problem, base grid, AMR depth, backend.
   ramr::app::SimulationConfig config;
-  config.problem = ramr::app::ProblemKind::kSod;
+  config.problem = "sod";
   config.nx = 128;
   config.ny = 128;
   config.max_levels = 3;       // as in the paper's experiments

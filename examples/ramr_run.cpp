@@ -1,0 +1,186 @@
+// JSON-driven simulation driver (docs/scenarios.md).
+//
+// Single-run mode: validate a config, run it (multi-rank via the
+// simulated MPI world when run.ranks > 1), stream checkpoints/VTK per
+// the output policy, and print the metrics report as JSON.
+//
+// Daemon mode (--serve K): submit every config to a svc::SimulationServer
+// that multiplexes up to K jobs over one shared modeled device, fusing
+// kernel launches across jobs, and print the service status report.
+//
+//   ./ramr_run --config problem.json [--config more.json ...]
+//   ./ramr_run --serve 4 --config a.json --config b.json ...
+//   ./ramr_run --print-config problem.json   # effective config, then exit
+//   ./ramr_run --list-problems
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/problem_registry.hpp"
+#include "app/simulation.hpp"
+#include "app/vtk_writer.hpp"
+#include "cfg/config.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open config file \"%s\"\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string job_name(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+/// One rank's slice of a single-run job: advance with interval outputs.
+void run_with_outputs(ramr::app::Simulation& sim,
+                      const ramr::cfg::RunConfig& config, int rank) {
+  const ramr::cfg::RunBudget& budget = config.run;
+  const ramr::cfg::OutputPolicy& out = config.output;
+  const auto write = [&](bool final_output) {
+    if (out.basename.empty()) {
+      return;
+    }
+    const std::string prefix =
+        out.basename + "_step" + std::to_string(sim.step_count());
+    if (out.checkpoint_interval > 0 &&
+        (final_output || sim.step_count() % out.checkpoint_interval == 0)) {
+      sim.save_checkpoint(prefix + ".ckpt");
+    }
+    if (rank == 0 && out.vtk_interval > 0 &&
+        (final_output || sim.step_count() % out.vtk_interval == 0)) {
+      ramr::app::write_vtk(sim, prefix,
+                           {{"density", sim.fields().density0},
+                            {"energy", sim.fields().energy0}});
+    }
+  };
+  for (int s = 0; s < budget.max_steps && sim.time() < budget.end_time; ++s) {
+    sim.step();
+    if (s + 1 < budget.max_steps && sim.time() < budget.end_time) {
+      write(/*final_output=*/false);
+    }
+  }
+  write(/*final_output=*/true);
+}
+
+int run_single(const std::string& path) {
+  const ramr::cfg::RunConfig config =
+      ramr::cfg::parse_run_config_text(read_file(path));
+  ramr::cfg::Json report;
+  if (config.run.ranks == 1) {
+    ramr::app::Simulation sim(config.sim, nullptr);
+    sim.initialize();
+    run_with_outputs(sim, config, 0);
+    report = ramr::svc::run_metrics_json(sim);
+  } else {
+    ramr::simmpi::World world(config.run.ranks, config.network);
+    world.run([&](ramr::simmpi::Communicator& comm) {
+      ramr::app::Simulation sim(config.sim, &comm);
+      sim.initialize();
+      run_with_outputs(sim, config, comm.rank());
+      // Every rank builds the report: the summary totals inside it are
+      // collective reductions. Rank 0 keeps the result.
+      ramr::cfg::Json rank_report = ramr::svc::run_metrics_json(sim);
+      if (comm.rank() == 0) {
+        report = std::move(rank_report);
+      }
+    });
+  }
+  std::printf("%s\n", report.dump().c_str());
+  return 0;
+}
+
+int run_server(int concurrency, const std::vector<std::string>& paths) {
+  ramr::svc::ServerConfig sc;
+  sc.max_concurrent_jobs = concurrency;
+  ramr::svc::SimulationServer server(sc);
+  for (const std::string& path : paths) {
+    server.submit({job_name(path),
+                   ramr::cfg::parse_run_config_text(read_file(path))});
+  }
+  server.run();
+  std::printf("%s\n", server.status_json().dump().c_str());
+  // Any failed job fails the invocation.
+  for (int id = 0; id < server.queue().size(); ++id) {
+    if (server.status(id).state == ramr::svc::JobState::kFailed) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> configs;
+  int serve = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs an argument\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      configs.push_back(next());
+    } else if (arg == "--serve") {
+      serve = std::atoi(next());
+      if (serve < 1) {
+        std::fprintf(stderr, "error: --serve needs a positive job count\n");
+        return 2;
+      }
+    } else if (arg == "--print-config") {
+      const ramr::cfg::RunConfig config =
+          ramr::cfg::parse_run_config_text(read_file(next()));
+      std::printf("%s\n", ramr::cfg::to_json(config).dump().c_str());
+      return 0;
+    } else if (arg == "--list-problems") {
+      for (const std::string& name :
+           ramr::app::ProblemRegistry::instance().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: ramr_run [--serve K] --config file.json "
+                   "[--config ...]\n"
+                   "       ramr_run --print-config file.json\n"
+                   "       ramr_run --list-problems\n");
+      return 2;
+    }
+  }
+  if (configs.empty()) {
+    std::fprintf(stderr, "error: no --config given\n");
+    return 2;
+  }
+  try {
+    if (serve > 0) {
+      return run_server(serve, configs);
+    }
+    int rc = 0;
+    for (const std::string& path : configs) {
+      rc |= run_single(path);
+    }
+    return rc;
+  } catch (const ramr::util::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

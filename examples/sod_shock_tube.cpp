@@ -52,7 +52,7 @@ std::vector<double> midline_density(ramr::app::Simulation& sim, int samples) {
 
 int main(int argc, char** argv) {
   ramr::app::SimulationConfig cfg;
-  cfg.problem = ramr::app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = argc > 1 ? std::atoi(argv[1]) : 256;
   cfg.ny = 64;
   cfg.max_levels = 3;

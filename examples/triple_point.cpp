@@ -84,7 +84,7 @@ void print_map(ramr::app::Simulation& sim) {
 int main(int argc, char** argv) {
   const int steps = argc > 1 ? std::atoi(argv[1]) : 120;
   ramr::app::SimulationConfig cfg;
-  cfg.problem = ramr::app::ProblemKind::kTriplePoint;
+  cfg.problem = "triple_point";
   cfg.nx = 224;  // 7 x 3 domain
   cfg.ny = 96;
   cfg.max_levels = 3;

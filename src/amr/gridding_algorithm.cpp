@@ -96,6 +96,7 @@ std::vector<Box> GriddingAlgorithm::build_candidate_boxes(
     PatchHierarchy& hierarchy, int tag_level, double time) {
   PatchLevel& level = hierarchy.level(tag_level);
   TagBitmap tags = collect_tags(hierarchy, tag_level, time);
+  stats_.cells_tagged += tags.count_tags();
 
   // Keep cells under the already-rebuilt level tag_level+2 flagged so the
   // new level tag_level+1 still covers it (proper nesting from above).
@@ -170,12 +171,14 @@ std::shared_ptr<PatchLevel> GriddingAlgorithm::make_level(
       level_number, ratio_to_coarser, hierarchy.ratio_to_zero(level_number),
       balanced, hierarchy.my_rank(), hierarchy.geometry());
   level->allocate_data(hierarchy.variables());
+  ++stats_.levels_built;
   return level;
 }
 
 void GriddingAlgorithm::make_initial_hierarchy(PatchHierarchy& hierarchy,
                                                double time) {
   RAMR_REQUIRE(hierarchy.num_levels() == 0, "hierarchy already initialised");
+  ++stats_.initial_builds;
 
   // Level 0: the base grid chopped into patches and balanced.
   const std::vector<Box> base = {hierarchy.geometry().domain_box()};
@@ -206,6 +209,7 @@ void GriddingAlgorithm::make_initial_hierarchy(PatchHierarchy& hierarchy,
 
 void GriddingAlgorithm::regrid(PatchHierarchy& hierarchy, double time) {
   RAMR_REQUIRE(hierarchy.num_levels() >= 1, "cannot regrid an empty hierarchy");
+  ++stats_.regrids;
 
   // Recursively from the second-finest regriddable level to the coarsest
   // (paper §II). Note new finer levels are in place when coarser ones are

@@ -31,6 +31,16 @@ struct GriddingParams {
   int nesting_buffer = 1;  ///< coarse cells between level l+1 and l edges
 };
 
+/// Cumulative refinement activity of one rank's gridding (scenario smoke
+/// tests and the service's per-job metrics assert on these: did tagging
+/// fire, did regrids actually rebuild levels).
+struct GriddingStats {
+  int initial_builds = 0;       ///< make_initial_hierarchy calls
+  int regrids = 0;              ///< regrid() invocations
+  int levels_built = 0;         ///< levels constructed (initial + regrid)
+  long long cells_tagged = 0;   ///< raw tags collected before buffering
+};
+
 /// Builds and rebuilds the patch hierarchy.
 class GriddingAlgorithm {
  public:
@@ -66,6 +76,9 @@ class GriddingAlgorithm {
   /// balancing — all of which SAMRAI runs on the CPU) to this clock.
   void set_host_clock(vgpu::SimClock* clock) { host_clock_ = clock; }
 
+  /// Refinement activity since construction.
+  const GriddingStats& stats() const { return stats_; }
+
  private:
   /// Candidate boxes for new level l+1, in level-(l+1) index space.
   std::vector<mesh::Box> build_candidate_boxes(hier::PatchHierarchy& hierarchy,
@@ -86,6 +99,7 @@ class GriddingAlgorithm {
   xfer::PhysicalBoundaryStrategy* bc_;
   xfer::ParallelContext* ctx_;
   vgpu::SimClock* host_clock_ = nullptr;
+  GriddingStats stats_;
 };
 
 }  // namespace ramr::amr

@@ -35,6 +35,7 @@ void Simulation::save_checkpoint(const std::string& path) {
   db.put_value<int>("meta.world_size", ctx_.world_size);
   db.put_value<int>("meta.nx", config_.nx);
   db.put_value<int>("meta.ny", config_.ny);
+  db.put_string("meta.problem", config_.problem);
 
   for (int l = 0; l < hierarchy_->num_levels(); ++l) {
     const PatchLevel& level = hierarchy_->level(l);
@@ -69,6 +70,13 @@ void Simulation::restore_checkpoint(const std::string& path) {
   RAMR_REQUIRE(db.get_value<int>("meta.nx") == config_.nx &&
                    db.get_value<int>("meta.ny") == config_.ny,
                "checkpoint was written with a different base grid");
+  if (db.has("meta.problem")) {
+    RAMR_REQUIRE(db.get_string("meta.problem") == config_.problem,
+                 "checkpoint was written for problem \""
+                     << db.get_string("meta.problem")
+                     << "\", this run is configured for \"" << config_.problem
+                     << "\"");
+  }
 
   const int num_levels = db.get_value<int>("meta.num_levels");
   RAMR_REQUIRE(num_levels <= hierarchy_->max_levels(),

@@ -51,7 +51,7 @@ void LevelKernelRunner::ideal_gas(hier::PatchLevel& level,
                                     view(p, f_.pressure),
                                     view(p, f_.soundspeed)};
       });
-  hydro::ideal_gas_batched(*device_, stream_, boxes, args, part);
+  hydro::ideal_gas_batched(*device_, stream_, boxes, args, part, phys_.gamma);
 }
 
 void LevelKernelRunner::viscosity(hier::PatchLevel& level,
@@ -93,7 +93,8 @@ void LevelKernelRunner::accelerate(hier::PatchLevel& level,
             view(p, f_.xvel0), view(p, f_.yvel0), view(p, f_.xvel1),
             view(p, f_.yvel1)};
       });
-  hydro::accelerate_batched(*device_, stream_, boxes, g, dt, args, part);
+  hydro::accelerate_batched(*device_, stream_, boxes, g, dt, args, part,
+                            phys_.gx, phys_.gy);
 }
 
 void LevelKernelRunner::flux_calc(hier::PatchLevel& level,

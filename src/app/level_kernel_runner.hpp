@@ -20,8 +20,12 @@ namespace ramr::app {
 /// Fused per-level forms of the CloverLeaf timestep stages.
 class LevelKernelRunner {
  public:
-  LevelKernelRunner(vgpu::Device& device, const Fields& fields)
-      : device_(&device), stream_(device, "hydro"), f_(fields) {}
+  /// `physics` carries the scenario's EOS gamma and gravity; the default
+  /// keeps the historical arithmetic bit-identical.
+  LevelKernelRunner(vgpu::Device& device, const Fields& fields,
+                    const hydro::Physics& physics = {})
+      : device_(&device), stream_(device, "hydro"), f_(fields),
+        phys_(physics) {}
 
   /// Minimum stable dt over the level: one fused reduction and ONE
   /// scalar D2H readback per level (was one of each per patch).
@@ -66,6 +70,7 @@ class LevelKernelRunner {
   vgpu::Device* device_;
   vgpu::Stream stream_;
   Fields f_;
+  hydro::Physics phys_;
 };
 
 }  // namespace ramr::app

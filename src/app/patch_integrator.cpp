@@ -17,7 +17,7 @@ void CudaPatchIntegrator::ideal_gas(hier::Patch& p, const hydro::CellGeom&,
   const int energy = predict ? f_.energy1 : f_.energy0;
   hydro::ideal_gas(*device_, stream_, p.box(), view(p, density),
                    view(p, energy), view(p, f_.pressure),
-                   view(p, f_.soundspeed));
+                   view(p, f_.soundspeed), phys_.gamma);
 }
 
 void CudaPatchIntegrator::viscosity(hier::Patch& p, const hydro::CellGeom& g) {
@@ -45,7 +45,7 @@ void CudaPatchIntegrator::accelerate(hier::Patch& p, const hydro::CellGeom& g,
   hydro::accelerate(*device_, stream_, p.box(), g, dt, view(p, f_.density0),
                     view(p, f_.pressure), view(p, f_.viscosity),
                     view(p, f_.xvel0), view(p, f_.yvel0), view(p, f_.xvel1),
-                    view(p, f_.yvel1));
+                    view(p, f_.yvel1), phys_.gx, phys_.gy);
 }
 
 void CudaPatchIntegrator::flux_calc(hier::Patch& p, const hydro::CellGeom& g,

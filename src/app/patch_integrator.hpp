@@ -47,8 +47,12 @@ class PatchIntegrator {
 /// integrator when constructed over a host-spec device.
 class CudaPatchIntegrator : public PatchIntegrator {
  public:
-  CudaPatchIntegrator(vgpu::Device& device, const Fields& fields)
-      : device_(&device), stream_(device, "hydro"), f_(fields) {}
+  /// `physics` carries the scenario's EOS gamma and gravity; the default
+  /// keeps the historical arithmetic bit-identical.
+  CudaPatchIntegrator(vgpu::Device& device, const Fields& fields,
+                      const hydro::Physics& physics = {})
+      : device_(&device), stream_(device, "hydro"), f_(fields),
+        phys_(physics) {}
 
   void ideal_gas(hier::Patch& p, const hydro::CellGeom& g, bool predict) override;
   void viscosity(hier::Patch& p, const hydro::CellGeom& g) override;
@@ -72,6 +76,7 @@ class CudaPatchIntegrator : public PatchIntegrator {
   vgpu::Device* device_;
   vgpu::Stream stream_;
   Fields f_;
+  hydro::Physics phys_;
 };
 
 }  // namespace ramr::app

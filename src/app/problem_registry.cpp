@@ -1,0 +1,150 @@
+#include "app/problem_registry.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ramr::app {
+
+namespace {
+
+// --- Stock region scenarios -------------------------------------------
+//
+// Three workloads stressing AMR paths the two classics do not: a radial
+// blast driving a deep hierarchy, a shear layer whose refinement
+// follows the rolling billows (regrid churn), and a gravity-driven
+// interface on a tall domain. States are chosen pressure-balanced where
+// the physics wants it (p = (gamma-1) rho e).
+
+cfg::ScenarioSpec sedov_spec() {
+  cfg::ScenarioSpec s;
+  s.name = "sedov";
+  s.domain_lower = {0.0, 0.0};
+  s.domain_upper = {1.0, 1.0};
+  // Cold quiescent background (p = 0.01) with a hot disc at the centre:
+  // a circular shock sweeps outward and the gradient tagger refines a
+  // thin moving annulus on every level.
+  s.background = {1.0, 0.025, 0.0, 0.0};
+  cfg::Region blast;
+  blast.shape = cfg::Region::Shape::kCircle;
+  blast.center = {0.5, 0.5};
+  blast.radius = 0.0625;
+  blast.state = {1.0, 250.0, 0.0, 0.0};
+  s.regions.push_back(blast);
+  return s;
+}
+
+cfg::ScenarioSpec kelvin_helmholtz_spec() {
+  cfg::ScenarioSpec s;
+  s.name = "kelvin_helmholtz";
+  s.domain_lower = {0.0, 0.0};
+  s.domain_upper = {1.0, 1.0};
+  // Counter-streaming layers in pressure balance (p = 1 on both sides);
+  // the lower, denser stream's top edge carries a sinusoidal seed so the
+  // billows roll up deterministically — refinement has to chase them.
+  s.background = {1.0, 2.5, -0.5, 0.0};
+  cfg::Region lower;
+  lower.shape = cfg::Region::Shape::kBox;
+  lower.y_max = 0.5;
+  lower.interface_side = "y_max";
+  lower.interface_amplitude = 0.01;
+  lower.interface_wavelength = 0.5;
+  lower.state = {2.0, 1.25, 0.5, 0.0};
+  s.regions.push_back(lower);
+  return s;
+}
+
+cfg::ScenarioSpec rayleigh_taylor_spec() {
+  cfg::ScenarioSpec s;
+  s.name = "rayleigh_taylor";
+  s.domain_lower = {0.0, 0.0};
+  s.domain_upper = {0.5, 1.5};  // tall box, 1:3 aspect
+  s.gravity = {0.0, -0.5};
+  // Heavy fluid over light in pressure balance at the perturbed
+  // mid-height interface; gravity (the accelerate-stage source hook)
+  // pulls the spikes down.
+  s.background = {1.0, 2.5, 0.0, 0.0};
+  cfg::Region heavy;
+  heavy.shape = cfg::Region::Shape::kBox;
+  heavy.y_min = 0.75;
+  heavy.interface_side = "y_min";
+  heavy.interface_amplitude = 0.0075;
+  heavy.interface_wavelength = 0.5;
+  heavy.state = {2.0, 1.25, 0.0, 0.0};
+  s.regions.push_back(heavy);
+  return s;
+}
+
+}  // namespace
+
+ProblemRegistry::ProblemRegistry() {
+  register_factory("sod",
+                   [](const Fields& f, double t) -> std::unique_ptr<HydroProblem> {
+                     return std::make_unique<SodProblem>(f, t);
+                   });
+  register_factory("triple_point",
+                   [](const Fields& f, double t) -> std::unique_ptr<HydroProblem> {
+                     return std::make_unique<TriplePointProblem>(f, t);
+                   });
+  register_scenario(sedov_spec());
+  register_scenario(kelvin_helmholtz_spec());
+  register_scenario(rayleigh_taylor_spec());
+}
+
+ProblemRegistry& ProblemRegistry::instance() {
+  static ProblemRegistry registry;
+  return registry;
+}
+
+void ProblemRegistry::register_factory(const std::string& name,
+                                       Factory factory) {
+  RAMR_REQUIRE(!name.empty(), "problem name must not be empty");
+  entries_[name] = Entry{std::move(factory), nullptr};
+}
+
+void ProblemRegistry::register_scenario(cfg::ScenarioSpec spec) {
+  RAMR_REQUIRE(!spec.name.empty(), "scenario name must not be empty");
+  const std::string name = spec.name;
+  entries_[name] =
+      Entry{nullptr,
+            std::make_shared<const cfg::ScenarioSpec>(std::move(spec))};
+}
+
+bool ProblemRegistry::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> ProblemRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::unique_ptr<HydroProblem> ProblemRegistry::create(
+    const std::string& name, const Fields& fields,
+    double tag_threshold) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const std::string& n : names()) {
+      known += known.empty() ? n : ", " + n;
+    }
+    RAMR_FAIL("unknown problem \"" << name << "\" (known: " << known << ")");
+  }
+  if (it->second.factory) {
+    return it->second.factory(fields, tag_threshold);
+  }
+  return std::make_unique<RegionProblem>(fields, tag_threshold,
+                                         it->second.spec);
+}
+
+std::shared_ptr<const cfg::ScenarioSpec> ProblemRegistry::scenario(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.spec;
+}
+
+}  // namespace ramr::app

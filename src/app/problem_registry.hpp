@@ -1,0 +1,64 @@
+// Named problem registry: maps a scenario name to either a C++ factory
+// (the two classics from the paper, kept as hand-coded classes) or a
+// declarative cfg::ScenarioSpec instantiated through RegionProblem.
+// Replaces the old ProblemKind enum switch so JSON configs, examples and
+// the simulation service all select problems by string, and new
+// scenarios register without touching the Simulation wiring
+// (docs/scenarios.md).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/problems.hpp"
+
+namespace ramr::app {
+
+/// Process-wide registry of named problems. Thread-compatible like the
+/// rest of the library: registration happens at startup, lookups after.
+class ProblemRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<HydroProblem>(
+      const Fields& fields, double tag_threshold)>;
+
+  /// The singleton, pre-populated with the stock scenarios: sod,
+  /// triple_point (C++ factories), sedov, kelvin_helmholtz,
+  /// rayleigh_taylor (region specs).
+  static ProblemRegistry& instance();
+
+  /// Registers a hand-coded problem class under `name`.
+  void register_factory(const std::string& name, Factory factory);
+
+  /// Registers a declarative scenario under spec.name.
+  void register_scenario(cfg::ScenarioSpec spec);
+
+  bool contains(const std::string& name) const;
+
+  /// Registered names, sorted (error messages and --list output).
+  std::vector<std::string> names() const;
+
+  /// Instantiates the named problem; throws util::Error listing the
+  /// known names when `name` is not registered.
+  std::unique_ptr<HydroProblem> create(const std::string& name,
+                                       const Fields& fields,
+                                       double tag_threshold) const;
+
+  /// The scenario spec behind a region-based entry, or null for
+  /// factory-backed ones (sod, triple_point).
+  std::shared_ptr<const cfg::ScenarioSpec> scenario(
+      const std::string& name) const;
+
+ private:
+  ProblemRegistry();
+
+  struct Entry {
+    Factory factory;  // null for scenario-backed entries
+    std::shared_ptr<const cfg::ScenarioSpec> spec;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ramr::app

@@ -21,6 +21,7 @@ void HydroProblem::initialize_level_data(hier::Patch& patch,
   const auto dx = level.dx();
   const auto xlo = geometry.x_lo();
   const InitialState state = initial_state();
+  const double gamma = physics().gamma;
 
   // Cell-centred state over the full ghost box (analytic continuation
   // outside the domain is harmless: boundary conditions overwrite it on
@@ -42,9 +43,9 @@ void HydroProblem::initialize_level_data(hier::Patch& patch,
         rho1(i, j) = rho;
         e0(i, j) = e;
         e1(i, j) = e;
-        const double pressure = (hydro::Constants::gamma - 1.0) * rho * e;
+        const double pressure = (gamma - 1.0) * rho * e;
         p(i, j) = pressure;
-        ss(i, j) = std::sqrt(hydro::Constants::gamma * pressure / rho);
+        ss(i, j) = std::sqrt(gamma * pressure / rho);
       });
 
   // Velocities and work arrays start at rest / zero. Viscosity is in the
@@ -62,6 +63,30 @@ void HydroProblem::initialize_level_data(hier::Patch& patch,
   // Avoid zero node masses in advec_mom before the first real step.
   patch.typed_data<CudaData>(fields_.node_mass_pre).fill(1.0);
   patch.typed_data<CudaData>(fields_.node_mass_post).fill(1.0);
+
+  // Scenarios with bulk motion (Kelvin-Helmholtz shear layers) overwrite
+  // the at-rest velocities analytically at node coordinates, full ghost
+  // box included. Problems returning null keep the zero-fill above
+  // untouched — the exact historical initialization.
+  if (const InitialVelocity vel = initial_velocity()) {
+    auto& xvel0 = patch.typed_data<CudaData>(fields_.xvel0);
+    const Box nodes = xvel0.component(0).index_box();
+    util::View xv0 = xvel0.device_view();
+    util::View xv1 = patch.typed_data<CudaData>(fields_.xvel1).device_view();
+    util::View yv0 = patch.typed_data<CudaData>(fields_.yvel0).device_view();
+    util::View yv1 = patch.typed_data<CudaData>(fields_.yvel1).device_view();
+    dev.launch2d(
+        stream, nodes.lower().i, nodes.lower().j, nodes.width(),
+        nodes.height(), vgpu::KernelCost{10.0, 4.0 * 8.0}, [=](int i, int j) {
+          const double x = xlo[0] + i * dx[0];
+          const double y = xlo[1] + j * dx[1];
+          const auto [u, v] = vel(x, y);
+          xv0(i, j) = u;
+          xv1(i, j) = u;
+          yv0(i, j) = v;
+          yv1(i, j) = v;
+        });
+  }
 }
 
 void HydroProblem::tag_cells(hier::Patch& patch, const hier::PatchLevel&,
@@ -108,6 +133,27 @@ InitialState TriplePointProblem::initial_state() const {
       return {1.0, 0.25};  // dense low-pressure region: rho = 1, p = 0.1
     }
     return {0.125, 2.0};  // light low-pressure region: rho = 0.125, p = 0.1
+  };
+}
+
+InitialState RegionProblem::initial_state() const {
+  // The shared_ptr rides in the lambda: the state function stays valid
+  // past the problem object (gridding holds it across regrids).
+  std::shared_ptr<const cfg::ScenarioSpec> spec = spec_;
+  return [spec](double x, double y) -> std::array<double, 2> {
+    const cfg::FluidState s = spec->sample(x, y);
+    return {s.density, s.energy};
+  };
+}
+
+InitialVelocity RegionProblem::initial_velocity() const {
+  if (!spec_->has_velocity()) {
+    return nullptr;
+  }
+  std::shared_ptr<const cfg::ScenarioSpec> spec = spec_;
+  return [spec](double x, double y) -> std::array<double, 2> {
+    const cfg::FluidState s = spec->sample(x, y);
+    return {s.xvel, s.yvel};
   };
 }
 

@@ -4,6 +4,11 @@
 // and the gradient-based refinement-flagging heuristic, evaluated as
 // data-parallel device kernels (paper §IV-C: "evaluating the tagging
 // heuristic at each mesh cell is trivially parallel").
+//
+// Beyond the two C++-coded classics, RegionProblem adapts a declarative
+// cfg::ScenarioSpec (background + box/circle/ramp regions, optional
+// gamma / gravity / initial velocity) to the same interface — the route
+// every JSON-configured scenario takes (docs/scenarios.md).
 #pragma once
 
 #include <array>
@@ -12,11 +17,17 @@
 
 #include "amr/tag_strategy.hpp"
 #include "app/fields.hpp"
+#include "cfg/scenario.hpp"
+#include "hydro/kernels.hpp"
 
 namespace ramr::app {
 
 /// (density, specific internal energy) at a physical point.
 using InitialState = std::function<std::array<double, 2>(double x, double y)>;
+
+/// (x-velocity, y-velocity) at a physical point (node-centred).
+using InitialVelocity =
+    std::function<std::array<double, 2>(double x, double y)>;
 
 /// Common CleverLeaf problem behaviour: analytic initial data for every
 /// field and density/energy gradient tagging.
@@ -39,6 +50,15 @@ class HydroProblem : public amr::TagStrategy {
 
   /// Initial (rho, e) as a function of position.
   virtual InitialState initial_state() const = 0;
+
+  /// Initial nodal velocity, or null for the at-rest default. Null keeps
+  /// initialization on the exact zero-fill path of the historical
+  /// problems; a non-null function is evaluated at node coordinates over
+  /// the full ghost box, like the cell state.
+  virtual InitialVelocity initial_velocity() const { return nullptr; }
+
+  /// Scenario physics; the defaults are the historical constants.
+  virtual hydro::Physics physics() const { return {}; }
 
  private:
   Fields fields_;
@@ -68,6 +88,37 @@ class TriplePointProblem : public HydroProblem {
   std::array<double, 2> domain_lower() const override { return {0.0, 0.0}; }
   std::array<double, 2> domain_upper() const override { return {7.0, 3.0}; }
   InitialState initial_state() const override;
+};
+
+/// A problem defined entirely by a cfg::ScenarioSpec: initial state is
+/// the spec's painted regions, physics its gamma/gravity. Scenarios with
+/// no velocity anywhere keep the zero-fill initialization path, so a
+/// region spec that reproduces a built-in problem's analytic state
+/// produces bit-identical runs.
+class RegionProblem : public HydroProblem {
+ public:
+  RegionProblem(const Fields& fields, double tag_threshold,
+                std::shared_ptr<const cfg::ScenarioSpec> spec)
+      : HydroProblem(fields, tag_threshold), spec_(std::move(spec)) {
+    RAMR_REQUIRE(spec_ != nullptr, "RegionProblem needs a scenario spec");
+  }
+
+  std::array<double, 2> domain_lower() const override {
+    return spec_->domain_lower;
+  }
+  std::array<double, 2> domain_upper() const override {
+    return spec_->domain_upper;
+  }
+  InitialState initial_state() const override;
+  InitialVelocity initial_velocity() const override;
+  hydro::Physics physics() const override {
+    return {spec_->gamma, spec_->gravity[0], spec_->gravity[1]};
+  }
+
+  const cfg::ScenarioSpec& spec() const { return *spec_; }
+
+ private:
+  std::shared_ptr<const cfg::ScenarioSpec> spec_;
 };
 
 }  // namespace ramr::app

@@ -1,5 +1,6 @@
 #include "app/simulation.hpp"
 
+#include "app/problem_registry.hpp"
 #include "geom/refine_operators.hpp"
 #include "util/logger.hpp"
 
@@ -9,20 +10,39 @@ namespace {
 
 std::unique_ptr<HydroProblem> make_problem(const SimulationConfig& cfg,
                                            const Fields& fields) {
-  switch (cfg.problem) {
-    case ProblemKind::kSod:
-      return std::make_unique<SodProblem>(fields, cfg.tag_threshold);
-    case ProblemKind::kTriplePoint:
-      return std::make_unique<TriplePointProblem>(fields, cfg.tag_threshold);
+  if (cfg.scenario != nullptr) {
+    return std::make_unique<RegionProblem>(fields, cfg.tag_threshold,
+                                           cfg.scenario);
   }
-  RAMR_FAIL("unknown problem kind");
+  return ProblemRegistry::instance().create(cfg.problem, fields,
+                                            cfg.tag_threshold);
 }
 
 }  // namespace
 
 Simulation::Simulation(const SimulationConfig& config,
                        simmpi::Communicator* comm)
-    : config_(config), device_(config.device, &clock_) {
+    : Simulation(config, comm, nullptr) {}
+
+Simulation::Simulation(const SimulationConfig& config,
+                       simmpi::Communicator* comm,
+                       vgpu::Device* shared_device)
+    : config_(config) {
+  if (shared_device != nullptr) {
+    // Service mode: ride the server's device and clock so K jobs share
+    // one modeled accelerator (memory arena included) and one account of
+    // modeled time. The async model is per-rank-clock and cannot be
+    // shared — the server interleaves jobs on the synchronous model and
+    // hides launch overhead through its launch-fusion scope instead.
+    RAMR_REQUIRE(!config_.async_overlap,
+                 "async_overlap is incompatible with a shared device");
+    device_ = shared_device;
+    clock_ = &shared_device->clock();
+  } else {
+    own_device_ = std::make_unique<vgpu::Device>(config.device, &own_clock_);
+    device_ = own_device_.get();
+    clock_ = &own_clock_;
+  }
   if (config_.async_overlap) {
     // The timeline attaches to the rank clock: every modeled charge
     // (device, network, host ops) now advances a lane cursor, and the
@@ -30,20 +50,20 @@ Simulation::Simulation(const SimulationConfig& config,
     // exchange around EOS, and — with wide_overlap (default) — the
     // remaining exchanges around the interior sweeps of their consumer
     // stages (interior/rind requires the batched launch route).
-    timeline_ = std::make_unique<vgpu::Timeline>(clock_);
+    timeline_ = std::make_unique<vgpu::Timeline>(*clock_);
     ctx_.timeline = timeline_.get();
     ctx_.wide_overlap = config_.wide_overlap && config_.batched_launch;
   }
   ctx_.comm = comm;
   ctx_.my_rank = comm != nullptr ? comm->rank() : 0;
-  ctx_.clock = &clock_;
+  ctx_.clock = clock_;
   // The transfer engine fuses each aggregated message's staging copies
   // into one modeled PCIe crossing on this device.
-  ctx_.device = &device_;
+  ctx_.device = device_;
   ctx_.compiled_transfer = config.compiled_transfer;
   ctx_.world_size = comm != nullptr ? comm->size() : 1;
   if (comm != nullptr) {
-    comm->set_clock(&clock_);
+    comm->set_clock(clock_);
   }
 
   const auto make_geometry = [&]() {
@@ -59,13 +79,15 @@ Simulation::Simulation(const SimulationConfig& config,
       make_geometry(), config_.max_levels,
       mesh::IntVector(config_.ratio, config_.ratio), ctx_.my_rank,
       ctx_.world_size);
-  fields_ = Fields::register_all(hierarchy_->variables(), device_);
+  fields_ = Fields::register_all(hierarchy_->variables(), *device_);
   problem_ = make_problem(config_, fields_);
   bc_ = std::make_unique<ReflectiveBoundary>(fields_);
+  const hydro::Physics physics = problem_->physics();
   patch_integrator_ =
-      std::make_unique<CudaPatchIntegrator>(device_, fields_);
+      std::make_unique<CudaPatchIntegrator>(*device_, fields_, physics);
   if (config_.batched_launch) {
-    level_runner_ = std::make_unique<LevelKernelRunner>(device_, fields_);
+    level_runner_ =
+        std::make_unique<LevelKernelRunner>(*device_, fields_, physics);
   }
   level_integrator_ = std::make_unique<LagrangianEulerianLevelIntegrator>(
       *patch_integrator_, level_runner_.get());
@@ -89,14 +111,14 @@ Simulation::Simulation(const SimulationConfig& config,
 
   gridding_ = std::make_unique<amr::GriddingAlgorithm>(
       gp, *problem_, std::move(transfer), bc_.get(), ctx_);
-  gridding_->set_host_clock(&clock_);
+  gridding_->set_host_clock(clock_);
   integrator_ = std::make_unique<LagrangianEulerianIntegrator>(
       *hierarchy_, *level_integrator_, *gridding_, fields_, ctx_, *bc_,
-      clock_, config_.regrid_interval);
+      *clock_, config_.regrid_interval);
 }
 
 void Simulation::initialize() {
-  vgpu::ComponentScope scope(clock_, "regrid");
+  vgpu::ComponentScope scope(*clock_, "regrid");
   integrator_->initialize(0.0);
   RAMR_LOG_DEBUG("initialized hierarchy: " << hierarchy_->num_levels()
                  << " levels, " << hierarchy_->total_cells() << " cells");

@@ -1,7 +1,8 @@
 // CleverLeaf simulation facade: wires the device, fields, problem,
 // gridding and integrators together for one rank (paper Fig. 6's
 // `main`). Examples, tests and benches drive the library through this
-// class.
+// class; the simulation service (src/svc) drives many instances over
+// one shared device.
 #pragma once
 
 #include <memory>
@@ -16,11 +17,16 @@
 
 namespace ramr::app {
 
-enum class ProblemKind { kSod, kTriplePoint };
-
 /// Everything needed to set up a run.
 struct SimulationConfig {
-  ProblemKind problem = ProblemKind::kSod;
+  /// Problem name resolved through the ProblemRegistry ("sod",
+  /// "triple_point", "sedov", "kelvin_helmholtz", "rayleigh_taylor", or
+  /// anything registered at startup).
+  std::string problem = "sod";
+  /// Inline scenario override: when set, the run uses this spec (through
+  /// RegionProblem) instead of looking `problem` up in the registry —
+  /// the route JSON configs with a custom `scenario` block take.
+  std::shared_ptr<const cfg::ScenarioSpec> scenario;
   int nx = 128;                 ///< level-0 cells in x
   int ny = 128;                 ///< level-0 cells in y
   int max_levels = 3;           ///< paper: 3 levels
@@ -70,6 +76,15 @@ class Simulation {
   /// all modeled time (device + network) by component.
   Simulation(const SimulationConfig& config, simmpi::Communicator* comm);
 
+  /// Multi-job form (svc::SimulationServer): the simulation runs on
+  /// `shared_device` and charges ITS clock instead of owning either, so
+  /// K concurrent jobs compete for one modeled accelerator (arena
+  /// capacity included) and their kernel charges can fuse across jobs
+  /// inside the server's launch-fusion scope. Requires the synchronous
+  /// timing model (config.async_overlap == false).
+  Simulation(const SimulationConfig& config, simmpi::Communicator* comm,
+             vgpu::Device* shared_device);
+
   /// Builds the initial hierarchy.
   void initialize();
 
@@ -84,7 +99,7 @@ class Simulation {
   double last_dt() const { return integrator_->last_dt(); }
 
   hier::PatchHierarchy& hierarchy() { return *hierarchy_; }
-  vgpu::SimClock& clock() { return clock_; }
+  vgpu::SimClock& clock() { return *clock_; }
   /// Multi-lane timing model (async_overlap runs); null otherwise.
   vgpu::Timeline* timeline() { return timeline_.get(); }
   /// Modeled completion time of this rank, comparable across the two
@@ -95,12 +110,18 @@ class Simulation {
   /// available for the wait-inclusive completion time.
   double modeled_seconds() const {
     return timeline_ != nullptr ? timeline_->comparable_seconds()
-                                : clock_.total();
+                                : clock_->total();
   }
-  vgpu::Device& device() { return device_; }
+  vgpu::Device& device() { return *device_; }
   const Fields& fields() const { return fields_; }
+  const SimulationConfig& config() const { return config_; }
+  HydroProblem& problem() { return *problem_; }
   LagrangianEulerianIntegrator& integrator() { return *integrator_; }
   xfer::ParallelContext& context() { return ctx_; }
+  /// Refinement activity (tags collected, regrids fired, levels built).
+  const amr::GriddingStats& gridding_stats() const {
+    return gridding_->stats();
+  }
 
   hydro::FieldSummary composite_summary() {
     return integrator_->composite_summary();
@@ -118,11 +139,15 @@ class Simulation {
 
  private:
   SimulationConfig config_;
-  vgpu::SimClock clock_;
-  /// Attached to clock_ when async_overlap is on (declared after it:
-  /// detaches before the clock dies).
+  /// Rank clock when this instance owns its device; unused (and empty)
+  /// when a shared device injects its own clock.
+  vgpu::SimClock own_clock_;
+  vgpu::SimClock* clock_;
+  /// Attached to the clock when async_overlap is on (declared after the
+  /// owned clock: detaches before it dies).
   std::unique_ptr<vgpu::Timeline> timeline_;
-  vgpu::Device device_;
+  std::unique_ptr<vgpu::Device> own_device_;
+  vgpu::Device* device_;
   xfer::ParallelContext ctx_;
   std::unique_ptr<hier::PatchHierarchy> hierarchy_;
   Fields fields_;

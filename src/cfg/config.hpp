@@ -1,0 +1,67 @@
+// JSON problem/run configuration: a strict parser-validator that turns a
+// config document into a ready-to-run RunConfig (SimulationConfig plus
+// run budget, network and output policy) and a serializer that round-
+// trips it back (docs/scenarios.md).
+//
+// Contract: every field is optional and every omitted field defaults to
+// exactly today's hard-coded behaviour, so the empty document `{}`
+// reproduces the default Sod run bit for bit. Unknown keys, type
+// mismatches and out-of-range values are hard errors that name the
+// offending JSON path (e.g. "amr.tag_threshold") — a config either
+// means exactly what it says or it does not load.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "app/simulation.hpp"
+#include "cfg/json.hpp"
+#include "simmpi/network_spec.hpp"
+
+namespace ramr::cfg {
+
+/// Stopping criteria and parallel layout of one run.
+struct RunBudget {
+  int max_steps = 100;        ///< advance() calls per job
+  double end_time = 1.0e30;   ///< stop when sim time reaches this
+  int ranks = 1;              ///< simulated MPI ranks (threads)
+};
+
+/// What the run writes and how often. Intervals are in steps; 0 = only
+/// at the end of the run, and an empty basename disables the stream
+/// entirely.
+struct OutputPolicy {
+  std::string basename;           ///< file prefix; "" = no output
+  int checkpoint_interval = 0;    ///< steps between checkpoints (0 = off)
+  int vtk_interval = 0;           ///< steps between VTK dumps (0 = off)
+};
+
+/// Everything a driver needs to execute one configured run.
+struct RunConfig {
+  app::SimulationConfig sim;
+  simmpi::NetworkSpec network = simmpi::ideal_network();
+  RunBudget run;
+  OutputPolicy output;
+};
+
+/// Validates and converts a parsed JSON document. Throws util::Error
+/// with the dotted JSON path of the offending key on unknown keys, type
+/// mismatches, out-of-range values, or an unregistered problem name.
+RunConfig parse_run_config(const Json& root);
+
+/// Convenience: Json::parse + parse_run_config.
+RunConfig parse_run_config_text(std::string_view text);
+
+/// Parses one scenario block (the value of the top-level "scenario" key
+/// or a stock-scenario file). `path` prefixes error messages.
+ScenarioSpec parse_scenario(const Json& value, const std::string& path);
+
+/// Serializes every field explicitly (including the defaulted ones), so
+/// parse_run_config(to_json(c)) reproduces `c` and the dump documents
+/// the full effective configuration of a run.
+Json to_json(const RunConfig& config);
+
+/// Scenario block serializer (inverse of parse_scenario).
+Json to_json(const ScenarioSpec& spec);
+
+}  // namespace ramr::cfg

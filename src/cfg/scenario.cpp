@@ -1,0 +1,93 @@
+#include "cfg/scenario.hpp"
+
+#include <cmath>
+
+namespace ramr::cfg {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+double perturbed(double bound, double other, const Region& r) {
+  return bound + r.interface_amplitude *
+                     std::cos(kTwoPi * other / r.interface_wavelength +
+                              r.interface_phase);
+}
+
+double side_bound(const Region& r, const char* side, double raw,
+                  double other) {
+  return r.interface_side == side ? perturbed(raw, other, r) : raw;
+}
+
+FluidState blend(const FluidState& a, const FluidState& b, double t) {
+  FluidState s;
+  s.density = a.density + t * (b.density - a.density);
+  s.energy = a.energy + t * (b.energy - a.energy);
+  s.xvel = a.xvel + t * (b.xvel - a.xvel);
+  s.yvel = a.yvel + t * (b.yvel - a.yvel);
+  return s;
+}
+
+bool state_moving(const FluidState& s) {
+  return s.xvel != 0.0 || s.yvel != 0.0;
+}
+
+}  // namespace
+
+bool Region::contains(double x, double y) const {
+  switch (shape) {
+    case Shape::kBox: {
+      if (x_min && x < side_bound(*this, "x_min", *x_min, y)) return false;
+      if (x_max && x >= side_bound(*this, "x_max", *x_max, y)) return false;
+      if (y_min && y < side_bound(*this, "y_min", *y_min, x)) return false;
+      if (y_max && y >= side_bound(*this, "y_max", *y_max, x)) return false;
+      return true;
+    }
+    case Shape::kCircle: {
+      const double dx = x - center[0];
+      const double dy = y - center[1];
+      return dx * dx + dy * dy < radius * radius;
+    }
+    case Shape::kRamp:
+      return true;
+  }
+  return false;
+}
+
+FluidState ScenarioSpec::sample(double x, double y) const {
+  FluidState state = background;
+  for (const Region& r : regions) {
+    if (r.shape == Region::Shape::kRamp) {
+      const double c = r.ramp_axis == 0 ? x : y;
+      double t = 0.0;
+      if (r.ramp_to != r.ramp_from) {
+        t = (c - r.ramp_from) / (r.ramp_to - r.ramp_from);
+        t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+      } else {
+        t = c < r.ramp_from ? 0.0 : 1.0;
+      }
+      state = blend(r.ramp_state0, r.ramp_state1, t);
+    } else if (r.contains(x, y)) {
+      state = r.state;
+    }
+  }
+  return state;
+}
+
+bool ScenarioSpec::has_velocity() const {
+  if (state_moving(background)) {
+    return true;
+  }
+  for (const Region& r : regions) {
+    if (r.shape == Region::Shape::kRamp) {
+      if (state_moving(r.ramp_state0) || state_moving(r.ramp_state1)) {
+        return true;
+      }
+    } else if (state_moving(r.state)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ramr::cfg

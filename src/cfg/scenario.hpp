@@ -1,0 +1,105 @@
+// Declarative initial-condition description: a background fluid state
+// plus an ordered list of region primitives (box / circle / ramp) that
+// override it, evaluated analytically at any physical point — the same
+// contract as the hand-written problem lambdas in app/problems.cpp, so
+// region-driven problems initialize ghost cells by analytic continuation
+// exactly like the built-ins do.
+//
+// This layer is pure geometry and state; it knows nothing about meshes,
+// fields or devices. app::RegionProblem adapts it to the AMR machinery,
+// and cfg::parse_scenario builds it from JSON (docs/scenarios.md).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ramr::cfg {
+
+/// Fluid state assigned by the background or a region. Velocities are
+/// sampled at nodes, density/energy at cell centres.
+struct FluidState {
+  double density = 1.0;
+  double energy = 1.0;   ///< specific internal energy
+  double xvel = 0.0;
+  double yvel = 0.0;
+};
+
+/// One initial-condition primitive. Later regions override earlier ones
+/// where they overlap (painter's order).
+struct Region {
+  enum class Shape { kBox, kCircle, kRamp };
+
+  Shape shape = Shape::kBox;
+
+  /// State painted inside the region (box and circle; a ramp blends
+  /// ramp_state0 -> ramp_state1 instead).
+  FluidState state;
+
+  // --- box: optional per-side bounds; an omitted side is unbounded, so
+  // {x_max: 0.5} reproduces the classic "x < 0.5" half-space including
+  // its analytic continuation into ghost cells. Containment is
+  // half-open: min <= p < max.
+  std::optional<double> x_min, x_max, y_min, y_max;
+
+  /// Optional sinusoidal perturbation of ONE box bound (the seeding
+  /// mechanism for Kelvin-Helmholtz / Rayleigh-Taylor interfaces): the
+  /// named side moves to
+  ///   bound + amplitude * cos(2*pi * other_coord / wavelength + phase).
+  /// Empty string = no perturbation.
+  std::string interface_side;
+  double interface_amplitude = 0.0;
+  double interface_wavelength = 1.0;
+  double interface_phase = 0.0;
+
+  // --- circle: strict interior (dist^2 < radius^2).
+  std::array<double, 2> center = {0.0, 0.0};
+  double radius = 0.0;
+
+  // --- ramp: along `ramp_axis` (0 = x, 1 = y), linearly blends
+  // ramp_state0 (coordinate <= ramp_from) into ramp_state1
+  // (coordinate >= ramp_to); applies everywhere on the domain.
+  int ramp_axis = 0;
+  double ramp_from = 0.0;
+  double ramp_to = 1.0;
+  FluidState ramp_state0;
+  FluidState ramp_state1;
+
+  /// Box/circle membership test (true everywhere for ramps).
+  bool contains(double x, double y) const;
+};
+
+/// A complete scenario: domain, EOS, gravity, and the painted initial
+/// state. Everything defaults to the values hard-coded in today's
+/// built-in problems so an empty spec changes nothing.
+struct ScenarioSpec {
+  std::string name = "custom";
+  std::array<double, 2> domain_lower = {0.0, 0.0};
+  std::array<double, 2> domain_upper = {1.0, 1.0};
+  /// Ideal-gas ratio of specific heats (hydro::Constants::gamma today).
+  double gamma = 1.4;
+  /// Constant body acceleration applied in the acceleration stage;
+  /// {0, 0} keeps the kernel on its exact gravity-free path.
+  std::array<double, 2> gravity = {0.0, 0.0};
+  FluidState background;
+  std::vector<Region> regions;
+
+  /// Initial state at a physical point: background, then each region in
+  /// order (later wins).
+  FluidState sample(double x, double y) const;
+
+  /// True when any state in the scenario carries a nonzero velocity —
+  /// the trigger for initializing node velocities analytically instead
+  /// of the zero-fill fast path (which stays bit-identical to the
+  /// built-in problems).
+  bool has_velocity() const;
+
+  /// True when gravity is exactly (0, 0) — keeps the acceleration
+  /// kernel on its unmodified arithmetic.
+  bool gravity_free() const {
+    return gravity[0] == 0.0 && gravity[1] == 0.0;
+  }
+};
+
+}  // namespace ramr::cfg

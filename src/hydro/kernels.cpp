@@ -117,7 +117,8 @@ constexpr int kResetNodeDepth = 1;   // writes seam nodes
 
 void ideal_gas_batched(vgpu::Device& dev, vgpu::Stream& s,
                        std::span<const Box> boxes,
-                       std::span<const IdealGasPatch> p, SweepPart part) {
+                       std::span<const IdealGasPatch> p, SweepPart part,
+                       double gamma) {
   const IdealGasPatch* a = p.data();
   // Pointwise: depth 0, so the interior sweep is the whole stage.
   dev.launch_batched(
@@ -125,10 +126,8 @@ void ideal_gas_batched(vgpu::Device& dev, vgpu::Stream& s,
       [=](std::size_t seg, int i, int j) {
         const IdealGasPatch& v = a[seg];
         const double vol = 1.0 / v.density(i, j);
-        const double pr =
-            (Constants::gamma - 1.0) * v.density(i, j) * v.energy(i, j);
-        const double pressure_by_energy =
-            (Constants::gamma - 1.0) * v.density(i, j);
+        const double pr = (gamma - 1.0) * v.density(i, j) * v.energy(i, j);
+        const double pressure_by_energy = (gamma - 1.0) * v.density(i, j);
         const double pressure_by_volume = -v.density(i, j) * pr;
         // c^2 = v^2 (p * dp/de - dp/dv) = gamma p / rho.
         const double ss2 =
@@ -139,9 +138,10 @@ void ideal_gas_batched(vgpu::Device& dev, vgpu::Stream& s,
 }
 
 void ideal_gas(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
-               View density, View energy, View pressure, View soundspeed) {
+               View density, View energy, View pressure, View soundspeed,
+               double gamma) {
   const IdealGasPatch p{density, energy, pressure, soundspeed};
-  ideal_gas_batched(dev, s, {&box, 1}, {&p, 1});
+  ideal_gas_batched(dev, s, {&box, 1}, {&p, 1}, SweepPart::kAll, gamma);
 }
 
 void viscosity_batched(vgpu::Device& dev, vgpu::Stream& s,
@@ -322,11 +322,15 @@ void pdv(vgpu::Device& dev, vgpu::Stream& s, const Box& box, const CellGeom& g,
 void accelerate_batched(vgpu::Device& dev, vgpu::Stream& s,
                         std::span<const Box> boxes, const CellGeom& g,
                         double dt, std::span<const AcceleratePatch> p,
-                        SweepPart part) {
+                        SweepPart part, double gx, double gy) {
   const double halfdt = 0.5 * dt;
   const double volume = g.volume();
   const double xarea = g.xarea();
   const double yarea = g.yarea();
+  // Gravity rides the half-step like the pressure impulse. Guarded so
+  // the zero-gravity path performs no extra adds (bit-identity: += 0.0
+  // would still rewrite a signed zero).
+  const bool has_gravity = gx != 0.0 || gy != 0.0;
   const AcceleratePatch* a = p.data();
   dev.launch_batched(
       s,
@@ -356,6 +360,10 @@ void accelerate_batched(vgpu::Device& dev, vgpu::Stream& s,
         yv -= stepbymass *
               (yarea * (v.viscosity(i, j) - v.viscosity(i, j - 1)) +
                yarea * (v.viscosity(i - 1, j) - v.viscosity(i - 1, j - 1)));
+        if (has_gravity) {
+          xv += halfdt * gx;
+          yv += halfdt * gy;
+        }
         v.xvel1(i, j) = xv;
         v.yvel1(i, j) = yv;
       });
@@ -364,10 +372,11 @@ void accelerate_batched(vgpu::Device& dev, vgpu::Stream& s,
 void accelerate(vgpu::Device& dev, vgpu::Stream& s, const Box& box,
                 const CellGeom& g, double dt, View density0, View pressure,
                 View viscosity, View xvel0, View yvel0, View xvel1,
-                View yvel1) {
+                View yvel1, double gx, double gy) {
   const AcceleratePatch p{density0, pressure, viscosity, xvel0,
                           yvel0, xvel1, yvel1};
-  accelerate_batched(dev, s, {&box, 1}, g, dt, {&p, 1});
+  accelerate_batched(dev, s, {&box, 1}, g, dt, {&p, 1}, SweepPart::kAll, gx,
+                     gy);
 }
 
 void flux_calc_batched(vgpu::Device& dev, vgpu::Stream& s,

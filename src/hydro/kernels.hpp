@@ -38,6 +38,17 @@ struct Constants {
   static constexpr double dtdiv_safe = 0.7;
 };
 
+/// Runtime physics parameters a scenario may override (cfg::ScenarioSpec):
+/// the EOS gamma and a constant body acceleration. The defaults select
+/// the exact historical arithmetic (compile-time gamma, no gravity adds),
+/// so default-constructed Physics is bit-identical to the pre-scenario
+/// kernels.
+struct Physics {
+  double gamma = Constants::gamma;
+  double gx = 0.0;  ///< body acceleration, x component
+  double gy = 0.0;  ///< body acceleration, y component
+};
+
 /// Uniform-cell geometry of one patch's level.
 struct CellGeom {
   double dx = 0.0;
@@ -146,10 +157,14 @@ struct ResetFieldPatch {
   View density0, density1, energy0, energy1, xvel0, xvel1, yvel0, yvel1;
 };
 
+/// `gamma` overrides the ideal-gas ratio of specific heats per scenario
+/// (cfg::ScenarioSpec::gamma); the default performs the exact arithmetic
+/// of the historical compile-time constant.
 void ideal_gas_batched(vgpu::Device& dev, vgpu::Stream& s,
                        std::span<const mesh::Box> boxes,
                        std::span<const IdealGasPatch> p,
-                       SweepPart part = SweepPart::kAll);
+                       SweepPart part = SweepPart::kAll,
+                       double gamma = Constants::gamma);
 void viscosity_batched(vgpu::Device& dev, vgpu::Stream& s,
                        std::span<const mesh::Box> boxes, const CellGeom& g,
                        std::span<const ViscosityPatch> p,
@@ -163,10 +178,15 @@ void pdv_batched(vgpu::Device& dev, vgpu::Stream& s,
                  std::span<const mesh::Box> boxes, const CellGeom& g, double dt,
                  bool predict, std::span<const PdvPatch> p,
                  SweepPart part = SweepPart::kAll);
+/// `gx`/`gy` add a constant body acceleration (the gravity source of the
+/// Rayleigh-Taylor scenario). Exactly (0, 0) skips the extra update
+/// entirely, so gravity-free runs stay bit-identical to the historical
+/// kernel (no `x + 0.0` rounding of signed zeros).
 void accelerate_batched(vgpu::Device& dev, vgpu::Stream& s,
                         std::span<const mesh::Box> boxes, const CellGeom& g,
                         double dt, std::span<const AcceleratePatch> p,
-                        SweepPart part = SweepPart::kAll);
+                        SweepPart part = SweepPart::kAll, double gx = 0.0,
+                        double gy = 0.0);
 void flux_calc_batched(vgpu::Device& dev, vgpu::Stream& s,
                        std::span<const mesh::Box> boxes, const CellGeom& g,
                        double dt, std::span<const FluxCalcPatch> p,
@@ -211,7 +231,8 @@ void reset_field_batched(vgpu::Device& dev, vgpu::Stream& s,
 
 /// Equation of state over `box` (+ any ghost region included by caller).
 void ideal_gas(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,
-               View density, View energy, View pressure, View soundspeed);
+               View density, View energy, View pressure, View soundspeed,
+               double gamma = Constants::gamma);
 
 /// Artificial viscosity over the interior `box` (reads velocity and
 /// pressure in a 1-cell halo).
@@ -233,7 +254,8 @@ void pdv(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,
 /// Nodal acceleration over the node box of `box`.
 void accelerate(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,
                 const CellGeom& g, double dt, View density0, View pressure,
-                View viscosity, View xvel0, View yvel0, View xvel1, View yvel1);
+                View viscosity, View xvel0, View yvel0, View xvel1, View yvel1,
+                double gx = 0.0, double gy = 0.0);
 
 /// Face volume fluxes over the side boxes of `box`.
 void flux_calc(vgpu::Device& dev, vgpu::Stream& s, const mesh::Box& box,

@@ -1,0 +1,88 @@
+#include "svc/metrics.hpp"
+
+#include "app/integrator.hpp"
+
+namespace ramr::svc {
+
+using app::TransferCounters;
+
+cfg::Json run_metrics_json(app::Simulation& sim) {
+  cfg::Json j = cfg::Json::make_object();
+  j.set("steps", cfg::Json(sim.step_count()));
+  j.set("sim_time", cfg::Json(sim.time()));
+  j.set("last_dt", cfg::Json(sim.last_dt()));
+  j.set("modeled_seconds", cfg::Json(sim.modeled_seconds()));
+
+  cfg::Json clock = cfg::Json::make_object();
+  for (const auto& [name, seconds] : sim.clock().components()) {
+    clock.set(name, cfg::Json(seconds));
+  }
+  j.set("clock_components", std::move(clock));
+
+  cfg::Json hierarchy = cfg::Json::make_object();
+  hierarchy.set("levels", cfg::Json(sim.hierarchy().num_levels()));
+  hierarchy.set("cells",
+                cfg::Json(static_cast<std::int64_t>(sim.hierarchy().total_cells())));
+  j.set("hierarchy", std::move(hierarchy));
+
+  // Transfer-layer traffic, with the per-window breakdown: which fill
+  // windows ran split-phase and how much modeled wire time each window
+  // actually hid (hidden_fraction = saved / issued comm; 0 on the
+  // synchronous path, where nothing overlaps).
+  const TransferCounters& tc = sim.integrator().transfer_counters();
+  cfg::Json transfer = cfg::Json::make_object();
+  transfer.set("halo_fills", cfg::Json(static_cast<std::int64_t>(tc.halo_fills)));
+  transfer.set("split_fills",
+               cfg::Json(static_cast<std::int64_t>(tc.split_fills)));
+  transfer.set("messages_sent",
+               cfg::Json(static_cast<std::int64_t>(tc.messages_sent)));
+  transfer.set("messages_received",
+               cfg::Json(static_cast<std::int64_t>(tc.messages_received)));
+  transfer.set("bytes_sent", cfg::Json(static_cast<std::int64_t>(tc.bytes_sent)));
+  cfg::Json windows = cfg::Json::make_object();
+  for (int w = 0; w < TransferCounters::kWindowCount; ++w) {
+    const TransferCounters::WindowStats& ws = tc.window[w];
+    cfg::Json win = cfg::Json::make_object();
+    win.set("fills", cfg::Json(static_cast<std::int64_t>(ws.fills)));
+    win.set("split_fills",
+            cfg::Json(static_cast<std::int64_t>(ws.split_fills)));
+    win.set("comm_seconds", cfg::Json(ws.comm_seconds));
+    win.set("overlap_seconds_saved", cfg::Json(ws.overlap_seconds_saved));
+    win.set("hidden_fraction",
+            cfg::Json(ws.comm_seconds > 0.0
+                          ? ws.overlap_seconds_saved / ws.comm_seconds
+                          : 0.0));
+    windows.set(TransferCounters::window_name(w), std::move(win));
+  }
+  transfer.set("windows", std::move(windows));
+  j.set("transfer", std::move(transfer));
+
+  if (vgpu::Timeline* tl = sim.timeline()) {
+    cfg::Json overlap = cfg::Json::make_object();
+    overlap.set("serial_seconds", cfg::Json(tl->serial_seconds()));
+    overlap.set("makespan", cfg::Json(tl->makespan()));
+    overlap.set("comparable_seconds", cfg::Json(tl->comparable_seconds()));
+    overlap.set("overlap_seconds_saved", cfg::Json(tl->overlap_seconds_saved()));
+    j.set("overlap", std::move(overlap));
+  }
+
+  const amr::GriddingStats& gs = sim.gridding_stats();
+  cfg::Json gridding = cfg::Json::make_object();
+  gridding.set("initial_builds", cfg::Json(gs.initial_builds));
+  gridding.set("regrids", cfg::Json(gs.regrids));
+  gridding.set("levels_built", cfg::Json(gs.levels_built));
+  gridding.set("cells_tagged",
+               cfg::Json(static_cast<std::int64_t>(gs.cells_tagged)));
+  j.set("gridding", std::move(gridding));
+
+  const hydro::FieldSummary summary = sim.composite_summary();
+  cfg::Json totals = cfg::Json::make_object();
+  totals.set("mass", cfg::Json(summary.mass));
+  totals.set("internal_energy", cfg::Json(summary.internal_energy));
+  totals.set("kinetic_energy", cfg::Json(summary.kinetic_energy));
+  j.set("summary", std::move(totals));
+
+  return j;
+}
+
+}  // namespace ramr::svc

@@ -1,0 +1,18 @@
+// Per-run metrics report: one JSON document summarising a simulation's
+// progress, modeled time, transfer-layer traffic (per fill window,
+// overlap savings included), refinement activity and conservation
+// totals. The simulation server attaches one per job; the --config
+// driver prints the same document after a standalone run, so a job's
+// report reads identically whether it ran alone or under the service.
+#pragma once
+
+#include "app/simulation.hpp"
+#include "cfg/json.hpp"
+
+namespace ramr::svc {
+
+/// The full metrics document for one simulation (see docs/scenarios.md
+/// for the layout). Safe to call at any point after initialize().
+cfg::Json run_metrics_json(app::Simulation& sim);
+
+}  // namespace ramr::svc

@@ -1,0 +1,305 @@
+#include "svc/server.hpp"
+
+#include <algorithm>
+
+#include "app/vtk_writer.hpp"
+#include "util/error.hpp"
+#include "util/logger.hpp"
+
+namespace ramr::svc {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kStopped: return "stopped";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- queue
+
+int JobQueue::submit(JobSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int id = static_cast<int>(records_.size());
+  records_.push_back(Record{std::move(spec), JobStatus{}});
+  queued_.push_back(id);
+  return id;
+}
+
+std::optional<int> JobQueue::claim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queued_.empty()) {
+    return std::nullopt;
+  }
+  const int id = queued_.front();
+  queued_.pop_front();
+  records_[static_cast<std::size_t>(id)].status.state = JobState::kRunning;
+  return id;
+}
+
+int JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(records_.size());
+}
+
+int JobQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queued_.size());
+}
+
+JobSpec JobQueue::spec(int id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RAMR_REQUIRE(id >= 0 && id < static_cast<int>(records_.size()),
+               "unknown job id " << id);
+  return records_[static_cast<std::size_t>(id)].spec;
+}
+
+JobStatus JobQueue::status(int id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RAMR_REQUIRE(id >= 0 && id < static_cast<int>(records_.size()),
+               "unknown job id " << id);
+  return records_[static_cast<std::size_t>(id)].status;
+}
+
+void JobQueue::update(int id, const JobStatus& status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RAMR_REQUIRE(id >= 0 && id < static_cast<int>(records_.size()),
+               "unknown job id " << id);
+  records_[static_cast<std::size_t>(id)].status = status;
+}
+
+// --------------------------------------------------------------- server
+
+SimulationServer::SimulationServer(const ServerConfig& config)
+    : config_(config),
+      device_(std::make_unique<vgpu::Device>(config.device, &clock_)) {
+  RAMR_REQUIRE(config_.max_concurrent_jobs >= 1,
+               "max_concurrent_jobs must be >= 1, got "
+                   << config_.max_concurrent_jobs);
+}
+
+int SimulationServer::submit(JobSpec spec) {
+  RAMR_REQUIRE(spec.config.run.ranks == 1,
+               "service job \"" << spec.name
+                                << "\": multi-rank jobs are not supported "
+                                   "(run.ranks must be 1)");
+  RAMR_REQUIRE(!spec.config.sim.async_overlap,
+               "service job \"" << spec.name
+                                << "\": async_overlap requires a private "
+                                   "timeline and cannot run on the shared "
+                                   "device");
+  return queue_.submit(std::move(spec));
+}
+
+std::string SimulationServer::output_prefix(const ActiveJob& job) const {
+  return config_.output_dir + "/" + job.spec.config.output.basename;
+}
+
+bool SimulationServer::admit_one() {
+  const std::optional<int> id = queue_.claim();
+  if (!id.has_value()) {
+    return false;
+  }
+  ActiveJob job;
+  job.id = *id;
+  job.spec = queue_.spec(*id);
+  try {
+    // The job rides the server's device and clock; its own device spec
+    // is ignored (one shared modeled accelerator, arena included).
+    job.sim = std::make_unique<app::Simulation>(job.spec.config.sim,
+                                                /*comm=*/nullptr,
+                                                device_.get());
+    job.sim->initialize();
+  } catch (const util::Error& e) {
+    JobStatus st = queue_.status(*id);
+    st.state = JobState::kFailed;
+    st.error = e.what();
+    queue_.update(*id, st);
+    RAMR_LOG_DEBUG("job " << *id << " failed to start: " << e.what());
+    return true;  // the claim was consumed; try the next one
+  }
+  RAMR_LOG_DEBUG("job " << *id << " (" << job.spec.name << ") admitted");
+  active_.push_back(std::move(job));
+  return true;
+}
+
+void SimulationServer::step_all() {
+  std::vector<std::pair<int, std::string>> failed;
+  {
+    // One interleaved round: every resident job advances one step with
+    // charges deferred, so the same stage kernel of different jobs
+    // flushes as one fused launch. Outputs and admissions stay outside
+    // the scope — only level advances fuse.
+    vgpu::LaunchFusionScope fuse(config_.fuse_across_jobs ? device_.get()
+                                                          : nullptr);
+    for (ActiveJob& job : active_) {
+      const double serial_before = device_->fusion_stats().serial_seconds;
+      const double kernel_before = device_->kernel_seconds();
+      try {
+        job.sim->step();
+      } catch (const util::Error& e) {
+        failed.emplace_back(job.id, e.what());
+        continue;
+      }
+      // Attributed demand: what this job's kernels would cost unfused.
+      // Inside a fusion scope that is the serial_seconds delta; unfused
+      // the charges land directly in kernel_seconds.
+      job.serial_kernel_seconds +=
+          config_.fuse_across_jobs
+              ? device_->fusion_stats().serial_seconds - serial_before
+              : device_->kernel_seconds() - kernel_before;
+    }
+  }
+  for (const auto& [id, error] : failed) {
+    auto it = std::find_if(active_.begin(), active_.end(),
+                           [id = id](const ActiveJob& j) { return j.id == id; });
+    retire(*it, JobState::kFailed, error);
+    active_.erase(it);
+  }
+}
+
+void SimulationServer::write_outputs(ActiveJob& job, bool final_output) {
+  const cfg::OutputPolicy& out = job.spec.config.output;
+  if (out.basename.empty()) {
+    return;
+  }
+  const int step = job.sim->step_count();
+  const std::string prefix =
+      output_prefix(job) + "_step" + std::to_string(step);
+  const bool ckpt_due =
+      out.checkpoint_interval > 0 &&
+      (final_output || step % out.checkpoint_interval == 0);
+  const bool vtk_due = out.vtk_interval > 0 &&
+                       (final_output || step % out.vtk_interval == 0);
+  if (ckpt_due) {
+    job.sim->save_checkpoint(prefix + ".ckpt");
+    job.files.push_back(prefix + ".ckpt");
+  }
+  if (vtk_due) {
+    app::write_vtk(*job.sim, prefix,
+                   {{"density", job.sim->fields().density0},
+                    {"energy", job.sim->fields().energy0}});
+    job.files.push_back(prefix + ".visit");
+  }
+}
+
+void SimulationServer::retire(ActiveJob& job, JobState state,
+                              const std::string& error) {
+  JobStatus st = queue_.status(job.id);
+  st.state = state;
+  st.error = error;
+  st.serial_kernel_seconds = job.serial_kernel_seconds;
+  if (job.sim != nullptr) {
+    st.steps = job.sim->step_count();
+    st.sim_time = job.sim->time();
+    if (state != JobState::kFailed) {
+      write_outputs(job, /*final_output=*/true);
+      st.metrics = run_metrics_json(*job.sim);
+    }
+  }
+  st.files = job.files;
+  queue_.update(job.id, st);
+  if (state == JobState::kDone) {
+    ++jobs_completed_;
+  }
+  RAMR_LOG_DEBUG("job " << job.id << " retired: " << job_state_name(state));
+  job.sim.reset();  // release the job's slice of the shared arena
+}
+
+void SimulationServer::run() {
+  while (true) {
+    while (static_cast<int>(active_.size()) < config_.max_concurrent_jobs &&
+           queue_.pending() > 0) {
+      admit_one();
+    }
+    if (stop_requested_.exchange(false)) {
+      // Clean shutdown: every resident job checkpoints (as configured)
+      // and reports final metrics; queued jobs stay queued for a later
+      // run().
+      for (ActiveJob& job : active_) {
+        retire(job, JobState::kStopped, "");
+      }
+      active_.clear();
+      return;
+    }
+    if (active_.empty()) {
+      return;  // queue drained
+    }
+    step_all();
+    // Interval outputs and completions, outside the fusion scope.
+    std::vector<ActiveJob> still_active;
+    still_active.reserve(active_.size());
+    for (ActiveJob& job : active_) {
+      if (job.sim == nullptr) {
+        continue;  // already retired by step_all
+      }
+      const cfg::RunBudget& budget = job.spec.config.run;
+      const bool done = job.sim->step_count() >= budget.max_steps ||
+                        job.sim->time() >= budget.end_time;
+      if (done) {
+        retire(job, JobState::kDone, "");
+      } else {
+        write_outputs(job, /*final_output=*/false);
+        // Keep the externally visible progress fresh for pollers.
+        JobStatus st = queue_.status(job.id);
+        st.steps = job.sim->step_count();
+        st.sim_time = job.sim->time();
+        st.serial_kernel_seconds = job.serial_kernel_seconds;
+        queue_.update(job.id, st);
+        still_active.push_back(std::move(job));
+      }
+    }
+    active_ = std::move(still_active);
+  }
+}
+
+cfg::Json SimulationServer::status_json() const {
+  cfg::Json j = cfg::Json::make_object();
+  j.set("device", cfg::Json(config_.device.name));
+  j.set("max_concurrent_jobs", cfg::Json(config_.max_concurrent_jobs));
+  j.set("fuse_across_jobs", cfg::Json(config_.fuse_across_jobs));
+  j.set("clock_seconds", cfg::Json(clock_.total()));
+  j.set("jobs_completed", cfg::Json(jobs_completed_));
+
+  const vgpu::FusionStats& fs = device_->fusion_stats();
+  cfg::Json fusion = cfg::Json::make_object();
+  fusion.set("enqueued", cfg::Json(static_cast<std::int64_t>(fs.enqueued)));
+  fusion.set("groups_flushed",
+             cfg::Json(static_cast<std::int64_t>(fs.groups_flushed)));
+  fusion.set("serial_seconds", cfg::Json(fs.serial_seconds));
+  fusion.set("fused_seconds", cfg::Json(fs.fused_seconds));
+  fusion.set("seconds_saved",
+             cfg::Json(fs.serial_seconds - fs.fused_seconds));
+  j.set("fusion", std::move(fusion));
+
+  cfg::Json jobs = cfg::Json::make_array();
+  for (int id = 0; id < queue_.size(); ++id) {
+    const JobStatus st = queue_.status(id);
+    cfg::Json job = cfg::Json::make_object();
+    job.set("id", cfg::Json(id));
+    job.set("name", cfg::Json(queue_.spec(id).name));
+    job.set("state", cfg::Json(job_state_name(st.state)));
+    job.set("steps", cfg::Json(st.steps));
+    job.set("sim_time", cfg::Json(st.sim_time));
+    job.set("serial_kernel_seconds", cfg::Json(st.serial_kernel_seconds));
+    if (!st.error.empty()) {
+      job.set("error", cfg::Json(st.error));
+    }
+    cfg::Json files = cfg::Json::make_array();
+    for (const std::string& f : st.files) {
+      files.push_back(cfg::Json(f));
+    }
+    job.set("files", std::move(files));
+    if (!st.metrics.is_null()) {
+      job.set("metrics", st.metrics);
+    }
+    jobs.push_back(std::move(job));
+  }
+  j.set("jobs", std::move(jobs));
+  return j;
+}
+
+}  // namespace ramr::svc

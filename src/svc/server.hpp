@@ -1,0 +1,152 @@
+// Multi-job simulation service: a queue of configured runs executed by
+// one event loop over ONE shared virtual device.
+//
+// The throughput lever is cross-job launch fusion: the server interleaves
+// the level advances of up to K resident jobs inside a launch-fusion
+// scope, so the same stage kernel of different jobs is charged as one
+// launch (amortized launch overhead, occupancy computed from the summed
+// grids) — the multi-job generalisation of the paper's per-level kernel
+// batching. Execution stays eager and per-job, so every job's fields are
+// bit-identical to a standalone run of the same config; only the modeled
+// time accounting changes. Checkpoints and VTK dumps stream per job on
+// their configured intervals, outside the fusion scope.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cfg/config.hpp"
+#include "svc/metrics.hpp"
+#include "vgpu/device.hpp"
+
+namespace ramr::svc {
+
+/// One unit of work: a named, fully validated run configuration.
+struct JobSpec {
+  std::string name;
+  cfg::RunConfig config;
+};
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kStopped };
+
+const char* job_state_name(JobState state);
+
+/// Externally visible progress of one job.
+struct JobStatus {
+  JobState state = JobState::kQueued;
+  int steps = 0;
+  double sim_time = 0.0;
+  /// Modeled seconds the job's kernels would have cost unfused — the
+  /// job's attributed share of device demand (fusion savings are a
+  /// server-level property and reported there).
+  double serial_kernel_seconds = 0.0;
+  std::string error;                     ///< non-empty iff kFailed
+  std::vector<std::string> files;        ///< checkpoints + VTK indexes written
+  cfg::Json metrics;                     ///< run_metrics_json (final for done jobs)
+};
+
+/// FIFO of submitted jobs plus their status records. Thread-safe so a
+/// controller thread may submit and poll while the server loop runs.
+class JobQueue {
+ public:
+  /// Enqueues a job; returns its id (dense, starting at 0).
+  int submit(JobSpec spec);
+
+  /// Claims the oldest queued job (marking it kRunning); nullopt when
+  /// none are queued.
+  std::optional<int> claim();
+
+  int size() const;
+  int pending() const;
+
+  JobSpec spec(int id) const;
+  JobStatus status(int id) const;
+  void update(int id, const JobStatus& status);
+
+ private:
+  struct Record {
+    JobSpec spec;
+    JobStatus status;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;
+  std::deque<int> queued_;
+};
+
+/// Server construction knobs.
+struct ServerConfig {
+  vgpu::DeviceSpec device = vgpu::tesla_k20x();
+  /// Jobs resident (advancing) at once. 1 = plain serial back-to-back.
+  int max_concurrent_jobs = 4;
+  /// Directory prefixed to every job output path ("." = CWD).
+  std::string output_dir = ".";
+  /// Cross-job launch fusion (ablation lever; on in production).
+  bool fuse_across_jobs = true;
+};
+
+/// The event loop. Single-threaded: construct, submit jobs (directly or
+/// through queue()), then run() to completion — or call request_stop()
+/// from a controller thread for a clean early shutdown (in-flight jobs
+/// checkpoint and stop at the next step boundary).
+class SimulationServer {
+ public:
+  explicit SimulationServer(const ServerConfig& config);
+
+  /// Validates and enqueues; returns the job id. Service jobs must be
+  /// single-rank and synchronous-model (async_overlap implies a private
+  /// timeline, which a shared device cannot carry).
+  int submit(JobSpec spec);
+
+  JobQueue& queue() { return queue_; }
+
+  /// Runs until the queue drains (or request_stop()). Safe to call again
+  /// after submitting more jobs.
+  void run();
+
+  /// Asks the loop to stop at the next step boundary: active jobs write
+  /// a final checkpoint (when their config checkpoints at all) and are
+  /// marked kStopped; queued jobs stay queued. One-shot: the request is
+  /// consumed by the stop, so a later run() resumes draining the queue.
+  void request_stop() { stop_requested_ = true; }
+
+  JobStatus status(int id) const { return queue_.status(id); }
+
+  /// Full service report: device + fusion counters and every job's
+  /// status and metrics.
+  cfg::Json status_json() const;
+
+  vgpu::Device& device() { return *device_; }
+  vgpu::SimClock& clock() { return clock_; }
+  int jobs_completed() const { return jobs_completed_; }
+
+ private:
+  struct ActiveJob {
+    int id = -1;
+    JobSpec spec;
+    std::unique_ptr<app::Simulation> sim;
+    double serial_kernel_seconds = 0.0;
+    std::vector<std::string> files;
+  };
+
+  bool admit_one();
+  void step_all();
+  void write_outputs(ActiveJob& job, bool final_output);
+  void retire(ActiveJob& job, JobState state, const std::string& error);
+  std::string output_prefix(const ActiveJob& job) const;
+
+  ServerConfig config_;
+  vgpu::SimClock clock_;
+  std::unique_ptr<vgpu::Device> device_;
+  JobQueue queue_;
+  std::vector<ActiveJob> active_;
+  std::atomic<bool> stop_requested_{false};
+  int jobs_completed_ = 0;
+};
+
+}  // namespace ramr::svc

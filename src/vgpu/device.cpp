@@ -68,7 +68,8 @@ void Device::end_transfer_batch() {
   batch_d2h_bytes_ = 0;
 }
 
-void Device::charge_kernel(std::int64_t n, const KernelCost& cost) {
+double Device::modeled_kernel_seconds(std::int64_t n,
+                                      const KernelCost& cost) const {
   const double flops = cost.flops_per_thread * static_cast<double>(n);
   const double bytes = cost.bytes_per_thread * static_cast<double>(n);
   // Occupancy ramp: small grids cannot saturate a throughput-oriented
@@ -78,12 +79,69 @@ void Device::charge_kernel(std::int64_t n, const KernelCost& cost) {
       (static_cast<double>(n) + spec_.half_saturation_threads);
   const double t_compute = flops / (spec_.peak_gflops * 1.0e9 * utilization);
   const double t_memory = bytes / (spec_.mem_bw_gbs * 1.0e9 * utilization);
-  const double seconds =
-      spec_.launch_overhead_s + std::max(t_compute, t_memory);
+  return spec_.launch_overhead_s + std::max(t_compute, t_memory);
+}
+
+void Device::charge_kernel(std::int64_t n, const KernelCost& cost) {
+  if (fusion_depth_ > 0) {
+    // Deferred: execution already happened (eagerly, at the call site);
+    // only the modeled charge waits for the flush. Track what the
+    // unfused accounting would have cost — the serial-equivalent
+    // baseline the service reports per job.
+    const std::string& component = clock_->current_component();
+    FusionGroup* group = nullptr;
+    for (FusionGroup& g : fusion_groups_) {
+      if (g.flops_per_thread == cost.flops_per_thread &&
+          g.bytes_per_thread == cost.bytes_per_thread &&
+          g.tag == launch_tag_ && g.component == component) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      fusion_groups_.push_back(FusionGroup{cost.flops_per_thread,
+                                           cost.bytes_per_thread, launch_tag_,
+                                           component, 0});
+      group = &fusion_groups_.back();
+    }
+    group->threads += n;
+    ++fusion_stats_.enqueued;
+    fusion_stats_.serial_seconds += modeled_kernel_seconds(n, cost);
+    return;
+  }
+  const double seconds = modeled_kernel_seconds(n, cost);
   ++launch_count_;
   ++launch_count_by_tag_[static_cast<std::size_t>(launch_tag_)];
   kernel_seconds_ += seconds;
   clock_->charge(seconds);
+}
+
+void Device::begin_launch_fusion() {
+  // Deferral re-orders charges; the SimClock is an order-independent
+  // accumulator so totals are exact, but a timeline derives lane cursors
+  // from charge ORDER — fusion and the async model are exclusive.
+  RAMR_REQUIRE(clock_->timeline() == nullptr,
+               "launch fusion requires the synchronous timing model "
+               "(detach the Timeline first)");
+  ++fusion_depth_;
+}
+
+void Device::end_launch_fusion() {
+  RAMR_REQUIRE(fusion_depth_ > 0, "launch fusion scope underflow");
+  if (--fusion_depth_ > 0) {
+    return;
+  }
+  for (const FusionGroup& g : fusion_groups_) {
+    const KernelCost cost{g.flops_per_thread, g.bytes_per_thread};
+    const double seconds = modeled_kernel_seconds(g.threads, cost);
+    ++launch_count_;
+    ++launch_count_by_tag_[static_cast<std::size_t>(g.tag)];
+    kernel_seconds_ += seconds;
+    clock_->charge_to(g.component, seconds);
+    ++fusion_stats_.groups_flushed;
+    fusion_stats_.fused_seconds += seconds;
+  }
+  fusion_groups_.clear();
 }
 
 void Device::charge_scalar_readback() {

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -51,6 +52,19 @@ enum class LaunchTag : int {
   kRind,            ///< boundary-shell sweeps of interior/rind stage splits
 };
 inline constexpr int kLaunchTagCount = 7;
+
+/// Cumulative accounting of launch fusion (begin/end_launch_fusion): how
+/// many kernel charges were deferred into how many fused launches, and
+/// the modeled seconds each accounting assigns the same work — the
+/// throughput lever of the multi-job service (svc::SimulationServer):
+/// serial_seconds - fused_seconds is pure savings from amortized launch
+/// overhead and the better occupancy of summed grids.
+struct FusionStats {
+  std::uint64_t enqueued = 0;        ///< kernel charges deferred
+  std::uint64_t groups_flushed = 0;  ///< fused launches actually charged
+  double serial_seconds = 0.0;       ///< unfused cost of everything enqueued
+  double fused_seconds = 0.0;        ///< fused cost actually charged
+};
 
 class Device;
 
@@ -352,6 +366,29 @@ class Device {
   /// Charges the D2H readback of one scalar result (no-op on host specs).
   void charge_scalar_readback();
 
+  /// While a launch-fusion scope is open, kernel bodies still execute
+  /// eagerly (results stay bit-identical by construction) but their
+  /// modeled charges are DEFERRED: charges with the same per-thread
+  /// cost, launch tag and clock component accumulate into one group, and
+  /// on close each group is charged as ONE launch — one launch overhead
+  /// and an occupancy ramp computed from the group's total thread count.
+  /// This is the cross-job analogue of launch_batched: the service
+  /// interleaves K jobs' level advances inside one scope, so the same
+  /// stage kernel of different jobs fuses exactly like the same stage of
+  /// different patches. SimClock totals are order-independent
+  /// accumulators, so deferring is sound on the synchronous path;
+  /// a timeline (async model) is rejected at begin. Scopes nest; the
+  /// flush happens when the outermost closes. Scalar readbacks and PCIe
+  /// crossings are never deferred (the data is consumed immediately).
+  void begin_launch_fusion();
+  void end_launch_fusion();
+  bool launch_fusion_open() const { return fusion_depth_ > 0; }
+  const FusionStats& fusion_stats() const { return fusion_stats_; }
+
+  /// The modeled cost of launching `n` threads at `cost` right now (the
+  /// single home of the kernel-time formula).
+  double modeled_kernel_seconds(std::int64_t n, const KernelCost& cost) const;
+
  private:
   void charge_kernel(std::int64_t n, const KernelCost& cost);
 
@@ -429,6 +466,21 @@ class Device {
   bool batch_absorb_ = false;
   std::uint64_t batch_h2d_bytes_ = 0;
   std::uint64_t batch_d2h_bytes_ = 0;
+
+  /// One deferred-charge group of an open launch-fusion scope: charges
+  /// agreeing on (per-thread cost, tag, component) fuse into one launch.
+  /// In this codebase the KernelCost constants uniquely identify the
+  /// kernel bodies, so the key needs no function identity.
+  struct FusionGroup {
+    double flops_per_thread = 0.0;
+    double bytes_per_thread = 0.0;
+    LaunchTag tag = LaunchTag::kOther;
+    std::string component;
+    std::int64_t threads = 0;
+  };
+  std::vector<FusionGroup> fusion_groups_;
+  int fusion_depth_ = 0;
+  FusionStats fusion_stats_;
 };
 
 inline void Event::record(Stream& stream) {
@@ -463,6 +515,28 @@ class LaunchTagScope {
  private:
   Device* device_;
   LaunchTag previous_ = LaunchTag::kOther;
+};
+
+/// RAII launch-fusion scope (see Device::begin_launch_fusion). A null
+/// device makes the scope a no-op, so call sites need no branching.
+class LaunchFusionScope {
+ public:
+  explicit LaunchFusionScope(Device* device) : device_(device) {
+    if (device_ != nullptr) {
+      device_->begin_launch_fusion();
+    }
+  }
+  ~LaunchFusionScope() {
+    if (device_ != nullptr) {
+      device_->end_launch_fusion();
+    }
+  }
+
+  LaunchFusionScope(const LaunchFusionScope&) = delete;
+  LaunchFusionScope& operator=(const LaunchFusionScope&) = delete;
+
+ private:
+  Device* device_;
 };
 
 /// RAII transfer batch. A null device is allowed and makes the scope a

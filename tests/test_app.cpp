@@ -162,7 +162,7 @@ TEST_F(BoundaryTest, InteriorPatchIsUntouched) {
 
 TEST(VtkWriter, WritesValidFilesForEveryPatch) {
   SimulationConfig cfg;
-  cfg.problem = ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 32;
   cfg.ny = 32;
   cfg.max_levels = 2;

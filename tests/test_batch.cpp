@@ -190,7 +190,7 @@ TEST(ReduceMinBatched, MatchesPerSegmentMinWithOneReadback) {
 
 app::SimulationConfig multi_patch_sod() {
   app::SimulationConfig cfg;
-  cfg.problem = app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 64;
   cfg.ny = 64;
   cfg.max_levels = 3;

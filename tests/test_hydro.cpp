@@ -277,7 +277,7 @@ TEST(Riemann, StrongShockRobust) {
 
 TEST(SodValidation, AmrSolutionConvergesToExactProfile) {
   app::SimulationConfig cfg;
-  cfg.problem = app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 128;
   cfg.ny = 32;
   cfg.max_levels = 3;

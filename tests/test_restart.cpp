@@ -5,8 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <tuple>
+#include <vector>
 
 #include "app/simulation.hpp"
+#include "hier/level_views.hpp"
 #include "pdat/cuda/cuda_data.hpp"
 #include "pdat/database.hpp"
 #include "pdat/host_data.hpp"
@@ -128,7 +133,7 @@ TEST(Restart, CudaDataRoundTripCrossesPcieOncePerPlane) {
 
 TEST(Restart, CheckpointedRunContinuesBitwiseIdentically) {
   app::SimulationConfig cfg;
-  cfg.problem = app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 64;
   cfg.ny = 64;
   cfg.max_levels = 3;
@@ -163,7 +168,7 @@ TEST(Restart, CheckpointedRunContinuesBitwiseIdentically) {
 
 TEST(Restart, ChecksConfigurationCompatibility) {
   app::SimulationConfig cfg;
-  cfg.problem = app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 64;
   cfg.ny = 64;
   const std::string path = temp_path("ckpt_mismatch");
@@ -179,9 +184,103 @@ TEST(Restart, ChecksConfigurationCompatibility) {
   std::remove((path + ".rank0").c_str());
 }
 
+using FieldKey = std::tuple<int, int, int, int, int>;
+std::map<FieldKey, std::vector<double>> snapshot_fields(app::Simulation& sim) {
+  std::map<FieldKey, std::vector<double>> out;
+  for (int l = 0; l < sim.hierarchy().num_levels(); ++l) {
+    hier::PatchLevel& level = sim.hierarchy().level(l);
+    for (const auto& p : level.local_patches()) {
+      for (int id = 0; id < p->data_count(); ++id) {
+        const auto& cd = p->typed_data<pdat::cuda::CudaData>(id);
+        const mesh::Centering centering =
+            sim.hierarchy().variables().variable(id).centering;
+        for (int k = 0; k < cd.components(); ++k) {
+          const mesh::Box region = mesh::to_centering(
+              p->box(), mesh::component_centering(centering, k));
+          for (int d = 0; d < cd.component(k).depth(); ++d) {
+            const util::View v = cd.device_view(k, d);
+            std::vector<double> vals;
+            vals.reserve(static_cast<std::size_t>(region.size()));
+            for (int j = region.lower().j; j <= region.upper().j; ++j) {
+              for (int i = region.lower().i; i <= region.upper().i; ++i) {
+                vals.push_back(v(i, j));
+              }
+            }
+            out.emplace(FieldKey{l, p->global_id(), id, k, d},
+                        std::move(vals));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Restart, BitIdenticalAcrossTheExecutionConfigMatrix) {
+  // Every execution mode must checkpoint/restore bit-identically — and
+  // the break happens MID-regrid-interval (step 8 with regrids at 5 and
+  // 10), so the restored run must also reproduce the next regrid from
+  // restored tag state, not just restored fields.
+  struct Mode {
+    const char* name;
+    bool compiled_transfer;
+    bool async_overlap;
+    bool wide_overlap;
+  };
+  const Mode modes[] = {
+      {"baseline", false, false, false},
+      {"compiled", true, false, false},
+      {"async_narrow", false, true, false},
+      {"async_wide", true, true, true},
+  };
+  for (const Mode& m : modes) {
+    SCOPED_TRACE(m.name);
+    app::SimulationConfig cfg;
+    cfg.problem = "sod";
+    cfg.nx = 64;
+    cfg.ny = 64;
+    cfg.max_levels = 3;
+    cfg.regrid_interval = 5;
+    cfg.compiled_transfer = m.compiled_transfer;
+    cfg.async_overlap = m.async_overlap;
+    cfg.wide_overlap = m.wide_overlap;
+    const std::string path = temp_path((std::string("ckpt_") + m.name).c_str());
+
+    app::Simulation full(cfg, nullptr);
+    full.initialize();
+    full.run(12);
+    const auto expect = snapshot_fields(full);
+
+    {
+      app::Simulation first(cfg, nullptr);
+      first.initialize();
+      first.run(8);
+      first.save_checkpoint(path);
+    }
+    app::Simulation resumed(cfg, nullptr);
+    resumed.restore_checkpoint(path);
+    resumed.run(4);
+    ASSERT_DOUBLE_EQ(resumed.last_dt(), full.last_dt());
+    const auto got = snapshot_fields(resumed);
+
+    ASSERT_EQ(got.size(), expect.size());
+    for (const auto& [key, vals] : expect) {
+      const auto it = got.find(key);
+      ASSERT_NE(it, got.end());
+      ASSERT_EQ(it->second.size(), vals.size());
+      ASSERT_EQ(std::memcmp(it->second.data(), vals.data(),
+                            vals.size() * sizeof(double)),
+                0)
+          << "level " << std::get<0>(key) << " patch " << std::get<1>(key)
+          << " var " << std::get<2>(key);
+    }
+    std::remove((path + ".rank0").c_str());
+  }
+}
+
 TEST(Restart, DistributedCheckpointRoundTrip) {
   app::SimulationConfig cfg;
-  cfg.problem = app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 64;
   cfg.ny = 64;
   cfg.max_levels = 2;

@@ -14,7 +14,7 @@ namespace {
 
 SimulationConfig small_sod() {
   SimulationConfig cfg;
-  cfg.problem = ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 64;
   cfg.ny = 64;
   cfg.max_levels = 3;
@@ -181,7 +181,7 @@ TEST(Simulation, RegriddingFollowsTheShock) {
 
 TEST(Simulation, TriplePointRuns) {
   SimulationConfig cfg;
-  cfg.problem = ProblemKind::kTriplePoint;
+  cfg.problem = "triple_point";
   cfg.nx = 112;  // 7:3 aspect
   cfg.ny = 48;
   cfg.max_levels = 2;
@@ -206,7 +206,7 @@ TEST(Simulation, TriplePointFullSizeSurvivesRegrids) {
   // past several regrids and assert dt and the composite state stay
   // finite and the hierarchy stays deep.
   SimulationConfig cfg;
-  cfg.problem = ProblemKind::kTriplePoint;
+  cfg.problem = "triple_point";
   cfg.nx = 224;
   cfg.ny = 96;
   cfg.max_levels = 3;

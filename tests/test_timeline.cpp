@@ -220,7 +220,7 @@ TEST(OverlapComm, CollectivesRendezvousVirtualTime) {
 
 app::SimulationConfig sod_512(bool async) {
   app::SimulationConfig cfg;
-  cfg.problem = app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 512;
   cfg.ny = 512;
   cfg.max_levels = 3;
@@ -332,7 +332,7 @@ TEST(OverlapStep, SavesModeledSecondsOnDistributedFig10Config) {
   constexpr int kSteps = 3;
   const auto cfg = [](bool async) {
     app::SimulationConfig c;
-    c.problem = app::ProblemKind::kSod;
+    c.problem = "sod";
     c.nx = 256;
     c.ny = 256;
     c.max_levels = 3;
@@ -392,7 +392,7 @@ TEST(OverlapStep, SumOverLaunchTagsEqualsTotalAndRegridIsAttributed) {
   // the wide-overlap stage splits) — and a run crossing a regrid must
   // attribute clustering + interpolation launches to kRegrid.
   app::SimulationConfig cfg;
-  cfg.problem = app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 64;
   cfg.ny = 64;
   cfg.max_levels = 3;

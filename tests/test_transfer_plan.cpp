@@ -350,7 +350,7 @@ TEST(TransferPlan, RebuiltScheduleRecompilesPlans) {
 
 app::SimulationConfig multi_patch_sod() {
   app::SimulationConfig cfg;
-  cfg.problem = app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 64;
   cfg.ny = 64;
   cfg.max_levels = 3;
@@ -436,7 +436,7 @@ TEST(TransferPlan, StepLaunchBudgetOn512SodWithSmallPatches) {
   // launch per engine execution, clipped-plan fusion notwithstanding.
   auto run = [](bool compiled_path) {
     app::SimulationConfig cfg;
-    cfg.problem = app::ProblemKind::kSod;
+    cfg.problem = "sod";
     cfg.nx = 512;
     cfg.ny = 512;
     cfg.max_levels = 3;

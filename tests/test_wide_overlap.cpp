@@ -120,7 +120,7 @@ TEST(RindCarving, LevelHelpersPartitionThePatchBox) {
 
 app::SimulationConfig small_sod() {
   app::SimulationConfig cfg;
-  cfg.problem = app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 64;
   cfg.ny = 64;
   cfg.max_levels = 2;
@@ -278,7 +278,7 @@ TEST(WideOverlap, InteriorPlusRindSweepsBitIdenticalToFullStage) {
 
 app::SimulationConfig sod_512(bool async, bool wide) {
   app::SimulationConfig cfg;
-  cfg.problem = app::ProblemKind::kSod;
+  cfg.problem = "sod";
   cfg.nx = 512;
   cfg.ny = 512;
   cfg.max_levels = 3;
@@ -433,7 +433,7 @@ TEST(WideOverlap, SavesMoreThanTheSingleWindowOnDistributedConfig) {
   constexpr int kSteps = 3;
   const auto cfg = [](bool async, bool wide) {
     app::SimulationConfig c;
-    c.problem = app::ProblemKind::kSod;
+    c.problem = "sod";
     c.nx = 256;
     c.ny = 256;
     c.max_levels = 3;
