@@ -10,6 +10,7 @@
 //
 //   ./ramr_run --config problem.json [--config more.json ...]
 //   ./ramr_run --serve 4 --config a.json --config b.json ...
+//   ./ramr_run --serve 4 --manifest state.json   # resume a stopped server
 //   ./ramr_run --print-config problem.json   # effective config, then exit
 //   ./ramr_run --list-problems
 #include <cstdio>
@@ -105,10 +106,19 @@ int run_single(const std::string& path) {
   return 0;
 }
 
-int run_server(int concurrency, const std::vector<std::string>& paths) {
+int run_server(int concurrency, const std::vector<std::string>& paths,
+               const std::string& manifest) {
   ramr::svc::ServerConfig sc;
   sc.max_concurrent_jobs = concurrency;
+  sc.manifest_path = manifest;
   ramr::svc::SimulationServer server(sc);
+  // Unfinished jobs from a previous server instance come back first
+  // (restored from their streamed checkpoints), then the new submissions.
+  const int resumed = server.resume_from_manifest();
+  if (resumed > 0) {
+    std::fprintf(stderr, "resumed %d jobs from %s\n", resumed,
+                 manifest.c_str());
+  }
   for (const std::string& path : paths) {
     server.submit({job_name(path),
                    ramr::cfg::parse_run_config_text(read_file(path))});
@@ -128,6 +138,7 @@ int run_server(int concurrency, const std::vector<std::string>& paths) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> configs;
+  std::string manifest;
   int serve = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -146,6 +157,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --serve needs a positive job count\n");
         return 2;
       }
+    } else if (arg == "--manifest") {
+      manifest = next();
     } else if (arg == "--print-config") {
       const ramr::cfg::RunConfig config =
           ramr::cfg::parse_run_config_text(read_file(next()));
@@ -159,20 +172,22 @@ int main(int argc, char** argv) {
       return 0;
     } else {
       std::fprintf(stderr,
-                   "usage: ramr_run [--serve K] --config file.json "
-                   "[--config ...]\n"
+                   "usage: ramr_run [--serve K [--manifest state.json]] "
+                   "--config file.json [--config ...]\n"
                    "       ramr_run --print-config file.json\n"
                    "       ramr_run --list-problems\n");
       return 2;
     }
   }
-  if (configs.empty()) {
-    std::fprintf(stderr, "error: no --config given\n");
+  if (manifest.empty() ? configs.empty() : serve < 1) {
+    std::fprintf(stderr, manifest.empty()
+                             ? "error: no --config given\n"
+                             : "error: --manifest requires --serve\n");
     return 2;
   }
   try {
     if (serve > 0) {
-      return run_server(serve, configs);
+      return run_server(serve, configs, manifest);
     }
     int rc = 0;
     for (const std::string& path : configs) {

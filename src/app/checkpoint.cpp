@@ -1,7 +1,11 @@
 // Checkpoint/restart for the whole simulation: hierarchy structure plus
 // every patch datum through the PatchData restart interface (paper
-// Fig. 2: putToRestart / getFromRestart).
+// Fig. 2: putToRestart / getFromRestart). Writes are crash-consistent:
+// the database serialises with a checksummed version header to a .tmp
+// that is atomically renamed (pdat/database.cpp), and restore fails
+// loudly — naming the file — on any corruption.
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "app/simulation.hpp"
@@ -59,8 +63,26 @@ void Simulation::save_checkpoint(const std::string& path) {
       }
     }
   }
-  db.write_file(rank_path(path, ctx_.my_rank));
-  RAMR_LOG_DEBUG("checkpoint written to " << rank_path(path, ctx_.my_rank));
+  const std::string file = rank_path(path, ctx_.my_rank);
+  db.write_file(file);
+  if (fault_plan_ != nullptr &&
+      fault_plan_->should_inject(util::FaultSite::kCheckpointWrite)) {
+    // Injected storage fault: the atomic write itself succeeded, then the
+    // medium lost the tail (torn sector / bit rot). The checksum header
+    // guarantees a later restore detects it and falls back.
+    const int cut = fault_plan_->config().truncate_bytes;
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(file, ec);
+    if (!ec && size > 0) {
+      const std::uintmax_t keep =
+          size > static_cast<std::uintmax_t>(cut)
+              ? size - static_cast<std::uintmax_t>(cut)
+              : 0;
+      std::filesystem::resize_file(file, keep, ec);
+    }
+    RAMR_LOG_DEBUG("injected checkpoint corruption on " << file);
+  }
+  RAMR_LOG_DEBUG("checkpoint written to " << file);
 }
 
 void Simulation::restore_checkpoint(const std::string& path) {

@@ -2,7 +2,9 @@
 
 #include "app/problem_registry.hpp"
 #include "geom/refine_operators.hpp"
+#include "util/error.hpp"
 #include "util/logger.hpp"
+#include "vgpu/device.hpp"
 
 namespace ramr::app {
 
@@ -26,8 +28,18 @@ Simulation::Simulation(const SimulationConfig& config,
 
 Simulation::Simulation(const SimulationConfig& config,
                        simmpi::Communicator* comm,
-                       vgpu::Device* shared_device)
+                       vgpu::Device* shared_device,
+                       util::FaultPlan* shared_fault_plan)
     : config_(config) {
+  if (shared_fault_plan != nullptr) {
+    fault_plan_ = shared_fault_plan;
+  } else if (config_.faults != nullptr && config_.faults->enabled()) {
+    // Per-rank salt: ranks share the seed but draw independent schedules.
+    own_fault_plan_ = std::make_unique<util::FaultPlan>(
+        *config_.faults,
+        static_cast<std::uint64_t>(comm != nullptr ? comm->rank() : 0));
+    fault_plan_ = own_fault_plan_.get();
+  }
   if (shared_device != nullptr) {
     // Service mode: ride the server's device and clock so K jobs share
     // one modeled accelerator (memory arena included) and one account of
@@ -64,6 +76,9 @@ Simulation::Simulation(const SimulationConfig& config,
   ctx_.world_size = comm != nullptr ? comm->size() : 1;
   if (comm != nullptr) {
     comm->set_clock(clock_);
+    if (fault_plan_ != nullptr) {
+      comm->set_fault_plan(fault_plan_);
+    }
   }
 
   const auto make_geometry = [&]() {
@@ -117,14 +132,37 @@ Simulation::Simulation(const SimulationConfig& config,
       *clock_, config_.regrid_interval);
 }
 
+Simulation::~Simulation() {
+  // The communicator outlives this instance (it belongs to the World::run
+  // body); never leave it holding a plan that dies with us.
+  if (ctx_.comm != nullptr && ctx_.comm->fault_plan() == fault_plan_) {
+    ctx_.comm->set_fault_plan(nullptr);
+  }
+}
+
 void Simulation::initialize() {
   vgpu::ComponentScope scope(*clock_, "regrid");
+  vgpu::FaultScope faults(device_, fault_plan_);
   integrator_->initialize(0.0);
   RAMR_LOG_DEBUG("initialized hierarchy: " << hierarchy_->num_levels()
                  << " levels, " << hierarchy_->total_cells() << " cells");
 }
 
-double Simulation::step() { return integrator_->advance(); }
+double Simulation::step() {
+  if (fault_plan_ != nullptr) {
+    fault_plan_->begin_step(step_count());
+    if (fault_plan_->should_inject(util::FaultSite::kStep)) {
+      RAMR_FAIL("injected step fault at step " << step_count()
+                << " (unhandled exception in job step)");
+    }
+    // The device consults the plan only while the step runs: on a shared
+    // device (service mode) other jobs' launches are never attributed to
+    // this job's schedule.
+    vgpu::FaultScope faults(device_, fault_plan_);
+    return integrator_->advance();
+  }
+  return integrator_->advance();
+}
 
 void Simulation::run(int max_steps, double end_time) {
   for (int s = 0; s < max_steps && time() < end_time; ++s) {

@@ -13,6 +13,7 @@
 #include "app/level_kernel_runner.hpp"
 #include "app/problems.hpp"
 #include "simmpi/communicator.hpp"
+#include "util/fault.hpp"
 #include "vgpu/timeline.hpp"
 
 namespace ramr::app {
@@ -67,6 +68,12 @@ struct SimulationConfig {
   /// the single-window overlap, kept for ablation
   /// (docs/async_overlap.md).
   bool wide_overlap = true;
+  /// Deterministic fault injection (util/fault.hpp, the JSON `faults`
+  /// block): when set, the simulation owns a seeded FaultPlan consulted
+  /// at kernel launches, allocations, message sends, checkpoint writes
+  /// and step boundaries. Null (default) = no injection. Shared across
+  /// copies of the config; the plan itself is per-instance.
+  std::shared_ptr<const util::FaultConfig> faults;
 };
 
 /// One rank's simulation instance.
@@ -82,8 +89,18 @@ class Simulation {
   /// capacity included) and their kernel charges can fuse across jobs
   /// inside the server's launch-fusion scope. Requires the synchronous
   /// timing model (config.async_overlap == false).
+  ///
+  /// `shared_fault_plan` lets an owner (the recovering server) keep ONE
+  /// fault plan alive across restarts of the same job: a fresh Simulation
+  /// constructed with the plan of its predecessor continues the fault
+  /// schedule instead of replaying it — without this, the deterministic
+  /// fault that killed an attempt would re-fire on every retry. Null =
+  /// the simulation owns a fresh plan when config.faults is set.
   Simulation(const SimulationConfig& config, simmpi::Communicator* comm,
-             vgpu::Device* shared_device);
+             vgpu::Device* shared_device,
+             util::FaultPlan* shared_fault_plan = nullptr);
+
+  ~Simulation();
 
   /// Builds the initial hierarchy.
   void initialize();
@@ -127,6 +144,9 @@ class Simulation {
     return integrator_->composite_summary();
   }
 
+  /// Live fault plan (owned or shared); null when injection is off.
+  util::FaultPlan* fault_plan() const { return fault_plan_; }
+
   /// Writes the full state (hierarchy structure, all fields, time) to
   /// `path` + ".rank<r>" (Fig. 2's putToRestart applied to every patch
   /// datum; device data crosses PCIe once, charged and logged).
@@ -139,6 +159,9 @@ class Simulation {
 
  private:
   SimulationConfig config_;
+  /// Owned when config_.faults is set and no shared plan was injected.
+  std::unique_ptr<util::FaultPlan> own_fault_plan_;
+  util::FaultPlan* fault_plan_ = nullptr;
   /// Rank clock when this instance owns its device; unused (and empty)
   /// when a shared device injects its own clock.
   vgpu::SimClock own_clock_;

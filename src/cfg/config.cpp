@@ -5,6 +5,7 @@
 
 #include "app/problem_registry.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace ramr::cfg {
 
@@ -407,6 +408,104 @@ Json to_json(const ScenarioSpec& spec) {
   return j;
 }
 
+namespace {
+
+/// JSON names of the injection sites, indexed by util::FaultSite.
+const char* const kFaultSiteKeys[util::kFaultSiteCount] = {
+    "launch",           "alloc", "message_drop",
+    "message_delay",    "checkpoint_write", "step"};
+
+util::FaultSiteConfig parse_fault_site(const Json& value,
+                                       const std::string& path) {
+  Reader r(value, path);
+  util::FaultSiteConfig s;
+  s.probability = r.get_number("probability", s.probability);
+  s.step_probability = r.get_number("step_probability", s.step_probability);
+  require_ge(s.probability, 0.0, r.path_of("probability"));
+  require_ge(s.step_probability, 0.0, r.path_of("step_probability"));
+  RAMR_REQUIRE(s.probability <= 1.0 && s.step_probability <= 1.0,
+               "config key \"" << path << "\": probabilities must be <= 1");
+  if (const Json* v = r.consume("at_steps")) {
+    RAMR_REQUIRE(v->is_array(), "config key \"" << r.path_of("at_steps")
+                 << "\": expected an array of integers");
+    for (const Json& e : v->as_array()) {
+      RAMR_REQUIRE(e.is_integer(), "config key \"" << r.path_of("at_steps")
+                   << "\": expected an array of integers");
+      s.at_steps.push_back(static_cast<int>(e.as_integer()));
+    }
+  }
+  if (const Json* v = r.consume("at_events")) {
+    RAMR_REQUIRE(v->is_array(), "config key \"" << r.path_of("at_events")
+                 << "\": expected an array of integers");
+    for (const Json& e : v->as_array()) {
+      RAMR_REQUIRE(e.is_integer(), "config key \"" << r.path_of("at_events")
+                   << "\": expected an array of integers");
+      s.at_events.push_back(e.as_integer());
+    }
+  }
+  s.max_injections = r.get_int("max_injections", s.max_injections);
+  require_ge(s.max_injections, -1, r.path_of("max_injections"));
+  r.finish();
+  return s;
+}
+
+util::FaultConfig parse_faults(const Json& value, const std::string& path) {
+  Reader r(value, path);
+  util::FaultConfig f;
+  f.seed = static_cast<std::uint64_t>(
+      r.get_integer("seed", static_cast<std::int64_t>(f.seed)));
+  f.launch_retries = r.get_int("launch_retries", f.launch_retries);
+  f.message_delay_s = r.get_number("message_delay_s", f.message_delay_s);
+  f.drop_timeout_s = r.get_number("drop_timeout_s", f.drop_timeout_s);
+  f.truncate_bytes = r.get_int("truncate_bytes", f.truncate_bytes);
+  require_ge(f.launch_retries, 0, r.path_of("launch_retries"));
+  require_ge(f.message_delay_s, 0.0, r.path_of("message_delay_s"));
+  require_ge(f.drop_timeout_s, 0.0, r.path_of("drop_timeout_s"));
+  require_ge(f.truncate_bytes, 1, r.path_of("truncate_bytes"));
+  for (int s = 0; s < util::kFaultSiteCount; ++s) {
+    if (const Json* v = r.consume(kFaultSiteKeys[s])) {
+      f.sites[static_cast<std::size_t>(s)] =
+          parse_fault_site(*v, r.path_of(kFaultSiteKeys[s]));
+    }
+  }
+  r.finish();
+  return f;
+}
+
+Json fault_site_to_json(const util::FaultSiteConfig& s) {
+  Json j = Json::make_object();
+  j.set("probability", Json(s.probability));
+  j.set("step_probability", Json(s.step_probability));
+  Json steps = Json::make_array();
+  for (int v : s.at_steps) {
+    steps.push_back(Json(v));
+  }
+  j.set("at_steps", std::move(steps));
+  Json events = Json::make_array();
+  for (std::int64_t v : s.at_events) {
+    events.push_back(Json(v));
+  }
+  j.set("at_events", std::move(events));
+  j.set("max_injections", Json(s.max_injections));
+  return j;
+}
+
+Json faults_to_json(const util::FaultConfig& f) {
+  Json j = Json::make_object();
+  j.set("seed", Json(static_cast<std::int64_t>(f.seed)));
+  j.set("launch_retries", Json(f.launch_retries));
+  j.set("message_delay_s", Json(f.message_delay_s));
+  j.set("drop_timeout_s", Json(f.drop_timeout_s));
+  j.set("truncate_bytes", Json(f.truncate_bytes));
+  for (int s = 0; s < util::kFaultSiteCount; ++s) {
+    j.set(kFaultSiteKeys[s],
+          fault_site_to_json(f.sites[static_cast<std::size_t>(s)]));
+  }
+  return j;
+}
+
+}  // namespace
+
 RunConfig parse_run_config(const Json& root) {
   Reader r(root, "");
   RunConfig config;
@@ -518,6 +617,11 @@ RunConfig parse_run_config(const Json& root) {
     b.finish();
   }
 
+  if (const Json* v = r.consume("faults")) {
+    config.sim.faults =
+        std::make_shared<util::FaultConfig>(parse_faults(*v, "faults"));
+  }
+
   if (const Json* v = r.consume("output")) {
     Reader o(*v, "output");
     config.output.basename = o.get_string("basename", config.output.basename);
@@ -595,6 +699,12 @@ Json to_json(const RunConfig& config) {
   run.set("end_time", Json(config.run.end_time));
   run.set("ranks", Json(config.run.ranks));
   j.set("run", std::move(run));
+
+  // Emitted only when configured (like the scenario block): the default
+  // run carries no faults, and `{}` must keep round-tripping to itself.
+  if (config.sim.faults != nullptr) {
+    j.set("faults", faults_to_json(*config.sim.faults));
+  }
 
   Json output = Json::make_object();
   output.set("basename", Json(config.output.basename));

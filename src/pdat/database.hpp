@@ -53,9 +53,18 @@ class Database {
   }
   std::string get_string(const std::string& key) const;
 
-  /// Binary round trip: magic, count, then (key, payload) records.
+  /// Crash-consistent binary round trip. The v2 format is a header
+  /// (version magic, FNV-1a checksum and byte count of the body) followed
+  /// by (key, payload) records; write_file serialises to memory, writes
+  /// `<path>.tmp` and atomically renames, so a crash mid-write can never
+  /// leave a torn file under the real name. read_file verifies the magic
+  /// and the checksum and fails with an error naming the file.
   void write_file(const std::string& path) const;
   static Database read_file(const std::string& path);
+
+  /// The serialised body (header excluded) — the unit the checksum
+  /// covers. Exposed so checkpoint tooling can size files.
+  std::vector<std::byte> serialize() const;
 
   /// Keys beginning with `prefix` (checkpoint introspection/tests).
   std::vector<std::string> keys_with_prefix(const std::string& prefix) const;

@@ -29,7 +29,22 @@ int Communicator::size() const { return world_->size(); }
 
 void Communicator::send(int dest, int tag, const void* data, std::size_t bytes) {
   RAMR_REQUIRE(dest >= 0 && dest < size(), "send to invalid rank " << dest);
-  const double wire = world_->network().message_time(bytes);
+  double wire = world_->network().message_time(bytes);
+  if (fault_plan_ != nullptr) {
+    // Wire faults never lose the payload — delivery semantics (and thus
+    // physics) stay bit-identical; only the modeled time grows. A drop
+    // costs the retransmit timeout plus a second full wire crossing; a
+    // delay stretches the crossing by the configured amount.
+    if (fault_plan_->should_inject(util::FaultSite::kMessageDrop)) {
+      ++stats_.messages_dropped;
+      wire += fault_plan_->config().drop_timeout_s +
+              world_->network().message_time(bytes);
+    }
+    if (fault_plan_->should_inject(util::FaultSite::kMessageDelay)) {
+      ++stats_.messages_delayed;
+      wire += fault_plan_->config().message_delay_s;
+    }
+  }
   double available_at = 0.0;
   vgpu::Timeline* tl = timeline();
   if (tl != nullptr) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "simmpi/network_spec.hpp"
+#include "util/fault.hpp"
 #include "vgpu/sim_clock.hpp"
 #include "vgpu/timeline.hpp"
 
@@ -39,12 +40,20 @@ struct CommStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_received = 0;
+  /// Injected wire faults (util/fault.hpp). A dropped message is
+  /// retransmitted after a timeout and a delayed one arrives late —
+  /// delivery still happens exactly once, so physics stays bit-identical;
+  /// only the modeled wire time grows.
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_delayed = 0;
 
   CommStats operator-(const CommStats& rhs) const {
     return CommStats{messages_sent - rhs.messages_sent,
                      bytes_sent - rhs.bytes_sent,
                      messages_received - rhs.messages_received,
-                     bytes_received - rhs.bytes_received};
+                     bytes_received - rhs.bytes_received,
+                     messages_dropped - rhs.messages_dropped,
+                     messages_delayed - rhs.messages_delayed};
   }
 };
 
@@ -93,6 +102,15 @@ class Communicator {
   /// virtual time to the latest arrival.
   void set_clock(vgpu::SimClock* clock) { clock_ = clock; }
   vgpu::SimClock& clock() { return *clock_; }
+
+  /// Attaches a fault plan consulted on every send (util/fault.hpp):
+  /// injected drops retransmit after a timeout, injected delays stretch
+  /// the wire leg — both charge extra modeled time (on the net lane under
+  /// a timeline) without ever losing the payload. Null disables
+  /// injection. The communicator does not own the plan; the owner must
+  /// clear it before the plan dies.
+  void set_fault_plan(util::FaultPlan* plan) { fault_plan_ = plan; }
+  util::FaultPlan* fault_plan() const { return fault_plan_; }
 
   /// Blocking buffered send (never deadlocks: delivery is asynchronous).
   void send(int dest, int tag, const void* data, std::size_t bytes);
@@ -159,6 +177,7 @@ class Communicator {
   vgpu::SimClock owned_clock_;
   vgpu::SimClock* clock_;
   CommStats stats_;
+  util::FaultPlan* fault_plan_ = nullptr;
 };
 
 /// A set of simulated ranks sharing a network. Create a World, then call

@@ -10,9 +10,21 @@
 // bit-identical to a standalone run of the same config; only the modeled
 // time accounting changes. Checkpoints and VTK dumps stream per job on
 // their configured intervals, outside the fusion scope.
+//
+// The server RECOVERS failed jobs (docs/fault_tolerance.md): a step that
+// throws triggers a retry with capped exponential backoff (booked in
+// modeled time) restarting from the newest good streamed checkpoint,
+// falling back interval by interval when a checkpoint fails its checksum
+// and to a scratch re-init when none survive. A per-step watchdog
+// deadline and NaN/conservation-drift health checks QUARANTINE hung or
+// diverging jobs instead of burning retries on them. When a manifest
+// path is configured, the queue state persists across server restarts:
+// a new server resumes queued/running/stopped jobs from their recorded
+// checkpoints.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -22,6 +34,7 @@
 
 #include "cfg/config.hpp"
 #include "svc/metrics.hpp"
+#include "util/fault.hpp"
 #include "vgpu/device.hpp"
 
 namespace ramr::svc {
@@ -30,9 +43,24 @@ namespace ramr::svc {
 struct JobSpec {
   std::string name;
   cfg::RunConfig config;
+  /// Checkpoint paths (oldest first) a re-submitted job may restore
+  /// from, newest first preference — filled by resume_from_manifest so a
+  /// restarted server picks jobs up where they left off. Empty = start
+  /// from scratch.
+  std::vector<std::string> resume_checkpoints;
 };
 
-enum class JobState { kQueued, kRunning, kDone, kFailed, kStopped };
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kStopped,
+  /// Pulled from execution by a health check (hung on the watchdog
+  /// deadline, non-finite dt/fields, or conservation drift). Not
+  /// retried: the failure is systematic, not transient.
+  kQuarantined,
+};
 
 const char* job_state_name(JobState state);
 
@@ -45,9 +73,20 @@ struct JobStatus {
   /// job's attributed share of device demand (fusion savings are a
   /// server-level property and reported there).
   double serial_kernel_seconds = 0.0;
-  std::string error;                     ///< non-empty iff kFailed
+  std::string error;                     ///< non-empty iff kFailed/kQuarantined
   std::vector<std::string> files;        ///< checkpoints + VTK indexes written
   cfg::Json metrics;                     ///< run_metrics_json (final for done jobs)
+
+  // Recovery activity (docs/fault_tolerance.md).
+  int retry_count = 0;            ///< failed attempts so far
+  int recoveries = 0;             ///< successful restarts after a failure
+  int checkpoint_fallbacks = 0;   ///< corrupt checkpoints skipped on restore
+  int last_checkpoint_step = -1;  ///< step of the newest streamed checkpoint
+  double backoff_seconds = 0.0;   ///< modeled seconds spent backing off
+  std::int64_t faults_injected = 0;  ///< fault-plan injections attributed
+  /// Streamed checkpoint paths believed good, oldest first (the restore
+  /// fallback chain; also what the manifest records for resume).
+  std::vector<std::string> checkpoints;
 };
 
 /// FIFO of submitted jobs plus their status records. Thread-safe so a
@@ -88,6 +127,33 @@ struct ServerConfig {
   std::string output_dir = ".";
   /// Cross-job launch fusion (ablation lever; on in production).
   bool fuse_across_jobs = true;
+
+  // --- recovery (docs/fault_tolerance.md) ---
+  /// Failed step attempts tolerated per job before kFailed. Each retry
+  /// restarts from the newest good checkpoint (or scratch).
+  int max_retries = 3;
+  /// Exponential backoff before retry r: min(base * 2^(r-1), cap),
+  /// charged to the server clock's "recovery" component — recovery cost
+  /// is modeled time, visible in jobs/hour goodput.
+  double backoff_base_s = 1.0e-3;
+  double backoff_cap_s = 1.0e-1;
+  /// Quarantine a job whose single step exceeds this many attributed
+  /// kernel-seconds (0 = watchdog off).
+  double watchdog_step_seconds = 0.0;
+  /// Quarantine when dt collapses below this floor (0 = only the always-on
+  /// non-finite/non-positive dt check).
+  double dt_floor = 0.0;
+  /// Steps between conservation health checks (0 = off). Each check
+  /// launches a composite-summary reduction — real modeled cost, so it
+  /// is opt-in.
+  int health_interval = 0;
+  /// Relative mass drift against the job's admission baseline that
+  /// triggers quarantine.
+  double drift_tolerance = 0.25;
+  /// When non-empty, the queue/job state persists here (atomically, as
+  /// JSON) after every round, and resume_from_manifest() re-submits
+  /// unfinished jobs from it — server-restart resume.
+  std::string manifest_path;
 };
 
 /// The event loop. Single-threaded: construct, submit jobs (directly or
@@ -121,6 +187,18 @@ class SimulationServer {
   /// status and metrics.
   cfg::Json status_json() const;
 
+  /// Reads the manifest at config.manifest_path (written by a previous
+  /// server's run loop) and re-submits every job that had not finished —
+  /// queued and stopped/running jobs return with their recorded
+  /// checkpoints, so admission restores them where they left off.
+  /// Returns the number of jobs resumed (0 when the manifest is absent
+  /// or no path is configured).
+  int resume_from_manifest();
+
+  /// Persists the queue/job state as JSON (atomic tmp+rename). Called
+  /// automatically after every round when manifest_path is set.
+  void write_manifest() const;
+
   vgpu::Device& device() { return *device_; }
   vgpu::SimClock& clock() { return clock_; }
   int jobs_completed() const { return jobs_completed_; }
@@ -132,12 +210,45 @@ class SimulationServer {
     std::unique_ptr<app::Simulation> sim;
     double serial_kernel_seconds = 0.0;
     std::vector<std::string> files;
+
+    /// The job's fault schedule. Owned HERE, not by the Simulation, so
+    /// it survives restarts: a retry continues the schedule instead of
+    /// deterministically replaying the fault that killed the attempt.
+    std::unique_ptr<util::FaultPlan> fault_plan;
+    /// Believed-good streamed checkpoints, oldest first (restore tries
+    /// newest first and pops the ones that fail verification).
+    std::vector<std::string> checkpoints;
+    int last_checkpoint_step = -1;
+    int retry_count = 0;
+    int recoveries = 0;
+    int checkpoint_fallbacks = 0;
+    double backoff_seconds = 0.0;
+    /// Attributed kernel-seconds of the latest step (watchdog input).
+    double last_step_seconds = 0.0;
+    /// Set when the job was revived this round: it has not completed a
+    /// step since the restore, so the post-round health checks (which
+    /// read last_dt and the live fields) do not apply yet.
+    bool just_revived = false;
+    /// Conservation baseline captured at admission (health checks).
+    hydro::FieldSummary baseline{};
+    bool baseline_valid = false;
   };
 
   bool admit_one();
   void step_all();
+  /// (Re)creates job.sim restoring from the newest good checkpoint
+  /// (fallback chain) or initializing from scratch. False + error when
+  /// even that fails.
+  bool start_job(ActiveJob& job, std::string* error);
+  /// Retry-with-backoff path for a thrown step: true if the job was
+  /// revived (stays active), false if it was retired kFailed.
+  bool handle_failure(ActiveJob& job, const std::string& error);
+  /// Post-step health checks; returns a non-empty quarantine reason when
+  /// the job must be pulled.
+  std::string health_violation(ActiveJob& job);
   void write_outputs(ActiveJob& job, bool final_output);
   void retire(ActiveJob& job, JobState state, const std::string& error);
+  void refresh_status(const ActiveJob& job);
   std::string output_prefix(const ActiveJob& job) const;
 
   ServerConfig config_;

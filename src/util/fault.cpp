@@ -1,0 +1,115 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+
+namespace ramr::util {
+
+namespace {
+
+/// splitmix64 finalizer: the avalanche behind every deterministic draw.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kLaunch:
+      return "launch";
+    case FaultSite::kAlloc:
+      return "alloc";
+    case FaultSite::kMessageDrop:
+      return "message_drop";
+    case FaultSite::kMessageDelay:
+      return "message_delay";
+    case FaultSite::kCheckpointWrite:
+      return "checkpoint_write";
+    case FaultSite::kStep:
+      return "step";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(FaultConfig config, std::uint64_t stream_salt)
+    : config_(std::move(config)), salt_(stream_salt) {}
+
+double FaultPlan::uniform(FaultSite site, std::uint64_t counter,
+                          std::uint64_t stream) const {
+  std::uint64_t h = mix64(config_.seed ^ mix64(salt_));
+  h = mix64(h ^ (static_cast<std::uint64_t>(site) + 1));
+  h = mix64(h ^ (stream << 32));
+  h = mix64(h ^ counter);
+  // 53 uniformly distributed mantissa bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void FaultPlan::begin_step(int step) {
+  const std::uint64_t draw_index = steps_seen_++;
+  for (int s = 0; s < kFaultSiteCount; ++s) {
+    const FaultSite site = static_cast<FaultSite>(s);
+    const FaultSiteConfig& sc = config_.sites[static_cast<std::size_t>(s)];
+    if (!sc.active()) {
+      continue;
+    }
+    // step_probability keys off the begin_step CALL count, not the step
+    // number: a step replayed after recovery gets a fresh deterministic
+    // draw instead of re-firing the one that killed it.
+    if (sc.step_probability > 0.0 &&
+        uniform(site, draw_index, /*stream=*/1) < sc.step_probability) {
+      armed_[static_cast<std::size_t>(s)] = true;
+    }
+    if (std::find(sc.at_steps.begin(), sc.at_steps.end(), step) !=
+        sc.at_steps.end()) {
+      std::vector<int>& fired = fired_steps_[static_cast<std::size_t>(s)];
+      if (std::find(fired.begin(), fired.end(), step) == fired.end()) {
+        fired.push_back(step);
+        armed_[static_cast<std::size_t>(s)] = true;
+      }
+    }
+  }
+}
+
+bool FaultPlan::should_inject(FaultSite site) {
+  const std::size_t s = static_cast<std::size_t>(site);
+  const FaultSiteConfig& sc = config_.sites[s];
+  const std::uint64_t event = events_[s]++;
+  if (!sc.active()) {
+    return false;
+  }
+  if (sc.max_injections >= 0 &&
+      injected_[s] >= static_cast<std::uint64_t>(sc.max_injections)) {
+    return false;
+  }
+  bool fire = false;
+  if (armed_[s]) {
+    armed_[s] = false;
+    fire = true;
+  } else if (std::find(sc.at_events.begin(), sc.at_events.end(),
+                       static_cast<std::int64_t>(event)) !=
+             sc.at_events.end()) {
+    fire = true;
+  } else if (sc.probability > 0.0 &&
+             uniform(site, event, /*stream=*/2) < sc.probability) {
+    fire = true;
+  }
+  if (fire) {
+    ++injected_[s];
+    schedule_hash_ ^= mix64((static_cast<std::uint64_t>(s) << 56) ^ event);
+    schedule_hash_ *= 1099511628211ull;  // FNV prime
+  }
+  return fire;
+}
+
+std::uint64_t FaultPlan::injected_total() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t n : injected_) {
+    total += n;
+  }
+  return total;
+}
+
+}  // namespace ramr::util

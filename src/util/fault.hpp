@@ -1,0 +1,145 @@
+// Deterministic fault injection (docs/fault_tolerance.md).
+//
+// A FaultPlan is a seeded schedule of failures injected at the modeled
+// stack's layer boundaries: kernel launches and arena allocations on the
+// virtual device, message drops/delays on the simulated wire, checkpoint
+// write corruption, and whole-step exceptions. Every draw is a pure
+// function of (seed, stream salt, site, event counter), so the same seed
+// replays the identical fault schedule — recovery behaviour is testable
+// bit for bit, and a recovered run can be asserted identical to a
+// fault-free one.
+//
+// The plan deliberately lives in util (below vgpu/simmpi/app): the
+// layers that inject consult it through a raw pointer they do not own.
+// One plan instance follows one job across restarts — its event counters
+// keep advancing through a recovery, so a probabilistic fault that
+// killed a step does not deterministically re-fire on the replay.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ramr::util {
+
+/// Injection sites, one per layer boundary that can fail.
+enum class FaultSite : int {
+  kLaunch = 0,     ///< vgpu::Device kernel launch (ECC-style, retryable)
+  kAlloc,          ///< vgpu::Device arena allocation (transient OOM)
+  kMessageDrop,    ///< simmpi send: first copy lost, retransmitted
+  kMessageDelay,   ///< simmpi send: extra wire delay on the net lane
+  kCheckpointWrite,///< checkpoint file corrupted (torn write / bit rot)
+  kStep,           ///< whole job step throws before any work
+};
+inline constexpr int kFaultSiteCount = 6;
+
+const char* fault_site_name(FaultSite site);
+
+/// When one site injects. Two trigger families compose:
+///  - per-EVENT: `probability` is drawn for every primitive event of the
+///    site (every launch, every send, ...); `at_events` fires at the
+///    given 0-based event indices exactly once each.
+///  - per-STEP: `step_probability` is drawn once per simulation step
+///    (keyed by the plan's begin_step call count, so a replayed step
+///    after recovery gets a fresh draw); `at_steps` fires once at the
+///    given step numbers. A step trigger ARMS the site: the next event
+///    of that site within the run injects.
+struct FaultSiteConfig {
+  double probability = 0.0;
+  double step_probability = 0.0;
+  std::vector<int> at_steps;
+  std::vector<std::int64_t> at_events;
+  /// Cap on total injections for the site (-1 = unlimited).
+  int max_injections = -1;
+
+  bool active() const {
+    return probability > 0.0 || step_probability > 0.0 || !at_steps.empty() ||
+           !at_events.empty();
+  }
+};
+
+/// A full fault schedule plus the knobs the injecting layers consult.
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  std::array<FaultSiteConfig, kFaultSiteCount> sites;
+
+  /// ECC-style launch retries the device absorbs before a launch fault
+  /// escapes as an exception (each retry charges one launch overhead).
+  int launch_retries = 2;
+  /// Extra wire seconds of an injected message delay.
+  double message_delay_s = 1.0e-5;
+  /// Retransmit timeout of a dropped message: the sender pays the
+  /// timeout plus a second wire crossing; the payload still arrives.
+  double drop_timeout_s = 1.0e-4;
+  /// Bytes sliced off the end of a corrupted checkpoint file.
+  int truncate_bytes = 512;
+
+  FaultSiteConfig& site(FaultSite s) {
+    return sites[static_cast<std::size_t>(s)];
+  }
+  const FaultSiteConfig& site(FaultSite s) const {
+    return sites[static_cast<std::size_t>(s)];
+  }
+  bool enabled() const {
+    for (const FaultSiteConfig& s : sites) {
+      if (s.active()) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// One job's (or rank's) live fault schedule. Not thread-safe: a plan
+/// belongs to the single thread driving its simulation. Counters persist
+/// for the plan's lifetime — keep the plan alive across job restarts so
+/// recovery does not rewind the schedule.
+class FaultPlan {
+ public:
+  /// `stream_salt` decorrelates plans sharing a seed (per-rank salt for
+  /// distributed runs: same config, independent schedules).
+  explicit FaultPlan(FaultConfig config, std::uint64_t stream_salt = 0);
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Starts a simulation step: evaluates every site's step triggers
+  /// (step_probability and at_steps) and arms the ones that fire. Call
+  /// once per step attempt, before any site events.
+  void begin_step(int step);
+
+  /// One primitive event of `site`: returns true when a fault is
+  /// injected (consuming an armed step trigger, an at_events match, or a
+  /// per-event probability draw, in that order). Advances the site's
+  /// event counter either way.
+  bool should_inject(FaultSite site);
+
+  /// Total events seen / faults injected per site and overall.
+  std::uint64_t events(FaultSite site) const {
+    return events_[static_cast<std::size_t>(site)];
+  }
+  std::uint64_t injected(FaultSite site) const {
+    return injected_[static_cast<std::size_t>(site)];
+  }
+  std::uint64_t injected_total() const;
+
+  /// Order-sensitive fingerprint of every injection (site, event index):
+  /// two runs with equal hashes executed the identical fault schedule.
+  std::uint64_t schedule_hash() const { return schedule_hash_; }
+
+ private:
+  double uniform(FaultSite site, std::uint64_t counter,
+                 std::uint64_t stream) const;
+
+  FaultConfig config_;
+  std::uint64_t salt_;
+  std::array<std::uint64_t, kFaultSiteCount> events_{};
+  std::array<std::uint64_t, kFaultSiteCount> injected_{};
+  std::array<bool, kFaultSiteCount> armed_{};
+  /// Steps whose at_steps trigger already fired (each fires once, so a
+  /// replayed step after recovery does not deterministically re-fail).
+  std::array<std::vector<int>, kFaultSiteCount> fired_steps_;
+  std::uint64_t steps_seen_ = 0;
+  std::uint64_t schedule_hash_ = 1469598103934665603ull;  // FNV offset
+};
+
+}  // namespace ramr::util

@@ -82,7 +82,33 @@ double Device::modeled_kernel_seconds(std::int64_t n,
   return spec_.launch_overhead_s + std::max(t_compute, t_memory);
 }
 
+void Device::maybe_inject_launch_fault() {
+  if (fault_plan_ == nullptr ||
+      !fault_plan_->should_inject(util::FaultSite::kLaunch)) {
+    return;
+  }
+  ++fault_stats_.launch_faults;
+  const int retries = fault_plan_->config().launch_retries;
+  for (int attempt = 0; attempt < retries; ++attempt) {
+    // Each ECC-style retry re-issues the launch: one extra launch
+    // overhead on the clock, then a fresh deterministic draw decides
+    // whether the retry also faults.
+    ++fault_stats_.launch_retries;
+    kernel_seconds_ += spec_.launch_overhead_s;
+    clock_->charge(spec_.launch_overhead_s);
+    if (!fault_plan_->should_inject(util::FaultSite::kLaunch)) {
+      return;
+    }
+    ++fault_stats_.launch_faults;
+  }
+  ++fault_stats_.launch_aborts;
+  RAMR_FAIL("injected launch fault on " << spec_.name
+            << ": kernel launch returned cudaErrorECCUncorrectable after "
+            << retries << " retries");
+}
+
 void Device::charge_kernel(std::int64_t n, const KernelCost& cost) {
+  maybe_inject_launch_fault();
   if (fusion_depth_ > 0) {
     // Deferred: execution already happened (eagerly, at the call site);
     // only the modeled charge waits for the flush. Track what the

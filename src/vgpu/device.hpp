@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 #include "vgpu/device_spec.hpp"
 #include "vgpu/launch_batch.hpp"
@@ -64,6 +65,17 @@ struct FusionStats {
   std::uint64_t groups_flushed = 0;  ///< fused launches actually charged
   double serial_seconds = 0.0;       ///< unfused cost of everything enqueued
   double fused_seconds = 0.0;        ///< fused cost actually charged
+};
+
+/// Cumulative injected-fault accounting for one device (util/fault.hpp).
+/// launch_faults counts injections; each is either absorbed by ECC-style
+/// retries (launch_retries charges, one launch overhead apiece) or
+/// escapes as a thrown util::Error (launch_aborts).
+struct FaultStats {
+  std::uint64_t launch_faults = 0;   ///< injected launch failures
+  std::uint64_t launch_retries = 0;  ///< ECC retries charged
+  std::uint64_t launch_aborts = 0;   ///< launch faults that escaped as errors
+  std::uint64_t alloc_faults = 0;    ///< injected allocation failures
 };
 
 class Device;
@@ -170,11 +182,26 @@ class Device {
   /// included) — the kernel-time slice of the clock's total.
   double kernel_seconds() const { return kernel_seconds_; }
 
+  /// Attaches a fault plan (util/fault.hpp) consulted at every launch
+  /// charge and allocation; null (the default) disables injection. The
+  /// device does not own the plan — prefer the FaultScope RAII so the
+  /// pointer cannot outlive the plan.
+  void set_fault_plan(util::FaultPlan* plan) { fault_plan_ = plan; }
+  util::FaultPlan* fault_plan() const { return fault_plan_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
   /// Allocates `n` elements in device memory. Throws util::Error when the
-  /// modeled capacity would be exceeded (a real cudaMalloc failure).
+  /// modeled capacity would be exceeded (a real cudaMalloc failure) or an
+  /// allocation fault is injected (a transient cudaMalloc failure).
   template <typename T>
   T* allocate(std::int64_t n) {
     const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+    if (fault_plan_ != nullptr &&
+        fault_plan_->should_inject(util::FaultSite::kAlloc)) {
+      ++fault_stats_.alloc_faults;
+      RAMR_FAIL("injected allocation fault on " << spec_.name << ": cudaMalloc("
+                << bytes << " bytes) returned cudaErrorMemoryAllocation");
+    }
     RAMR_REQUIRE(bytes_allocated_ + bytes <= spec_.mem_bytes,
                  "device memory exhausted on " << spec_.name << ": "
                  << bytes_allocated_ << " + " << bytes << " > "
@@ -392,6 +419,12 @@ class Device {
  private:
   void charge_kernel(std::int64_t n, const KernelCost& cost);
 
+  /// Consults the fault plan before a launch charge: an injected launch
+  /// fault is absorbed by up to config().launch_retries ECC-style retries
+  /// (one launch-overhead charge each); past that it escapes as a thrown
+  /// util::Error.
+  void maybe_inject_launch_fault();
+
   /// Charges the launch on the stream's timeline lane when the stream is
   /// bound to one (async streams); on the active lane otherwise.
   void charge_kernel(const Stream& stream, std::int64_t n,
@@ -481,6 +514,8 @@ class Device {
   std::vector<FusionGroup> fusion_groups_;
   int fusion_depth_ = 0;
   FusionStats fusion_stats_;
+  util::FaultPlan* fault_plan_ = nullptr;
+  FaultStats fault_stats_;
 };
 
 inline void Event::record(Stream& stream) {
@@ -560,6 +595,33 @@ class TransferBatch {
 
  private:
   Device* device_;
+};
+
+/// RAII fault-plan scope: `device` consults `plan` for the scope's
+/// lifetime, then reverts to the previous plan (normally null) — the
+/// device can never hold a dangling plan pointer past the scope. A null
+/// device or null plan makes the scope a no-op.
+class FaultScope {
+ public:
+  FaultScope(Device* device, util::FaultPlan* plan)
+      : device_(plan != nullptr ? device : nullptr) {
+    if (device_ != nullptr) {
+      previous_ = device_->fault_plan();
+      device_->set_fault_plan(plan);
+    }
+  }
+  ~FaultScope() {
+    if (device_ != nullptr) {
+      device_->set_fault_plan(previous_);
+    }
+  }
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  Device* device_;
+  util::FaultPlan* previous_ = nullptr;
 };
 
 }  // namespace ramr::vgpu

@@ -1,0 +1,384 @@
+// Deterministic fault injection tests (docs/fault_tolerance.md): the
+// seeded FaultPlan schedule, ECC-style launch retries on the virtual
+// device, transient allocation failures, wire drops/delays that never
+// lose a payload, checkpoint write corruption, the crash-consistent v2
+// restart format, and the `faults` config block round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "app/simulation.hpp"
+#include "cfg/config.hpp"
+#include "pdat/database.hpp"
+#include "simmpi/communicator.hpp"
+#include "util/fault.hpp"
+#include "vgpu/device.hpp"
+
+namespace ramr {
+namespace {
+
+using util::FaultConfig;
+using util::FaultPlan;
+using util::FaultSite;
+
+std::string temp_path(const char* name) {
+  return std::string("/tmp/ramr_fault_") + name + "_" +
+         std::to_string(::getpid());
+}
+
+app::SimulationConfig small_sod() {
+  app::SimulationConfig cfg;
+  cfg.problem = "sod";
+  cfg.nx = 48;
+  cfg.ny = 48;
+  cfg.max_levels = 2;
+  cfg.regrid_interval = 4;
+  return cfg;
+}
+
+TEST(FaultPlan, SameSeedReplaysTheIdenticalSchedule) {
+  FaultConfig fc;
+  fc.seed = 1234;
+  fc.site(FaultSite::kLaunch).probability = 0.3;
+  FaultPlan a(fc);
+  FaultPlan b(fc);
+  int fired = 0;
+  for (int e = 0; e < 200; ++e) {
+    const bool fa = a.should_inject(FaultSite::kLaunch);
+    ASSERT_EQ(fa, b.should_inject(FaultSite::kLaunch)) << "event " << e;
+    fired += fa ? 1 : 0;
+  }
+  // The draws are real: some fire, some do not, and both replicas agree
+  // on the exact fingerprint of which.
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 200);
+  EXPECT_EQ(a.schedule_hash(), b.schedule_hash());
+  EXPECT_EQ(a.injected(FaultSite::kLaunch), b.injected(FaultSite::kLaunch));
+
+  // A different seed (or a different stream salt on the same seed, the
+  // per-rank decorrelator) produces a different schedule.
+  FaultConfig other = fc;
+  other.seed = 99;
+  FaultPlan c(other);
+  FaultPlan salted(fc, /*stream_salt=*/7);
+  for (int e = 0; e < 200; ++e) {
+    c.should_inject(FaultSite::kLaunch);
+    salted.should_inject(FaultSite::kLaunch);
+  }
+  EXPECT_NE(c.schedule_hash(), a.schedule_hash());
+  EXPECT_NE(salted.schedule_hash(), a.schedule_hash());
+}
+
+TEST(FaultPlan, AtEventsFireExactlyOnceAtTheGivenIndices) {
+  FaultConfig fc;
+  fc.site(FaultSite::kAlloc).at_events = {0, 3};
+  FaultPlan plan(fc);
+  std::vector<bool> fired;
+  for (int e = 0; e < 6; ++e) {
+    fired.push_back(plan.should_inject(FaultSite::kAlloc));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{true, false, false, true, false, false}));
+  EXPECT_EQ(plan.events(FaultSite::kAlloc), 6u);
+  EXPECT_EQ(plan.injected(FaultSite::kAlloc), 2u);
+  EXPECT_EQ(plan.injected_total(), 2u);
+}
+
+TEST(FaultPlan, StepTriggersArmTheSiteAndFireOnce) {
+  FaultConfig fc;
+  fc.site(FaultSite::kStep).at_steps = {3};
+  FaultPlan plan(fc);
+  plan.begin_step(2);
+  EXPECT_FALSE(plan.should_inject(FaultSite::kStep));
+  plan.begin_step(3);
+  EXPECT_TRUE(plan.should_inject(FaultSite::kStep));
+  // The same step REPLAYED (recovery rewound the run) must not re-fire
+  // its at_steps trigger, or the retry would die deterministically.
+  plan.begin_step(3);
+  EXPECT_FALSE(plan.should_inject(FaultSite::kStep));
+  plan.begin_step(4);
+  EXPECT_FALSE(plan.should_inject(FaultSite::kStep));
+}
+
+TEST(FaultPlan, StepProbabilityDrawsFreshOnReplay) {
+  // step_probability keys off the begin_step CALL count, not the step
+  // number: certainty (p=1) arms on every call, including replays.
+  FaultConfig fc;
+  fc.site(FaultSite::kLaunch).step_probability = 1.0;
+  FaultPlan plan(fc);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    plan.begin_step(5);
+    EXPECT_TRUE(plan.should_inject(FaultSite::kLaunch)) << attempt;
+    EXPECT_FALSE(plan.should_inject(FaultSite::kLaunch));  // trigger consumed
+  }
+}
+
+TEST(FaultPlan, MaxInjectionsCapsTheSite) {
+  FaultConfig fc;
+  fc.site(FaultSite::kLaunch).probability = 1.0;
+  fc.site(FaultSite::kLaunch).max_injections = 2;
+  FaultPlan plan(fc);
+  int fired = 0;
+  for (int e = 0; e < 10; ++e) {
+    fired += plan.should_inject(FaultSite::kLaunch) ? 1 : 0;
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(FaultDevice, LaunchFaultIsAbsorbedByEccRetries) {
+  auto cfg = small_sod();
+  auto faults = std::make_shared<FaultConfig>();
+  faults->site(FaultSite::kLaunch).at_events = {0};
+  faults->launch_retries = 2;
+  cfg.faults = faults;
+  app::Simulation sim(cfg, nullptr);
+  sim.initialize();
+  sim.run(3);
+  ASSERT_NE(sim.fault_plan(), nullptr);
+  EXPECT_EQ(sim.fault_plan()->injected(FaultSite::kLaunch), 1u);
+  EXPECT_TRUE(std::isfinite(sim.composite_summary().mass));
+}
+
+TEST(FaultDevice, LaunchFaultEscapesWhenRetriesAreExhausted) {
+  auto cfg = small_sod();
+  auto faults = std::make_shared<FaultConfig>();
+  faults->site(FaultSite::kLaunch).at_events = {0};
+  faults->launch_retries = 0;
+  cfg.faults = faults;
+  app::Simulation sim(cfg, nullptr);
+  try {
+    sim.initialize();
+    FAIL() << "expected an injected launch fault";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cudaErrorECCUncorrectable"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultDevice, AllocationFaultIsTransient) {
+  vgpu::Device dev(vgpu::tesla_k20x());
+  FaultConfig fc;
+  fc.site(FaultSite::kAlloc).at_events = {0};
+  FaultPlan plan(fc);
+  dev.set_fault_plan(&plan);
+  try {
+    dev.allocate<double>(128);
+    FAIL() << "expected an injected allocation fault";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cudaErrorMemoryAllocation"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(dev.fault_stats().alloc_faults, 1u);
+  // Transient, like a real cudaMalloc under pressure: the next attempt
+  // succeeds.
+  double* buf = dev.allocate<double>(128);
+  ASSERT_NE(buf, nullptr);
+  dev.deallocate(buf, 128);
+  dev.set_fault_plan(nullptr);
+}
+
+TEST(FaultWire, DropsAndDelaysNeverPerturbThePhysics) {
+  auto cfg = small_sod();
+  // Small patches force a real domain split, so the halo exchange
+  // actually crosses the wire between the two ranks.
+  cfg.max_patch_cells = 24 * 24;
+
+  // Reference: the fault-free 2-rank run. composite_summary is a
+  // collective — every rank calls it.
+  hydro::FieldSummary expect{};
+  {
+    simmpi::World world(2, simmpi::ideal_network());
+    world.run([&](simmpi::Communicator& comm) {
+      app::Simulation sim(cfg, &comm);
+      sim.initialize();
+      sim.run(5);
+      const hydro::FieldSummary s = sim.composite_summary();
+      if (comm.rank() == 0) {
+        expect = s;
+      }
+    });
+  }
+
+  // Faulty wire: drops retransmit, delays stretch the wire leg — extra
+  // modeled time only, the payloads all arrive intact and in order.
+  auto faults = std::make_shared<FaultConfig>();
+  faults->seed = 42;
+  faults->site(FaultSite::kMessageDrop).probability = 0.25;
+  faults->site(FaultSite::kMessageDelay).probability = 0.25;
+  cfg.faults = faults;
+  hydro::FieldSummary got{};
+  std::uint64_t sent = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  simmpi::World world(2, simmpi::ideal_network());
+  world.run([&](simmpi::Communicator& comm) {
+    app::Simulation sim(cfg, &comm);
+    sim.initialize();
+    sim.run(5);
+    const hydro::FieldSummary s = sim.composite_summary();
+    if (comm.rank() == 0) {
+      got = s;
+      sent = comm.stats().messages_sent;
+      dropped = comm.stats().messages_dropped;
+      delayed = comm.stats().messages_delayed;
+    }
+  });
+  EXPECT_GT(sent, 0u);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(delayed, 0u);
+  EXPECT_DOUBLE_EQ(got.mass, expect.mass);
+  EXPECT_DOUBLE_EQ(got.internal_energy, expect.internal_energy);
+  EXPECT_DOUBLE_EQ(got.kinetic_energy, expect.kinetic_energy);
+}
+
+TEST(FaultCheckpoint, InjectedCorruptionIsCaughtOnRestore) {
+  auto cfg = small_sod();
+  auto faults = std::make_shared<FaultConfig>();
+  faults->site(FaultSite::kCheckpointWrite).at_events = {0};
+  cfg.faults = faults;
+  const std::string path = temp_path("corrupt_ckpt");
+  {
+    app::Simulation sim(cfg, nullptr);
+    sim.initialize();
+    sim.run(2);
+    sim.save_checkpoint(path);  // injection truncates the written file
+  }
+  app::SimulationConfig clean = small_sod();
+  app::Simulation back(clean, nullptr);
+  try {
+    back.restore_checkpoint(path);
+    FAIL() << "expected the truncated checkpoint to be rejected";
+  } catch (const util::Error& e) {
+    // The error names the offending per-rank file.
+    EXPECT_NE(std::string(e.what()).find(path + ".rank0"), std::string::npos)
+        << e.what();
+  }
+  std::remove((path + ".rank0").c_str());
+}
+
+TEST(FaultDatabase, WriteIsAtomicAndChecksummed) {
+  pdat::Database db;
+  db.put_string("k", "value");
+  std::vector<double> payload(64, 1.5);
+  db.put_doubles("payload", payload.data(), payload.size());
+  const std::string path = temp_path("db_v2");
+  db.write_file(path);
+  // tmp+rename: no staging file survives a successful write.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  // A flipped body byte fails the checksum, naming the file.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    f.put(static_cast<char>(0x5a));
+  }
+  try {
+    pdat::Database::read_file(path);
+    FAIL() << "expected a checksum failure";
+  } catch (const util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("checksum"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultDatabase, TruncationAndForeignFilesAreRejectedByName) {
+  pdat::Database db;
+  std::vector<double> payload(256, 2.0);
+  db.put_doubles("payload", payload.data(), payload.size());
+  const std::string path = temp_path("db_trunc");
+  db.write_file(path);
+  {
+    // Slice off the tail — a torn write the rename dance cannot cause
+    // but the storage medium still can.
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 64));
+  }
+  try {
+    pdat::Database::read_file(path);
+    FAIL() << "expected a truncation failure";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "not a restart file at all";
+  }
+  try {
+    pdat::Database::read_file(path);
+    FAIL() << "expected a version-header failure";
+  } catch (const util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("version header"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultConfigJson, ParsesAndRoundTrips) {
+  const cfg::RunConfig config = cfg::parse_run_config_text(R"({
+    "problem": "sod", "grid": {"nx": 32, "ny": 32},
+    "faults": {
+      "seed": 7,
+      "launch_retries": 1,
+      "truncate_bytes": 128,
+      "launch": {"step_probability": 0.01},
+      "message_drop": {"probability": 0.05, "max_injections": 3},
+      "step": {"at_steps": [5, 9]},
+      "checkpoint_write": {"at_events": [2]}
+    }
+  })");
+  ASSERT_NE(config.sim.faults, nullptr);
+  const FaultConfig& f = *config.sim.faults;
+  EXPECT_EQ(f.seed, 7u);
+  EXPECT_EQ(f.launch_retries, 1);
+  EXPECT_EQ(f.truncate_bytes, 128);
+  EXPECT_DOUBLE_EQ(f.site(FaultSite::kLaunch).step_probability, 0.01);
+  EXPECT_DOUBLE_EQ(f.site(FaultSite::kMessageDrop).probability, 0.05);
+  EXPECT_EQ(f.site(FaultSite::kMessageDrop).max_injections, 3);
+  EXPECT_EQ(f.site(FaultSite::kStep).at_steps, (std::vector<int>{5, 9}));
+  EXPECT_EQ(f.site(FaultSite::kCheckpointWrite).at_events,
+            (std::vector<std::int64_t>{2}));
+  EXPECT_TRUE(f.enabled());
+
+  // to_json -> parse is the identity for a faulted config, and a config
+  // without faults emits no faults block at all.
+  const cfg::Json j = cfg::to_json(config);
+  ASSERT_NE(j.find("faults"), nullptr);
+  const cfg::RunConfig back = cfg::parse_run_config(j);
+  ASSERT_NE(back.sim.faults, nullptr);
+  EXPECT_EQ(cfg::to_json(back), j);
+  const cfg::RunConfig plain = cfg::parse_run_config_text(
+      R"({"problem": "sod", "grid": {"nx": 32, "ny": 32}})");
+  EXPECT_EQ(plain.sim.faults, nullptr);
+  EXPECT_EQ(cfg::to_json(plain).find("faults"), nullptr);
+}
+
+TEST(FaultConfigJson, RejectsInvalidFaultBlocks) {
+  EXPECT_THROW(cfg::parse_run_config_text(
+                   R"({"problem": "sod", "grid": {"nx": 32, "ny": 32},
+                       "faults": {"launch": {"probability": 1.5}}})"),
+               util::Error);
+  EXPECT_THROW(cfg::parse_run_config_text(
+                   R"({"problem": "sod", "grid": {"nx": 32, "ny": 32},
+                       "faults": {"no_such_site": {}}})"),
+               util::Error);
+  EXPECT_THROW(cfg::parse_run_config_text(
+                   R"({"problem": "sod", "grid": {"nx": 32, "ny": 32},
+                       "faults": {"launch_retries": -1}})"),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace ramr

@@ -1,0 +1,324 @@
+// Server recovery tests (docs/fault_tolerance.md): retry with backoff
+// from streamed checkpoints (bit-identical to the fault-free run),
+// checkpoint-corruption fallback down the interval chain, health-check
+// quarantine, manifest-based server-restart resume, and a status report
+// that stays machine-parseable under hostile failure text.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "app/simulation.hpp"
+#include "svc/server.hpp"
+#include "util/fault.hpp"
+
+namespace ramr {
+namespace {
+
+using util::FaultConfig;
+using util::FaultSite;
+
+std::string temp_name(const char* name) {
+  return std::string("ramr_recovery_") + name + "_" +
+         std::to_string(::getpid());
+}
+
+cfg::RunConfig small_sod(int steps) {
+  cfg::RunConfig config;
+  config.sim.problem = "sod";
+  config.sim.nx = 48;
+  config.sim.ny = 48;
+  config.sim.max_levels = 2;
+  config.sim.regrid_interval = 4;
+  config.run.max_steps = steps;
+  return config;
+}
+
+hydro::FieldSummary reference_summary(const cfg::RunConfig& config) {
+  app::SimulationConfig sim = config.sim;
+  sim.faults = nullptr;  // the fault-free twin
+  app::Simulation alone(sim, nullptr);
+  alone.initialize();
+  alone.run(config.run.max_steps);
+  return alone.composite_summary();
+}
+
+double job_mass(const svc::JobStatus& st) {
+  const cfg::Json* summary = st.metrics.find("summary");
+  EXPECT_NE(summary, nullptr);
+  return summary != nullptr ? summary->find("mass")->as_number() : -1.0;
+}
+
+void cleanup(const std::vector<std::string>& files) {
+  for (const std::string& f : files) {
+    std::remove(f.c_str());
+    std::remove((f + ".rank0").c_str());
+  }
+}
+
+TEST(Recovery, StepFaultRetriesFromCheckpointBitIdentically) {
+  cfg::RunConfig job = small_sod(8);
+  job.output.basename = temp_name("retry");
+  job.output.checkpoint_interval = 2;
+  auto faults = std::make_shared<FaultConfig>();
+  faults->site(FaultSite::kStep).at_steps = {5};
+  job.sim.faults = faults;
+  const hydro::FieldSummary expect = reference_summary(job);
+
+  svc::ServerConfig sc;
+  sc.output_dir = "/tmp";
+  svc::SimulationServer server(sc);
+  server.submit({"retry", job});
+  server.run();
+
+  const svc::JobStatus st = server.status(0);
+  ASSERT_EQ(st.state, svc::JobState::kDone) << st.error;
+  EXPECT_EQ(st.steps, 8);
+  EXPECT_EQ(st.retry_count, 1);
+  EXPECT_EQ(st.recoveries, 1);
+  EXPECT_EQ(st.checkpoint_fallbacks, 0);
+  EXPECT_GE(st.faults_injected, 1);
+  EXPECT_EQ(st.last_checkpoint_step, 8);
+  // One retry at the default base backoff, booked in modeled time.
+  EXPECT_DOUBLE_EQ(st.backoff_seconds, sc.backoff_base_s);
+  // The recovered run ends bit-identical to the fault-free twin: replay
+  // from the step-4 checkpoint reproduces steps 5..8 exactly.
+  EXPECT_DOUBLE_EQ(job_mass(st), expect.mass);
+  cleanup(st.files);
+}
+
+TEST(Recovery, ScratchRestartWhenNoCheckpointExists) {
+  // No output policy, so every retry re-initializes from scratch — the
+  // last rung of the fallback ladder. Two step faults cost two retries.
+  cfg::RunConfig job = small_sod(6);
+  auto faults = std::make_shared<FaultConfig>();
+  faults->site(FaultSite::kStep).at_steps = {1, 3};
+  job.sim.faults = faults;
+  const hydro::FieldSummary expect = reference_summary(job);
+
+  svc::SimulationServer server(svc::ServerConfig{});
+  server.submit({"scratch", job});
+  server.run();
+  const svc::JobStatus st = server.status(0);
+  ASSERT_EQ(st.state, svc::JobState::kDone) << st.error;
+  EXPECT_EQ(st.retry_count, 2);
+  EXPECT_EQ(st.recoveries, 2);
+  EXPECT_EQ(st.last_checkpoint_step, -1);
+  EXPECT_DOUBLE_EQ(job_mass(st), expect.mass);
+}
+
+TEST(Recovery, RetriesExhaustToFailed) {
+  cfg::RunConfig job = small_sod(6);
+  auto faults = std::make_shared<FaultConfig>();
+  // Fires on every attempt of step 1 (probability 1 re-arms on replay).
+  faults->site(FaultSite::kStep).step_probability = 1.0;
+  job.sim.faults = faults;
+  svc::ServerConfig sc;
+  sc.max_retries = 2;
+  svc::SimulationServer server(sc);
+  server.submit({"doomed", job});
+  server.run();
+  const svc::JobStatus st = server.status(0);
+  EXPECT_EQ(st.state, svc::JobState::kFailed);
+  EXPECT_EQ(st.retry_count, 2);
+  EXPECT_NE(st.error.find("injected step fault"), std::string::npos)
+      << st.error;
+  EXPECT_EQ(server.jobs_completed(), 0);
+}
+
+TEST(Recovery, LaunchFaultsAbsorbedByEccRetriesStayInvisible) {
+  // One injected launch fault per step, every one absorbed on the device
+  // by ECC-style retries: the server never notices and the physics is
+  // bit-identical to the fault-free twin.
+  cfg::RunConfig job = small_sod(8);
+  auto faults = std::make_shared<FaultConfig>();
+  faults->site(FaultSite::kLaunch).step_probability = 1.0;
+  faults->launch_retries = 2;
+  job.sim.faults = faults;
+  const hydro::FieldSummary expect = reference_summary(job);
+
+  svc::SimulationServer server(svc::ServerConfig{});
+  server.submit({"ecc", job});
+  server.run();
+  const svc::JobStatus st = server.status(0);
+  ASSERT_EQ(st.state, svc::JobState::kDone) << st.error;
+  EXPECT_EQ(st.retry_count, 0);
+  EXPECT_GE(st.faults_injected, 8);
+  EXPECT_DOUBLE_EQ(job_mass(st), expect.mass);
+  const vgpu::FaultStats& fs = server.device().fault_stats();
+  EXPECT_GE(fs.launch_faults, 8u);
+  EXPECT_GE(fs.launch_retries, 8u);
+  EXPECT_EQ(fs.launch_aborts, 0u);
+}
+
+TEST(Recovery, CorruptNewestCheckpointFallsBackToPreviousInterval) {
+  // Stream checkpoints at steps 4 and 6, corrupt the newest, and resume:
+  // the server must fall back to the step-4 interval and still finish
+  // bit-identical to an uninterrupted run.
+  cfg::RunConfig job = small_sod(10);
+  const hydro::FieldSummary expect = reference_summary(job);
+  const std::string older = "/tmp/" + temp_name("fallback_step4.ckpt");
+  const std::string newest = "/tmp/" + temp_name("fallback_step6.ckpt");
+  {
+    app::Simulation sim(job.sim, nullptr);
+    sim.initialize();
+    sim.run(4);
+    sim.save_checkpoint(older);
+    sim.run(2);
+    sim.save_checkpoint(newest);
+  }
+  // Torn tail on the newest checkpoint's rank file.
+  const std::string newest_rank = newest + ".rank0";
+  std::filesystem::resize_file(
+      newest_rank, std::filesystem::file_size(newest_rank) - 256);
+
+  svc::SimulationServer server(svc::ServerConfig{});
+  svc::JobSpec spec{"fallback", job};
+  spec.resume_checkpoints = {older, newest};
+  server.submit(std::move(spec));
+  server.run();
+
+  const svc::JobStatus st = server.status(0);
+  ASSERT_EQ(st.state, svc::JobState::kDone) << st.error;
+  EXPECT_EQ(st.checkpoint_fallbacks, 1);
+  EXPECT_EQ(st.steps, 10);
+  // Only the good checkpoint survives in the believed-good chain.
+  EXPECT_EQ(st.checkpoints, (std::vector<std::string>{older}));
+  EXPECT_DOUBLE_EQ(job_mass(st), expect.mass);
+  cleanup({older, newest});
+}
+
+TEST(Recovery, WatchdogQuarantinesSlowJobs) {
+  cfg::RunConfig job = small_sod(6);
+  svc::ServerConfig sc;
+  sc.watchdog_step_seconds = 1.0e-15;  // no real step fits this deadline
+  svc::SimulationServer server(sc);
+  server.submit({"hung", job});
+  server.run();
+  const svc::JobStatus st = server.status(0);
+  EXPECT_EQ(st.state, svc::JobState::kQuarantined);
+  EXPECT_NE(st.error.find("watchdog"), std::string::npos) << st.error;
+  // Quarantine is terminal: no retries were burned on it.
+  EXPECT_EQ(st.retry_count, 0);
+  EXPECT_EQ(server.jobs_completed(), 0);
+}
+
+TEST(Recovery, DtFloorQuarantinesDivergingJobs) {
+  cfg::RunConfig job = small_sod(6);
+  svc::ServerConfig sc;
+  sc.dt_floor = 1.0;  // far above any real sod dt
+  svc::SimulationServer server(sc);
+  server.submit({"diverged", job});
+  server.run();
+  const svc::JobStatus st = server.status(0);
+  EXPECT_EQ(st.state, svc::JobState::kQuarantined);
+  EXPECT_NE(st.error.find("below floor"), std::string::npos) << st.error;
+  // The report stays valid JSON even with a quarantined job in it.
+  const cfg::Json status = server.status_json();
+  EXPECT_EQ(cfg::Json::parse(status.dump()), status);
+}
+
+TEST(RecoveryManifest, ServerRestartResumesUnfinishedJobs) {
+  const std::string manifest = "/tmp/" + temp_name("manifest") + ".json";
+  cfg::RunConfig base = small_sod(6);
+  base.output.checkpoint_interval = 2;
+  const hydro::FieldSummary expect = reference_summary(base);
+
+  svc::ServerConfig sc;
+  sc.max_concurrent_jobs = 2;
+  sc.output_dir = "/tmp";
+  sc.manifest_path = manifest;
+  std::vector<std::string> files;
+  {
+    svc::SimulationServer first(sc);
+    for (int j = 0; j < 3; ++j) {
+      cfg::RunConfig job = base;
+      job.output.basename = temp_name(("job" + std::to_string(j)).c_str());
+      first.submit({"job" + std::to_string(j), job});
+    }
+    // Stop before the first round: two residents checkpoint and stop,
+    // the third stays queued — all three land in the manifest.
+    first.request_stop();
+    first.run();
+    EXPECT_EQ(first.status(0).state, svc::JobState::kStopped);
+    EXPECT_EQ(first.status(2).state, svc::JobState::kQueued);
+    EXPECT_TRUE(std::ifstream(manifest).good());
+    for (int id = 0; id < 3; ++id) {
+      const auto& fs = first.status(id).files;
+      files.insert(files.end(), fs.begin(), fs.end());
+    }
+  }
+
+  // A NEW server picks all three up from the manifest — the stopped ones
+  // from their checkpoints — and finishes them bit-identically.
+  svc::SimulationServer second(sc);
+  EXPECT_EQ(second.resume_from_manifest(), 3);
+  second.run();
+  ASSERT_EQ(second.queue().size(), 3);
+  for (int id = 0; id < 3; ++id) {
+    const svc::JobStatus st = second.status(id);
+    ASSERT_EQ(st.state, svc::JobState::kDone) << "job " << id << ": "
+                                              << st.error;
+    EXPECT_EQ(st.steps, 6);
+    EXPECT_DOUBLE_EQ(job_mass(st), expect.mass) << "job " << id;
+    files.insert(files.end(), st.files.begin(), st.files.end());
+  }
+  EXPECT_EQ(second.jobs_completed(), 3);
+  cleanup(files);
+  std::remove(manifest.c_str());
+}
+
+TEST(RecoveryManifest, MissingManifestMeansColdBoot) {
+  svc::ServerConfig sc;
+  sc.manifest_path = "/tmp/" + temp_name("no_such_manifest") + ".json";
+  svc::SimulationServer server(sc);
+  EXPECT_EQ(server.resume_from_manifest(), 0);
+  std::remove(sc.manifest_path.c_str());
+}
+
+TEST(Recovery, HostileErrorStringsSurviveTheStatusReport) {
+  // A failure whose text carries quotes, newlines, backslashes and raw
+  // control bytes must still produce a machine-parseable status report.
+  cfg::RunConfig job = small_sod(2);
+  job.sim.problem = "evil\"quote\\back\nline\ttab\x01ctrl";
+  svc::SimulationServer server(svc::ServerConfig{});
+  server.submit({"hostile", job});
+  server.run();
+  const svc::JobStatus st = server.status(0);
+  EXPECT_EQ(st.state, svc::JobState::kFailed);
+  EXPECT_NE(st.error.find("evil\"quote"), std::string::npos) << st.error;
+
+  const cfg::Json status = server.status_json();
+  const cfg::Json reparsed = cfg::Json::parse(status.dump());
+  EXPECT_EQ(reparsed, status);
+  // The hostile text round-trips byte for byte through dump/parse.
+  const cfg::Json& jobs = *reparsed.find("jobs");
+  EXPECT_EQ(jobs.as_array()[0].find("error")->as_string(), st.error);
+}
+
+TEST(Recovery, StatusJsonCarriesRecoveryCounters) {
+  cfg::RunConfig job = small_sod(4);
+  auto faults = std::make_shared<FaultConfig>();
+  faults->site(FaultSite::kStep).at_steps = {2};
+  job.sim.faults = faults;
+  svc::SimulationServer server(svc::ServerConfig{});
+  server.submit({"counted", job});
+  server.run();
+
+  const cfg::Json status = server.status_json();
+  const cfg::Json& j = status.find("jobs")->as_array()[0];
+  EXPECT_EQ(j.find("retry_count")->as_integer(), 1);
+  EXPECT_EQ(j.find("recoveries")->as_integer(), 1);
+  EXPECT_EQ(j.find("checkpoint_fallbacks")->as_integer(), 0);
+  EXPECT_GE(j.find("faults_injected")->as_integer(), 1);
+  EXPECT_GT(j.find("backoff_seconds")->as_number(), 0.0);
+  EXPECT_NE(j.find("last_checkpoint_step"), nullptr);
+  EXPECT_NE(status.find("faults"), nullptr);
+  EXPECT_EQ(cfg::Json::parse(status.dump()), status);
+}
+
+}  // namespace
+}  // namespace ramr
