@@ -34,6 +34,9 @@ struct Components {
   double timestep = 0.0;  // dt kernels + allreduce
   double sync = 0.0;
   double regrid = 0.0;
+  /// Cross-rank load imbalance (max/mean local cells) of the last level
+  /// build — a partition quality, not a time, so it stays out of total().
+  double imbalance = 1.0;
   double total() const { return hydro + boundary + timestep + sync + regrid; }
 };
 
@@ -103,6 +106,8 @@ Components run_real(int nodes, const ramr::perf::Machine& m,
     c.timestep = sim.clock().component("timestep") / kSteps;
     c.sync = sim.clock().component("sync") / kSteps;
     c.regrid = sim.clock().component("regrid") / kSteps;
+    const auto& imbal = sim.gridding_stats().imbalance_history;
+    c.imbalance = imbal.empty() ? 1.0 : imbal.back();
     const double step = sim.modeled_seconds() / kSteps;
     const double saved =
         sim.timeline() != nullptr
@@ -168,9 +173,9 @@ int main() {
       "run\n\n",
       kTile, kTile, cap);
 
-  ramr::perf::Table t({8, 12, 12, 12, 12, 12, 12});
+  ramr::perf::Table t({8, 12, 12, 12, 12, 12, 12, 8});
   t.header({"nodes", "total", "hydro", "boundary", "timestep", "sync",
-            "regrid"});
+            "regrid", "imbal"});
 
   Components largest_real;
   StepTimes largest_times;
@@ -234,7 +239,8 @@ int main() {
            ramr::perf::Table::sci(c.boundary / denom),
            ramr::perf::Table::sci(c.timestep / denom),
            ramr::perf::Table::sci(c.sync / denom),
-           ramr::perf::Table::sci(c.regrid / denom)});
+           ramr::perf::Table::sci(c.regrid / denom),
+           ramr::perf::Table::ratio(c.imbalance)});
     if (nodes == 1) {
       first = c;
       first_cells = cells;
@@ -303,11 +309,12 @@ int main() {
           "    {\"nodes\": %d, \"modeled\": %s, \"grind_total\": %.6e, "
           "\"grind_hydro\": %.6e, \"grind_boundary\": %.6e, "
           "\"grind_timestep\": %.6e, \"grind_sync\": %.6e, "
-          "\"grind_regrid\": %.6e, \"sync_s_per_step\": %.6e, "
+          "\"grind_regrid\": %.6e, \"load_imbalance\": %.4f, "
+          "\"sync_s_per_step\": %.6e, "
           "\"async_s_per_step\": %.6e, \"overlap_saved_per_step\": %.6e}%s\n",
           r.nodes, r.modeled ? "true" : "false", r.c.total() / denom,
           r.c.hydro / denom, r.c.boundary / denom, r.c.timestep / denom,
-          r.c.sync / denom, r.c.regrid / denom, r.times.sync_s,
+          r.c.sync / denom, r.c.regrid / denom, r.c.imbalance, r.times.sync_s,
           r.times.async_s, r.times.saved_s,
           i + 1 < rows.size() ? "," : "");
     }

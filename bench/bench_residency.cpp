@@ -129,5 +129,16 @@ int main() {
   }
   std::printf("OK: transfer launch accounting matches (fused plans: at most "
               "one launch per message / exchange)\n");
+
+  // Compiled-plan demotions: a single-device run's endpoints are always
+  // device-viewable, so every exchange must take the compiled path. A
+  // nonzero count is the silent legacy fallback this counter exists to
+  // catch.
+  if (tc.plan_fallbacks != 0) {
+    std::printf("FAIL: %llu compiled-plan fallbacks on a single-device run\n",
+                static_cast<unsigned long long>(tc.plan_fallbacks));
+    return 1;
+  }
+  std::printf("OK: zero compiled-plan fallbacks\n");
   return 0;
 }

@@ -163,14 +163,18 @@ std::vector<Box> GriddingAlgorithm::build_candidate_boxes(
 std::shared_ptr<PatchLevel> GriddingAlgorithm::make_level(
     PatchHierarchy& hierarchy, int level_number,
     const std::vector<Box>& boxes) {
-  const std::vector<GlobalPatch> balanced =
+  std::vector<GlobalPatch> balanced =
       balance_boxes(boxes, hierarchy.world_size(), params_.balance);
+  assign_devices(balanced, hierarchy.my_rank(), params_.balance,
+                 measured_costs_.empty() ? nullptr : &measured_costs_);
+  stats_.imbalance_history.push_back(
+      load_imbalance(balanced, hierarchy.world_size()));
   const IntVector ratio_to_coarser =
       level_number == 0 ? IntVector(1, 1) : hierarchy.ratio();
   auto level = std::make_shared<PatchLevel>(
       level_number, ratio_to_coarser, hierarchy.ratio_to_zero(level_number),
       balanced, hierarchy.my_rank(), hierarchy.geometry());
-  level->allocate_data(hierarchy.variables());
+  level->allocate_data(hierarchy.variables(), topology_);
   ++stats_.levels_built;
   return level;
 }

@@ -22,6 +22,10 @@
 #include "hier/patch_hierarchy.hpp"
 #include "xfer/refine_schedule.hpp"
 
+namespace ramr::vgpu {
+class Topology;
+}  // namespace ramr::vgpu
+
 namespace ramr::amr {
 
 struct GriddingParams {
@@ -39,6 +43,9 @@ struct GriddingStats {
   int regrids = 0;              ///< regrid() invocations
   int levels_built = 0;         ///< levels constructed (initial + regrid)
   long long cells_tagged = 0;   ///< raw tags collected before buffering
+  /// load_imbalance of every level built, in build order (fig11 and the
+  /// run-metrics JSON report these; 1.0 is a perfect rank split).
+  std::vector<double> imbalance_history;
 };
 
 /// Builds and rebuilds the patch hierarchy.
@@ -76,6 +83,18 @@ class GriddingAlgorithm {
   /// balancing — all of which SAMRAI runs on the CPU) to this clock.
   void set_host_clock(vgpu::SimClock* clock) { host_clock_ = clock; }
 
+  /// Routes new levels' data to per-patch devices (multi-device ranks);
+  /// null keeps every factory's default device.
+  void set_topology(vgpu::Topology* topology) { topology_ = topology; }
+
+  /// Installs the per-device cost rates the next make_level's
+  /// assign_devices uses (BalanceMethod::kMeasured feedback loop: the
+  /// integrator measures gpu-lane busy time between regrids and feeds it
+  /// back here). Empty clears to uniform rates.
+  void set_measured_costs(std::vector<MeasuredDeviceCosts> costs) {
+    measured_costs_ = std::move(costs);
+  }
+
   /// Refinement activity since construction.
   const GriddingStats& stats() const { return stats_; }
 
@@ -99,6 +118,8 @@ class GriddingAlgorithm {
   xfer::PhysicalBoundaryStrategy* bc_;
   xfer::ParallelContext* ctx_;
   vgpu::SimClock* host_clock_ = nullptr;
+  vgpu::Topology* topology_ = nullptr;
+  std::vector<MeasuredDeviceCosts> measured_costs_;
   GriddingStats stats_;
 };
 

@@ -70,7 +70,10 @@ std::vector<GlobalPatch> balance_boxes(const std::vector<Box>& boxes,
   std::vector<GlobalPatch> out;
   out.reserve(chopped.size());
 
-  if (params.method == BalanceMethod::kMorton) {
+  if (params.method != BalanceMethod::kGreedy) {
+    // kMorton and kMeasured share the curve partitioning: measurement
+    // only changes the patch->device mapping (assign_devices), not the
+    // globally replicated rank decomposition.
     std::sort(chopped.begin(), chopped.end(), [](const Box& a, const Box& b) {
       const std::uint64_t ma = morton_code(a);
       const std::uint64_t mb = morton_code(b);
@@ -125,6 +128,61 @@ std::vector<GlobalPatch> balance_boxes(const std::vector<Box>& boxes,
               });
   }
   return out;
+}
+
+void assign_devices(std::vector<GlobalPatch>& patches, int my_rank,
+                    const BalanceParams& params,
+                    const std::vector<MeasuredDeviceCosts>* measured) {
+  const int devices = std::max(params.devices_per_rank, 1);
+  if (devices == 1) {
+    for (GlobalPatch& p : patches) {
+      p.device = 0;
+    }
+    return;
+  }
+  // Seconds-per-cell rate per device. Uniform unless every ordinal has a
+  // valid measurement (first regrid, or a device that ran no cells yet).
+  std::vector<double> rate(static_cast<std::size_t>(devices), 1.0);
+  if (measured != nullptr && static_cast<int>(measured->size()) >= devices) {
+    bool valid = true;
+    for (int d = 0; d < devices; ++d) {
+      const MeasuredDeviceCosts& m = (*measured)[static_cast<std::size_t>(d)];
+      if (m.cells <= 0 || m.busy_seconds <= 0.0) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      for (int d = 0; d < devices; ++d) {
+        const MeasuredDeviceCosts& m = (*measured)[static_cast<std::size_t>(d)];
+        rate[static_cast<std::size_t>(d)] =
+            m.busy_seconds / static_cast<double>(m.cells);
+      }
+    }
+  }
+  // Greedy in global-id order (the vector is already id-sorted): patch to
+  // the device finishing earliest under its rate. Strict < keeps ties on
+  // the lowest ordinal, so the mapping is deterministic.
+  std::vector<double> load(static_cast<std::size_t>(devices), 0.0);
+  for (GlobalPatch& p : patches) {
+    if (p.owner_rank != my_rank) {
+      p.device = 0;
+      continue;
+    }
+    const double cells = static_cast<double>(p.box.size());
+    int best = 0;
+    double best_t = load[0] + cells * rate[0];
+    for (int d = 1; d < devices; ++d) {
+      const double t = load[static_cast<std::size_t>(d)] +
+                       cells * rate[static_cast<std::size_t>(d)];
+      if (t < best_t) {
+        best_t = t;
+        best = d;
+      }
+    }
+    p.device = best;
+    load[static_cast<std::size_t>(best)] = best_t;
+  }
 }
 
 double load_imbalance(const std::vector<GlobalPatch>& patches, int world_size) {

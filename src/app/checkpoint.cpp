@@ -118,12 +118,19 @@ void Simulation::restore_checkpoint(const std::string& path) {
       gp.global_id = meta[n + 5];
       patches.push_back(gp);
     }
+    // The 6-int metadata format predates multi-device ranks and stays
+    // unchanged: devices are a per-rank placement, not part of the
+    // replicated structure, so the restore reassigns them exactly as a
+    // regrid would (deterministic in global-id order).
+    amr::BalanceParams bp;
+    bp.devices_per_rank = topology_ != nullptr ? topology_->device_count() : 1;
+    amr::assign_devices(patches, ctx_.my_rank, bp);
     const mesh::IntVector ratio_to_coarser =
         l == 0 ? mesh::IntVector(1, 1) : hierarchy_->ratio();
     auto level = std::make_shared<PatchLevel>(
         l, ratio_to_coarser, hierarchy_->ratio_to_zero(l), patches,
         ctx_.my_rank, hierarchy_->geometry());
-    level->allocate_data(hierarchy_->variables());
+    level->allocate_data(hierarchy_->variables(), ctx_.topology);
     for (const auto& patch : level->local_patches()) {
       for (int v = 0; v < hierarchy_->variables().count(); ++v) {
         patch->data(v).get_from_restart(

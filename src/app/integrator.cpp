@@ -5,6 +5,7 @@
 
 #include "geom/coarsen_operators.hpp"
 #include "geom/refine_operators.hpp"
+#include "vgpu/topology.hpp"
 
 namespace ramr::app {
 
@@ -407,10 +408,45 @@ double LagrangianEulerianIntegrator::advance() {
     vgpu::ComponentScope scope(*clock_, "regrid");
     // Refresh halos so tagging and solution transfer see current data.
     fill_all(sched_state_, TransferCounters::Window::kState);
+    if (ctx_->topology != nullptr) {
+      // Feed the observed per-device costs forward: the rebuilt levels'
+      // patch-to-device assignment adapts to what the devices actually
+      // did since the last regrid (amr::BalanceMethod::kMeasured).
+      gridding_->set_measured_costs(measure_device_costs());
+    }
     gridding_->regrid(h, time_);
     rebuild_schedules();
   }
+  xfer_counters_.plan_fallbacks = ctx_->plan_fallbacks;
   return dt;
+}
+
+std::vector<amr::MeasuredDeviceCosts>
+LagrangianEulerianIntegrator::measure_device_costs() {
+  vgpu::Topology* topo = ctx_->topology;
+  const int n = topo->device_count();
+  std::vector<amr::MeasuredDeviceCosts> costs(
+      static_cast<std::size_t>(n));
+  gpu_busy_snapshot_.resize(static_cast<std::size_t>(n), 0.0);
+  vgpu::Timeline* tl = ctx_->timeline;
+  for (int d = 0; d < n; ++d) {
+    double busy = 0.0;
+    if (tl != nullptr) {
+      busy = tl->busy(tl->lane(vgpu::Topology::gpu_lane_name(d)));
+    }
+    costs[static_cast<std::size_t>(d)].busy_seconds =
+        busy - gpu_busy_snapshot_[static_cast<std::size_t>(d)];
+    gpu_busy_snapshot_[static_cast<std::size_t>(d)] = busy;
+  }
+  for (int l = 0; l < hierarchy_->num_levels(); ++l) {
+    for (const auto& p : hierarchy_->level(l).local_patches()) {
+      const int d = p->device_ordinal();
+      if (d >= 0 && d < n) {
+        costs[static_cast<std::size_t>(d)].cells += p->box().size();
+      }
+    }
+  }
+  return costs;
 }
 
 hydro::FieldSummary LagrangianEulerianIntegrator::composite_summary() {

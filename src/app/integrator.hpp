@@ -33,6 +33,11 @@ struct TransferCounters {
   /// Fills executed split-phase (begin / overlapped compute / finish) on
   /// the async-overlap path; 0 on the synchronous path.
   std::uint64_t split_fills = 0;
+  /// Schedule executions that requested a compiled plan but demoted to
+  /// the per-transaction legacy path (an endpoint was not device-viewable
+  /// or not plannable). A silent performance cliff when nonzero: every
+  /// such fill pays per-transaction launches and staging.
+  std::uint64_t plan_fallbacks = 0;
 
   /// The per-step fill windows of the integrator, named after the
   /// exchanged quantity. Windows executed more than once per step (the
@@ -142,6 +147,12 @@ class LagrangianEulerianIntegrator {
   /// comm+net lane busy seconds of the attached timeline (0 without one).
   double comm_busy_now() const;
 
+  /// Per-device compute cost observed since the previous regrid: the
+  /// "gpu<i>" lane busy delta plus the device's current cell count — the
+  /// measured inputs of amr::BalanceMethod::kMeasured. Only meaningful
+  /// with a multi-device topology in ctx_.
+  std::vector<amr::MeasuredDeviceCosts> measure_device_costs();
+
   hier::PatchHierarchy* hierarchy_;
   LagrangianEulerianLevelIntegrator* li_;
   amr::GriddingAlgorithm* gridding_;
@@ -169,6 +180,8 @@ class LagrangianEulerianIntegrator {
   double last_dt_ = 0.0;
   int step_count_ = 0;
   TransferCounters xfer_counters_;
+  /// Cumulative gpu-lane busy at the last measurement, one per device.
+  std::vector<double> gpu_busy_snapshot_;
 };
 
 }  // namespace ramr::app

@@ -9,11 +9,13 @@
 // kernel bodies in hydro/kernels.cpp.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "app/fields.hpp"
 #include "hier/patch_level.hpp"
 #include "hydro/kernels.hpp"
+#include "vgpu/topology.hpp"
 
 namespace ramr::app {
 
@@ -21,11 +23,16 @@ namespace ramr::app {
 class LevelKernelRunner {
  public:
   /// `physics` carries the scenario's EOS gamma and gravity; the default
-  /// keeps the historical arithmetic bit-identical.
+  /// keeps the historical arithmetic bit-identical. With a multi-device
+  /// `topology`, every stage issues one fused launch per device over
+  /// that device's patches (grouped by the data's actual residency), on
+  /// the device's "gpu<i>" timeline lane — devices compute their groups
+  /// concurrently and the stage completes at the slowest device's join.
   LevelKernelRunner(vgpu::Device& device, const Fields& fields,
-                    const hydro::Physics& physics = {})
+                    const hydro::Physics& physics = {},
+                    vgpu::Topology* topology = nullptr)
       : device_(&device), stream_(device, "hydro"), f_(fields),
-        phys_(physics) {}
+        phys_(physics), topology_(topology) {}
 
   /// Minimum stable dt over the level: one fused reduction and ONE
   /// scalar D2H readback per level (was one of each per patch).
@@ -67,10 +74,65 @@ class LevelKernelRunner {
  private:
   util::View view(hier::Patch& p, int id, int comp = 0, int plane = 0) const;
 
+  /// Calls `fn(device, stream, patches, boxes)` once per device group of
+  /// the level's local patches. Single-device (or no topology): one call
+  /// on the runner's own device and stream — the legacy fused launch,
+  /// unchanged. Multi-device: groups by each patch's device ordinal; with
+  /// a timeline each group's lane forks from the caller's cursor (the
+  /// host issues a stage only after the previous one joined) and the
+  /// stage joins back at the slowest group's completion.
+  template <typename Fn>
+  void for_groups(hier::PatchLevel& level, Fn&& fn) {
+    if (topology_ == nullptr || topology_->device_count() <= 1) {
+      std::vector<hier::Patch*> patches;
+      std::vector<mesh::Box> boxes;
+      patches.reserve(level.local_patches().size());
+      boxes.reserve(level.local_patches().size());
+      for (const auto& p : level.local_patches()) {
+        patches.push_back(p.get());
+        boxes.push_back(p->box());
+      }
+      fn(*device_, stream_, patches, boxes);
+      return;
+    }
+    vgpu::Timeline* tl = device_->timeline();
+    double join = 0.0;
+    for (int d = 0; d < topology_->device_count(); ++d) {
+      std::vector<hier::Patch*> patches;
+      std::vector<mesh::Box> boxes;
+      for (const auto& p : level.local_patches()) {
+        if (p->device_ordinal() == d) {
+          patches.push_back(p.get());
+          boxes.push_back(p->box());
+        }
+      }
+      if (patches.empty()) {
+        continue;
+      }
+      vgpu::Device& dev = topology_->device(d);
+      vgpu::Stream stream(dev, "hydro");
+      if (tl != nullptr) {
+        const int lane = tl->lane(vgpu::Topology::gpu_lane_name(d));
+        tl->advance(lane, tl->now(tl->active_lane()));
+        stream.bind_lane(lane);
+      }
+      fn(dev, stream, patches, boxes);
+      if (tl != nullptr) {
+        vgpu::Event done;
+        done.record(stream);
+        join = std::max(join, done.timestamp());
+      }
+    }
+    if (tl != nullptr) {
+      tl->advance(tl->active_lane(), join);
+    }
+  }
+
   vgpu::Device* device_;
   vgpu::Stream stream_;
   Fields f_;
   hydro::Physics phys_;
+  vgpu::Topology* topology_ = nullptr;
 };
 
 }  // namespace ramr::app

@@ -40,6 +40,13 @@ Simulation::Simulation(const SimulationConfig& config,
         static_cast<std::uint64_t>(comm != nullptr ? comm->rank() : 0));
     fault_plan_ = own_fault_plan_.get();
   }
+  RAMR_REQUIRE(config_.topology.device_count <= 1 ||
+                   (config_.batched_launch && config_.compiled_transfer),
+               "a multi-device topology requires batched_launch and "
+               "compiled_transfer (per-device stage groups and compiled "
+               "cross-device plans)");
+  RAMR_REQUIRE(!config_.topology.gpu_direct || config_.compiled_transfer,
+               "gpu_direct requires compiled_transfer (packed wire buffers)");
   if (shared_device != nullptr) {
     // Service mode: ride the server's device and clock so K jobs share
     // one modeled accelerator (memory arena included) and one account of
@@ -48,11 +55,15 @@ Simulation::Simulation(const SimulationConfig& config,
     // hides launch overhead through its launch-fusion scope instead.
     RAMR_REQUIRE(!config_.async_overlap,
                  "async_overlap is incompatible with a shared device");
+    RAMR_REQUIRE(config_.topology.device_count <= 1,
+                 "a multi-device topology is incompatible with a shared "
+                 "device");
     device_ = shared_device;
     clock_ = &shared_device->clock();
   } else {
-    own_device_ = std::make_unique<vgpu::Device>(config.device, &own_clock_);
-    device_ = own_device_.get();
+    topology_ = std::make_unique<vgpu::Topology>(config_.topology,
+                                                 config_.device, &own_clock_);
+    device_ = &topology_->device(0);
     clock_ = &own_clock_;
   }
   if (config_.async_overlap) {
@@ -73,6 +84,12 @@ Simulation::Simulation(const SimulationConfig& config,
   // into one modeled PCIe crossing on this device.
   ctx_.device = device_;
   ctx_.compiled_transfer = config.compiled_transfer;
+  // The single-device bind path is untouched when ctx_.topology stays
+  // null: schedules only consider cross-device plans on a real complex.
+  if (topology_ != nullptr && topology_->device_count() > 1) {
+    ctx_.topology = topology_.get();
+  }
+  ctx_.gpu_direct = config_.topology.gpu_direct;
   ctx_.world_size = comm != nullptr ? comm->size() : 1;
   if (comm != nullptr) {
     comm->set_clock(clock_);
@@ -101,8 +118,8 @@ Simulation::Simulation(const SimulationConfig& config,
   patch_integrator_ =
       std::make_unique<CudaPatchIntegrator>(*device_, fields_, physics);
   if (config_.batched_launch) {
-    level_runner_ =
-        std::make_unique<LevelKernelRunner>(*device_, fields_, physics);
+    level_runner_ = std::make_unique<LevelKernelRunner>(
+        *device_, fields_, physics, ctx_.topology);
   }
   level_integrator_ = std::make_unique<LagrangianEulerianLevelIntegrator>(
       *patch_integrator_, level_runner_.get());
@@ -113,6 +130,9 @@ Simulation::Simulation(const SimulationConfig& config,
   gp.cluster.max_box_cells = config_.max_patch_cells * 16;
   gp.balance.max_patch_cells = config_.max_patch_cells;
   gp.balance.min_size = config_.min_patch_size;
+  gp.balance.method = config_.balance_method;
+  gp.balance.devices_per_rank =
+      topology_ != nullptr ? topology_->device_count() : 1;
   gp.tag_buffer = config_.tag_buffer;
 
   // Variables moved onto newly created patches during regridding.
@@ -127,6 +147,7 @@ Simulation::Simulation(const SimulationConfig& config,
   gridding_ = std::make_unique<amr::GriddingAlgorithm>(
       gp, *problem_, std::move(transfer), bc_.get(), ctx_);
   gridding_->set_host_clock(clock_);
+  gridding_->set_topology(ctx_.topology);
   integrator_ = std::make_unique<LagrangianEulerianIntegrator>(
       *hierarchy_, *level_integrator_, *gridding_, fields_, ctx_, *bc_,
       *clock_, config_.regrid_interval);

@@ -39,6 +39,19 @@ struct SimulationConfig {
   int min_patch_size = 8;
   double cluster_efficiency = 0.75;
   vgpu::DeviceSpec device = vgpu::tesla_k20x();  ///< compute backend
+  /// Devices per rank and their peer links (the JSON `topology` block).
+  /// device_count == 1 (default) is the paper's single-GPU rank and
+  /// changes nothing; > 1 spreads the level's patches over the rank's
+  /// devices, runs every stage as one fused launch per device and
+  /// compiles cross-device halo copies onto the peer-link lanes
+  /// (docs/device_topology.md). Multi-device requires batched_launch and
+  /// compiled_transfer; speedup manifests under async_overlap (the
+  /// synchronous model sums charges across lanes).
+  vgpu::TopologySpec topology;
+  /// Patch-to-rank partitioning (kMorton default, kGreedy ablation,
+  /// kMeasured = Morton ranks + measured per-device costs steering the
+  /// patch-to-device assignment between regrids).
+  amr::BalanceMethod balance_method = amr::BalanceMethod::kMorton;
   /// Fused per-level kernel batching: one launch per kernel sub-stage
   /// per level (default). Off = the per-patch launch structure of the
   /// paper's original code; both produce bit-identical fields.
@@ -130,6 +143,8 @@ class Simulation {
                                 : clock_->total();
   }
   vgpu::Device& device() { return *device_; }
+  /// The rank's device complex; null on shared-device (service) runs.
+  vgpu::Topology* topology() { return topology_.get(); }
   const Fields& fields() const { return fields_; }
   const SimulationConfig& config() const { return config_; }
   HydroProblem& problem() { return *problem_; }
@@ -169,7 +184,9 @@ class Simulation {
   /// Attached to the clock when async_overlap is on (declared after the
   /// owned clock: detaches before it dies).
   std::unique_ptr<vgpu::Timeline> timeline_;
-  std::unique_ptr<vgpu::Device> own_device_;
+  /// Owns this rank's devices (even when device_count == 1) unless a
+  /// shared device was injected; device_ then aliases ordinal 0.
+  std::unique_ptr<vgpu::Topology> topology_;
   vgpu::Device* device_;
   xfer::ParallelContext ctx_;
   std::unique_ptr<hier::PatchHierarchy> hierarchy_;

@@ -325,6 +325,62 @@ vgpu::DeviceSpec parse_device(const Json& value, const std::string& path) {
   return spec;
 }
 
+vgpu::PeerLinkSpec peer_link_preset(const std::string& name,
+                                    const std::string& path) {
+  if (name == "nvlink") return vgpu::nvlink2();
+  if (name == "pcie_switch") return vgpu::pcie_switch();
+  if (name == "ideal") return vgpu::ideal_peer_link();
+  RAMR_FAIL("config key \"" << path << "\": unknown peer link preset \""
+                            << name
+                            << "\"; known presets: nvlink, pcie_switch, "
+                               "ideal");
+}
+
+vgpu::TopologySpec parse_topology(const Json& value, const std::string& path) {
+  Reader r(value, path);
+  vgpu::TopologySpec spec;
+  spec.device_count = r.get_int("device_count", spec.device_count);
+  require_ge(spec.device_count, 1, r.path_of("device_count"));
+  if (const Json* v = r.consume("link")) {
+    Reader l(*v, r.path_of("link"));
+    spec.link =
+        peer_link_preset(l.get_string("preset", "nvlink"), l.path_of("preset"));
+    spec.link.name = l.get_string("name", spec.link.name);
+    spec.link.latency_s = l.get_number("latency_s", spec.link.latency_s);
+    spec.link.bw_gbs = l.get_number("bw_gbs", spec.link.bw_gbs);
+    require_ge(spec.link.latency_s, 0.0, l.path_of("latency_s"));
+    require_gt(spec.link.bw_gbs, 0.0, l.path_of("bw_gbs"));
+    l.finish();
+  }
+  spec.gpu_direct = r.get_bool("gpu_direct", spec.gpu_direct);
+  r.finish();
+  return spec;
+}
+
+Json topology_to_json(const vgpu::TopologySpec& spec) {
+  Json j = Json::make_object();
+  j.set("device_count", Json(spec.device_count));
+  Json link = Json::make_object();
+  link.set("name", Json(spec.link.name));
+  link.set("latency_s", Json(spec.link.latency_s));
+  link.set("bw_gbs", Json(spec.link.bw_gbs));
+  j.set("link", std::move(link));
+  j.set("gpu_direct", Json(spec.gpu_direct));
+  return j;
+}
+
+const char* balance_method_name(amr::BalanceMethod m) {
+  switch (m) {
+    case amr::BalanceMethod::kGreedy:
+      return "greedy";
+    case amr::BalanceMethod::kMeasured:
+      return "measured";
+    case amr::BalanceMethod::kMorton:
+      break;
+  }
+  return "morton";
+}
+
 simmpi::NetworkSpec network_preset(const std::string& name,
                                    const std::string& path) {
   if (name == "ideal") return simmpi::ideal_network();
@@ -559,6 +615,20 @@ RunConfig parse_run_config(const Json& root) {
         a.get_int("min_patch_size", config.sim.min_patch_size);
     config.sim.cluster_efficiency =
         a.get_number("cluster_efficiency", config.sim.cluster_efficiency);
+    const std::string bm = a.get_string(
+        "balance_method", balance_method_name(config.sim.balance_method));
+    if (bm == "morton") {
+      config.sim.balance_method = amr::BalanceMethod::kMorton;
+    } else if (bm == "greedy") {
+      config.sim.balance_method = amr::BalanceMethod::kGreedy;
+    } else if (bm == "measured") {
+      config.sim.balance_method = amr::BalanceMethod::kMeasured;
+    } else {
+      RAMR_FAIL("config key \"" << a.path_of("balance_method")
+                                << "\": expected \"morton\", \"greedy\" or "
+                                   "\"measured\", got \""
+                                << bm << "\"");
+    }
     require_ge(config.sim.max_levels, 1, a.path_of("max_levels"));
     // The refinement machinery (operator stencils, rind widths, tag
     // coarsening) is built for power-of-two ratios; anything else only
@@ -601,6 +671,9 @@ RunConfig parse_run_config(const Json& root) {
 
   if (const Json* v = r.consume("device")) {
     config.sim.device = parse_device(*v, "device");
+  }
+  if (const Json* v = r.consume("topology")) {
+    config.sim.topology = parse_topology(*v, "topology");
   }
   if (const Json* v = r.consume("network")) {
     config.network = parse_network(*v, "network");
@@ -665,6 +738,8 @@ Json to_json(const RunConfig& config) {
   amr.set("max_patch_cells", Json(config.sim.max_patch_cells));
   amr.set("min_patch_size", Json(config.sim.min_patch_size));
   amr.set("cluster_efficiency", Json(config.sim.cluster_efficiency));
+  amr.set("balance_method",
+          Json(std::string(balance_method_name(config.sim.balance_method))));
   j.set("amr", std::move(amr));
 
   Json execution = Json::make_object();
@@ -687,6 +762,20 @@ Json to_json(const RunConfig& config) {
              Json(static_cast<std::int64_t>(config.sim.device.mem_bytes)));
   device.set("is_accelerator", Json(config.sim.device.is_accelerator));
   j.set("device", std::move(device));
+
+  // Emitted only when the rank has more than one device or a non-default
+  // wire mode (like the faults block): the default single-device run
+  // carries no topology, and `{}` keeps round-tripping to itself.
+  {
+    const vgpu::TopologySpec def;
+    const vgpu::TopologySpec& t = config.sim.topology;
+    if (t.device_count != def.device_count || t.gpu_direct != def.gpu_direct ||
+        t.link.name != def.link.name ||
+        t.link.latency_s != def.link.latency_s ||
+        t.link.bw_gbs != def.link.bw_gbs) {
+      j.set("topology", topology_to_json(t));
+    }
+  }
 
   Json network = Json::make_object();
   network.set("name", Json(config.network.name));

@@ -16,23 +16,30 @@ namespace ramr::hier {
 /// One rectangular mesh region and its data.
 class Patch {
  public:
-  Patch(const mesh::Box& box, int level_number, int global_id, int owner_rank)
+  Patch(const mesh::Box& box, int level_number, int global_id, int owner_rank,
+        int device_ordinal = 0)
       : box_(box),
         level_number_(level_number),
         global_id_(global_id),
-        owner_rank_(owner_rank) {}
+        owner_rank_(owner_rank),
+        device_ordinal_(device_ordinal) {}
 
   const mesh::Box& box() const { return box_; }
   int level_number() const { return level_number_; }
   int global_id() const { return global_id_; }
   int owner_rank() const { return owner_rank_; }
 
-  /// Allocates storage for every variable in the database.
-  void allocate(const VariableDatabase& db) {
+  /// Ordinal of the rank-local device this patch's data lives on
+  /// (vgpu::Topology; 0 on single-device ranks).
+  int device_ordinal() const { return device_ordinal_; }
+
+  /// Allocates storage for every variable in the database; `device`
+  /// overrides each factory's default placement (multi-device ranks).
+  void allocate(const VariableDatabase& db, vgpu::Device* device = nullptr) {
     data_.clear();
     data_.reserve(static_cast<std::size_t>(db.count()));
     for (int id = 0; id < db.count(); ++id) {
-      data_.push_back(db.factory(id).allocate(box_));
+      data_.push_back(db.factory(id).allocate_on(box_, device));
     }
   }
 
@@ -70,6 +77,7 @@ class Patch {
   int level_number_;
   int global_id_;
   int owner_rank_;
+  int device_ordinal_;
   std::vector<std::unique_ptr<pdat::PatchData>> data_;
 };
 

@@ -1,6 +1,7 @@
 #include "hier/patch_level.hpp"
 
 #include "util/error.hpp"
+#include "vgpu/topology.hpp"
 
 namespace ramr::hier {
 
@@ -23,8 +24,8 @@ PatchLevel::PatchLevel(int level_number, mesh::IntVector ratio_to_coarser,
                  "patch " << gp.box << " outside level domain " << domain_box_);
     boxes_.push_back(gp.box);
     if (gp.owner_rank == my_rank) {
-      auto patch =
-          std::make_shared<Patch>(gp.box, number_, gp.global_id, gp.owner_rank);
+      auto patch = std::make_shared<Patch>(gp.box, number_, gp.global_id,
+                                           gp.owner_rank, gp.device);
       local_.push_back(patch);
       RAMR_REQUIRE(local_by_id_.emplace(gp.global_id, patch).second,
                    "duplicate global patch id " << gp.global_id);
@@ -45,9 +46,14 @@ std::shared_ptr<Patch> PatchLevel::local_patch(int global_id) const {
   return it == local_by_id_.end() ? nullptr : it->second;
 }
 
-void PatchLevel::allocate_data(const VariableDatabase& db) {
+void PatchLevel::allocate_data(const VariableDatabase& db,
+                               vgpu::Topology* topology) {
   for (const auto& p : local_) {
-    p->allocate(db);
+    vgpu::Device* dev = nullptr;
+    if (topology != nullptr) {
+      dev = &topology->device(p->device_ordinal());
+    }
+    p->allocate(db, dev);
   }
 }
 

@@ -15,6 +15,10 @@
 #include "mesh/box_list.hpp"
 #include "mesh/grid_geometry.hpp"
 
+namespace ramr::vgpu {
+class Topology;
+}  // namespace ramr::vgpu
+
 namespace ramr::hier {
 
 /// Globally replicated descriptor of one patch.
@@ -22,6 +26,9 @@ struct GlobalPatch {
   mesh::Box box;
   int owner_rank = 0;
   int global_id = 0;
+  /// Rank-local device ordinal the owner allocates on (vgpu::Topology).
+  /// Meaningful only on the owner rank; remote ranks never consult it.
+  int device = 0;
 };
 
 /// One level of the AMR hierarchy.
@@ -62,8 +69,11 @@ class PatchLevel {
   /// The local Patch with the given global id (null when remote).
   std::shared_ptr<Patch> local_patch(int global_id) const;
 
-  /// Allocates data for every local patch.
-  void allocate_data(const VariableDatabase& db);
+  /// Allocates data for every local patch. With a topology, each patch's
+  /// data goes to its assigned device (GlobalPatch::device); without one,
+  /// every factory uses its default device.
+  void allocate_data(const VariableDatabase& db,
+                     vgpu::Topology* topology = nullptr);
 
   /// Sets the logical simulation time on all local data.
   void set_time(double time, const VariableDatabase& db);

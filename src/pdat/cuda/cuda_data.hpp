@@ -117,6 +117,17 @@ class CudaDataFactory : public PatchDataFactory {
     return std::make_unique<CudaData>(*device_, cell_box, ghosts, centering_,
                                       depth_);
   }
+  std::unique_ptr<PatchData> allocate_on(const mesh::Box& cell_box,
+                                         vgpu::Device* device) const override {
+    return std::make_unique<CudaData>(device != nullptr ? *device : *device_,
+                                      cell_box, ghosts_, centering_, depth_);
+  }
+  std::unique_ptr<PatchData> allocate_with_ghosts_on(
+      const mesh::Box& cell_box, const mesh::IntVector& ghosts,
+      vgpu::Device* device) const override {
+    return std::make_unique<CudaData>(device != nullptr ? *device : *device_,
+                                      cell_box, ghosts, centering_, depth_);
+  }
   mesh::Centering centering() const override { return centering_; }
   mesh::IntVector ghosts() const override { return ghosts_; }
   int depth() const override { return depth_; }

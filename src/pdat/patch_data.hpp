@@ -124,6 +124,21 @@ class PatchDataFactory {
   virtual std::unique_ptr<PatchData> allocate_with_ghosts(
       const mesh::Box& cell_box, const mesh::IntVector& ghosts) const = 0;
 
+  /// Allocates on an explicit device (multi-device ranks: the patch's
+  /// assigned device, see vgpu::Topology). Factories for host-resident
+  /// kinds ignore the hint; null means the factory's default device.
+  virtual std::unique_ptr<PatchData> allocate_on(const mesh::Box& cell_box,
+                                                 vgpu::Device* device) const {
+    (void)device;
+    return allocate(cell_box);
+  }
+  virtual std::unique_ptr<PatchData> allocate_with_ghosts_on(
+      const mesh::Box& cell_box, const mesh::IntVector& ghosts,
+      vgpu::Device* device) const {
+    (void)device;
+    return allocate_with_ghosts(cell_box, ghosts);
+  }
+
   virtual mesh::Centering centering() const = 0;
   virtual mesh::IntVector ghosts() const = 0;
   virtual int depth() const = 0;

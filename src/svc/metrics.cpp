@@ -1,6 +1,7 @@
 #include "svc/metrics.hpp"
 
 #include "app/integrator.hpp"
+#include "vgpu/topology.hpp"
 
 namespace ramr::svc {
 
@@ -39,6 +40,11 @@ cfg::Json run_metrics_json(app::Simulation& sim) {
   transfer.set("messages_received",
                cfg::Json(static_cast<std::int64_t>(tc.messages_received)));
   transfer.set("bytes_sent", cfg::Json(static_cast<std::int64_t>(tc.bytes_sent)));
+  // Compiled-plan demotions to the legacy per-transaction path: a silent
+  // performance cliff when nonzero, so it is surfaced here (and asserted
+  // zero by bench_residency for single-device runs).
+  transfer.set("plan_fallbacks",
+               cfg::Json(static_cast<std::int64_t>(tc.plan_fallbacks)));
   cfg::Json windows = cfg::Json::make_object();
   for (int w = 0; w < TransferCounters::kWindowCount; ++w) {
     const TransferCounters::WindowStats& ws = tc.window[w];
@@ -73,7 +79,48 @@ cfg::Json run_metrics_json(app::Simulation& sim) {
   gridding.set("levels_built", cfg::Json(gs.levels_built));
   gridding.set("cells_tagged",
                cfg::Json(static_cast<std::int64_t>(gs.cells_tagged)));
+  // Cross-rank load imbalance (max/mean local cells) of every level
+  // build, in build order; "load_imbalance" is the most recent value —
+  // the partition the run ended on.
+  cfg::Json imbalance = cfg::Json::make_array();
+  for (double v : gs.imbalance_history) {
+    imbalance.push_back(cfg::Json(v));
+  }
+  gridding.set("imbalance_history", std::move(imbalance));
+  gridding.set("load_imbalance",
+               cfg::Json(gs.imbalance_history.empty()
+                             ? 1.0
+                             : gs.imbalance_history.back()));
   j.set("gridding", std::move(gridding));
+
+  // Per-device attribution on multi-device ranks: what each device of
+  // the topology computed (gpu lane busy under the timeline model),
+  // launched, held and shipped over peer links / NIC-direct.
+  if (vgpu::Topology* topo = sim.topology(); topo != nullptr &&
+                                             topo->device_count() > 1) {
+    vgpu::Timeline* tl = sim.timeline();
+    cfg::Json devices = cfg::Json::make_array();
+    for (int d = 0; d < topo->device_count(); ++d) {
+      vgpu::Device& dev = topo->device(d);
+      cfg::Json e = cfg::Json::make_object();
+      e.set("ordinal", cfg::Json(d));
+      e.set("busy_seconds",
+            cfg::Json(tl != nullptr
+                          ? tl->busy(tl->lane(vgpu::Topology::gpu_lane_name(d)))
+                          : 0.0));
+      e.set("kernel_seconds", cfg::Json(dev.kernel_seconds()));
+      e.set("launches",
+            cfg::Json(static_cast<std::int64_t>(dev.launch_count())));
+      e.set("peak_bytes",
+            cfg::Json(static_cast<std::int64_t>(dev.peak_bytes_allocated())));
+      e.set("peer_bytes", cfg::Json(static_cast<std::int64_t>(
+                              dev.transfers().peer_bytes)));
+      e.set("gpu_direct_bytes", cfg::Json(static_cast<std::int64_t>(
+                                    dev.transfers().gpu_direct_bytes)));
+      devices.push_back(std::move(e));
+    }
+    j.set("devices", std::move(devices));
+  }
 
   const hydro::FieldSummary summary = sim.composite_summary();
   cfg::Json totals = cfg::Json::make_object();

@@ -38,6 +38,56 @@ void Device::memcpy_d2h(void* dst, const void* src, std::uint64_t bytes) {
   }
 }
 
+double Device::memcpy_peer(void* dst, Device& dst_device, const void* src,
+                           std::uint64_t bytes) {
+  std::memcpy(dst, src, bytes);
+  if (!spec_.is_accelerator || bytes == 0 || &dst_device == this) {
+    return 0.0;
+  }
+  ++transfers_.peer_count;
+  transfers_.peer_bytes += bytes;
+  // Unset link parameters degrade to the PCIe model: a peer copy staged
+  // through the host port costs one PCIe crossing.
+  const double lat = peer_bw_gbs_ > 0.0 ? peer_lat_s_ : spec_.pcie_lat_s;
+  const double bw = peer_bw_gbs_ > 0.0 ? peer_bw_gbs_ : spec_.pcie_bw_gbs;
+  const double seconds = lat + static_cast<double>(bytes) / (bw * 1.0e9);
+  Timeline* tl = timeline();
+  if (tl == nullptr) {
+    clock_->charge(seconds);
+    return 0.0;
+  }
+  // The directed link is its own copy engine (Topology::peer_lane_name):
+  // the fork orders the copy after the issuing lane's pack, and the
+  // caller orders the consuming unpack after the returned timestamp.
+  const int lane = tl->lane("peer" + std::to_string(ordinal_) + "-" +
+                            std::to_string(dst_device.ordinal_));
+  double done = 0.0;
+  {
+    LaneScope scope(tl, lane);
+    clock_->charge(seconds);
+    done = tl->now(lane);
+  }
+  return done;
+}
+
+void Device::memcpy_d2h_direct(void* dst, const void* src,
+                               std::uint64_t bytes) {
+  std::memcpy(dst, src, bytes);
+  if (spec_.is_accelerator && bytes > 0) {
+    ++transfers_.gpu_direct_count;
+    transfers_.gpu_direct_bytes += bytes;
+  }
+}
+
+void Device::memcpy_h2d_direct(void* dst, const void* src,
+                               std::uint64_t bytes) {
+  std::memcpy(dst, src, bytes);
+  if (spec_.is_accelerator && bytes > 0) {
+    ++transfers_.gpu_direct_count;
+    transfers_.gpu_direct_bytes += bytes;
+  }
+}
+
 void Device::charge_h2d_crossing(std::uint64_t bytes) {
   if (spec_.is_accelerator && bytes > 0) {
     charge_crossing(/*h2d=*/true, bytes);

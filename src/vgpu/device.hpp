@@ -224,6 +224,38 @@ class Device {
   /// Copies device -> host, charging PCIe cost.
   void memcpy_d2h(void* dst, const void* src, std::uint64_t bytes);
 
+  /// Position of this device within its rank's vgpu::Topology (0 for a
+  /// standalone device).
+  int ordinal() const { return ordinal_; }
+  void set_ordinal(int ordinal) { ordinal_ = ordinal; }
+
+  /// Peer-link parameters used by memcpy_peer (set by vgpu::Topology).
+  /// Until set, peer copies fall back to the PCIe link model (a
+  /// staged-through-host copy without NVLink).
+  void set_peer_link(double latency_s, double bw_gbs) {
+    peer_lat_s_ = latency_s;
+    peer_bw_gbs_ = bw_gbs;
+  }
+
+  /// Copies this device -> `dst_device` over the peer link, charging
+  /// link latency + bytes/bandwidth on the directed Timeline copy lane
+  /// "peer<src>-<dst>" (Topology::peer_lane_name); forked from the
+  /// active lane, so the copy cannot start before the pack that produced
+  /// the data. Returns the link-lane completion timestamp (the caller
+  /// orders the consuming unpack after it); 0 without a timeline, where
+  /// the cost is charged serially. No modeled cost on host "devices" or
+  /// same-device copies.
+  double memcpy_peer(void* dst, Device& dst_device, const void* src,
+                     std::uint64_t bytes);
+
+  /// GPU-direct staging: moves the bytes between device memory and a
+  /// wire buffer WITHOUT a modeled PCIe crossing — the NIC reads/writes
+  /// device memory directly (GPUDirect RDMA), so per-message host
+  /// staging disappears from the model. Logged separately so residency
+  /// tests can assert the eliminated crossings.
+  void memcpy_d2h_direct(void* dst, const void* src, std::uint64_t bytes);
+  void memcpy_h2d_direct(void* dst, const void* src, std::uint64_t bytes);
+
   /// While a transfer batch is open, memcpy_h2d/memcpy_d2h still move the
   /// bytes but defer the modeled cost: on close, each direction with
   /// traffic is charged as ONE crossing (one PCIe latency + total bytes at
@@ -489,6 +521,9 @@ class Device {
   std::unique_ptr<SimClock> owned_clock_;
   SimClock* clock_ = nullptr;
   TransferLog transfers_;
+  int ordinal_ = 0;
+  double peer_lat_s_ = 0.0;
+  double peer_bw_gbs_ = 0.0;  ///< 0 = unset, fall back to the PCIe model
   std::uint64_t bytes_allocated_ = 0;
   std::uint64_t peak_bytes_ = 0;
   std::uint64_t launch_count_ = 0;

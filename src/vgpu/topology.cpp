@@ -1,0 +1,24 @@
+#include "vgpu/topology.hpp"
+
+namespace ramr::vgpu {
+
+Topology::Topology(const TopologySpec& spec, const DeviceSpec& device_spec,
+                   SimClock* clock)
+    : spec_(spec) {
+  RAMR_REQUIRE(spec.device_count >= 1,
+               "topology needs at least one device, got " << spec.device_count);
+  RAMR_REQUIRE(spec.link.bw_gbs > 0.0,
+               "peer link bandwidth must be positive, got " << spec.link.bw_gbs);
+  RAMR_REQUIRE(spec.link.latency_s >= 0.0,
+               "peer link latency must be non-negative, got "
+                   << spec.link.latency_s);
+  devices_.reserve(static_cast<std::size_t>(spec.device_count));
+  for (int d = 0; d < spec.device_count; ++d) {
+    auto dev = std::make_unique<Device>(device_spec, clock);
+    dev->set_ordinal(d);
+    dev->set_peer_link(spec.link.latency_s, spec.link.bw_gbs);
+    devices_.push_back(std::move(dev));
+  }
+}
+
+}  // namespace ramr::vgpu

@@ -24,6 +24,17 @@ struct TransferLog {
   /// through this counter; windows that include composite_summary()
   /// also count its per-piece readbacks.
   std::uint64_t d2h_scalar_count = 0;
+  /// Device-to-device copies over the peer link (Device::memcpy_peer),
+  /// counted on the SOURCE device. Peer traffic never crosses PCIe, so
+  /// it is excluded from total_bytes() — the residency claim the h2d/d2h
+  /// counters test is about the host link.
+  std::uint64_t peer_count = 0;
+  std::uint64_t peer_bytes = 0;
+  /// GPU-direct wire staging (memcpy_{d2h,h2d}_direct): message buffers
+  /// the NIC moved without a modeled host crossing. What these counters
+  /// count is exactly the crossings the h2d/d2h counters no longer see.
+  std::uint64_t gpu_direct_count = 0;
+  std::uint64_t gpu_direct_bytes = 0;
 
   std::uint64_t total_bytes() const { return h2d_bytes + d2h_bytes; }
   std::uint64_t total_count() const { return h2d_count + d2h_count; }
@@ -37,6 +48,10 @@ struct TransferLog {
     d.d2h_count = d2h_count - rhs.d2h_count;
     d.d2h_bytes = d2h_bytes - rhs.d2h_bytes;
     d.d2h_scalar_count = d2h_scalar_count - rhs.d2h_scalar_count;
+    d.peer_count = peer_count - rhs.peer_count;
+    d.peer_bytes = peer_bytes - rhs.peer_bytes;
+    d.gpu_direct_count = gpu_direct_count - rhs.gpu_direct_count;
+    d.gpu_direct_bytes = gpu_direct_bytes - rhs.gpu_direct_bytes;
     return d;
   }
 };

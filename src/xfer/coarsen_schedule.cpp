@@ -1,7 +1,10 @@
 #include "xfer/coarsen_schedule.hpp"
 
+#include <algorithm>
+
 #include "pdat/box_overlap.hpp"
 #include "util/error.hpp"
+#include "vgpu/topology.hpp"
 
 namespace ramr::xfer {
 
@@ -9,6 +12,23 @@ using hier::GlobalPatch;
 using mesh::Box;
 using mesh::BoxList;
 using mesh::IntVector;
+
+namespace {
+
+/// Forks `dev`'s compute lane from the caller's active lane for a
+/// per-device fan-out scope. Returns -1 — a no-op LaneScope — without a
+/// timeline (single-device ranks pass tl == nullptr), so the launches
+/// stay on the caller's lane exactly as before.
+int fork_gpu_lane(vgpu::Timeline* tl, const vgpu::Device* dev) {
+  if (tl == nullptr || dev == nullptr) {
+    return -1;
+  }
+  const int lane = tl->lane(vgpu::Topology::gpu_lane_name(dev->ordinal()));
+  tl->advance(lane, tl->now(tl->active_lane()));
+  return lane;
+}
+
+}  // namespace
 
 std::unique_ptr<CoarsenSchedule> CoarsenAlgorithm::create_schedule(
     std::shared_ptr<hier::PatchLevel> coarse_level,
@@ -92,8 +112,16 @@ void CoarsenSchedule::prepare_scratch() {
     if (fine == nullptr) {
       continue;  // remote fine source: its owner coarsens and sends
     }
-    auto scratch = db_->factory(item.var_id)
-                       .allocate_with_ghosts(x.coarse_cells, IntVector::zero());
+    // Scratch follows the fine source patch's device: the coarsening
+    // kernel reads the fine arrays, so source and scratch must be
+    // device-local on a multi-device rank.
+    vgpu::Device* dev = nullptr;
+    if (ctx_->topology != nullptr) {
+      dev = &ctx_->topology->device(fine->device_ordinal());
+    }
+    auto scratch =
+        db_->factory(item.var_id)
+            .allocate_with_ghosts_on(x.coarse_cells, IntVector::zero(), dev);
     const pdat::PatchData* aux =
         item.aux_var_id >= 0 ? &fine->data(item.aux_var_id) : nullptr;
     RAMR_REQUIRE(!item.op->needs_aux() || aux != nullptr,
@@ -102,10 +130,48 @@ void CoarsenSchedule::prepare_scratch() {
         scratch.get(), &fine->data(item.var_id), aux, x.coarse_cells});
     scratch_cache_[h] = std::move(scratch);
   }
+  // Per-device fan-out: each group's coarsening launches ride the fine
+  // patches' device lane, forked from the caller's lane; the caller
+  // rejoins at the slowest device once every item has been issued.
+  vgpu::Timeline* tl =
+      ctx_->topology != nullptr && ctx_->topology->device_count() > 1
+          ? ctx_->timeline
+          : nullptr;
+  double join = tl != nullptr ? tl->now(tl->active_lane()) : 0.0;
   for (std::size_t n = 0; n < items_.size(); ++n) {
-    if (!tasks_by_item[n].empty()) {
-      items_[n].op->coarsen_batched(tasks_by_item[n], ratio);
+    if (tasks_by_item[n].empty()) {
+      continue;
     }
+    // One fused call per destination device: the operator charges the
+    // whole batch to its first task's device, and a multi-device rank's
+    // scratch is spread over the fine patches' devices.
+    std::vector<const vgpu::Device*> seen;
+    std::vector<CoarsenTask> group;
+    for (const CoarsenTask& probe : tasks_by_item[n]) {
+      const vgpu::Device* key = probe.dst->transfer_device();
+      bool visited = false;
+      for (const vgpu::Device* d : seen) {
+        visited = visited || d == key;
+      }
+      if (visited) {
+        continue;
+      }
+      seen.push_back(key);
+      group.clear();
+      for (const CoarsenTask& t : tasks_by_item[n]) {
+        if (t.dst->transfer_device() == key) {
+          group.push_back(t);
+        }
+      }
+      vgpu::LaneScope scope(tl, fork_gpu_lane(tl, key));
+      items_[n].op->coarsen_batched(group, ratio);
+      if (tl != nullptr) {
+        join = std::max(join, tl->now(tl->active_lane()));
+      }
+    }
+  }
+  if (tl != nullptr) {
+    tl->advance(tl->active_lane(), join);
   }
 }
 

@@ -11,6 +11,10 @@
 #include "vgpu/sim_clock.hpp"
 #include "vgpu/timeline.hpp"
 
+namespace ramr::vgpu {
+class Topology;
+}  // namespace ramr::vgpu
+
 namespace ramr::xfer {
 
 /// Rank-local handle to the (simulated) MPI world.
@@ -31,6 +35,20 @@ struct ParallelContext {
   /// exchange) whenever the data can export device views. False forces
   /// the per-transaction legacy path (differential testing, ablation).
   bool compiled_transfer = true;
+  /// The rank's device complex when it has more than one device. With a
+  /// topology set, compiled plans treat cross-device endpoints as the
+  /// FAST path — per-(src,dst)-device launch partitions with peer-lane
+  /// copies — instead of demoting the exchange to the legacy path.
+  vgpu::Topology* topology = nullptr;
+  /// GPU-direct RDMA wire mode: packed send buffers ship NIC-direct, so
+  /// the compiled path skips the modeled per-message D2H before isend and
+  /// H2D after receive (wire time is unchanged). Compiled path only.
+  bool gpu_direct = false;
+  /// Executes that wanted the compiled path but demoted to legacy (data
+  /// could not export views, or endpoints spanned devices without a
+  /// topology). Single-device runs assert this stays zero — a silent
+  /// demotion is a performance bug, not a correctness fallback.
+  std::uint64_t plan_fallbacks = 0;
   /// Multi-lane timing model of the async-overlap runs, or null for the
   /// synchronous single-cursor model. When set, split-phase schedule
   /// execution charges its pack/send legs on the "comm" lane so their

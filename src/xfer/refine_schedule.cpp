@@ -5,6 +5,7 @@
 
 #include "util/error.hpp"
 #include "util/logger.hpp"
+#include "vgpu/topology.hpp"
 
 namespace ramr::xfer {
 
@@ -16,6 +17,19 @@ using mesh::BoxList;
 using mesh::IntVector;
 
 namespace {
+
+/// Forks `dev`'s compute lane from the caller's active lane for a
+/// per-device fan-out scope. Returns -1 — a no-op LaneScope — without a
+/// timeline (single-device ranks pass tl == nullptr), so the launches
+/// stay on the caller's lane exactly as before.
+int fork_gpu_lane(vgpu::Timeline* tl, const vgpu::Device* dev) {
+  if (tl == nullptr || dev == nullptr) {
+    return -1;
+  }
+  const int lane = tl->lane(vgpu::Topology::gpu_lane_name(dev->ordinal()));
+  tl->advance(lane, tl->now(tl->active_lane()));
+  return lane;
+}
 
 /// Largest ghost width over the scheduled items.
 IntVector max_ghosts(const std::vector<RefineItem>& items,
@@ -410,12 +424,21 @@ void RefineSchedule::allocate_scratch() {
     if (cf.dst_owner != me) {
       continue;
     }
+    // Scratch follows the destination patch's device so the coarse
+    // gather's endpoint and the interpolation stay device-local on a
+    // multi-device rank.
+    vgpu::Device* dev = nullptr;
+    if (ctx_->topology != nullptr) {
+      if (const auto dst = dst_level_->local_patch(cf.dst_gid)) {
+        dev = &ctx_->topology->device(dst->device_ordinal());
+      }
+    }
     scratch_[f].resize(items_.size());
     for (std::size_t n = 0; n < items_.size(); ++n) {
       if (items_[n].op != nullptr) {
         scratch_[f][n] = db_->factory(items_[n].var_id)
-                             .allocate_with_ghosts(cf.scratch_cells,
-                                                   IntVector::zero());
+                             .allocate_with_ghosts_on(cf.scratch_cells,
+                                                      IntVector::zero(), dev);
       }
     }
   }
@@ -428,6 +451,14 @@ void RefineSchedule::clamp_fill_uncovered_scratch() {
   // in-place kernel never alias; planning is replicated and only the dst
   // owner executes, so every rank layout produces identical values.
   const int me = ctx_->my_rank;
+  // Per-device fan-out as in interpolate_coarse_fills: each fill's clamp
+  // launches ride its scratch's device lane; fills on different devices
+  // extrapolate concurrently.
+  vgpu::Timeline* tl =
+      ctx_->topology != nullptr && ctx_->topology->device_count() > 1
+          ? ctx_->timeline
+          : nullptr;
+  double join = tl != nullptr ? tl->now(tl->active_lane()) : 0.0;
   for (std::size_t f = 0; f < coarse_fills_.size(); ++f) {
     const CoarseFill& cf = coarse_fills_[f];
     if (cf.dst_owner != me || cf.uncovered_clamp.empty()) {
@@ -443,6 +474,7 @@ void RefineSchedule::clamp_fill_uncovered_scratch() {
       }
       vgpu::Device& dev = *scratch->transfer_device();
       vgpu::Stream stream(dev, "xfer");
+      vgpu::LaneScope scope(tl, fork_gpu_lane(tl, &dev));
       const mesh::Centering centering = scratch->centering();
       const int ncomp = mesh::centering_components(centering);
       for (int k = 0; k < ncomp; ++k) {
@@ -481,13 +513,27 @@ void RefineSchedule::clamp_fill_uncovered_scratch() {
           }
         }
       }
+      if (tl != nullptr) {
+        join = std::max(join, tl->now(tl->active_lane()));
+      }
     }
+  }
+  if (tl != nullptr) {
+    tl->advance(tl->active_lane(), join);
   }
 }
 
 void RefineSchedule::interpolate_coarse_fills() {
   const int me = ctx_->my_rank;
   const IntVector ratio = dst_level_->ratio_to_coarser();
+  // Fan the per-device groups onto the devices' compute lanes only on a
+  // multi-device rank: with one device fork_gpu_lane yields a no-op
+  // scope and the launches stay on the caller's lane, unchanged.
+  vgpu::Timeline* tl =
+      ctx_->topology != nullptr && ctx_->topology->device_count() > 1
+          ? ctx_->timeline
+          : nullptr;
+  double join = tl != nullptr ? tl->now(tl->active_lane()) : 0.0;
   // Batched by operator: the interpolation of a whole level costs one
   // fused refine_batched call per item per round instead of one launch
   // per (fill, piece). Tasks of one fused launch must not write the same
@@ -518,8 +564,36 @@ void RefineSchedule::interpolate_coarse_fills() {
       if (tasks.empty()) {
         break;
       }
-      items_[n].op->refine_batched(tasks, ratio);
+      // One fused call per destination device: the operator charges the
+      // whole batch to its first task's device, and a multi-device
+      // rank's round may target patches on several devices. Each group
+      // rides its device's compute lane, forked from the caller's lane,
+      // so the devices interpolate concurrently; the caller rejoins at
+      // the slowest lane once every item and round has been issued.
+      std::vector<const vgpu::Device*> seen;
+      std::vector<RefineTask> group;
+      for (const RefineTask& probe : tasks) {
+        const vgpu::Device* key = probe.dst->transfer_device();
+        if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+          continue;
+        }
+        seen.push_back(key);
+        group.clear();
+        for (const RefineTask& t : tasks) {
+          if (t.dst->transfer_device() == key) {
+            group.push_back(t);
+          }
+        }
+        vgpu::LaneScope scope(tl, fork_gpu_lane(tl, key));
+        items_[n].op->refine_batched(group, ratio);
+        if (tl != nullptr) {
+          join = std::max(join, tl->now(tl->active_lane()));
+        }
+      }
     }
+  }
+  if (tl != nullptr) {
+    tl->advance(tl->active_lane(), join);
   }
 }
 
@@ -527,8 +601,27 @@ void RefineSchedule::execute_physical_boundaries() {
   if (bc_ == nullptr) {
     return;
   }
+  // Per-device fan-out: each patch's reflective fills ride its device's
+  // compute lane, so a multi-device rank applies physical BCs on all
+  // devices concurrently.
+  vgpu::Timeline* tl =
+      ctx_->topology != nullptr && ctx_->topology->device_count() > 1
+          ? ctx_->timeline
+          : nullptr;
+  double join = tl != nullptr ? tl->now(tl->active_lane()) : 0.0;
   for (const auto& patch : dst_level_->local_patches()) {
+    vgpu::LaneScope scope(
+        tl, fork_gpu_lane(
+                tl, tl != nullptr
+                        ? &ctx_->topology->device(patch->device_ordinal())
+                        : nullptr));
     bc_->fill_physical_boundaries(*patch, dst_level_->domain_box(), var_ids_);
+    if (tl != nullptr) {
+      join = std::max(join, tl->now(tl->active_lane()));
+    }
+  }
+  if (tl != nullptr) {
+    tl->advance(tl->active_lane(), join);
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include "util/error.hpp"
 #include "vgpu/device_buffer.hpp"
+#include "vgpu/topology.hpp"
 
 namespace ramr::xfer {
 
@@ -226,6 +227,7 @@ void TransferSchedule::compile_plans() {
 bool TransferSchedule::bind(TransferDelegate& delegate) {
   bindings_.assign(transactions_.size(), TransferEndpoints{});
   plan_device_ = nullptr;
+  multi_device_ = false;
   bool viewable = true;
   const int me = ctx_->my_rank;
   for (std::size_t i = 0; i < transactions_.size(); ++i) {
@@ -253,12 +255,106 @@ bool TransferSchedule::bind(TransferDelegate& delegate) {
       if (plan_device_ == nullptr) {
         plan_device_ = dev;
       } else if (plan_device_ != dev) {
-        viewable = false;  // cross-device endpoints: stage per transaction
+        if (ctx_->topology != nullptr) {
+          // FAST path: with a topology the plans stay compiled and split
+          // into per-device launch partitions, peer crossings charged to
+          // the link lanes (build_device_parts below).
+          multi_device_ = true;
+        } else {
+          viewable = false;  // cross-device endpoints: stage per transaction
+        }
       }
     }
     bindings_[i] = ep;
   }
-  return viewable && plan_device_ != nullptr;
+  const bool compiled = viewable && plan_device_ != nullptr;
+  multi_device_ = multi_device_ && compiled;
+  if (multi_device_) {
+    build_device_parts();
+  }
+  return compiled;
+}
+
+void TransferSchedule::build_device_parts() {
+  // Re-partition every compiled plan by the device its bound endpoints
+  // actually live on. Rebuilt each bind: scratch objects (and, after a
+  // measured-balance regrid, patch->device placement) change between
+  // executes while the plan geometry does not.
+  pack_parts_.clear();
+  unpack_parts_.clear();
+  local_same_parts_.clear();
+  local_staged_parts_.clear();
+  local_peer_parts_.clear();
+  peer_offset_.assign(local_plan_.ops.size(), 0);
+
+  const auto part_for = [](std::vector<DevicePart>& parts,
+                           vgpu::Device* dev) -> DevicePart& {
+    for (DevicePart& p : parts) {
+      if (p.dev == dev) {
+        return p;
+      }
+    }
+    parts.push_back(DevicePart{dev, {}});
+    return parts.back();
+  };
+
+  for (const auto& [peer, plan] : pack_plans_) {
+    std::vector<DevicePart>& parts = pack_parts_[peer];
+    for (std::size_t s = 0; s < plan.ops.size(); ++s) {
+      const vgpu::LaunchSeg2D& seg = plan.segs.segment(s);
+      vgpu::Device* dev = bindings_[plan.ops[s].txn].src->transfer_device();
+      part_for(parts, dev).segs.add(seg.ilo, seg.jlo, seg.width, seg.height, s);
+    }
+  }
+  for (const auto& [peer, plan] : unpack_plans_) {
+    std::vector<DevicePart>& parts = unpack_parts_[peer];
+    for (std::size_t s = 0; s < plan.ops.size(); ++s) {
+      const vgpu::LaunchSeg2D& seg = plan.segs.segment(s);
+      vgpu::Device* dev = bindings_[plan.ops[s].txn].dst->transfer_device();
+      part_for(parts, dev).segs.add(seg.ilo, seg.jlo, seg.width, seg.height, s);
+    }
+  }
+  for (std::size_t s = 0; s < local_plan_.ops.size(); ++s) {
+    const vgpu::LaunchSeg2D& seg = local_plan_.segs.segment(s);
+    const TransferEndpoints& ep = bindings_[local_plan_.ops[s].txn];
+    vgpu::Device* src_dev = ep.src->transfer_device();
+    vgpu::Device* dst_dev = ep.dst->transfer_device();
+    if (src_dev == dst_dev) {
+      part_for(local_same_parts_, dst_dev)
+          .segs.add(seg.ilo, seg.jlo, seg.width, seg.height, s);
+      if (local_plan_.ops[s].staged) {
+        part_for(local_staged_parts_, dst_dev)
+            .segs.add(seg.ilo, seg.jlo, seg.width, seg.height, s);
+      }
+      continue;
+    }
+    // Cross-device: compact peer buffer per directed (src, dst) pair.
+    PeerPart* pp = nullptr;
+    for (PeerPart& cand : local_peer_parts_) {
+      if (cand.src_dev == src_dev && cand.dst_dev == dst_dev) {
+        pp = &cand;
+        break;
+      }
+    }
+    if (pp == nullptr) {
+      local_peer_parts_.push_back(PeerPart{src_dev, dst_dev, {}, 0});
+      pp = &local_peer_parts_.back();
+    }
+    peer_offset_[s] = pp->doubles;
+    pp->doubles += seg.size();
+    pp->segs.add(seg.ilo, seg.jlo, seg.width, seg.height, s);
+  }
+}
+
+int TransferSchedule::device_lane(vgpu::Timeline* tl, int comm_lane,
+                                  vgpu::Device* dev) {
+  if (tl == nullptr || comm_lane < 0) {
+    return comm_lane;
+  }
+  const int lane = tl->lane(vgpu::Topology::xfer_lane_name(dev->ordinal()));
+  tl->advance(lane, tl->now(comm_lane));
+  flight_lanes_.push_back(lane);
+  return lane;
 }
 
 void TransferSchedule::execute(TransferDelegate& delegate) {
@@ -275,6 +371,11 @@ void TransferSchedule::execute_begin(TransferDelegate& delegate) {
   const bool viewable = bind(delegate);
   in_flight_ = true;
   flight_compiled_ = ctx_->compiled_transfer && viewable;
+  if (ctx_->compiled_transfer && !viewable) {
+    // Wanted the fast path, demoted to legacy: surfaced through the run
+    // metrics and hard-asserted zero in single-device benches.
+    ++ctx_->plan_fallbacks;
+  }
   if (flight_compiled_) {
     ++compiled_executions_;
     execute_compiled_begin();
@@ -296,6 +397,7 @@ void TransferSchedule::execute_finish() {
   flight_recvs_.clear();
   flight_send_streams_.clear();
   flight_sends_.clear();
+  flight_lanes_.clear();
 }
 
 std::vector<util::View> TransferSchedule::resolve_views(const Plan& plan,
@@ -353,6 +455,7 @@ void TransferSchedule::execute_compiled_begin() {
   send_streams.reserve(send_messages_.size());
   std::vector<simmpi::Request>& sends = flight_sends_;
   sends.reserve(send_messages_.size());
+  const bool gpu_direct = ctx_->gpu_direct;
   for (const auto& [peer, msg] : send_messages_) {
     const Plan& plan = pack_plans_.at(peer);
     vgpu::DeviceBuffer<double> staging(dev, plan.payload_doubles);
@@ -360,15 +463,38 @@ void TransferSchedule::execute_compiled_begin() {
     double* out = staging.device_ptr();
     const PlanSeg* ops = plan.ops.data();
     const util::View* v = views.data();
-    {
+    const auto pack_body = [=](std::size_t s, int i, int j) {
+      const PlanSeg& op = ops[s];
+      out[op.payload_base +
+          static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
+          (i - op.run_ilo)] = v[s](i, j);
+    };
+    if (!multi_device_) {
       vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kTransferPack);
-      dev.launch_batched(
-          stream, plan.segs, kXferCost, [=](std::size_t s, int i, int j) {
-            const PlanSeg& op = ops[s];
-            out[op.payload_base +
-                static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
-                (i - op.run_ilo)] = v[s](i, j);
-          });
+      dev.launch_batched(stream, plan.segs, kXferCost, pack_body);
+    } else {
+      // One gather launch per source device, all writing the SAME staging
+      // buffer at the GLOBAL payload offsets — the wire layout is
+      // bit-identical to the single-device pack by construction. Each
+      // partition rides its device's own transfer lane (forked from the
+      // comm cursor) so the devices gather concurrently; the join below
+      // holds the message's bus crossing / isend until every partition
+      // has finished.
+      double packed = tl != nullptr ? tl->now(comm_lane) : 0.0;
+      for (const DevicePart& part : pack_parts_.at(peer)) {
+        vgpu::Stream part_stream(*part.dev, "xfer");
+        const int lane = device_lane(tl, comm_lane, part.dev);
+        part_stream.bind_lane(lane);
+        vgpu::LaunchTagScope tag_scope(part.dev,
+                                       vgpu::LaunchTag::kTransferPack);
+        part.dev->launch_batched(part_stream, part.segs, kXferCost, pack_body);
+        if (tl != nullptr) {
+          packed = std::max(packed, tl->now(lane));
+        }
+      }
+      if (tl != nullptr) {
+        tl->advance(comm_lane, packed);
+      }
     }
     pdat::MessageStream ms;
     ms.reserve(msg.wire_bytes);
@@ -378,11 +504,23 @@ void TransferSchedule::execute_compiled_begin() {
     header.payload_bytes = msg.payload_bytes;
     ms.write(header);
     std::byte* dst = ms.grow(msg.payload_bytes);
-    {
+    if (gpu_direct) {
+      // NIC-direct: no modeled D2H staging; the isend issues straight
+      // from the comm lane (pack completion) and wire time is unchanged.
+      dev.memcpy_d2h_direct(dst, staging.device_ptr(), msg.payload_bytes);
+      RAMR_REQUIRE(ms.size() == msg.wire_bytes,
+                   "aggregated message to rank " << peer << " packed "
+                   << ms.size() << " bytes, planned " << msg.wire_bytes);
+      send_streams.push_back(std::move(ms));
+      sends.push_back(ctx_->comm->isend(peer, tag_, send_streams.back().data(),
+                                        send_streams.back().size()));
+    } else {
       // Fork the copy engine from the pack's completion; the isend below
       // issues from the engine's cursor (still inside this scope), so
       // wire follows download follows pack — per message, while packs of
-      // later messages proceed on the comm lane concurrently.
+      // later messages proceed on the comm lane concurrently. On a
+      // multi-device rank the whole payload crosses on the message's
+      // home device (the plan device).
       vgpu::LaneScope d2h_scope(tl, comm_lane >= 0 ? d2h_lane : -1);
       dev.memcpy_d2h(dst, staging.device_ptr(), msg.payload_bytes);
       RAMR_REQUIRE(ms.size() == msg.wire_bytes,
@@ -404,13 +542,22 @@ void TransferSchedule::execute_compiled_begin() {
   //    pre-exchange source value, identical to what a remote peer's pack
   //    ships regardless of the rank layout.
   if (local_plan_.segs.total_threads() > 0) {
-    const std::vector<util::View> dst_views =
-        resolve_views(local_plan_, /*src_side=*/false);
-    const std::vector<util::View> src_views =
-        resolve_views(local_plan_, /*src_side=*/true);
-    const PlanSeg* ops = local_plan_.ops.data();
-    const util::View* dv = dst_views.data();
-    const util::View* sv = src_views.data();
+    execute_local_plan(tl, comm_lane);
+  }
+}
+
+void TransferSchedule::execute_local_plan(vgpu::Timeline* tl, int comm_lane) {
+  vgpu::Device& dev = *plan_device_;
+  vgpu::Stream stream(dev, "xfer");
+  stream.bind_lane(comm_lane);
+  const std::vector<util::View> dst_views =
+      resolve_views(local_plan_, /*src_side=*/false);
+  const std::vector<util::View> src_views =
+      resolve_views(local_plan_, /*src_side=*/true);
+  const PlanSeg* ops = local_plan_.ops.data();
+  const util::View* dv = dst_views.data();
+  const util::View* sv = src_views.data();
+  if (!multi_device_) {
     vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kLocalCopy);
     vgpu::DeviceBuffer<double> snapshot(
         dev, std::max<std::int64_t>(local_plan_.staging_doubles, 1));
@@ -436,6 +583,132 @@ void TransferSchedule::execute_compiled_begin() {
                          static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
                          (i - op.run_ilo)]
                   : sv[s](i - op.shift_i, j - op.shift_j);
+        });
+    return;
+  }
+
+  // Multi-device local plan, strict read-before-write phases: every read
+  // of the exchange (same-device snapshot gathers, cross-device peer
+  // packs) completes before any write (same-device applies, peer
+  // unpacks). Global clipping already made all writes disjoint, so the
+  // order among writers is free — the same pack-then-apply semantics the
+  // single-device plan has.
+  //
+  // 1. Per-device snapshot gathers for same-device aliased reads. Each
+  //    device gathers into its own snapshot buffer at the plan's global
+  //    staging offsets.
+  std::vector<vgpu::DeviceBuffer<double>> snapshots;
+  snapshots.reserve(local_staged_parts_.size());
+  std::vector<std::pair<vgpu::Device*, double*>> snap_by_dev;
+  for (const DevicePart& part : local_staged_parts_) {
+    snapshots.emplace_back(
+        *part.dev, std::max<std::int64_t>(local_plan_.staging_doubles, 1));
+    double* snap = snapshots.back().device_ptr();
+    snap_by_dev.emplace_back(part.dev, snap);
+    vgpu::Stream part_stream(*part.dev, "xfer");
+    part_stream.bind_lane(device_lane(tl, comm_lane, part.dev));
+    vgpu::LaunchTagScope tag_scope(part.dev, vgpu::LaunchTag::kLocalCopy);
+    part.dev->launch_batched(part_stream, part.segs, kXferCost,
+                             [=](std::size_t s, int i, int j) {
+                               const PlanSeg& op = ops[s];
+                               snap[op.payload_base +
+                                    static_cast<std::int64_t>(j - op.run_jlo) *
+                                        op.run_w +
+                                    (i - op.run_ilo)] =
+                                   sv[s](i - op.shift_i, j - op.shift_j);
+                             });
+  }
+
+  // 2. Cross-device packs into compact per-(src,dst) buffers — before
+  //    any apply write, so the live reads see pre-exchange values — then
+  //    the peer-link crossing itself, charged to the directed
+  //    "peer<i>-<j>" lane forked from the comm lane.
+  struct PeerFlight {
+    const PeerPart* part;
+    vgpu::DeviceBuffer<double> src_buf;
+    vgpu::DeviceBuffer<double> dst_buf;
+    double ready = 0.0;  ///< link-lane completion of the crossing
+  };
+  std::vector<PeerFlight> flights;
+  flights.reserve(local_peer_parts_.size());
+  const std::int64_t* off = peer_offset_.data();
+  for (const PeerPart& part : local_peer_parts_) {
+    PeerFlight f{&part,
+                 vgpu::DeviceBuffer<double>(
+                     *part.src_dev, std::max<std::int64_t>(part.doubles, 1)),
+                 vgpu::DeviceBuffer<double>(
+                     *part.dst_dev, std::max<std::int64_t>(part.doubles, 1)),
+                 0.0};
+    double* buf = f.src_buf.device_ptr();
+    vgpu::Stream part_stream(*part.src_dev, "xfer");
+    const int src_lane = device_lane(tl, comm_lane, part.src_dev);
+    part_stream.bind_lane(src_lane);
+    {
+      vgpu::LaunchTagScope tag_scope(part.src_dev, vgpu::LaunchTag::kLocalCopy);
+      part.src_dev->launch_batched(part_stream, part.segs, kXferCost,
+                                   [=](std::size_t s, int i, int j) {
+                                     const PlanSeg& op = ops[s];
+                                     buf[off[s] +
+                                         static_cast<std::int64_t>(
+                                             j - op.run_jlo) *
+                                             op.run_w +
+                                         (i - op.run_ilo)] =
+                                         sv[s](i - op.shift_i, j - op.shift_j);
+                                   });
+    }
+    // memcpy_peer forks the directed link lane from the active lane;
+    // scoping to the source device's transfer lane chains the crossing
+    // after the pack launch above, not after unrelated comm work.
+    vgpu::LaneScope src_scope(tl, src_lane);
+    f.ready = part.src_dev->memcpy_peer(
+        f.dst_buf.device_ptr(), *part.dst_dev, f.src_buf.device_ptr(),
+        static_cast<std::uint64_t>(part.doubles) * sizeof(double));
+    flights.push_back(std::move(f));
+  }
+
+  // 3. Same-device applies, one launch per device.
+  for (const DevicePart& part : local_same_parts_) {
+    double* snap = nullptr;
+    for (const auto& [d, p] : snap_by_dev) {
+      if (d == part.dev) {
+        snap = p;
+        break;
+      }
+    }
+    vgpu::Stream part_stream(*part.dev, "xfer");
+    part_stream.bind_lane(device_lane(tl, comm_lane, part.dev));
+    vgpu::LaunchTagScope tag_scope(part.dev, vgpu::LaunchTag::kLocalCopy);
+    part.dev->launch_batched(
+        part_stream, part.segs, kXferCost, [=](std::size_t s, int i, int j) {
+          const PlanSeg& op = ops[s];
+          dv[s](i, j) =
+              op.staged
+                  ? snap[op.payload_base +
+                         static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
+                         (i - op.run_ilo)]
+                  : sv[s](i - op.shift_i, j - op.shift_j);
+        });
+  }
+
+  // 4. Peer unpacks on the destination device, each ordered after its
+  //    link crossing completes.
+  for (const PeerFlight& f : flights) {
+    const PeerPart& part = *f.part;
+    const int dst_lane = device_lane(tl, comm_lane, part.dst_dev);
+    if (tl != nullptr) {
+      tl->advance(dst_lane, f.ready);
+    }
+    const double* buf = f.dst_buf.device_ptr();
+    vgpu::Stream part_stream(*part.dst_dev, "xfer");
+    part_stream.bind_lane(dst_lane);
+    vgpu::LaunchTagScope tag_scope(part.dst_dev, vgpu::LaunchTag::kLocalCopy);
+    part.dst_dev->launch_batched(
+        part_stream, part.segs, kXferCost, [=](std::size_t s, int i, int j) {
+          const PlanSeg& op = ops[s];
+          dv[s](i, j) = buf[off[s] +
+                            static_cast<std::int64_t>(j - op.run_jlo) *
+                                op.run_w +
+                            (i - op.run_ilo)];
         });
   }
 }
@@ -490,7 +763,12 @@ void TransferSchedule::execute_compiled_finish() {
       Arrived a{peer, vgpu::DeviceBuffer<double>(dev, plan.payload_doubles),
                 0.0};
       const std::byte* src = ms.view_and_skip(msg.payload_bytes);
-      {
+      if (ctx_->gpu_direct) {
+        // NIC-direct receive: the payload lands in device memory with no
+        // modeled H2D staging; the scatter issues from the comm cursor
+        // (which the arrival wait already advanced).
+        dev.memcpy_h2d_direct(a.staging.device_ptr(), src, msg.payload_bytes);
+      } else {
         vgpu::LaneScope h2d_scope(tl, comm_lane >= 0 ? h2d_lane : -1);
         dev.memcpy_h2d(a.staging.device_ptr(), src, msg.payload_bytes);
         if (tl != nullptr) {
@@ -516,15 +794,30 @@ void TransferSchedule::execute_compiled_finish() {
       const PlanSeg* ops = plan.ops.data();
       const util::View* v = views.data();
       const double* in = a.staging.device_ptr();
-      vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kTransferUnpack);
-      dev.launch_batched(
-          stream, plan.segs, kXferCost, [=](std::size_t s, int i, int j) {
-            const PlanSeg& op = ops[s];
-            v[s](i, j) =
-                in[op.payload_base +
-                   static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
-                   (i - op.run_ilo)];
-          });
+      const auto scatter_body = [=](std::size_t s, int i, int j) {
+        const PlanSeg& op = ops[s];
+        v[s](i, j) = in[op.payload_base +
+                        static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
+                        (i - op.run_ilo)];
+      };
+      if (!multi_device_) {
+        vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kTransferUnpack);
+        dev.launch_batched(stream, plan.segs, kXferCost, scatter_body);
+      } else {
+        // One scatter launch per destination device, all reading the
+        // message's staging buffer at the global payload offsets. Each
+        // partition's lane forks from the comm cursor, which the arrival
+        // wait and upload already advanced — devices scatter concurrently
+        // but never before their payload is resident.
+        for (const DevicePart& part : unpack_parts_.at(a.peer)) {
+          vgpu::Stream part_stream(*part.dev, "xfer");
+          part_stream.bind_lane(device_lane(tl, comm_lane, part.dev));
+          vgpu::LaunchTagScope tag_scope(part.dev,
+                                         vgpu::LaunchTag::kTransferUnpack);
+          part.dev->launch_batched(part_stream, part.segs, kXferCost,
+                                   scatter_body);
+        }
+      }
     }
     if (!flight_sends_.empty()) {
       ctx_->comm->wait_all(flight_sends_);
@@ -532,10 +825,15 @@ void TransferSchedule::execute_compiled_finish() {
   }
   if (tl != nullptr) {
     // Join: the exchange's writes are visible to the caller only once
-    // the comm lane has drained.
+    // the comm lane — and, on a multi-device rank, every per-device
+    // transfer lane this exchange used — has drained.
     vgpu::Event done;
     done.record(stream);
-    tl->advance(tl->active_lane(), done.timestamp());
+    double join = done.timestamp();
+    for (const int lane : flight_lanes_) {
+      join = std::max(join, tl->now(lane));
+    }
+    tl->advance(tl->active_lane(), join);
   }
 }
 

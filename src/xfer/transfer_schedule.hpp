@@ -253,11 +253,39 @@ class TransferSchedule {
     std::int64_t staging_doubles = 0;
   };
 
+  /// One device's share of a fused plan launch (multi-device ranks): the
+  /// subset of a Plan's segments whose bound endpoint lives on `dev`.
+  /// Segment args carry the GLOBAL op index, so the partition's launch
+  /// body indexes the original plan.ops / view arrays unchanged — the
+  /// split changes which device is charged, never what is computed.
+  struct DevicePart {
+    vgpu::Device* dev = nullptr;
+    vgpu::SegmentTable segs;
+  };
+
+  /// Local-copy ops whose endpoints live on two different devices of the
+  /// rank: packed on src_dev into a compact buffer, shipped over the
+  /// directed peer link, scattered on dst_dev. Per-op buffer offsets
+  /// live in peer_offset_ (indexed by the global op index).
+  struct PeerPart {
+    vgpu::Device* src_dev = nullptr;
+    vgpu::Device* dst_dev = nullptr;
+    vgpu::SegmentTable segs;
+    std::int64_t doubles = 0;  ///< compact peer-buffer size
+  };
+
   void compile_plans();
   bool bind(TransferDelegate& delegate);
+  void build_device_parts();
   void execute_compiled_begin();
   void execute_compiled_finish();
+  void execute_local_plan(vgpu::Timeline* tl, int comm_lane);
   void execute_legacy();
+  /// Forks `dev`'s per-device transfer lane from the comm lane's cursor
+  /// and remembers it for the closing join (multi-device ranks: each
+  /// device's plan partitions serialize on their own lane, not on the
+  /// single comm lane). Returns comm_lane itself without a timeline.
+  int device_lane(vgpu::Timeline* tl, int comm_lane, vgpu::Device* dev);
   std::vector<util::View> resolve_views(const Plan& plan, bool src_side) const;
 
   ParallelContext* ctx_ = nullptr;
@@ -279,6 +307,15 @@ class TransferSchedule {
   // Per-execute state.
   std::vector<TransferEndpoints> bindings_;
   vgpu::Device* plan_device_ = nullptr;
+  /// Endpoints span several devices of the rank's topology; the compiled
+  /// plans execute through the per-device partitions below.
+  bool multi_device_ = false;
+  std::map<int, std::vector<DevicePart>> pack_parts_;    ///< by dst rank
+  std::map<int, std::vector<DevicePart>> unpack_parts_;  ///< by src rank
+  std::vector<DevicePart> local_same_parts_;
+  std::vector<DevicePart> local_staged_parts_;
+  std::vector<PeerPart> local_peer_parts_;
+  std::vector<std::int64_t> peer_offset_;  ///< per local op, doubles
   std::uint64_t compiled_executions_ = 0;
   std::uint64_t legacy_executions_ = 0;
 
@@ -288,6 +325,9 @@ class TransferSchedule {
   std::map<int, simmpi::Request> flight_recvs_;
   std::vector<pdat::MessageStream> flight_send_streams_;
   std::vector<simmpi::Request> flight_sends_;
+  /// Per-device transfer lanes used this exchange; the closing join
+  /// covers them alongside the comm lane.
+  std::vector<int> flight_lanes_;
 };
 
 }  // namespace ramr::xfer

@@ -238,6 +238,89 @@ TEST(ChopBoxes, StopsAtMinimumSize) {
   }
 }
 
+TEST(ChopBoxes, MinSizeBoundaryNeverProducesUndersizedPieces) {
+  BalanceParams p;
+  p.max_patch_cells = 16;
+  p.min_size = 4;
+  // 8x8 splits exactly once per axis into four 4x4 pieces — the min_size
+  // boundary case where both halves land exactly at the floor.
+  const auto exact = chop_boxes({Box(0, 0, 7, 7)}, p);
+  EXPECT_EQ(exact.size(), 4u);
+  std::int64_t area = 0;
+  for (const Box& b : exact) {
+    EXPECT_EQ(b.width(), 4);
+    EXPECT_EQ(b.height(), 4);
+    area += b.size();
+  }
+  EXPECT_EQ(area, 64);
+
+  // One cell short of splittable: a 7x7 box (width < 2*min_size) must
+  // survive unsplit even though it exceeds max_patch_cells.
+  const auto stuck = chop_boxes({Box(0, 0, 6, 6)}, p);
+  ASSERT_EQ(stuck.size(), 1u);
+  EXPECT_EQ(stuck[0], Box(0, 0, 6, 6));
+
+  // A mixed box splits only along its splittable axis: 8x5 can halve in
+  // x but never in y.
+  const auto mixed = chop_boxes({Box(0, 0, 7, 4)}, p);
+  for (const Box& b : mixed) {
+    EXPECT_GE(b.width(), p.min_size);
+    EXPECT_EQ(b.height(), 5);
+  }
+}
+
+TEST(BalanceBoxes, MortonAssignmentInvariantUnderInputPermutation) {
+  std::vector<Box> boxes;
+  for (int j = 0; j < 4; ++j) {
+    for (int i = 0; i < 4; ++i) {
+      boxes.emplace_back(20 * i, 20 * j, 20 * i + 10 + i, 20 * j + 12 + j);
+    }
+  }
+  BalanceParams p;
+  p.max_patch_cells = 128;
+  const auto ref = balance_boxes(boxes, 4, p);
+  // Reversed and rotated input orders must produce the identical
+  // (box, rank, id) sequence: the Morton sort with its total-order tie
+  // break erases the caller's ordering.
+  std::vector<Box> reversed(boxes.rbegin(), boxes.rend());
+  std::vector<Box> rotated(boxes.begin() + 5, boxes.end());
+  rotated.insert(rotated.end(), boxes.begin(), boxes.begin() + 5);
+  for (const auto& permuted : {reversed, rotated}) {
+    const auto got = balance_boxes(permuted, 4, p);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t n = 0; n < ref.size(); ++n) {
+      EXPECT_EQ(got[n].box, ref[n].box);
+      EXPECT_EQ(got[n].owner_rank, ref[n].owner_rank);
+      EXPECT_EQ(got[n].global_id, ref[n].global_id);
+    }
+  }
+}
+
+TEST(BalanceBoxes, GreedyAssignmentInvariantUnderInputPermutation) {
+  std::vector<Box> boxes;
+  boxes.emplace_back(0, 0, 49, 49);
+  boxes.emplace_back(100, 0, 139, 39);
+  for (int k = 0; k < 7; ++k) {
+    boxes.emplace_back(200 + 12 * k, 0, 200 + 12 * k + 7 + k, 9);
+  }
+  BalanceParams p;
+  p.method = BalanceMethod::kGreedy;
+  p.max_patch_cells = 1 << 20;  // no chopping
+  const auto ref = balance_boxes(boxes, 3, p);
+  std::vector<Box> reversed(boxes.rbegin(), boxes.rend());
+  std::vector<Box> rotated(boxes.begin() + 4, boxes.end());
+  rotated.insert(rotated.end(), boxes.begin(), boxes.begin() + 4);
+  for (const auto& permuted : {reversed, rotated}) {
+    const auto got = balance_boxes(permuted, 3, p);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t n = 0; n < ref.size(); ++n) {
+      EXPECT_EQ(got[n].box, ref[n].box);
+      EXPECT_EQ(got[n].owner_rank, ref[n].owner_rank);
+      EXPECT_EQ(got[n].global_id, ref[n].global_id);
+    }
+  }
+}
+
 TEST(BalanceBoxes, AssignsEveryBoxWithDenseIds) {
   BalanceParams p;
   p.max_patch_cells = 256;
