@@ -16,6 +16,7 @@
 //   - no compiled-plan fallbacks anywhere.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -38,7 +39,8 @@ struct RunResult {
   ramr::hydro::FieldSummary summary;
 };
 
-RunResult run(int device_count, bool gpu_direct, int steps, int n) {
+RunResult run(int device_count, bool gpu_direct, int steps, int n,
+              bool traced = false) {
   ramr::app::SimulationConfig cfg;
   cfg.problem = "triple_point";
   cfg.nx = n;
@@ -49,6 +51,14 @@ RunResult run(int device_count, bool gpu_direct, int steps, int n) {
   cfg.async_overlap = true;
   cfg.topology.device_count = device_count;
   cfg.topology.gpu_direct = gpu_direct;
+  if (traced) {
+    // Observability overhead column: the recorder only observes clock
+    // charges, so the traced run must be bit-identical in modeled time.
+    auto oc = std::make_shared<ramr::obs::ObservabilityConfig>();
+    oc->trace = true;
+    oc->trace_capacity = 1 << 15;
+    cfg.observability = std::move(oc);
+  }
   if (device_count > 1) {
     // Measured balancing: after the first regrid the patch-to-device
     // assignment follows the gpu lanes' observed busy time.
@@ -122,17 +132,27 @@ int main() {
   runs.push_back(run(4, false, steps, n));
   runs.push_back(run(2, true, steps, n));
 
-  const RunResult& base = runs[0];
-  ramr::perf::Table t({22, 12, 14, 14, 10});
-  t.header({"config", "s/step", "wire+staging", "peer busy", "speedup"});
+  // Observability-overhead column: the same configs with span tracing on.
+  std::vector<RunResult> traced;
   for (const RunResult& r : runs) {
+    traced.push_back(run(r.device_count, r.gpu_direct, steps, n,
+                         /*traced=*/true));
+  }
+
+  const RunResult& base = runs[0];
+  ramr::perf::Table t({22, 12, 14, 14, 10, 12});
+  t.header({"config", "s/step", "wire+staging", "peer busy", "speedup",
+            "traced s/st"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
     const std::string label = std::to_string(r.device_count) + " device" +
                               (r.device_count > 1 ? "s" : "") +
                               (r.gpu_direct ? " +gpu_direct" : "");
     t.row({label, ramr::perf::Table::seconds(r.step_s),
            ramr::perf::Table::seconds(r.wire_staging_s),
            ramr::perf::Table::seconds(r.peer_s),
-           ramr::perf::Table::ratio(base.step_s / r.step_s)});
+           ramr::perf::Table::ratio(base.step_s / r.step_s),
+           ramr::perf::Table::seconds(traced[i].step_s)});
   }
 
   // --- Hard asserts ---------------------------------------------------
@@ -189,6 +209,23 @@ int main() {
               "(%.3e -> %.3e) with identical physics\n",
               staged.wire_staging_s, direct.wire_staging_s);
 
+  // Tracing is a passive observer of the modeled clock: the traced runs
+  // must reproduce the untraced modeled time (and physics) BIT-identically
+  // — any drift means the recorder charged time it should only watch.
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (traced[i].step_s != runs[i].step_s ||
+        !same_physics(traced[i].summary, runs[i].summary)) {
+      std::printf("FAIL: tracing changed the run with %d devices%s "
+                  "(%.17e vs %.17e s/step)\n",
+                  runs[i].device_count,
+                  runs[i].gpu_direct ? " (gpu_direct)" : "",
+                  traced[i].step_s, runs[i].step_s);
+      return 1;
+    }
+  }
+  std::printf("OK: span tracing is modeled-time neutral (bit-identical "
+              "s/step on every config)\n");
+
   // Machine-readable record (alongside BENCH_fig10.json/BENCH_fig11.json).
   if (FILE* json = std::fopen("BENCH_multidevice.json", "w")) {
     std::fprintf(json, "{\n  \"ranks\": %d,\n  \"grid\": %d,\n"
@@ -200,12 +237,14 @@ int main() {
           "    {\"devices\": %d, \"gpu_direct\": %s, \"s_per_step\": %.6e, "
           "\"wire_staging_s\": %.6e, \"peer_busy_s\": %.6e, "
           "\"peer_bytes\": %llu, \"speedup_vs_1dev\": %.4f, "
+          "\"traced_s_per_step\": %.6e, "
           "\"mass\": %.17e, \"internal_energy\": %.17e, "
           "\"kinetic_energy\": %.17e}%s\n",
           r.device_count, r.gpu_direct ? "true" : "false", r.step_s,
           r.wire_staging_s, r.peer_s,
           static_cast<unsigned long long>(r.peer_bytes),
-          base.step_s / r.step_s, r.summary.mass, r.summary.internal_energy,
+          base.step_s / r.step_s, traced[i].step_s, r.summary.mass,
+          r.summary.internal_energy,
           r.summary.kinetic_energy, i + 1 < runs.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");

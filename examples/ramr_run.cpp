@@ -24,6 +24,8 @@
 #include "app/simulation.hpp"
 #include "app/vtk_writer.hpp"
 #include "cfg/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "svc/server.hpp"
 
 namespace {
@@ -79,15 +81,76 @@ void run_with_outputs(ramr::app::Simulation& sim,
   write(/*final_output=*/true);
 }
 
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot open \"%s\" for writing\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  os << text;
+}
+
+/// Observability artifacts of one rank: the Chrome trace events (when
+/// tracing) and the JSONL metric stream (when sampling). Collected per
+/// rank inside the world, written once after it joins.
+void collect_observability(ramr::app::Simulation& sim, int rank,
+                           std::vector<ramr::cfg::Json>* trace_events,
+                           std::vector<std::string>* metrics_lines) {
+  if (ramr::obs::TraceRecorder* rec = sim.trace_recorder()) {
+    (*trace_events)[static_cast<std::size_t>(rank)] =
+        ramr::obs::chrome_trace_events(*rec, rank);
+  }
+  if (rank == 0) {
+    if (ramr::obs::MetricsRegistry* reg = sim.metrics_registry()) {
+      *metrics_lines = reg->jsonl();
+    }
+  }
+}
+
+void write_observability(const ramr::cfg::RunConfig& config,
+                         std::vector<ramr::cfg::Json> trace_events,
+                         const std::vector<std::string>& metrics_lines) {
+  const ramr::obs::ObservabilityConfig* oc = config.sim.observability.get();
+  if (oc == nullptr) {
+    return;
+  }
+  if (oc->trace && !oc->trace_path.empty()) {
+    // Drop ranks that never recorded (tracing disabled mid-flight is
+    // impossible today, but keep the export robust to empty slots).
+    std::vector<ramr::cfg::Json> present;
+    for (ramr::cfg::Json& e : trace_events) {
+      if (e.is_array()) {
+        present.push_back(std::move(e));
+      }
+    }
+    write_text_file(
+        oc->trace_path,
+        ramr::obs::chrome_trace_document(std::move(present)).dump() + "\n");
+  }
+  if (oc->metrics && !oc->metrics_path.empty()) {
+    std::string text;
+    for (const std::string& line : metrics_lines) {
+      text += line;
+      text += "\n";
+    }
+    write_text_file(oc->metrics_path, text);
+  }
+}
+
 int run_single(const std::string& path) {
   const ramr::cfg::RunConfig config =
       ramr::cfg::parse_run_config_text(read_file(path));
   ramr::cfg::Json report;
+  std::vector<ramr::cfg::Json> trace_events(
+      static_cast<std::size_t>(config.run.ranks));
+  std::vector<std::string> metrics_lines;
   if (config.run.ranks == 1) {
     ramr::app::Simulation sim(config.sim, nullptr);
     sim.initialize();
     run_with_outputs(sim, config, 0);
     report = ramr::svc::run_metrics_json(sim);
+    collect_observability(sim, 0, &trace_events, &metrics_lines);
   } else {
     ramr::simmpi::World world(config.run.ranks, config.network);
     world.run([&](ramr::simmpi::Communicator& comm) {
@@ -100,17 +163,21 @@ int run_single(const std::string& path) {
       if (comm.rank() == 0) {
         report = std::move(rank_report);
       }
+      // Each rank writes only its own slot: no lock needed.
+      collect_observability(sim, comm.rank(), &trace_events, &metrics_lines);
     });
   }
+  write_observability(config, std::move(trace_events), metrics_lines);
   std::printf("%s\n", report.dump().c_str());
   return 0;
 }
 
 int run_server(int concurrency, const std::vector<std::string>& paths,
-               const std::string& manifest) {
+               const std::string& manifest, const std::string& metrics_out) {
   ramr::svc::ServerConfig sc;
   sc.max_concurrent_jobs = concurrency;
   sc.manifest_path = manifest;
+  sc.metrics_out = metrics_out;
   ramr::svc::SimulationServer server(sc);
   // Unfinished jobs from a previous server instance come back first
   // (restored from their streamed checkpoints), then the new submissions.
@@ -139,6 +206,7 @@ int run_server(int concurrency, const std::vector<std::string>& paths,
 int main(int argc, char** argv) {
   std::vector<std::string> configs;
   std::string manifest;
+  std::string metrics_out;
   int serve = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -159,6 +227,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--manifest") {
       manifest = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--print-config") {
       const ramr::cfg::RunConfig config =
           ramr::cfg::parse_run_config_text(read_file(next()));
@@ -172,7 +242,8 @@ int main(int argc, char** argv) {
       return 0;
     } else {
       std::fprintf(stderr,
-                   "usage: ramr_run [--serve K [--manifest state.json]] "
+                   "usage: ramr_run [--serve K [--manifest state.json] "
+                   "[--metrics-out metrics.prom]] "
                    "--config file.json [--config ...]\n"
                    "       ramr_run --print-config file.json\n"
                    "       ramr_run --list-problems\n");
@@ -185,9 +256,13 @@ int main(int argc, char** argv) {
                              : "error: --manifest requires --serve\n");
     return 2;
   }
+  if (!metrics_out.empty() && serve < 1) {
+    std::fprintf(stderr, "error: --metrics-out requires --serve\n");
+    return 2;
+  }
   try {
     if (serve > 0) {
-      return run_server(serve, configs, manifest);
+      return run_server(serve, configs, manifest, metrics_out);
     }
     int rc = 0;
     for (const std::string& path : configs) {

@@ -168,6 +168,11 @@ void LagrangianEulerianIntegrator::fill_window(
     TransferCounters::Window window,
     std::vector<std::unique_ptr<xfer::RefineSchedule>>& scheds,
     const StageFn& stage) {
+  static constexpr const char* kWindowAnnotations
+      [TransferCounters::kWindowCount] = {"window:state", "window:pressure",
+                                          "window:viscosity",
+                                          "window:preadvec", "window:postcell"};
+  vgpu::AnnotationScope annotation(clock_, kWindowAnnotations[window]);
   const double saved0 = overlap_saved_now();
   const double comm0 = comm_busy_now();
   if (wide_overlap_active()) {
@@ -231,6 +236,7 @@ double LagrangianEulerianIntegrator::advance() {
   const bool wide = wide_overlap_active();
   double dt = std::numeric_limits<double>::infinity();
   const auto compute_dt_all = [&]() {
+    vgpu::AnnotationScope annotation(clock_, "stage:timestep");
     vgpu::ComponentScope scope(*clock_, "timestep");
     vgpu::LaunchTagScope launch_tag(ctx_->device, vgpu::LaunchTag::kHydro);
     for (int l = 0; l < levels; ++l) {
@@ -241,6 +247,7 @@ double LagrangianEulerianIntegrator::advance() {
     }
   };
   const auto hydro_stage = [&](vgpu::LaunchTag tag, auto&& body) {
+    vgpu::AnnotationScope annotation(clock_, "stage:hydro");
     vgpu::ComponentScope scope(*clock_, "hydro");
     vgpu::LaunchTagScope launch_tag(ctx_->device, tag);
     for (int l = 0; l < levels; ++l) {
@@ -260,6 +267,7 @@ double LagrangianEulerianIntegrator::advance() {
     // the comm lane and the copy engines, so beginning the second fill
     // early only delays the first one's finish.)
     {
+      vgpu::AnnotationScope annotation(clock_, "window:state");
       const double saved0 = overlap_saved_now();
       const double comm0 = comm_busy_now();
       boundary([&] { begin_all(sched_state_); });
@@ -283,6 +291,7 @@ double LagrangianEulerianIntegrator::advance() {
     // viscosity exchange stays in flight across BOTH and finishes just
     // before the acceleration stage that consumes viscosity ghosts.
     {
+      vgpu::AnnotationScope annotation(clock_, "window:viscosity");
       const double saved0 = overlap_saved_now();
       const double comm0 = comm_busy_now();
       boundary([&] { begin_all(sched_viscosity_); });
@@ -313,6 +322,7 @@ double LagrangianEulerianIntegrator::advance() {
     // exchange splits (around EOS); every other fill precedes its
     // consumer stage whole.
     {
+      vgpu::AnnotationScope annotation(clock_, "window:state");
       const double saved0 = overlap_saved_now();
       boundary([&] {
         if (split_phase) {
@@ -388,6 +398,7 @@ double LagrangianEulerianIntegrator::advance() {
 
   // --- Synchronisation: fine solution replaces coarse -------------------
   {
+    vgpu::AnnotationScope annotation(clock_, "sync");
     vgpu::ComponentScope scope(*clock_, "sync");
     for (auto& sched : sched_sync_) {
       sched->coarsen_data();
@@ -405,6 +416,7 @@ double LagrangianEulerianIntegrator::advance() {
   // --- Regridding -------------------------------------------------------
   if (regrid_interval_ > 0 && (step_count_ % regrid_interval_) == 0 &&
       h.max_levels() > 1) {
+    vgpu::AnnotationScope annotation(clock_, "regrid");
     vgpu::ComponentScope scope(*clock_, "regrid");
     // Refresh halos so tagging and solution transfer see current data.
     fill_all(sched_state_, TransferCounters::Window::kState);

@@ -1,7 +1,12 @@
 #include "app/simulation.hpp"
 
+#include <algorithm>
+#include <array>
+
 #include "app/problem_registry.hpp"
 #include "geom/refine_operators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logger.hpp"
 #include "vgpu/device.hpp"
@@ -151,6 +156,27 @@ Simulation::Simulation(const SimulationConfig& config,
   integrator_ = std::make_unique<LagrangianEulerianIntegrator>(
       *hierarchy_, *level_integrator_, *gridding_, fields_, ctx_, *bc_,
       *clock_, config_.regrid_interval);
+
+  if (config_.observability != nullptr) {
+    const obs::ObservabilityConfig& oc = *config_.observability;
+    if (!oc.log_level.empty()) {
+      util::Logger::instance().set_level(util::parse_log_level(oc.log_level));
+    }
+    if (oc.trace) {
+      if (clock_->listener() == nullptr) {
+        recorder_ = std::make_unique<obs::TraceRecorder>(
+            *clock_, static_cast<std::size_t>(oc.trace_capacity));
+      } else {
+        // One recorder per clock: on a shared device (service mode) the
+        // first traced job wins the slot; later ones run untraced.
+        RAMR_LOG_WARN("observability.trace: clock already has a listener; "
+                      "tracing disabled for this instance");
+      }
+    }
+    if (oc.metrics) {
+      metrics_ = std::make_unique<obs::MetricsRegistry>();
+    }
+  }
 }
 
 Simulation::~Simulation() {
@@ -170,6 +196,10 @@ void Simulation::initialize() {
 }
 
 double Simulation::step() {
+  if (recorder_ != nullptr) {
+    recorder_->begin_step(step_count());
+  }
+  double dt;
   if (fault_plan_ != nullptr) {
     fault_plan_->begin_step(step_count());
     if (fault_plan_->should_inject(util::FaultSite::kStep)) {
@@ -180,9 +210,100 @@ double Simulation::step() {
     // device (service mode) other jobs' launches are never attributed to
     // this job's schedule.
     vgpu::FaultScope faults(device_, fault_plan_);
-    return integrator_->advance();
+    dt = integrator_->advance();
+  } else {
+    dt = integrator_->advance();
   }
-  return integrator_->advance();
+  if (metrics_ != nullptr) {
+    const int stride = config_.observability->metrics_stride;
+    if (stride <= 1 || step_count() % stride == 0) {
+      sample_metrics();
+    }
+  }
+  return dt;
+}
+
+void Simulation::sample_metrics() {
+  obs::MetricsRegistry& m = *metrics_;
+  const double prev_modeled = m.empty() ? 0.0 : m.value("ramr_modeled_seconds");
+  m.set("ramr_steps_total", static_cast<std::int64_t>(step_count()));
+  m.set("ramr_sim_time", time());
+  m.set("ramr_last_dt", last_dt());
+  m.set("ramr_modeled_seconds", modeled_seconds());
+
+  const int devices = topology_ != nullptr ? topology_->device_count() : 1;
+  std::uint64_t launches = 0;
+  double kernel_seconds = 0.0;
+  vgpu::TransferLog transfers;
+  std::uint64_t arena_peak = 0;
+  std::array<std::uint64_t, vgpu::kLaunchTagCount> by_tag{};
+  for (int d = 0; d < devices; ++d) {
+    vgpu::Device& dev = topology_ != nullptr ? topology_->device(d) : *device_;
+    launches += dev.launch_count();
+    kernel_seconds += dev.kernel_seconds();
+    const vgpu::TransferLog& t = dev.transfers();
+    transfers.h2d_bytes += t.h2d_bytes;
+    transfers.d2h_bytes += t.d2h_bytes;
+    transfers.peer_bytes += t.peer_bytes;
+    transfers.gpu_direct_bytes += t.gpu_direct_bytes;
+    arena_peak = std::max(arena_peak, dev.peak_bytes_allocated());
+    for (int tag = 0; tag < vgpu::kLaunchTagCount; ++tag) {
+      by_tag[static_cast<std::size_t>(tag)] +=
+          dev.launch_count(static_cast<vgpu::LaunchTag>(tag));
+    }
+  }
+  m.set("ramr_launches_total", launches);
+  for (int tag = 0; tag < vgpu::kLaunchTagCount; ++tag) {
+    m.set(std::string("ramr_launches_total{tag=\"") +
+              obs::launch_tag_label(tag) + "\"}",
+          by_tag[static_cast<std::size_t>(tag)]);
+  }
+  m.set("ramr_kernel_seconds", kernel_seconds);
+  m.set("ramr_bytes_total{dir=\"d2h\"}", transfers.d2h_bytes);
+  m.set("ramr_bytes_total{dir=\"h2d\"}", transfers.h2d_bytes);
+  m.set("ramr_bytes_total{dir=\"peer\"}", transfers.peer_bytes);
+  m.set("ramr_bytes_total{dir=\"gpu_direct\"}", transfers.gpu_direct_bytes);
+  m.set("ramr_arena_peak_bytes", arena_peak);
+
+  const TransferCounters& tc = integrator_->transfer_counters();
+  m.set("ramr_halo_fills_total", tc.halo_fills);
+  m.set("ramr_split_fills_total", tc.split_fills);
+  m.set("ramr_messages_sent_total", tc.messages_sent);
+  m.set("ramr_wire_bytes_total", tc.bytes_sent);
+  for (int w = 0; w < TransferCounters::kWindowCount; ++w) {
+    const TransferCounters::WindowStats& ws =
+        tc.window[static_cast<std::size_t>(w)];
+    const std::string label =
+        std::string("{window=\"") + TransferCounters::window_name(w) + "\"}";
+    m.set("ramr_window_fills_total" + label, ws.fills);
+    m.set("ramr_window_hidden_fraction" + label,
+          ws.comm_seconds > 0.0 ? ws.overlap_seconds_saved / ws.comm_seconds
+                                : 0.0);
+  }
+
+  const amr::GriddingStats& gs = gridding_->stats();
+  m.set("ramr_regrids_total", gs.regrids);
+  m.set("ramr_load_imbalance", gs.imbalance_history.empty()
+                                   ? 0.0
+                                   : gs.imbalance_history.back());
+
+  if (fault_plan_ != nullptr) {
+    const vgpu::FaultStats& fs = device_->fault_stats();
+    m.set("ramr_faults_total{site=\"launch\"}", fs.launch_faults);
+    m.set("ramr_faults_total{site=\"alloc\"}", fs.alloc_faults);
+    m.set("ramr_launch_aborts_total", fs.launch_aborts);
+  }
+
+  if (timeline_ != nullptr) {
+    m.set("ramr_overlap_seconds_saved", timeline_->overlap_seconds_saved());
+    m.set("ramr_makespan_seconds", timeline_->makespan());
+  }
+  if (recorder_ != nullptr) {
+    m.set("ramr_trace_spans", static_cast<std::uint64_t>(recorder_->size()));
+    m.set("ramr_trace_dropped_total", recorder_->dropped());
+  }
+  m.observe("ramr_step_seconds", modeled_seconds() - prev_modeled);
+  m.sample(step_count());
 }
 
 void Simulation::run(int max_steps, double end_time) {

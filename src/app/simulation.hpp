@@ -12,9 +12,15 @@
 #include "app/integrator.hpp"
 #include "app/level_kernel_runner.hpp"
 #include "app/problems.hpp"
+#include "obs/observability.hpp"
 #include "simmpi/communicator.hpp"
 #include "util/fault.hpp"
 #include "vgpu/timeline.hpp"
+
+namespace ramr::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace ramr::obs
 
 namespace ramr::app {
 
@@ -87,6 +93,12 @@ struct SimulationConfig {
   /// and step boundaries. Null (default) = no injection. Shared across
   /// copies of the config; the plan itself is per-instance.
   std::shared_ptr<const util::FaultConfig> faults;
+  /// Observability (the JSON `observability` block, docs/
+  /// observability.md): span tracing and per-step metric sampling. Null
+  /// (default) = fully off — the run is bit-identical (launch counts,
+  /// modeled seconds, fields) to one without the subsystem, because
+  /// recording only observes the clock, never charges it.
+  std::shared_ptr<const obs::ObservabilityConfig> observability;
 };
 
 /// One rank's simulation instance.
@@ -162,6 +174,12 @@ class Simulation {
   /// Live fault plan (owned or shared); null when injection is off.
   util::FaultPlan* fault_plan() const { return fault_plan_; }
 
+  /// Span recorder attached to this rank's clock; null unless
+  /// config.observability->trace is on (docs/observability.md).
+  obs::TraceRecorder* trace_recorder() { return recorder_.get(); }
+  /// Per-step metric samples; null unless config.observability->metrics.
+  obs::MetricsRegistry* metrics_registry() { return metrics_.get(); }
+
   /// Writes the full state (hierarchy structure, all fields, time) to
   /// `path` + ".rank<r>" (Fig. 2's putToRestart applied to every patch
   /// datum; device data crosses PCIe once, charged and logged).
@@ -173,6 +191,9 @@ class Simulation {
   void restore_checkpoint(const std::string& path);
 
  private:
+  /// Snapshots every registered metric for the step just completed.
+  void sample_metrics();
+
   SimulationConfig config_;
   /// Owned when config_.faults is set and no shared plan was injected.
   std::unique_ptr<util::FaultPlan> own_fault_plan_;
@@ -184,6 +205,11 @@ class Simulation {
   /// Attached to the clock when async_overlap is on (declared after the
   /// owned clock: detaches before it dies).
   std::unique_ptr<vgpu::Timeline> timeline_;
+  /// Observability (config.observability): the recorder attaches to the
+  /// clock as its ChargeListener (declared after the owned clock so it
+  /// detaches first, like the timeline).
+  std::unique_ptr<obs::TraceRecorder> recorder_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   /// Owns this rank's devices (even when device_count == 1) unless a
   /// shared device was injected; device_ then aliases ordinal 0.
   std::unique_ptr<vgpu::Topology> topology_;

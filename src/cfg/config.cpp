@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "app/problem_registry.hpp"
+#include "obs/observability.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/logger.hpp"
 
 namespace ramr::cfg {
 
@@ -695,6 +697,32 @@ RunConfig parse_run_config(const Json& root) {
         std::make_shared<util::FaultConfig>(parse_faults(*v, "faults"));
   }
 
+  if (const Json* v = r.consume("observability")) {
+    Reader o(*v, "observability");
+    obs::ObservabilityConfig oc;
+    oc.trace = o.get_bool("trace", oc.trace);
+    oc.trace_capacity = o.get_int("trace_capacity", oc.trace_capacity);
+    oc.trace_path = o.get_string("trace_path", oc.trace_path);
+    oc.metrics = o.get_bool("metrics", oc.metrics);
+    oc.metrics_stride = o.get_int("metrics_stride", oc.metrics_stride);
+    oc.metrics_path = o.get_string("metrics_path", oc.metrics_path);
+    oc.log_level = o.get_string("log_level", oc.log_level);
+    require_ge(oc.trace_capacity, 1, o.path_of("trace_capacity"));
+    require_ge(oc.metrics_stride, 1, o.path_of("metrics_stride"));
+    if (!oc.log_level.empty()) {
+      try {
+        (void)util::parse_log_level(oc.log_level);
+      } catch (const util::Error&) {
+        RAMR_FAIL("config key \"" << o.path_of("log_level")
+                  << "\": unknown log level \"" << oc.log_level
+                  << "\" (expected debug, info, warn, or error)");
+      }
+    }
+    o.finish();
+    config.sim.observability =
+        std::make_shared<obs::ObservabilityConfig>(std::move(oc));
+  }
+
   if (const Json* v = r.consume("output")) {
     Reader o(*v, "output");
     config.output.basename = o.get_string("basename", config.output.basename);
@@ -793,6 +821,20 @@ Json to_json(const RunConfig& config) {
   // run carries no faults, and `{}` must keep round-tripping to itself.
   if (config.sim.faults != nullptr) {
     j.set("faults", faults_to_json(*config.sim.faults));
+  }
+
+  // Same deal: no observability block unless the run asked for one.
+  if (config.sim.observability != nullptr) {
+    const obs::ObservabilityConfig& oc = *config.sim.observability;
+    Json observability = Json::make_object();
+    observability.set("trace", Json(oc.trace));
+    observability.set("trace_capacity", Json(oc.trace_capacity));
+    observability.set("trace_path", Json(oc.trace_path));
+    observability.set("metrics", Json(oc.metrics));
+    observability.set("metrics_stride", Json(oc.metrics_stride));
+    observability.set("metrics_path", Json(oc.metrics_path));
+    observability.set("log_level", Json(oc.log_level));
+    j.set("observability", std::move(observability));
   }
 
   Json output = Json::make_object();

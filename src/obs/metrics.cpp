@@ -1,0 +1,124 @@
+#include "obs/metrics.hpp"
+
+#include <utility>
+
+#include "cfg/json.hpp"
+#include "util/error.hpp"
+
+namespace ramr::obs {
+
+namespace {
+
+/// A metric's family: the part before the baked-in label set.
+std::string family_of(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+bool is_counter(const std::string& family) {
+  static const std::string kSuffix = "_total";
+  return family.size() >= kSuffix.size() &&
+         family.compare(family.size() - kSuffix.size(), kSuffix.size(),
+                        kSuffix) == 0;
+}
+
+/// Number formatting shared with the JSON layer: integral values print
+/// as integers, everything else round-trips exactly.
+std::string format_number(double v) {
+  return cfg::Json(v).dump(0);
+}
+
+}  // namespace
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  const auto it = value_index_.find(name);
+  if (it != value_index_.end()) {
+    values_[it->second].value = value;
+    return;
+  }
+  value_index_.emplace(name, values_.size());
+  values_.push_back(Value{name, value});
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  const auto it = histogram_index_.find(name);
+  Histogram* h = nullptr;
+  if (it != histogram_index_.end()) {
+    h = &histograms_[it->second];
+  } else {
+    histogram_index_.emplace(name, histograms_.size());
+    Histogram fresh;
+    fresh.name = name;
+    fresh.bounds = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0};
+    fresh.counts.assign(fresh.bounds.size() + 1, 0);
+    histograms_.push_back(std::move(fresh));
+    h = &histograms_.back();
+  }
+  std::size_t bucket = h->bounds.size();  // +Inf
+  for (std::size_t i = 0; i < h->bounds.size(); ++i) {
+    if (value <= h->bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++h->counts[bucket];
+  ++h->count;
+  h->sum += value;
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  const auto it = value_index_.find(name);
+  RAMR_REQUIRE(it != value_index_.end(), "unknown metric: " << name);
+  return values_[it->second].value;
+}
+
+cfg::Json MetricsRegistry::latest() const {
+  cfg::Json j = cfg::Json::make_object();
+  for (const Value& v : values_) {
+    j.set(v.name, cfg::Json(v.value));
+  }
+  for (const Histogram& h : histograms_) {
+    cfg::Json hist = cfg::Json::make_object();
+    hist.set("count", cfg::Json(static_cast<std::int64_t>(h.count)));
+    hist.set("sum", cfg::Json(h.sum));
+    j.set(h.name, std::move(hist));
+  }
+  return j;
+}
+
+void MetricsRegistry::sample(std::int64_t step) {
+  cfg::Json line = cfg::Json::make_object();
+  line.set("step", cfg::Json(step));
+  line.set("metrics", latest());
+  samples_.push_back(line.dump(0));
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::string out;
+  std::string last_family;
+  for (const Value& v : values_) {
+    const std::string family = family_of(v.name);
+    if (family != last_family) {
+      out += "# TYPE " + family + (is_counter(family) ? " counter\n"
+                                                      : " gauge\n");
+      last_family = family;
+    }
+    out += v.name + " " + format_number(v.value) + "\n";
+  }
+  for (const Histogram& h : histograms_) {
+    const std::string family = family_of(h.name);
+    out += "# TYPE " + family + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += family + "_bucket{le=\"" + format_number(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += family + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += family + "_sum " + format_number(h.sum) + "\n";
+    out += family + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ramr::obs

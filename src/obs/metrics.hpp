@@ -1,0 +1,79 @@
+// Stable-named metrics registry: counters, gauges and histograms
+// sampled from the modeled run into machine-readable streams.
+//
+// Names follow Prometheus conventions with the label set baked into
+// the name (e.g. `ramr_launches_total{tag="hydro"}`): the registry
+// itself stays a flat ordered map, registration order is first-set
+// order, and every exporter — the per-step JSONL time series, the
+// Prometheus text dump the server refreshes each round, and the
+// `"metrics"` block folded into svc::run_metrics_json — walks the same
+// order, so artifacts are deterministic and diffable. Families ending
+// in `_total` export as counters, everything else as gauges; values
+// come exclusively from the modeled clock and modeled byte accounting,
+// never from wall time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ramr::cfg {
+class Json;
+}  // namespace ramr::cfg
+
+namespace ramr::obs {
+
+class MetricsRegistry {
+ public:
+  /// Sets the current value of `name` (registering it on first use).
+  void set(const std::string& name, double value);
+  void set(const std::string& name, std::uint64_t value) {
+    set(name, static_cast<double>(value));
+  }
+  void set(const std::string& name, std::int64_t value) {
+    set(name, static_cast<double>(value));
+  }
+  void set(const std::string& name, int value) {
+    set(name, static_cast<double>(value));
+  }
+
+  /// Adds one observation to the histogram `name` (fixed exponential
+  /// buckets, 1e-6 .. 1e2 modeled seconds, plus +Inf).
+  void observe(const std::string& name, double value);
+
+  double value(const std::string& name) const;
+  bool empty() const { return values_.empty() && histograms_.empty(); }
+
+  /// Snapshots every metric into one JSONL line tagged with `step`.
+  void sample(std::int64_t step);
+  const std::vector<std::string>& jsonl() const { return samples_; }
+
+  /// Current values (and histogram count/sum) as one JSON object, in
+  /// registration order.
+  cfg::Json latest() const;
+
+  /// Prometheus text exposition of the current values.
+  std::string prometheus_text() const;
+
+ private:
+  struct Value {
+    std::string name;
+    double value = 0.0;
+  };
+  struct Histogram {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (+Inf)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<Value> values_;  ///< registration order
+  std::unordered_map<std::string, std::size_t> value_index_;
+  std::vector<Histogram> histograms_;
+  std::unordered_map<std::string, std::size_t> histogram_index_;
+  std::vector<std::string> samples_;
+};
+
+}  // namespace ramr::obs

@@ -1,0 +1,35 @@
+// Configuration of the observability subsystem (the top-level
+// "observability" config block, cfg/config.cpp).
+//
+// Everything defaults to OFF. An absent/disabled block must leave the
+// run bit-identical — same launch counts, same modeled seconds, same
+// fields — because the whole subsystem is an observer of the modeled
+// clock, never a participant in it. All artifacts it produces are
+// derived from modeled time only (no wall clock), so traces and metric
+// streams are seed-reproducible.
+#pragma once
+
+#include <string>
+
+namespace ramr::obs {
+
+struct ObservabilityConfig {
+  /// Attach an obs::TraceRecorder to the rank clock.
+  bool trace = false;
+  /// Span ring-buffer capacity; oldest spans are dropped beyond this.
+  int trace_capacity = 1 << 16;
+  /// Where ramr_run writes the Chrome trace-event JSON (empty: no file).
+  std::string trace_path;
+
+  /// Sample an obs::MetricsRegistry once per `metrics_stride` steps.
+  bool metrics = false;
+  int metrics_stride = 1;
+  /// Where ramr_run writes the JSONL time series (empty: no file).
+  std::string metrics_path;
+
+  /// Logger level override ("debug"/"info"/"warn"/"error"); empty keeps
+  /// the RAMR_LOG_LEVEL environment value or the built-in default.
+  std::string log_level;
+};
+
+}  // namespace ramr::obs

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "util/error.hpp"
+#include "util/logger.hpp"
 
 namespace ramr::simmpi {
 
@@ -302,6 +303,7 @@ void World::run(const std::function<void(Communicator&)>& body) {
 
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
+      util::Logger::set_thread_rank(r);
       try {
         Communicator comm(*this, r);
         body(comm);

@@ -1,6 +1,7 @@
 #include "svc/metrics.hpp"
 
 #include "app/integrator.hpp"
+#include "obs/metrics.hpp"
 #include "vgpu/topology.hpp"
 
 namespace ramr::svc {
@@ -117,9 +118,36 @@ cfg::Json run_metrics_json(app::Simulation& sim) {
                               dev.transfers().peer_bytes)));
       e.set("gpu_direct_bytes", cfg::Json(static_cast<std::int64_t>(
                                     dev.transfers().gpu_direct_bytes)));
+      // Directed peer-link lanes OUT of this device: peer copies are
+      // lane charges like any other, so their busy/idle split belongs in
+      // the per-device accounting (it was silently omitted before —
+      // peer-heavy runs looked idle on every lane the report showed).
+      if (tl != nullptr) {
+        const double makespan = tl->makespan();
+        cfg::Json links = cfg::Json::make_object();
+        for (int o = 0; o < topo->device_count(); ++o) {
+          if (o == d) {
+            continue;
+          }
+          const std::string name = vgpu::Topology::peer_lane_name(d, o);
+          const double busy = tl->busy(tl->lane(name));
+          cfg::Json link = cfg::Json::make_object();
+          link.set("busy_seconds", cfg::Json(busy));
+          link.set("idle_seconds", cfg::Json(makespan - busy));
+          links.set(name, std::move(link));
+        }
+        e.set("peer_links", std::move(links));
+      }
       devices.push_back(std::move(e));
     }
     j.set("devices", std::move(devices));
+  }
+
+  // Latest per-step metric snapshot (observability.metrics runs only):
+  // the same registry the JSONL stream samples, folded into the report.
+  if (obs::MetricsRegistry* reg = sim.metrics_registry();
+      reg != nullptr && !reg->empty()) {
+    j.set("metrics", reg->latest());
   }
 
   const hydro::FieldSummary summary = sim.composite_summary();

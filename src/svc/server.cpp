@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "app/vtk_writer.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logger.hpp"
 
@@ -105,7 +106,9 @@ int SimulationServer::submit(JobSpec spec) {
                                 << "\": async_overlap requires a private "
                                    "timeline and cannot run on the shared "
                                    "device");
-  return queue_.submit(std::move(spec));
+  const int id = queue_.submit(std::move(spec));
+  RAMR_LOG_INFO("job " << id << " (" << queue_.spec(id).name << ") submitted");
+  return id;
 }
 
 std::string SimulationServer::output_prefix(const ActiveJob& job) const {
@@ -173,7 +176,7 @@ bool SimulationServer::admit_one() {
     st.error = error;
     st.checkpoint_fallbacks = job.checkpoint_fallbacks;
     queue_.update(*id, st);
-    RAMR_LOG_DEBUG("job " << *id << " failed to start: " << error);
+    RAMR_LOG_INFO("job " << *id << " failed to start: " << error);
     return true;  // the claim was consumed; try the next one
   }
   if (config_.health_interval > 0) {
@@ -184,16 +187,17 @@ bool SimulationServer::admit_one() {
   }
   if (job.sim->step_count() > 0) {
     job.last_checkpoint_step = job.sim->step_count();
-    RAMR_LOG_DEBUG("job " << *id << " resumed from step "
-                   << job.sim->step_count());
+    RAMR_LOG_INFO("job " << *id << " resumed from step "
+                  << job.sim->step_count());
   }
-  RAMR_LOG_DEBUG("job " << *id << " (" << job.spec.name << ") admitted");
+  RAMR_LOG_INFO("job " << *id << " (" << job.spec.name << ") admitted");
   active_.push_back(std::move(job));
   return true;
 }
 
 bool SimulationServer::handle_failure(ActiveJob& job,
                                       const std::string& error) {
+  vgpu::AnnotationScope recovery_annotation(&clock_, "server:recovery");
   job.sim.reset();  // release the attempt's slice of the shared arena
   if (job.retry_count >= config_.max_retries) {
     retire(job, JobState::kFailed, error);
@@ -215,9 +219,9 @@ bool SimulationServer::handle_failure(ActiveJob& job,
   }
   ++job.recoveries;
   job.just_revived = true;
-  RAMR_LOG_DEBUG("job " << job.id << " recovered from \"" << error
-                 << "\" at step " << job.sim->step_count() << " (retry "
-                 << job.retry_count << ")");
+  RAMR_LOG_INFO("job " << job.id << " recovered from \"" << error
+                << "\" at step " << job.sim->step_count() << " (retry "
+                << job.retry_count << ")");
   return true;
 }
 
@@ -266,6 +270,7 @@ std::string SimulationServer::health_violation(ActiveJob& job) {
 }
 
 void SimulationServer::step_all() {
+  vgpu::AnnotationScope round_annotation(&clock_, "server:round");
   std::vector<std::pair<int, std::string>> failed;
   {
     // One interleaved round: every resident job advances one step with
@@ -367,7 +372,8 @@ void SimulationServer::retire(ActiveJob& job, JobState state,
   if (state == JobState::kDone) {
     ++jobs_completed_;
   }
-  RAMR_LOG_DEBUG("job " << job.id << " retired: " << job_state_name(state));
+  RAMR_LOG_INFO("job " << job.id << " retired: " << job_state_name(state)
+                << (error.empty() ? "" : " (" + error + ")"));
   job.sim.reset();  // release the job's slice of the shared arena
 }
 
@@ -404,10 +410,12 @@ void SimulationServer::run() {
       }
       active_.clear();
       write_manifest();
+      publish_metrics();
       return;
     }
     if (active_.empty()) {
       write_manifest();
+      publish_metrics();
       return;  // queue drained
     }
     step_all();
@@ -447,6 +455,7 @@ void SimulationServer::run() {
     }
     active_ = std::move(still_active);
     write_manifest();
+    publish_metrics();
   }
 }
 
@@ -558,6 +567,55 @@ void SimulationServer::write_manifest() const {
                << config_.manifest_path << ": " << ec.message());
 }
 
+void SimulationServer::publish_metrics() {
+  obs::MetricsRegistry& m = metrics_;
+  m.set("ramr_server_jobs_total", static_cast<std::uint64_t>(queue_.size()));
+  m.set("ramr_server_jobs_completed_total",
+        static_cast<std::uint64_t>(jobs_completed_));
+  m.set("ramr_server_jobs_active",
+        static_cast<std::uint64_t>(active_.size()));
+  m.set("ramr_server_jobs_pending",
+        static_cast<std::uint64_t>(queue_.pending()));
+  m.set("ramr_server_clock_seconds", clock_.total());
+  m.set("ramr_server_recovery_seconds", clock_.component("recovery"));
+  m.set("ramr_server_launches_total", device_->launch_count());
+  for (int t = 0; t < vgpu::kLaunchTagCount; ++t) {
+    m.set(std::string("ramr_server_launches_total{tag=\"") +
+              obs::launch_tag_label(t) + "\"}",
+          device_->launch_count(static_cast<vgpu::LaunchTag>(t)));
+  }
+  m.set("ramr_server_arena_peak_bytes", device_->peak_bytes_allocated());
+  const vgpu::FusionStats& fs = device_->fusion_stats();
+  m.set("ramr_server_fusion_enqueued_total", fs.enqueued);
+  m.set("ramr_server_fusion_groups_total", fs.groups_flushed);
+  m.set("ramr_server_fusion_serial_seconds", fs.serial_seconds);
+  m.set("ramr_server_fusion_fused_seconds", fs.fused_seconds);
+  m.set("ramr_server_fusion_seconds_saved",
+        fs.serial_seconds - fs.fused_seconds);
+  const vgpu::FaultStats& dfs = device_->fault_stats();
+  m.set("ramr_server_faults_total{site=\"launch\"}", dfs.launch_faults);
+  m.set("ramr_server_faults_total{site=\"alloc\"}", dfs.alloc_faults);
+  m.set("ramr_server_launch_retries_total", dfs.launch_retries);
+  m.set("ramr_server_launch_aborts_total", dfs.launch_aborts);
+  if (config_.metrics_out.empty()) {
+    return;
+  }
+  // Same atomicity discipline as the manifest: a scraper never reads a
+  // torn dump.
+  const std::string tmp = config_.metrics_out + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    RAMR_REQUIRE(os.good(), "cannot open " << tmp << " for writing");
+    os << metrics_.prometheus_text();
+    os.flush();
+    RAMR_REQUIRE(os.good(), "write to " << tmp << " failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, config_.metrics_out, ec);
+  RAMR_REQUIRE(!ec, "cannot rename " << tmp << " to "
+               << config_.metrics_out << ": " << ec.message());
+}
+
 int SimulationServer::resume_from_manifest() {
   if (config_.manifest_path.empty()) {
     return 0;
@@ -605,8 +663,8 @@ int SimulationServer::resume_from_manifest() {
     submit(std::move(spec));
     ++resumed;
   }
-  RAMR_LOG_DEBUG("resumed " << resumed << " jobs from "
-                 << config_.manifest_path);
+  RAMR_LOG_INFO("resumed " << resumed << " jobs from "
+                << config_.manifest_path);
   return resumed;
 }
 

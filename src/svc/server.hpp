@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "cfg/config.hpp"
+#include "obs/metrics.hpp"
 #include "svc/metrics.hpp"
 #include "util/fault.hpp"
 #include "vgpu/device.hpp"
@@ -154,6 +155,11 @@ struct ServerConfig {
   /// JSON) after every round, and resume_from_manifest() re-submits
   /// unfinished jobs from it — server-restart resume.
   std::string manifest_path;
+  /// When non-empty, a Prometheus-text dump of the server's metrics
+  /// (jobs, device counters, fusion, faults, recovery seconds) refreshes
+  /// here each round alongside the manifest (atomic tmp+rename;
+  /// `ramr_run --serve K --metrics-out <path>`, docs/observability.md).
+  std::string metrics_out;
 };
 
 /// The event loop. Single-threaded: construct, submit jobs (directly or
@@ -250,6 +256,9 @@ class SimulationServer {
   void retire(ActiveJob& job, JobState state, const std::string& error);
   void refresh_status(const ActiveJob& job);
   std::string output_prefix(const ActiveJob& job) const;
+  /// Re-samples the server metrics and (when config.metrics_out is set)
+  /// rewrites the Prometheus-text dump. Called alongside write_manifest.
+  void publish_metrics();
 
   ServerConfig config_;
   vgpu::SimClock clock_;
@@ -258,6 +267,7 @@ class SimulationServer {
   std::vector<ActiveJob> active_;
   std::atomic<bool> stop_requested_{false};
   int jobs_completed_ = 0;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace ramr::svc

@@ -1,16 +1,61 @@
 #include "util/logger.hpp"
 
+#include <cstdlib>
+
+#include "util/error.hpp"
+
 namespace ramr::util {
+
+namespace {
+thread_local int t_rank = -1;
+}  // namespace
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  RAMR_FAIL("unknown log level \"" << name
+            << "\" (expected debug/info/warn/error)");
+}
+
+Logger::Logger() {
+  if (const char* env = std::getenv("RAMR_LOG_LEVEL")) {
+    // A bad environment value must not abort every binary; keep the
+    // default (configs that misspell a level DO fail — cfg validates).
+    try {
+      level_ = parse_log_level(env);
+    } catch (const Error&) {
+    }
+  }
+}
 
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
+void Logger::set_thread_rank(int rank) {
+  t_rank = rank;
+}
+
+int Logger::thread_rank() {
+  return t_rank;
+}
+
+void Logger::set_stream(std::ostream* os) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stream_ = os;
+}
+
 void Logger::write(LogLevel level, const std::string& message) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::cout;
-  os << "[" << detail::level_name(level) << "] " << message << "\n";
+  std::ostream& os = stream_ != nullptr ? *stream_ : std::cerr;
+  os << "[" << detail::level_name(level) << "] ";
+  if (t_rank >= 0) {
+    os << "[rank " << t_rank << "] ";
+  }
+  os << message << "\n";
 }
 
 namespace detail {

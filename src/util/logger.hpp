@@ -1,5 +1,13 @@
-// Minimal leveled logger. Rank-aware output is handled by the caller
-// (simmpi prefixes messages with the rank when running distributed).
+// Minimal leveled, rank-aware logger.
+//
+// Ranks in this codebase are threads (simmpi::World), so the rank
+// prefix is thread-local: World::run stamps each rank thread once and
+// every message from that thread carries "[rank N]" automatically. All
+// output goes to stderr — stdout is reserved for machine-readable
+// reports (run_report_json piped into tools), which log lines must not
+// corrupt. The initial level comes from the RAMR_LOG_LEVEL environment
+// variable ("debug"/"info"/"warn"/"error"); a config can override it
+// via "observability".log_level (docs/observability.md).
 #pragma once
 
 #include <iostream>
@@ -11,6 +19,10 @@ namespace ramr::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+/// Parses a level name ("debug"/"info"/"warn"/"error"); throws
+/// util::Error on anything else.
+LogLevel parse_log_level(const std::string& name);
+
 /// Process-wide logger. Thread safe; messages below the configured level
 /// are discarded.
 class Logger {
@@ -20,12 +32,21 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
 
+  /// Rank prefix for the calling thread; negative clears it (the
+  /// default — single-rank runs log unprefixed).
+  static void set_thread_rank(int rank);
+  static int thread_rank();
+
+  /// Redirects output (tests); null restores the default (stderr).
+  void set_stream(std::ostream* os);
+
   void write(LogLevel level, const std::string& message);
 
  private:
-  Logger() = default;
+  Logger();
   std::mutex mutex_;
   LogLevel level_ = LogLevel::kInfo;
+  std::ostream* stream_ = nullptr;
 };
 
 namespace detail {

@@ -189,6 +189,9 @@ void Device::charge_kernel(std::int64_t n, const KernelCost& cost) {
   ++launch_count_;
   ++launch_count_by_tag_[static_cast<std::size_t>(launch_tag_)];
   kernel_seconds_ += seconds;
+  if (ChargeListener* listener = clock_->listener()) {
+    listener->on_kernel_launch(static_cast<int>(launch_tag_));
+  }
   clock_->charge(seconds);
 }
 
@@ -213,6 +216,9 @@ void Device::end_launch_fusion() {
     ++launch_count_;
     ++launch_count_by_tag_[static_cast<std::size_t>(g.tag)];
     kernel_seconds_ += seconds;
+    if (ChargeListener* listener = clock_->listener()) {
+      listener->on_kernel_launch(static_cast<int>(g.tag));
+    }
     clock_->charge_to(g.component, seconds);
     ++fusion_stats_.groups_flushed;
     fusion_stats_.fused_seconds += seconds;

@@ -20,6 +20,9 @@ void SimClock::charge_to(const std::string& component, double seconds) {
   if (timeline_ != nullptr) {
     timeline_->on_charge(seconds);
   }
+  if (listener_ != nullptr) {
+    listener_->on_charge(component, seconds);
+  }
 }
 
 double SimClock::component(const std::string& name) const {
@@ -36,6 +39,9 @@ void SimClock::reset() {
   total_ = 0.0;
   if (timeline_ != nullptr) {
     timeline_->reset();
+  }
+  if (listener_ != nullptr) {
+    listener_->on_clock_reset();
   }
 }
 

@@ -14,6 +14,45 @@ namespace ramr::vgpu {
 
 class Timeline;
 
+/// Observer of everything the modeled clock does. The clock (and, via
+/// the clock, Timeline and Device) notifies the attached listener of
+/// every charge, counted kernel launch, lane wait, and annotation
+/// scope. Observing is strictly passive: a listener never alters
+/// modeled seconds, launch counts, or lane cursors, so a run with a
+/// listener attached is bit-identical to one without.
+class ChargeListener {
+ public:
+  virtual ~ChargeListener() = default;
+
+  /// Every modeled charge, after the clock and timeline have absorbed
+  /// it: `component` is the clock component it was booked to.
+  virtual void on_charge(const std::string& component, double seconds) = 0;
+
+  /// A counted kernel launch (Device::launch_count is about to
+  /// increment); the next on_charge carries its cost. `tag` is the
+  /// LaunchTag as an int. Fault-retry overhead does NOT fire this —
+  /// retries charge time without counting a launch.
+  virtual void on_kernel_launch(int tag) { (void)tag; }
+
+  /// A lane's cursor jumped forward without busy time: a fork syncing
+  /// to its issuer, a join, an arrival wait, or (rendezvous=true) a
+  /// cross-rank barrier booking imbalance idle.
+  virtual void on_lane_wait(int lane, double t_begin, double t_end,
+                            bool rendezvous) {
+    (void)lane;
+    (void)t_begin;
+    (void)t_end;
+    (void)rendezvous;
+  }
+
+  /// Named scope entry/exit (AnnotationScope). Scopes nest.
+  virtual void on_annotation_begin(const std::string& name) { (void)name; }
+  virtual void on_annotation_end() {}
+
+  /// The clock (and any timeline) re-anchored virtual time at zero.
+  virtual void on_clock_reset() {}
+};
+
 /// Accumulates modeled seconds per named component.
 class SimClock {
  public:
@@ -48,11 +87,18 @@ class SimClock {
   Timeline* timeline() const { return timeline_; }
   void set_timeline(Timeline* timeline) { timeline_ = timeline; }
 
+  /// Attached observer (obs::TraceRecorder), or null — the default and
+  /// the zero-overhead path. One slot: managed by the listener's
+  /// ctor/dtor like the timeline's.
+  ChargeListener* listener() const { return listener_; }
+  void set_listener(ChargeListener* listener) { listener_ = listener; }
+
  private:
   std::map<std::string, double> by_component_;
   std::vector<std::string> scope_stack_;
   double total_ = 0.0;
   Timeline* timeline_ = nullptr;
+  ChargeListener* listener_ = nullptr;
 };
 
 /// RAII helper: all charges within the scope go to `component`.
@@ -68,6 +114,32 @@ class ComponentScope {
 
  private:
   SimClock& clock_;
+};
+
+/// RAII helper: names a region of modeled time for the clock's
+/// listener ("stage:hydro", "window:state", "xfer:pack", ...). Unlike
+/// ComponentScope this charges nothing and books nothing — with no
+/// listener attached (the default) it is a pair of null checks, so
+/// annotated code paths stay bit-identical when observability is off.
+class AnnotationScope {
+ public:
+  AnnotationScope(SimClock* clock, const char* name)
+      : listener_(clock != nullptr ? clock->listener() : nullptr) {
+    if (listener_ != nullptr) {
+      listener_->on_annotation_begin(name);
+    }
+  }
+  ~AnnotationScope() {
+    if (listener_ != nullptr) {
+      listener_->on_annotation_end();
+    }
+  }
+
+  AnnotationScope(const AnnotationScope&) = delete;
+  AnnotationScope& operator=(const AnnotationScope&) = delete;
+
+ private:
+  ChargeListener* listener_;
 };
 
 }  // namespace ramr::vgpu

@@ -44,12 +44,21 @@ double Timeline::now(int lane) const {
 
 void Timeline::advance(int lane, double t) {
   Lane& l = lanes_[static_cast<std::size_t>(lane)];
-  l.cursor = std::max(l.cursor, t);
+  if (t > l.cursor) {
+    if (ChargeListener* listener = clock_->listener()) {
+      listener->on_lane_wait(lane, l.cursor, t, /*rendezvous=*/false);
+    }
+    l.cursor = t;
+  }
 }
 
 void Timeline::rendezvous(double t) {
-  Lane& l = lanes_[static_cast<std::size_t>(active_lane())];
+  const int lane = active_lane();
+  Lane& l = lanes_[static_cast<std::size_t>(lane)];
   if (t > l.cursor) {
+    if (ChargeListener* listener = clock_->listener()) {
+      listener->on_lane_wait(lane, l.cursor, t, /*rendezvous=*/true);
+    }
     imbalance_idle_ += t - l.cursor;
     l.cursor = t;
   }

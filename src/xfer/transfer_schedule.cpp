@@ -459,43 +459,50 @@ void TransferSchedule::execute_compiled_begin() {
   for (const auto& [peer, msg] : send_messages_) {
     const Plan& plan = pack_plans_.at(peer);
     vgpu::DeviceBuffer<double> staging(dev, plan.payload_doubles);
-    const std::vector<util::View> views = resolve_views(plan, /*src_side=*/true);
-    double* out = staging.device_ptr();
-    const PlanSeg* ops = plan.ops.data();
-    const util::View* v = views.data();
-    const auto pack_body = [=](std::size_t s, int i, int j) {
-      const PlanSeg& op = ops[s];
-      out[op.payload_base +
-          static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
-          (i - op.run_ilo)] = v[s](i, j);
-    };
-    if (!multi_device_) {
-      vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kTransferPack);
-      dev.launch_batched(stream, plan.segs, kXferCost, pack_body);
-    } else {
-      // One gather launch per source device, all writing the SAME staging
-      // buffer at the GLOBAL payload offsets — the wire layout is
-      // bit-identical to the single-device pack by construction. Each
-      // partition rides its device's own transfer lane (forked from the
-      // comm cursor) so the devices gather concurrently; the join below
-      // holds the message's bus crossing / isend until every partition
-      // has finished.
-      double packed = tl != nullptr ? tl->now(comm_lane) : 0.0;
-      for (const DevicePart& part : pack_parts_.at(peer)) {
-        vgpu::Stream part_stream(*part.dev, "xfer");
-        const int lane = device_lane(tl, comm_lane, part.dev);
-        part_stream.bind_lane(lane);
-        vgpu::LaunchTagScope tag_scope(part.dev,
-                                       vgpu::LaunchTag::kTransferPack);
-        part.dev->launch_batched(part_stream, part.segs, kXferCost, pack_body);
+    {
+      vgpu::AnnotationScope pack_annotation(ctx_->clock, "xfer:pack");
+      const std::vector<util::View> views =
+          resolve_views(plan, /*src_side=*/true);
+      double* out = staging.device_ptr();
+      const PlanSeg* ops = plan.ops.data();
+      const util::View* v = views.data();
+      const auto pack_body = [=](std::size_t s, int i, int j) {
+        const PlanSeg& op = ops[s];
+        out[op.payload_base +
+            static_cast<std::int64_t>(j - op.run_jlo) * op.run_w +
+            (i - op.run_ilo)] = v[s](i, j);
+      };
+      if (!multi_device_) {
+        vgpu::LaunchTagScope tag_scope(&dev, vgpu::LaunchTag::kTransferPack);
+        dev.launch_batched(stream, plan.segs, kXferCost, pack_body);
+      } else {
+        // One gather launch per source device, all writing the SAME staging
+        // buffer at the GLOBAL payload offsets — the wire layout is
+        // bit-identical to the single-device pack by construction. Each
+        // partition rides its device's own transfer lane (forked from the
+        // comm cursor) so the devices gather concurrently; the join below
+        // holds the message's bus crossing / isend until every partition
+        // has finished.
+        double packed = tl != nullptr ? tl->now(comm_lane) : 0.0;
+        for (const DevicePart& part : pack_parts_.at(peer)) {
+          vgpu::Stream part_stream(*part.dev, "xfer");
+          const int lane = device_lane(tl, comm_lane, part.dev);
+          part_stream.bind_lane(lane);
+          vgpu::LaunchTagScope tag_scope(part.dev,
+                                         vgpu::LaunchTag::kTransferPack);
+          part.dev->launch_batched(part_stream, part.segs, kXferCost,
+                                   pack_body);
+          if (tl != nullptr) {
+            packed = std::max(packed, tl->now(lane));
+          }
+        }
         if (tl != nullptr) {
-          packed = std::max(packed, tl->now(lane));
+          tl->advance(comm_lane, packed);
         }
       }
-      if (tl != nullptr) {
-        tl->advance(comm_lane, packed);
-      }
     }
+    // Wire leg: staging crossing (unless gpu_direct) + isend.
+    vgpu::AnnotationScope wire_annotation(ctx_->clock, "xfer:wire");
     pdat::MessageStream ms;
     ms.reserve(msg.wire_bytes);
     MessageHeader header;
@@ -547,6 +554,7 @@ void TransferSchedule::execute_compiled_begin() {
 }
 
 void TransferSchedule::execute_local_plan(vgpu::Timeline* tl, int comm_lane) {
+  vgpu::AnnotationScope annotation(ctx_->clock, "xfer:local");
   vgpu::Device& dev = *plan_device_;
   vgpu::Stream stream(dev, "xfer");
   stream.bind_lane(comm_lane);
@@ -747,6 +755,7 @@ void TransferSchedule::execute_compiled_finish() {
     std::vector<Arrived> arrived;
     arrived.reserve(recv_messages_.size());
     for (const auto& [peer, msg] : recv_messages_) {
+      vgpu::AnnotationScope wire_annotation(ctx_->clock, "xfer:wire");
       auto rit = flight_recvs_.find(peer);
       RAMR_REQUIRE(rit != flight_recvs_.end(),
                    "no posted receive for rank " << peer);
@@ -785,6 +794,7 @@ void TransferSchedule::execute_compiled_finish() {
       if (plan.segs.total_threads() == 0) {
         continue;
       }
+      vgpu::AnnotationScope unpack_annotation(ctx_->clock, "xfer:unpack");
       if (tl != nullptr) {
         // The scatter cannot start before its payload is device-resident.
         tl->advance(comm_lane, a.uploaded_at);
