@@ -226,6 +226,8 @@ double Simulation::step() {
 void Simulation::sample_metrics() {
   obs::MetricsRegistry& m = *metrics_;
   const double prev_modeled = m.empty() ? 0.0 : m.value("ramr_modeled_seconds");
+  const std::int64_t prev_steps =
+      m.empty() ? 0 : static_cast<std::int64_t>(m.value("ramr_steps_total"));
   m.set("ramr_steps_total", static_cast<std::int64_t>(step_count()));
   m.set("ramr_sim_time", time());
   m.set("ramr_last_dt", last_dt());
@@ -270,13 +272,21 @@ void Simulation::sample_metrics() {
   m.set("ramr_split_fills_total", tc.split_fills);
   m.set("ramr_messages_sent_total", tc.messages_sent);
   m.set("ramr_wire_bytes_total", tc.bytes_sent);
+  // One loop per metric family, not one per window: registration order
+  // is exposition order, and Prometheus text requires each family's
+  // labelled series contiguous under a single TYPE line.
+  const auto window_label = [](int w) {
+    return std::string("{window=\"") + TransferCounters::window_name(w) +
+           "\"}";
+  };
+  for (int w = 0; w < TransferCounters::kWindowCount; ++w) {
+    m.set("ramr_window_fills_total" + window_label(w),
+          tc.window[static_cast<std::size_t>(w)].fills);
+  }
   for (int w = 0; w < TransferCounters::kWindowCount; ++w) {
     const TransferCounters::WindowStats& ws =
         tc.window[static_cast<std::size_t>(w)];
-    const std::string label =
-        std::string("{window=\"") + TransferCounters::window_name(w) + "\"}";
-    m.set("ramr_window_fills_total" + label, ws.fills);
-    m.set("ramr_window_hidden_fraction" + label,
+    m.set("ramr_window_hidden_fraction" + window_label(w),
           ws.comm_seconds > 0.0 ? ws.overlap_seconds_saved / ws.comm_seconds
                                 : 0.0);
   }
@@ -302,7 +312,12 @@ void Simulation::sample_metrics() {
     m.set("ramr_trace_spans", static_cast<std::uint64_t>(recorder_->size()));
     m.set("ramr_trace_dropped_total", recorder_->dropped());
   }
-  m.observe("ramr_step_seconds", modeled_seconds() - prev_modeled);
+  // With metrics_stride > 1 the delta since the previous sample covers
+  // several steps; normalize so the histogram keeps per-step semantics.
+  const std::int64_t steps_since =
+      std::max<std::int64_t>(1, step_count() - prev_steps);
+  m.observe("ramr_step_seconds", (modeled_seconds() - prev_modeled) /
+                                     static_cast<double>(steps_since));
   m.sample(step_count());
 }
 

@@ -94,16 +94,28 @@ void MetricsRegistry::sample(std::int64_t step) {
 }
 
 std::string MetricsRegistry::prometheus_text() const {
-  std::string out;
-  std::string last_family;
+  // Group values by family, families in first-registration order:
+  // registration may interleave a family's labelled series (per-window
+  // loops), but valid exposition requires each family's samples
+  // contiguous under exactly one TYPE line. For registries whose
+  // families are already contiguous this reproduces registration order.
+  std::vector<std::string> family_order;
+  std::unordered_map<std::string, std::vector<const Value*>> by_family;
   for (const Value& v : values_) {
-    const std::string family = family_of(v.name);
-    if (family != last_family) {
-      out += "# TYPE " + family + (is_counter(family) ? " counter\n"
-                                                      : " gauge\n");
-      last_family = family;
+    std::string family = family_of(v.name);
+    const auto [it, inserted] = by_family.try_emplace(std::move(family));
+    if (inserted) {
+      family_order.push_back(it->first);
     }
-    out += v.name + " " + format_number(v.value) + "\n";
+    it->second.push_back(&v);
+  }
+  std::string out;
+  for (const std::string& family : family_order) {
+    out += "# TYPE " + family + (is_counter(family) ? " counter\n"
+                                                    : " gauge\n");
+    for (const Value* v : by_family[family]) {
+      out += v->name + " " + format_number(v->value) + "\n";
+    }
   }
   for (const Histogram& h : histograms_) {
     const std::string family = family_of(h.name);

@@ -137,7 +137,13 @@ void TraceRecorder::on_annotation_begin(const std::string& name) {
 }
 
 void TraceRecorder::on_annotation_end() {
-  RAMR_REQUIRE(!annotation_stack_.empty(), "annotation scope underflow");
+  if (annotation_stack_.empty()) {
+    // An end with no matching begin: this recorder attached to the
+    // clock inside an already-open AnnotationScope (service mode
+    // attaches a retried job's recorder during recovery, inside the
+    // server's recovery/round scopes). There is nothing to bracket.
+    return;
+  }
   const OpenAnnotation a = annotation_stack_.back();
   annotation_stack_.pop_back();
   TraceSpan s;
@@ -191,6 +197,22 @@ cfg::Json chrome_trace_events(const TraceRecorder& recorder, int pid) {
   process_args.set("name", cfg::Json("rank " + std::to_string(pid)));
   process_meta.set("args", std::move(process_args));
   events.push_back(std::move(process_meta));
+
+  // Truncated traces are self-describing: once the ring overflows, the
+  // retained spans no longer sum to the Timeline's busy totals, and a
+  // viewer must be able to see that without consulting the recorder.
+  cfg::Json ring_meta = cfg::Json::make_object();
+  ring_meta.set("name", cfg::Json("trace_ring"));
+  ring_meta.set("ph", cfg::Json("M"));
+  ring_meta.set("pid", cfg::Json(pid));
+  cfg::Json ring_args = cfg::Json::make_object();
+  ring_args.set("capacity",
+                cfg::Json(static_cast<std::int64_t>(recorder.capacity())));
+  ring_args.set("dropped_spans",
+                cfg::Json(static_cast<std::int64_t>(recorder.dropped())));
+  ring_args.set("complete", cfg::Json(recorder.dropped() == 0));
+  ring_meta.set("args", std::move(ring_args));
+  events.push_back(std::move(ring_meta));
 
   // One Perfetto thread per lane the recorder has seen.
   const std::vector<TraceSpan> spans = recorder.spans();

@@ -16,7 +16,10 @@
 // added to the active lane's busy total (same doubles, same order), so
 // per-lane span sums reproduce Timeline::busy bitwise, and one kernel
 // span is recorded per counted launch, so the per-tag span partition
-// reproduces Device::launch_count exactly (tests/test_obs.cpp).
+// reproduces Device::launch_count exactly (tests/test_obs.cpp). Both
+// guarantees hold over the retained spans only: once the ring
+// overflows (dropped() > 0) the trace is truncated, and the export
+// flags it via a per-rank trace_ring metadata event.
 #pragma once
 
 #include <cstdint>

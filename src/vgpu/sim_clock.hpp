@@ -123,15 +123,20 @@ class ComponentScope {
 /// annotated code paths stay bit-identical when observability is off.
 class AnnotationScope {
  public:
-  AnnotationScope(SimClock* clock, const char* name)
-      : listener_(clock != nullptr ? clock->listener() : nullptr) {
-    if (listener_ != nullptr) {
-      listener_->on_annotation_begin(name);
+  AnnotationScope(SimClock* clock, const char* name) : clock_(clock) {
+    ChargeListener* listener = clock_ != nullptr ? clock_->listener() : nullptr;
+    if (listener != nullptr) {
+      listener->on_annotation_begin(name);
     }
   }
   ~AnnotationScope() {
-    if (listener_ != nullptr) {
-      listener_->on_annotation_end();
+    // Re-queried, never cached: the listener present at entry may have
+    // been destroyed inside the scope (service mode tears down a traced
+    // job's recorder mid-recovery), and a listener attached inside the
+    // scope never saw the begin — it drops the unmatched end.
+    ChargeListener* listener = clock_ != nullptr ? clock_->listener() : nullptr;
+    if (listener != nullptr) {
+      listener->on_annotation_end();
     }
   }
 
@@ -139,7 +144,7 @@ class AnnotationScope {
   AnnotationScope& operator=(const AnnotationScope&) = delete;
 
  private:
-  ChargeListener* listener_;
+  SimClock* clock_;
 };
 
 }  // namespace ramr::vgpu

@@ -22,6 +22,7 @@
 #include "simmpi/communicator.hpp"
 #include "svc/metrics.hpp"
 #include "svc/server.hpp"
+#include "util/fault.hpp"
 #include "util/logger.hpp"
 #include "vgpu/sim_clock.hpp"
 #include "vgpu/timeline.hpp"
@@ -123,6 +124,34 @@ TEST(TraceRecorder, NullClockAnnotationScopeIsANoOp) {
   vgpu::AnnotationScope scope(nullptr, "nothing");
   SimClock clock;  // no listener attached
   vgpu::AnnotationScope quiet(&clock, "still nothing");
+}
+
+// The scope looks up the clock's listener at exit, never caching it:
+// service-mode recovery destroys a traced job's recorder (and attaches
+// the retried job's fresh one) inside the server's recovery/round
+// scopes, so the listener present at entry may be gone — or replaced —
+// by the time the scope closes.
+TEST(TraceRecorder, ScopeSurvivesListenerDestructionAndSwapMidScope) {
+  SimClock clock;
+  {
+    // Destroyed mid-scope, nothing re-attached: the end goes nowhere.
+    auto rec = std::make_unique<TraceRecorder>(clock, 16);
+    vgpu::AnnotationScope scope(&clock, "server:recovery");
+    rec.reset();
+  }
+  std::unique_ptr<TraceRecorder> fresh;
+  {
+    // Destroyed mid-scope and replaced: the fresh recorder never saw
+    // the begin, so it drops the unmatched end instead of asserting.
+    auto rec = std::make_unique<TraceRecorder>(clock, 16);
+    vgpu::AnnotationScope scope(&clock, "server:round");
+    rec.reset();
+    fresh = std::make_unique<TraceRecorder>(clock, 16);
+  }
+  clock.charge_to("after", 1.0);
+  const std::vector<TraceSpan> spans = fresh->spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(fresh->name(spans[0].name), "after");
 }
 
 TEST(TraceRecorder, ClockResetClearsTheRing) {
@@ -408,12 +437,21 @@ TEST(TraceExport, ChromeTraceDocumentIsParseableAndLabelled) {
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
   bool saw_process_meta = false, saw_net_thread = false, saw_kernel = false;
+  bool saw_ring_meta = false;
   for (const cfg::Json& e : events->as_array()) {
     const std::string& name = e.find("name")->as_string();
     const std::string& ph = e.find("ph")->as_string();
     if (ph == "M" && name == "process_name") {
       saw_process_meta = true;
       EXPECT_EQ(e.find("args")->find("name")->as_string(), "rank 0");
+    }
+    if (ph == "M" && name == "trace_ring") {
+      // Truncation is self-describing: capacity, dropped count, and a
+      // completeness flag ride along in every export.
+      saw_ring_meta = true;
+      EXPECT_EQ(e.find("args")->find("capacity")->as_integer(), 16);
+      EXPECT_EQ(e.find("args")->find("dropped_spans")->as_integer(), 0);
+      EXPECT_TRUE(e.find("args")->find("complete")->as_bool());
     }
     if (ph == "M" && name == "thread_name" &&
         e.find("args")->find("name")->as_string() == "net") {
@@ -429,6 +467,7 @@ TEST(TraceExport, ChromeTraceDocumentIsParseableAndLabelled) {
   EXPECT_TRUE(saw_process_meta);
   EXPECT_TRUE(saw_net_thread);
   EXPECT_TRUE(saw_kernel);
+  EXPECT_TRUE(saw_ring_meta);
 }
 
 // ---------------------------------------------------------------------------
@@ -489,6 +528,27 @@ TEST(Metrics, PrometheusTextExposition) {
   // The TYPE header appears once per family, not per labelled series.
   const std::string header = "# TYPE ramr_launches_total";
   EXPECT_EQ(text.find(header), text.rfind(header));
+}
+
+TEST(Metrics, PrometheusTextGroupsInterleavedFamilies) {
+  // Registration interleaves two labelled families (the per-window
+  // pattern); exposition must still emit one TYPE line per family with
+  // its series contiguous under it.
+  obs::MetricsRegistry m;
+  m.set("ramr_window_fills_total{window=\"a\"}", std::uint64_t{1});
+  m.set("ramr_window_hidden_fraction{window=\"a\"}", 0.5);
+  m.set("ramr_window_fills_total{window=\"b\"}", std::uint64_t{2});
+  m.set("ramr_window_hidden_fraction{window=\"b\"}", 0.25);
+  const std::string text = m.prometheus_text();
+  const std::string fills_header = "# TYPE ramr_window_fills_total";
+  const std::string frac_header = "# TYPE ramr_window_hidden_fraction";
+  EXPECT_EQ(text.find(fills_header), text.rfind(fills_header));
+  EXPECT_EQ(text.find(frac_header), text.rfind(frac_header));
+  // Both fills series precede the fraction family's header.
+  EXPECT_LT(text.find("ramr_window_fills_total{window=\"b\"} 2"),
+            text.find(frac_header));
+  EXPECT_LT(text.find(frac_header),
+            text.find("ramr_window_hidden_fraction{window=\"a\"} 0.5"));
 }
 
 TEST(MetricsSimulation, PerStepSamplingFeedsJsonlAndRunReport) {
@@ -678,6 +738,36 @@ TEST(ObsServer, WritesPrometheusMetricsDump) {
             std::string::npos);
   EXPECT_NE(text.find("ramr_server_clock_seconds"), std::string::npos);
   std::remove(path.c_str());
+}
+
+// The review path that used to be a use-after-free: a traced service
+// job fails mid-round, handle_failure's recovery scope (and step_all's
+// round scope) are open on the shared server clock when job.sim.reset()
+// destroys the job's recorder and the retried job attaches a fresh one.
+// The job must recover and finish; the scopes must not touch the freed
+// recorder or trip the fresh one.
+TEST(ObsServer, TracedJobSurvivesFaultInjectionRecovery) {
+  cfg::RunConfig job;
+  job.sim.problem = "sod";
+  job.sim.nx = 48;
+  job.sim.ny = 48;
+  job.sim.max_levels = 2;
+  job.sim.regrid_interval = 4;
+  job.run.max_steps = 6;
+  job.sim.observability = traced_config(1 << 12);
+  auto faults = std::make_shared<util::FaultConfig>();
+  faults->site(util::FaultSite::kStep).at_steps = {3};
+  job.sim.faults = faults;
+
+  svc::SimulationServer server(svc::ServerConfig{});
+  server.submit({"traced_retry", job});
+  server.run();
+  const svc::JobStatus st = server.status(0);
+  ASSERT_EQ(st.state, svc::JobState::kDone) << st.error;
+  EXPECT_EQ(st.steps, 6);
+  EXPECT_EQ(st.retry_count, 1);
+  EXPECT_EQ(st.recoveries, 1);
+  EXPECT_GE(st.faults_injected, 1);
 }
 
 // In service mode the shared clock has one listener slot: the first
